@@ -1,0 +1,45 @@
+"""Ablation — the paper's fixed thresholds ε (violation) and τ (stability).
+
+The paper sets ε = τ = 0.2 without a sensitivity study.  This benchmark
+sweeps both and checks the defaults sit in a sane region: a near-zero ε
+turns MIC sampling noise into violations (hurting precision), while a very
+large ε blinds the system to genuine association shifts (hurting recall).
+"""
+
+from repro.core.pipeline import InvarNetXConfig
+from repro.eval.experiments import run_config_sweep
+
+
+def test_ablation_epsilon_tau(benchmark, cluster, capsys):
+    configs = {
+        "eps=0.05": InvarNetXConfig(epsilon=0.05),
+        "eps=0.2 (paper)": InvarNetXConfig(),
+        "eps=0.55": InvarNetXConfig(epsilon=0.55),
+        "tau=0.05": InvarNetXConfig(tau=0.05),
+        "tau=0.5": InvarNetXConfig(tau=0.5),
+    }
+    results = benchmark.pedantic(
+        lambda: run_config_sweep(configs, cluster),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print("Ablation — violation threshold ε and stability threshold τ")
+        for label, result in results.items():
+            avg = result.scores["average"]
+            print(
+                f"  {label:16s} precision={avg.precision:4.2f} "
+                f"recall={avg.recall:4.2f} f1={avg.f1:4.2f}"
+            )
+
+    default = results["eps=0.2 (paper)"].scores["average"]
+    noisy = results["eps=0.05"].scores["average"]
+    blind = results["eps=0.55"].scores["average"]
+    # the paper's default beats both pathological extremes on F1
+    assert default.f1 >= noisy.f1 - 0.02
+    assert default.f1 >= blind.f1 - 0.02
+    # an over-strict stability test strips the invariant set and costs
+    # accuracy relative to the default
+    strict_tau = results["tau=0.05"].scores["average"]
+    assert default.f1 >= strict_tau.f1 - 0.02

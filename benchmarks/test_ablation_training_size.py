@@ -1,0 +1,36 @@
+"""Ablation — how many normal runs does Algorithm 1 need?
+
+The paper trains on "N (e.g. 10)" runs without justifying the choice.
+Algorithm 1's max-min stability test only removes pairs as N grows, so
+the invariant set shrinks monotonically and the surviving pairs get
+cleaner: the false-violation rate on held-out normal windows falls with
+N while diagnosis accuracy holds.
+"""
+
+from repro.eval.experiments import run_training_size_sweep
+
+
+def test_ablation_training_size(benchmark, cluster, capsys):
+    points = benchmark.pedantic(
+        lambda: run_training_size_sweep(cluster, reps=3),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print("Ablation — normal-run training-set size N")
+        for p in points:
+            print(
+                f"  N={p.n_runs:<3} invariants={p.n_invariants:<4} "
+                f"false-violation rate={p.false_violation_rate:5.3f}  "
+                f"accuracy={p.diagnosis_accuracy:4.2f}"
+            )
+
+    # Algorithm 1 only removes pairs as N grows
+    counts = [p.n_invariants for p in points]
+    assert all(b <= a for a, b in zip(counts, counts[1:]))
+    # more training runs -> cleaner invariants on held-out normal data
+    assert points[-1].false_violation_rate <= points[0].false_violation_rate
+    # the paper's N ~ 8-10 keeps accuracy high
+    by_n = {p.n_runs: p for p in points}
+    assert by_n[8].diagnosis_accuracy >= 0.75

@@ -1,0 +1,47 @@
+"""Extension — the §5 peer-similarity blind spot.
+
+"Assume one bug exists in the platform; when the bug is triggered by a
+certain job, all the nodes behave abnormally in a similar way but the
+correlations are not deviated.  In this case, the correlation-based
+method will ignore this fault."  (paper §5, on PeerWatch-style methods)
+
+This benchmark implements a PeerWatch-style detector and stages both
+scenarios: a node-local CPU-hog (both methods see it) and a cluster-wide
+configuration bug whose manifestation is identical on every node
+(PeerWatch stays silent; InvarNet-X's per-context models fire everywhere).
+"""
+
+from repro.eval.experiments import run_peer_blindspot_experiment
+
+
+def test_ext_peer_blindspot(benchmark, cluster, capsys):
+    result = benchmark.pedantic(
+        lambda: run_peer_blindspot_experiment(cluster),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print("Extension — peer-similarity blind spot (§5)")
+        print(
+            f"  node-local CPU-hog:   PeerWatch flags "
+            f"{result.local_peer_flagged or 'nothing'};  InvarNet-X "
+            f"detects: {result.local_invarnet_detected}"
+        )
+        print(
+            f"  cluster-wide bug:     PeerWatch flags "
+            f"{result.global_peer_flagged or 'nothing'};  InvarNet-X "
+            f"fires on {result.global_invarnet_nodes}"
+        )
+        scores = ", ".join(
+            f"{k}={v:.2f}" for k, v in result.peer_scores_global.items()
+        )
+        print(f"  PeerWatch scores under the cluster-wide bug: {scores}")
+
+    # the node-local fault is visible to both methods
+    assert result.local_peer_flagged == ["slave-2"]
+    assert result.local_invarnet_detected
+    # the cluster-wide bug escapes peer comparison entirely...
+    assert result.global_peer_flagged == []
+    # ...but per-context invariant checking fires on most nodes
+    assert len(result.global_invarnet_nodes) >= 3

@@ -1,0 +1,48 @@
+"""Extension — signature-conflict detection (the paper's §4.3 note).
+
+"InvarNet-X mistakes Net-drop for Net-delay and vice versa sometimes
+because these two faults have very similar signatures.  That's a typical
+'signature conflict' which will be discussed in our future work."
+
+This benchmark implements that future work: after training the Fig. 8
+signature database, :meth:`SignatureDatabase.conflicts` must surface the
+Net-drop/Net-delay pair among the strongest conflicts, letting an operator
+merge the two into one reported cause.
+"""
+
+from repro.core import InvarNetX, OperationContext
+from repro.datagen.campaigns import CampaignConfig, FaultCampaign
+from repro.eval.experiments import BATCH_FAULT_NAMES
+
+
+def _build_database(cluster):
+    ctx = OperationContext("wordcount", "slave-1", cluster.ip_of("slave-1"))
+    campaign = FaultCampaign(
+        cluster,
+        CampaignConfig(workload="wordcount", test_reps=1, base_seed=150),
+        BATCH_FAULT_NAMES,
+    )
+    pipe = InvarNetX()
+    pipe.train_from_runs(ctx, campaign.normal_runs())
+    for fault in campaign.faults:
+        for run in campaign.train_runs(fault):
+            pipe.train_signature_from_run(ctx, fault, run)
+    return pipe._slot(ctx).database
+
+
+def test_ext_signature_conflicts(benchmark, cluster, capsys):
+    database = benchmark.pedantic(
+        lambda: _build_database(cluster), rounds=1, iterations=1
+    )
+    conflicts = database.conflicts(threshold=0.85)
+    with capsys.disabled():
+        print()
+        print("Extension — signature conflicts at similarity >= 0.85")
+        for a, b, score in conflicts[:8]:
+            print(f"  {a:10s} ~ {b:10s} similarity={score:.3f}")
+
+    pairs = {(a, b) for a, b, _ in conflicts}
+    assert ("Net-delay", "Net-drop") in pairs
+    # conflicts are rare: most fault pairs stay well-separated
+    n_problems = len(database.problems)
+    assert len(conflicts) < n_problems * (n_problems - 1) / 2 * 0.4

@@ -1,0 +1,28 @@
+"""Fig. 10 — recall: InvarNet-X vs ARX vs no-operation-context.
+
+Paper claims: the diagnosis recall of InvarNet-X and ARX shows "no
+significant differences" (ARX's easily-broken linear invariants capture
+problems strongly), while the no-operation-context ablation is far worse
+on recall too.
+"""
+
+from repro.eval.reporting import format_comparison
+
+
+def test_fig10_recall_comparison(benchmark, comparison_results, capsys):
+    results = benchmark.pedantic(
+        lambda: comparison_results, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(format_comparison(results))
+
+    mic = results["InvarNet-X"].scores["average"].recall
+    arx = results["ARX"].scores["average"].recall
+    no_ctx = results["no-context"].scores["average"].recall
+
+    # recall comparable between MIC and ARX (paper: no significant gap)
+    assert abs(mic - arx) < 0.12
+    # the ablation collapses
+    assert no_ctx < mic - 0.25
+    assert no_ctx < arx - 0.25

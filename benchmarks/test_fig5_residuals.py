@@ -1,0 +1,36 @@
+"""Fig. 5 — CPI prediction residuals before/after a CPU-hog injection.
+
+Paper claim: the residuals of the trained ARIMA model stay small in the
+normal state and jump visibly when the CPU-hog is injected, for both the
+batch (Wordcount) and interactive (TPC-DS) workloads.
+"""
+
+import numpy as np
+
+from repro.eval.experiments import run_fig5_residuals
+from repro.eval.reporting import format_fig5
+
+
+def test_fig5_residuals(benchmark, cluster, capsys):
+    series = benchmark.pedantic(
+        lambda: run_fig5_residuals(cluster),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(format_fig5(series))
+
+    assert set(series) == {"wordcount", "tpcds"}
+    for s in series.values():
+        lo, hi = s.fault_window
+        resid = np.abs(s.residuals)
+        inside = resid[lo : min(hi, resid.size)]
+        inside = inside[~np.isnan(inside)]
+        outside = resid[:lo]
+        outside = outside[~np.isnan(outside)]
+        # the anomaly is glanceable: fault-window residuals dominate
+        assert np.mean(inside) > 2 * np.mean(outside)
+        assert np.max(inside) > s.threshold_upper
+        # and the normal state stays under the calibrated threshold
+        assert np.mean(outside) < s.threshold_upper

@@ -1,0 +1,44 @@
+"""Fig. 6 — anomaly detection under max-min, 95-percentile and beta-max.
+
+Paper claim: the 95-percentile rule has the worst detection behaviour
+(it floods false alarms), while max-min and beta-max behave similarly;
+beta-max is selected as the final rule because it is also cheaper than
+max-min.
+"""
+
+from repro.eval.experiments import run_fig6_threshold_rules
+from repro.eval.reporting import format_fig6
+
+
+def test_fig6_threshold_rules(benchmark, cluster, capsys):
+    scores = benchmark.pedantic(
+        lambda: run_fig6_threshold_rules(cluster),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(format_fig6(scores))
+
+    for workload, rows in scores.items():
+        by_rule = {r.rule: r for r in rows}
+        # 95-percentile is the noisiest rule...
+        assert (
+            by_rule["95-percentile"].false_positive_rate
+            >= by_rule["beta-max"].false_positive_rate
+        )
+        assert (
+            by_rule["95-percentile"].false_positive_rate
+            >= by_rule["max-min"].false_positive_rate
+        )
+        # ...max-min and beta-max behave similarly...
+        assert (
+            abs(
+                by_rule["max-min"].true_positive_rate
+                - by_rule["beta-max"].true_positive_rate
+            )
+            < 0.35
+        )
+        # ...and every rule catches the injected CPU-hog.
+        for r in rows:
+            assert r.problem_detected, f"{r.rule} missed on {workload}"

@@ -1,0 +1,48 @@
+"""Fig. 7 — per-fault diagnosis precision/recall under TPC-DS.
+
+Paper claims: average precision 88.1 % and recall 86 %; Overload and
+Suspend are near-perfect (100 % precision, 99 %/98 % recall) because they
+violate very many invariants; Lock-R's recall is very low (its violations
+differ between runs); Net-drop and Net-delay are mutually confused (the
+"signature conflict").
+"""
+
+from repro.eval.reporting import format_diagnosis
+
+
+def test_fig7_tpcds_diagnosis(benchmark, fig7_result, capsys):
+    result = benchmark.pedantic(
+        lambda: fig7_result, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(format_diagnosis(result, "Fig. 7 — TPC-DS per-fault accuracy"))
+
+    scores = result.scores
+    # overall accuracy in the paper's band
+    assert scores["average"].precision > 0.75
+    assert scores["average"].recall > 0.65
+
+    # Overload and Suspend are trivially separable (paper: 100 %
+    # precision, 99 %/98 % recall).  At small test_reps a single stolen
+    # run costs ~0.15 precision, so the bound tolerates one.
+    for easy in ("Overload", "Suspend"):
+        assert scores[easy].precision >= 0.8, easy
+        assert scores[easy].recall >= 0.9, easy
+
+    # Lock-R's non-determinism caps its recall well below the average
+    assert scores["Lock-R"].recall <= scores["average"].recall
+
+    # the Net-drop/Net-delay signature conflict: confusions between the
+    # two dominate whatever either fault loses
+    confusion = result.confusion()
+    net_cross = confusion.get(("Net-drop", "Net-delay"), 0) + confusion.get(
+        ("Net-delay", "Net-drop"), 0
+    )
+    net_other = sum(
+        count
+        for (truth, predicted), count in confusion.items()
+        if truth in ("Net-drop", "Net-delay")
+        and predicted not in ("Net-drop", "Net-delay", truth)
+    )
+    assert net_cross >= net_other

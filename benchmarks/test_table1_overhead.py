@@ -1,0 +1,38 @@
+"""Table 1 — computational overhead of each InvarNet-X stage.
+
+Paper claims: the online stages (Perf-D anomaly detection, Cause-I
+inference) run in seconds — "satisfying the online requirement" — while
+invariant construction dominates the offline cost.  The paper also reports
+ARX invariant construction an order of magnitude above MIC's; on this
+substrate the ratio depends on implementation vectorisation, so the
+benchmark asserts the implementation-independent shape (online ≪ offline,
+construction dominates) and prints both columns for inspection (see
+EXPERIMENTS.md for the deviation discussion).
+"""
+
+from repro.eval.experiments import run_table1_overhead
+from repro.eval.reporting import format_table1
+
+
+def test_table1_overhead(benchmark, cluster, capsys):
+    rows = benchmark.pedantic(
+        lambda: run_table1_overhead(cluster),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(format_table1(rows))
+
+    names = [r.workload for r in rows]
+    assert names == ["wordcount", "sort", "grep", "interactive"]
+    for r in rows:
+        # online requirement: detection and inference well under 2 s
+        assert r.detect < 2.0
+        assert r.cause_infer < 2.0
+        # offline invariant construction dominates the pipeline cost
+        assert r.invariant_mic > r.signature_build
+        assert r.invariant_mic > r.cause_infer
+        assert r.invariant_mic > r.perf_model
+        # every stage actually did work
+        assert r.invariant_arx > 0.0

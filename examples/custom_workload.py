@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Extending the system: a user-defined workload and a user-defined fault.
+
+The paper leaves "other workloads for the future work" (§4.1); this
+example shows the extension points a downstream user has:
+
+- define a new :class:`WorkloadProfile` (here "pagerank", an iterative,
+  network-chatty computation unlike any built-in profile);
+- define a new :class:`Fault` (here a garbage-collection storm: periodic
+  stop-the-world pauses that freeze the job and burn cycles);
+- train an operation context for the new workload and diagnose the new
+  fault with the unmodified pipeline.
+
+Run with:  python examples/custom_workload.py
+"""
+
+import numpy as np
+
+from repro import HadoopCluster, InvarNetX, OperationContext
+from repro.cluster.demand import ResourceDemand
+from repro.cluster.node import FaultModifiers
+from repro.cluster.workloads import PhaseSpec, WorkloadProfile, WorkloadType
+from repro.faults.spec import Fault, FaultSpec
+from repro.telemetry.collectl import MetricEffects
+
+# ----------------------------------------------------------------------
+# a new workload: iterative PageRank (compute + heavy peer exchange)
+# ----------------------------------------------------------------------
+PAGERANK = WorkloadProfile(
+    name="pagerank",
+    kind=WorkloadType.BATCH,
+    base_cpi=1.25,
+    phases=(
+        PhaseSpec("map", 45, ResourceDemand(
+            cpu=0.60, mem_mb=7_500, disk_read_kbs=18_000,
+            disk_write_kbs=3_000, net_rx_kbs=22_000, net_tx_kbs=22_000,
+        )),
+        PhaseSpec("shuffle", 20, ResourceDemand(
+            cpu=0.25, mem_mb=8_000, disk_read_kbs=4_000,
+            disk_write_kbs=6_000, net_rx_kbs=40_000, net_tx_kbs=40_000,
+        )),
+        PhaseSpec("reduce", 25, ResourceDemand(
+            cpu=0.50, mem_mb=8_500, disk_read_kbs=3_000,
+            disk_write_kbs=14_000, net_rx_kbs=8_000, net_tx_kbs=4_000,
+        )),
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# a new fault: GC storms (stop-the-world pauses under heap pressure)
+# ----------------------------------------------------------------------
+class GcStormFault(Fault):
+    """Periodic stop-the-world collections: the JVM freezes for part of
+    every interval, retired instructions stall, minor page faults surge
+    as survivor spaces are walked, and progress drops — yet no external
+    process consumes anything."""
+
+    name = "GC-storm"
+
+    def _modifiers(self, tick: int, rng: np.random.Generator) -> FaultModifiers:
+        pausing = (tick % 3 == 0)  # one collection every ~30 s
+        return FaultModifiers(
+            activity_factor=0.5 if pausing else 1.0,
+            cpi_factor=1.45 if pausing else 1.10,
+            progress_factor=0.6,
+        )
+
+    def _metric_effects(self, tick: int, rng: np.random.Generator) -> MetricEffects:
+        surge = 4_000.0 if tick % 3 == 0 else 800.0
+        return MetricEffects(
+            add={"pgfault_per_sec": surge * float(rng.uniform(0.7, 1.3))},
+            noise={"mem_cached_mb": 0.08},
+        )
+
+
+def main() -> None:
+    cluster = HadoopCluster()
+    context = OperationContext(
+        "pagerank", "slave-1", cluster.ip_of("slave-1")
+    )
+    pipeline = InvarNetX()
+
+    print("== training the custom pagerank@slave-1 context")
+    normal = [cluster.run(PAGERANK, seed=20 + i) for i in range(8)]
+    pipeline.train_from_runs(context, normal)
+    invariants = pipeline._slot(context).invariants
+    assert invariants is not None
+    print(f"   invariants discovered for the new workload: {len(invariants)}")
+
+    print("== learning the custom GC-storm signature (plus CPU-hog for "
+          "contrast)")
+    from repro.faults.spec import build_fault
+
+    for problem, factory in (
+        ("GC-storm", lambda: GcStormFault(FaultSpec("slave-1", 30, 30))),
+        ("CPU-hog", lambda: build_fault(
+            "CPU-hog", FaultSpec("slave-1", 30, 30))),
+    ):
+        for rep in range(2):
+            run = cluster.run(PAGERANK, faults=[factory()], seed=70 + rep)
+            pipeline.train_signature_from_run(context, problem, run)
+
+    print("== diagnosing fresh incidents of both problems")
+    for problem, factory in (
+        ("GC-storm", lambda: GcStormFault(FaultSpec("slave-1", 30, 30))),
+        ("CPU-hog", lambda: build_fault(
+            "CPU-hog", FaultSpec("slave-1", 30, 30))),
+    ):
+        run = cluster.run(PAGERANK, faults=[factory()], seed=90)
+        result = pipeline.diagnose_run(context, run)
+        verdict = "correct" if result.root_cause == problem else "WRONG"
+        print(f"   injected {problem:8s} -> diagnosed "
+              f"{result.root_cause} ({verdict})")
+
+
+if __name__ == "__main__":
+    main()

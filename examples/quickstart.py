@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: train InvarNet-X and diagnose an injected CPU hog.
+
+This walks the full Fig. 3 loop on the simulated cluster:
+
+1. run the Wordcount workload a few times in the normal state;
+2. offline part — train the ARIMA performance model and build the MIC
+   likely invariants for the (wordcount, slave-1) operation context;
+3. teach the signature database two investigated problems;
+4. online part — run a job with a co-located CPU hog, detect the CPI
+   drift, and rank root causes by signature similarity.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import HadoopCluster, InvarNetX, OperationContext
+from repro.faults.spec import FaultSpec, build_fault
+
+
+def main() -> None:
+    cluster = HadoopCluster()  # 1 master + 4 slaves, the paper's testbed
+    context = OperationContext(
+        workload="wordcount",
+        node_id="slave-1",
+        ip=cluster.ip_of("slave-1"),
+    )
+    pipeline = InvarNetX()
+
+    # ------------------------------------------------------------- offline
+    print("== offline: training on 8 normal Wordcount runs")
+    normal_runs = [cluster.run("wordcount", seed=100 + i) for i in range(8)]
+    pipeline.train_from_runs(context, normal_runs)
+    invariants = pipeline._slot(context).invariants
+    assert invariants is not None
+    print(f"   likely invariants discovered: {len(invariants)} "
+          f"(of {invariants.catalog.pair_count()} metric pairs)")
+
+    print("== offline: learning signatures for two investigated problems")
+    for problem in ("CPU-hog", "Mem-hog"):
+        for rep in range(2):  # the paper trains on 2 repetitions per fault
+            fault = build_fault(
+                problem, FaultSpec("slave-1", start=30, duration=30)
+            )
+            run = cluster.run(
+                "wordcount", faults=[fault], seed=500 + rep
+            )
+            pipeline.train_signature_from_run(context, problem, run)
+    print(f"   signature database size: "
+          f"{len(pipeline._slot(context).database)}")
+
+    # -------------------------------------------------------------- online
+    print("== online: a healthy run first")
+    healthy = cluster.run("wordcount", seed=900)
+    result = pipeline.diagnose_run(context, healthy)
+    print(f"   problem detected: {result.detected}")
+
+    print("== online: now with a CPU hog co-located on slave-1")
+    hog = build_fault("CPU-hog", FaultSpec("slave-1", start=30, duration=30))
+    sick = cluster.run("wordcount", faults=[hog], seed=901)
+    result = pipeline.diagnose_run(context, sick)
+    print(f"   problem detected: {result.detected} "
+          f"(first at tick {result.anomaly.first_problem_tick()})")
+    assert result.inference is not None
+    print("   ranked root causes:")
+    for cause in result.inference.causes:
+        print(f"     {cause.problem:10s} similarity={cause.score:.3f}")
+    print(f"   verdict: {result.root_cause}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""InvarNet-X reproduction: invariant-based performance diagnosis for big
+data platforms.
+
+This package reproduces Chen et al., *InvarNet-X: A Comprehensive
+Invariant Based Approach for Performance Diagnosis in Big Data Platform*
+(BPOE @ VLDB 2014), end to end:
+
+- :mod:`repro.core` — the diagnosis pipeline itself (ARIMA-on-CPI anomaly
+  detection, MIC likely invariants, signature database, cause inference);
+- :mod:`repro.stats` — from-scratch ARIMA and MIC engines;
+- :mod:`repro.cluster` — a simulated Hadoop cluster with BigDataBench-style
+  workloads (the paper's testbed substitute);
+- :mod:`repro.telemetry` — the collectl/perf measurement layer (26 metrics
+  + CPI at 10 s);
+- :mod:`repro.faults` — the fifteen injected faults of §4.1;
+- :mod:`repro.arx` — the Jiang et al. ARX baseline;
+- :mod:`repro.datagen` / :mod:`repro.eval` — campaign generation and the
+  per-figure/table experiment harness.
+
+Quickstart::
+
+    from repro import HadoopCluster, InvarNetX, OperationContext
+    from repro.faults import build_fault
+    from repro.faults.spec import FaultSpec
+
+    cluster = HadoopCluster()
+    ctx = OperationContext("wordcount", "slave-1", cluster.ip_of("slave-1"))
+    pipe = InvarNetX()
+    pipe.train_from_runs(ctx, [cluster.run("wordcount", seed=i) for i in range(8)])
+    hog = build_fault("CPU-hog", FaultSpec("slave-1", start=30, duration=30))
+    run = cluster.run("wordcount", faults=[hog], seed=99)
+    pipe.train_signature_from_run(ctx, "CPU-hog", run)
+    result = pipe.diagnose_run(ctx, cluster.run("wordcount", faults=[hog], seed=100))
+    print(result.root_cause)  # -> "CPU-hog"
+"""
+
+from repro.cluster import HadoopCluster, NodeSpec, WorkloadProfile, get_workload
+from repro.core import (
+    AnomalyDetector,
+    DiagnosisResult,
+    InvarNetX,
+    InvarNetXConfig,
+    OperationContext,
+    SignatureDatabase,
+    ThresholdRule,
+)
+from repro.telemetry import METRIC_NAMES, RunTrace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HadoopCluster",
+    "NodeSpec",
+    "WorkloadProfile",
+    "get_workload",
+    "InvarNetX",
+    "InvarNetXConfig",
+    "DiagnosisResult",
+    "OperationContext",
+    "AnomalyDetector",
+    "ThresholdRule",
+    "SignatureDatabase",
+    "METRIC_NAMES",
+    "RunTrace",
+    "__version__",
+]

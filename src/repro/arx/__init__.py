@@ -1,0 +1,29 @@
+"""The ARX baseline of Jiang et al. (TKDE 2007 / ICAC 2006).
+
+The paper compares InvarNet-X against the invariant network of Jiang et
+al., which models metric pairs with AutoRegressive models with eXogenous
+input (ARX) and keeps the pairs whose *fitness score* stays high across
+runs.  This subpackage implements that baseline:
+
+- :mod:`repro.arx.model` — ARX(n, m, k) least-squares estimation and the
+  fitness score;
+- :mod:`repro.arx.invariants` — pairwise invariant-network construction
+  and violation checking;
+- :mod:`repro.arx.pipeline` — an ARX-flavoured diagnosis pipeline with the
+  same interface as :class:`repro.core.pipeline.InvarNetX`, so the Fig. 9/10
+  comparison swaps only the invariant technology.
+"""
+
+from repro.arx.invariants import ARXInvariantNetwork, build_arx_network
+from repro.arx.model import ARXModel, ARXOrder, fit_arx, fit_best_arx
+from repro.arx.pipeline import ARXInvarNet
+
+__all__ = [
+    "ARXModel",
+    "ARXOrder",
+    "fit_arx",
+    "fit_best_arx",
+    "ARXInvariantNetwork",
+    "build_arx_network",
+    "ARXInvarNet",
+]

@@ -1,0 +1,202 @@
+"""The ARX invariant network and its violation checking.
+
+Following Jiang et al.: for every ordered metric pair, the best ARX model
+is fitted on *each* normal run; a pair is an invariant when (i) the
+fitness stays above a threshold in every run and (ii) the fitted
+parameters stay consistent across runs (Jiang's robustness requirement —
+a relationship whose model must be re-learned per run is not an
+invariant).  Per unordered pair the better direction is kept, and the
+first run's model is stored for online checking.
+
+At diagnosis time a stored invariant is *violated* when the model's
+fitness on the abnormal window drops below the violation bound — a linear
+relationship that no longer tracks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arx.model import ARXModel, fit_best_arx
+from repro.telemetry.metrics import MetricCatalog
+
+__all__ = ["ARXInvariant", "ARXInvariantNetwork", "build_arx_network"]
+
+#: Minimum fitness a model must sustain over all normal runs to be kept.
+FITNESS_KEEP = 0.5
+#: Fitness below which a kept invariant counts as violated at diagnosis —
+#: 90 % of the keep bound: any meaningful tracking degradation counts as a
+#: break.  Jiang's bound is sensitive by design; a rigid linear relation
+#: breaks easily, which gives the ARX baseline its strong anomaly capture
+#: but dense, mutually similar violation tuples (the weakness the paper
+#: reports in §4.3: "many similar signatures").
+FITNESS_VIOLATE = 0.45
+#: Maximum relative drift of the steady-state gain across per-run refits.
+GAIN_DRIFT = 0.5
+
+
+@dataclass(frozen=True)
+class ARXInvariant:
+    """One edge of the invariant network.
+
+    Attributes:
+        input_idx: metric index of the model input ``u``.
+        output_idx: metric index of the model output ``y``.
+        model: the stored ARX model.
+        min_fitness: worst fitness observed over the normal runs.
+    """
+
+    input_idx: int
+    output_idx: int
+    model: ARXModel
+    min_fitness: float
+
+
+@dataclass
+class ARXInvariantNetwork:
+    """All ARX invariants of one operation context.
+
+    Attributes:
+        invariants: kept edges, in canonical pair order.
+        catalog: metric vocabulary.
+        violate_threshold: fitness bound for violation checking.
+    """
+
+    invariants: list[ARXInvariant]
+    catalog: MetricCatalog = field(default_factory=MetricCatalog)
+    violate_threshold: float = FITNESS_VIOLATE
+
+    def __len__(self) -> int:
+        return len(self.invariants)
+
+    def pair_names(self) -> list[tuple[str, str]]:
+        """Invariant pairs as (input, output) metric names."""
+        return [
+            (self.catalog.name(e.input_idx), self.catalog.name(e.output_idx))
+            for e in self.invariants
+        ]
+
+    def violations(self, window: np.ndarray) -> np.ndarray:
+        """Binary violation tuple over an observation window.
+
+        Args:
+            window: (ticks, M) metric samples.
+
+        Returns:
+            Boolean array aligned with :attr:`invariants`.
+        """
+        arr = np.asarray(window, dtype=float)
+        if arr.ndim != 2 or arr.shape[1] != len(self.catalog):
+            raise ValueError(
+                f"expected (ticks, {len(self.catalog)}) samples, "
+                f"got {arr.shape}"
+            )
+        out = np.zeros(len(self.invariants), dtype=bool)
+        for idx, edge in enumerate(self.invariants):
+            u = arr[:, edge.input_idx]
+            y = arr[:, edge.output_idx]
+            try:
+                fitness = edge.model.score(u, y)
+            except ValueError:
+                out[idx] = True  # window too short to even evaluate
+                continue
+            out[idx] = fitness < self.violate_threshold
+        return out
+
+
+def _steady_state_gain(model: ARXModel) -> float | None:
+    """DC gain ``sum(b) / (1 - sum(a))`` of an ARX model, or None when the
+    autoregressive part sits on the unit circle."""
+    denom = 1.0 - float(np.sum(model.a))
+    if abs(denom) < 1e-6:
+        return None
+    return float(np.sum(model.b)) / denom
+
+
+def build_arx_network(
+    runs: list[np.ndarray],
+    catalog: MetricCatalog | None = None,
+    keep_threshold: float = FITNESS_KEEP,
+    violate_threshold: float = FITNESS_VIOLATE,
+    gain_drift: float = GAIN_DRIFT,
+) -> ARXInvariantNetwork:
+    """Construct the invariant network from N normal runs.
+
+    For each unordered pair both directions are evaluated.  A direction
+    survives when a fresh per-run fit reaches ``keep_threshold`` fitness in
+    every run, the first run's stored model also tracks every later run,
+    and the steady-state gains of the per-run fits stay within
+    ``gain_drift`` relative spread — Jiang's requirement that the *model*,
+    not just the fit quality, is stable.
+
+    Args:
+        runs: per-run (ticks, M) metric arrays.
+        catalog: metric vocabulary.
+        keep_threshold: minimum sustained fitness for keeping an edge.
+        violate_threshold: fitness bound used later at diagnosis.
+        gain_drift: maximum relative spread of per-run steady-state gains.
+
+    Returns:
+        The :class:`ARXInvariantNetwork`.
+    """
+    if not runs:
+        raise ValueError("need at least one normal run")
+    catalog = catalog or MetricCatalog()
+    arrays = [np.asarray(r, dtype=float) for r in runs]
+    for arr in arrays:
+        if arr.ndim != 2 or arr.shape[1] != len(catalog):
+            raise ValueError(
+                f"expected (ticks, {len(catalog)}) samples, got {arr.shape}"
+            )
+    kept: list[ARXInvariant] = []
+    for i, j in catalog.pairs():
+        best_edge: ARXInvariant | None = None
+        for input_idx, output_idx in ((i, j), (j, i)):
+            stored: ARXModel | None = None
+            min_fitness = np.inf
+            gains: list[float] = []
+            valid = True
+            for arr in arrays:
+                u = arr[:, input_idx]
+                y = arr[:, output_idx]
+                try:
+                    refit = fit_best_arx(u, y)
+                except ValueError:
+                    valid = False
+                    break
+                if refit.fitness < keep_threshold:
+                    valid = False
+                    break
+                gain = _steady_state_gain(refit)
+                if gain is not None:
+                    gains.append(gain)
+                if stored is None:
+                    stored = refit
+                    min_fitness = refit.fitness
+                else:
+                    fitness = stored.score(u, y)
+                    min_fitness = min(min_fitness, fitness)
+                    if fitness < keep_threshold:
+                        valid = False
+                        break
+            if not valid or stored is None:
+                continue
+            if len(gains) >= 2:
+                scale = max(abs(float(np.mean(gains))), 1e-9)
+                spread = (max(gains) - min(gains)) / scale
+                if spread > gain_drift:
+                    continue
+            if best_edge is None or min_fitness > best_edge.min_fitness:
+                best_edge = ARXInvariant(
+                    input_idx=input_idx,
+                    output_idx=output_idx,
+                    model=stored,
+                    min_fitness=float(min_fitness),
+                )
+        if best_edge is not None:
+            kept.append(best_edge)
+    return ARXInvariantNetwork(
+        invariants=kept, catalog=catalog, violate_threshold=violate_threshold
+    )

@@ -1,0 +1,212 @@
+"""ARX(n, m, k) models between metric pairs.
+
+Jiang et al. model the relationship between an input metric ``u`` and an
+output metric ``y`` as
+
+    y(t) = a_1 y(t-1) + … + a_n y(t-n)
+         + b_0 u(t-k) + … + b_m u(t-k-m) + d
+
+estimated by ordinary least squares, and score a fit with the *fitness*
+
+    F(θ) = 1 − ‖y − ŷ‖ / ‖y − ȳ‖
+
+(1 is perfect tracking, ≤ 0 is no better than the mean).  Orders are
+searched over a small grid (n, m ∈ {0, 1, 2}, k ∈ {0, 1} here, as in the
+original work's low-order setting).
+
+This is the linear-modelling baseline the paper criticises: rigorous linear
+relationships break easily (good anomaly capture) but many faults produce
+similar breakage patterns (poor fault discrimination).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+import numpy as np
+
+__all__ = ["ARXOrder", "ARXModel", "fit_arx", "fit_best_arx", "DEFAULT_ORDER_GRID"]
+
+
+class ARXOrder(NamedTuple):
+    """The (n, m, k) order triple of an ARX model."""
+
+    n: int
+    m: int
+    k: int
+
+    def validate(self) -> None:
+        """Reject negative order components."""
+        if self.n < 0 or self.m < 0 or self.k < 0:
+            raise ValueError(f"ARX order components must be >= 0, got {self}")
+
+
+#: The (n, m, k) grid searched by :func:`fit_best_arx`.
+DEFAULT_ORDER_GRID: tuple[ARXOrder, ...] = tuple(
+    ARXOrder(n, m, k) for n in range(3) for m in range(3) for k in range(2)
+)
+
+
+@dataclass
+class ARXModel:
+    """A fitted ARX(n, m, k) model from input ``u`` to output ``y``.
+
+    Attributes:
+        order: the (n, m, k) triple.
+        a: AR coefficients on past outputs (length n).
+        b: coefficients on (lagged) inputs (length m + 1).
+        d: constant term.
+        fitness: fitness score on the training data.
+    """
+
+    order: ARXOrder
+    a: np.ndarray
+    b: np.ndarray
+    d: float
+    fitness: float
+
+    def __post_init__(self) -> None:
+        self.order = ARXOrder(*self.order)
+        self.order.validate()
+        self.a = np.asarray(self.a, dtype=float)
+        self.b = np.asarray(self.b, dtype=float)
+        if self.a.size != self.order.n:
+            raise ValueError(
+                f"expected {self.order.n} AR coefficients, got {self.a.size}"
+            )
+        if self.b.size != self.order.m + 1:
+            raise ValueError(
+                f"expected {self.order.m + 1} input coefficients, "
+                f"got {self.b.size}"
+            )
+
+    @property
+    def warmup(self) -> int:
+        """Samples consumed before the first prediction is defined."""
+        return max(self.order.n, self.order.m + self.order.k)
+
+    def predict(self, u: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """One-step predictions of ``y`` from observed history.
+
+        Args:
+            u: input series.
+            y: output series (used for the autoregressive lags).
+
+        Returns:
+            Predictions aligned with ``y``; the first :attr:`warmup`
+            positions are NaN.
+        """
+        u = np.asarray(u, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if u.shape != y.shape or u.ndim != 1:
+            raise ValueError("u and y must be 1-D of equal length")
+        n, m, k = self.order
+        t0 = self.warmup
+        out = np.full(y.size, np.nan)
+        for t in range(t0, y.size):
+            acc = self.d
+            for i in range(1, n + 1):
+                acc += self.a[i - 1] * y[t - i]
+            for j in range(m + 1):
+                acc += self.b[j] * u[t - k - j]
+            out[t] = acc
+        return out
+
+    def score(self, u: np.ndarray, y: np.ndarray) -> float:
+        """Fitness of this model on (possibly new) data."""
+        y = np.asarray(y, dtype=float)
+        preds = self.predict(u, y)
+        mask = ~np.isnan(preds)
+        return _fitness(y[mask], preds[mask])
+
+
+def _fitness(y: np.ndarray, y_hat: np.ndarray) -> float:
+    """Jiang's fitness score ``1 − ‖y − ŷ‖ / ‖y − ȳ‖``.
+
+    Perfectly tracked constants score 1.0; an untracked constant scores 0.
+    """
+    if y.size == 0:
+        return 0.0
+    err = float(np.linalg.norm(y - y_hat))
+    spread = float(np.linalg.norm(y - y.mean()))
+    if spread == 0.0:
+        return 1.0 if err < 1e-9 * max(abs(float(y.mean())), 1.0) else 0.0
+    return 1.0 - err / spread
+
+
+def fit_arx(
+    u: np.ndarray, y: np.ndarray, order: ARXOrder | tuple[int, int, int]
+) -> ARXModel:
+    """Least-squares fit of one ARX model.
+
+    Args:
+        u: input metric series.
+        y: output metric series, same length.
+        order: (n, m, k) triple.
+
+    Returns:
+        The fitted :class:`ARXModel` (fitness evaluated on the training
+        data).
+    """
+    order = ARXOrder(*order)
+    order.validate()
+    u = np.asarray(u, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if u.shape != y.shape or u.ndim != 1:
+        raise ValueError("u and y must be 1-D of equal length")
+    n, m, k = order
+    t0 = max(n, m + k)
+    rows = y.size - t0
+    if rows < n + m + 3:
+        raise ValueError(
+            f"series too short ({y.size}) for ARX{tuple(order)}"
+        )
+    design = np.ones((rows, n + m + 2))
+    col = 0
+    for i in range(1, n + 1):
+        design[:, col] = y[t0 - i : y.size - i]
+        col += 1
+    for j in range(m + 1):
+        design[:, col] = u[t0 - k - j : u.size - k - j]
+        col += 1
+    # last column stays 1.0 (the constant d)
+    target = y[t0:]
+    coef, _, _, _ = np.linalg.lstsq(design, target, rcond=None)
+    preds = design @ coef
+    model = ARXModel(
+        order=order,
+        a=coef[:n],
+        b=coef[n : n + m + 1],
+        d=float(coef[-1]),
+        fitness=_fitness(target, preds),
+    )
+    return model
+
+
+def fit_best_arx(
+    u: np.ndarray,
+    y: np.ndarray,
+    grid: tuple[ARXOrder, ...] = DEFAULT_ORDER_GRID,
+) -> ARXModel:
+    """Grid-search the ARX order maximising training fitness.
+
+    Args:
+        u: input metric series.
+        y: output metric series.
+        grid: (n, m, k) candidates.
+
+    Returns:
+        The best-fitness :class:`ARXModel` over the grid.
+    """
+    best: ARXModel | None = None
+    for order in grid:
+        try:
+            model = fit_arx(u, y, order)
+        except (ValueError, np.linalg.LinAlgError):
+            continue
+        if best is None or model.fitness > best.fitness:
+            best = model
+    if best is None:
+        raise ValueError("no ARX order could be fitted to the pair")
+    return best

@@ -1,0 +1,13 @@
+"""Additional comparison baselines from the paper's related work (§5).
+
+Besides the ARX invariant network (:mod:`repro.arx`), the paper discusses
+correlation-based peer-similarity methods such as PeerWatch [5] — and
+argues they have a blind spot: a bug triggered identically on every node
+leaves the cross-node correlations intact, so peer comparison sees
+nothing.  :mod:`repro.baselines.peerwatch` implements that family so the
+claim can be demonstrated (see ``benchmarks/test_ext_peer_blindspot.py``).
+"""
+
+from repro.baselines.peerwatch import PeerWatchDetector
+
+__all__ = ["PeerWatchDetector"]

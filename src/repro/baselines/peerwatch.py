@@ -1,0 +1,181 @@
+"""A PeerWatch-style peer-similarity fault detector (Kang et al., ICAC
+2010; the paper's reference [5]).
+
+The method assumes peers doing identical work stay mutually correlated:
+for every metric and every pair of peer nodes, the normal-state
+cross-node correlation is learned; at detection time, pairs whose
+correlation deviates are *violations*, and the node participating in the
+most violations is flagged as faulty.  This locates faults at node
+granularity only — no root cause — which is exactly the coarseness the
+paper's §5 criticises.
+
+The paper's §5 also names the blind spot this family carries:
+
+    "Assume one bug exists in the platform; when the bug is triggered by
+    a certain job, all the nodes behave abnormally in a similar way but
+    the correlations are not deviated.  In this case, the
+    correlation-based method will ignore this fault."
+
+``benchmarks/test_ext_peer_blindspot.py`` reproduces that scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.stats.correlation import pearson
+from repro.telemetry.metrics import METRIC_NAMES
+from repro.telemetry.trace import RunTrace
+
+__all__ = ["PeerPairStat", "PeerWatchReport", "PeerWatchDetector"]
+
+
+@dataclass(frozen=True)
+class PeerPairStat:
+    """One learned (metric, node pair) correlation."""
+
+    metric: str
+    node_a: str
+    node_b: str
+    correlation: float
+
+
+@dataclass
+class PeerWatchReport:
+    """Detection outcome for one run.
+
+    Attributes:
+        node_scores: per node, the fraction of its learned peer pairs that
+            deviated.
+        flagged: nodes whose score exceeds the detector's flag threshold,
+            worst first.
+    """
+
+    node_scores: dict[str, float] = field(default_factory=dict)
+    flagged: list[str] = field(default_factory=list)
+
+    @property
+    def fault_detected(self) -> bool:
+        """True when any node was flagged."""
+        return bool(self.flagged)
+
+
+class PeerWatchDetector:
+    """Cross-node correlation monitoring at node granularity.
+
+    Args:
+        stability_tau: a (metric, pair) correlation is learned only when
+            its spread over the training runs stays below this (mirrors
+            Algorithm 1's stability idea).
+        min_correlation: learned pairs must be at least this correlated in
+            the normal state (weakly-correlated pairs carry no signal).
+        epsilon: deviation threshold at detection time.
+        flag_fraction: a node is flagged when at least this fraction of
+            its learned pairs deviates.
+    """
+
+    def __init__(
+        self,
+        stability_tau: float = 0.25,
+        min_correlation: float = 0.5,
+        epsilon: float = 0.3,
+        flag_fraction: float = 0.15,
+    ) -> None:
+        if not 0 < flag_fraction <= 1:
+            raise ValueError("flag_fraction must be in (0, 1]")
+        self.stability_tau = stability_tau
+        self.min_correlation = min_correlation
+        self.epsilon = epsilon
+        self.flag_fraction = flag_fraction
+        self._pairs: list[PeerPairStat] = []
+        self._nodes: list[str] = []
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _peer_nodes(run: RunTrace) -> list[str]:
+        return [nid for nid in run.nodes if nid != "master"]
+
+    def _pair_correlation(
+        self, run: RunTrace, metric_idx: int, a: str, b: str
+    ) -> float:
+        return pearson(
+            run.nodes[a].metrics[:, metric_idx],
+            run.nodes[b].metrics[:, metric_idx],
+        )
+
+    def train(self, normal_runs: list[RunTrace]) -> int:
+        """Learn the stable peer correlations.
+
+        Returns:
+            Number of (metric, pair) statistics learned.
+        """
+        if not normal_runs:
+            raise ValueError("need at least one normal run")
+        self._nodes = self._peer_nodes(normal_runs[0])
+        self._pairs = []
+        for metric_idx, metric in enumerate(METRIC_NAMES):
+            for i, a in enumerate(self._nodes):
+                for b in self._nodes[i + 1 :]:
+                    values = [
+                        self._pair_correlation(run, metric_idx, a, b)
+                        for run in normal_runs
+                    ]
+                    spread = max(values) - min(values)
+                    mean = float(np.mean(values))
+                    if spread < self.stability_tau and abs(mean) >= self.min_correlation:
+                        self._pairs.append(
+                            PeerPairStat(
+                                metric=metric, node_a=a, node_b=b,
+                                correlation=mean,
+                            )
+                        )
+        return len(self._pairs)
+
+    def detect(self, run: RunTrace, window_ticks: int = 30) -> PeerWatchReport:
+        """Score every node by peer-correlation deviations in one run.
+
+        Correlations are evaluated over sliding ``window_ticks`` windows —
+        a 5-minute fault inside a 20-minute run would otherwise be diluted
+        to invisibility — and a pair counts as deviated when *any* window
+        breaks it.
+
+        Args:
+            run: the run to examine.
+            window_ticks: analysis window length (the injection length the
+                paper uses, 30 ticks).
+        """
+        if not self._pairs:
+            raise RuntimeError("detector is not trained")
+        ticks = run.ticks
+        starts = list(range(0, max(ticks - window_ticks, 0) + 1,
+                            max(window_ticks // 2, 1)))
+        if not starts:
+            starts = [0]
+        counts = {n: 0 for n in self._nodes}
+        totals = {n: 0 for n in self._nodes}
+        for stat in self._pairs:
+            metric_idx = METRIC_NAMES.index(stat.metric)
+            deviated = False
+            for start in starts:
+                stop = min(start + window_ticks, ticks)
+                a = run.nodes[stat.node_a].metrics[start:stop, metric_idx]
+                b = run.nodes[stat.node_b].metrics[start:stop, metric_idx]
+                observed = pearson(a, b)
+                if abs(observed - stat.correlation) >= self.epsilon:
+                    deviated = True
+                    break
+            for node in (stat.node_a, stat.node_b):
+                totals[node] += 1
+                if deviated:
+                    counts[node] += 1
+        scores = {
+            n: counts[n] / totals[n] if totals[n] else 0.0
+            for n in self._nodes
+        }
+        flagged = [
+            n for n, s in sorted(scores.items(), key=lambda kv: -kv[1])
+            if s >= self.flag_fraction
+        ]
+        return PeerWatchReport(node_scores=scores, flagged=flagged)

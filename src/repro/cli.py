@@ -1,0 +1,253 @@
+"""Command-line interface.
+
+Three subcommands cover the working loop of the system:
+
+``invarnetx simulate``
+    Run one workload on the simulated cluster (optionally with an injected
+    fault) and write the trace to an NPZ file — the unit of data every
+    other command consumes.
+
+``invarnetx diagnose``
+    Train from normal-run NPZ traces and per-problem signature traces,
+    then diagnose an incident trace; prints the ranked causes.
+
+``invarnetx experiment``
+    Regenerate one of the paper's figures/tables and print it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.cluster import HadoopCluster
+from repro.cluster.workloads import WORKLOADS
+from repro.core import InvarNetX, OperationContext
+from repro.faults.spec import ALL_FAULTS, FaultSpec, build_fault
+from repro.telemetry.io import load_run_npz, save_node_csv, save_run_npz
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="invarnetx",
+        description="InvarNet-X: invariant-based performance diagnosis "
+        "(BPOE/VLDB 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser(
+        "simulate", help="run a workload on the simulated cluster"
+    )
+    sim.add_argument("--workload", choices=sorted(WORKLOADS), required=True)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument(
+        "--fault", choices=sorted(ALL_FAULTS), default=None,
+        help="optional fault to inject",
+    )
+    sim.add_argument("--fault-node", default="slave-1")
+    sim.add_argument("--fault-start", type=int, default=30)
+    sim.add_argument(
+        "--fault-duration", type=int, default=30,
+        help="ticks (paper: 5 min = 30)",
+    )
+    sim.add_argument(
+        "--out", type=Path, required=True, help="output NPZ trace path"
+    )
+    sim.add_argument(
+        "--csv-dir", type=Path, default=None,
+        help="also dump per-node collectl-style CSVs here",
+    )
+
+    diag = sub.add_parser(
+        "diagnose", help="train from traces and diagnose an incident"
+    )
+    diag.add_argument(
+        "--normal", type=Path, nargs="+", required=True,
+        help="normal-run NPZ traces (training corpus)",
+    )
+    diag.add_argument(
+        "--signature", action="append", default=[],
+        metavar="PROBLEM=TRACE.npz",
+        help="labelled faulty trace to store as a signature (repeatable)",
+    )
+    diag.add_argument(
+        "--incident", type=Path, required=True,
+        help="the NPZ trace to diagnose",
+    )
+    diag.add_argument("--node", default="slave-1")
+    diag.add_argument("--top-k", type=int, default=3)
+
+    exp = sub.add_parser(
+        "experiment", help="regenerate one of the paper's exhibits"
+    )
+    exp.add_argument(
+        "name",
+        choices=(
+            "fig2", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "fig9-10", "table1", "all",
+        ),
+        help='"all" regenerates every exhibit in order (a full '
+        "reproduction report; allow ~20 minutes at default reps)",
+    )
+    exp.add_argument(
+        "--reps", type=int, default=6,
+        help="held-out runs per fault where applicable (paper: 38)",
+    )
+    exp.add_argument(
+        "--out", type=Path, default=None,
+        help="also write the report to this file",
+    )
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    cluster = HadoopCluster()
+    faults = []
+    if args.fault:
+        faults.append(
+            build_fault(
+                args.fault,
+                FaultSpec(
+                    target=args.fault_node,
+                    start=args.fault_start,
+                    duration=args.fault_duration,
+                ),
+            )
+        )
+    run = cluster.run(args.workload, faults=faults, seed=args.seed)
+    save_run_npz(run, args.out)
+    print(
+        f"wrote {args.out}: workload={run.workload} "
+        f"ticks={run.execution_ticks} completed={run.completed} "
+        f"fault={run.fault or 'none'}"
+    )
+    if args.csv_dir:
+        args.csv_dir.mkdir(parents=True, exist_ok=True)
+        for node_id, trace in run.nodes.items():
+            csv_path = args.csv_dir / f"{node_id}.csv"
+            save_node_csv(trace, csv_path)
+            print(f"wrote {csv_path}")
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    normal_runs = [load_run_npz(p) for p in args.normal]
+    workloads = {r.workload for r in normal_runs}
+    if len(workloads) != 1:
+        print(
+            f"error: normal traces span multiple workloads: "
+            f"{sorted(workloads)}",
+            file=sys.stderr,
+        )
+        return 2
+    workload = workloads.pop()
+    first = normal_runs[0]
+    if args.node not in first.nodes:
+        print(
+            f"error: node {args.node!r} not in trace "
+            f"(has: {sorted(first.nodes)})",
+            file=sys.stderr,
+        )
+        return 2
+    ctx = OperationContext(workload, args.node, first.nodes[args.node].ip)
+    pipe = InvarNetX()
+    print(f"training {ctx} on {len(normal_runs)} normal runs...")
+    pipe.train_from_runs(ctx, normal_runs)
+    for spec in args.signature:
+        problem, _, trace_path = spec.partition("=")
+        if not trace_path:
+            print(
+                f"error: bad --signature {spec!r}; "
+                "expected PROBLEM=TRACE.npz",
+                file=sys.stderr,
+            )
+            return 2
+        run = load_run_npz(trace_path)
+        pipe.train_signature_from_run(ctx, problem, run)
+        print(f"learned signature for {problem!r} from {trace_path}")
+
+    incident = load_run_npz(args.incident)
+    result = pipe.diagnose_run(ctx, incident, top_k=args.top_k)
+    if not result.detected:
+        print("no performance problem detected")
+        return 0
+    print(
+        f"performance problem detected at tick "
+        f"{result.anomaly.first_problem_tick()}"
+    )
+    assert result.inference is not None
+    if result.inference.causes:
+        print("ranked root causes:")
+        for cause in result.inference.causes:
+            print(f"  {cause.problem:14s} similarity={cause.score:.3f}")
+    if result.root_cause is None:
+        print("no stored signature is similar enough; violated pairs:")
+        for a, b in result.inference.hints[:10]:
+            print(f"  {a} ~ {b}")
+    else:
+        print(f"verdict: {result.root_cause}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.eval import experiments as ex
+    from repro.eval import reporting as rp
+
+    cluster = HadoopCluster()
+    producers = {
+        "fig2": lambda: rp.format_fig2(ex.run_fig2_cpi_disturbance(cluster)),
+        "fig4": lambda: rp.format_fig4(
+            ex.run_fig4_cpi_kpi(cluster, reps=max(args.reps, 10))
+        ),
+        "fig5": lambda: rp.format_fig5(ex.run_fig5_residuals(cluster)),
+        "fig6": lambda: rp.format_fig6(ex.run_fig6_threshold_rules(cluster)),
+        "fig7": lambda: rp.format_diagnosis(
+            ex.run_fig7_tpcds_diagnosis(cluster, test_reps=args.reps),
+            "Fig. 7 — TPC-DS",
+        ),
+        "fig8": lambda: rp.format_diagnosis(
+            ex.run_fig8_wordcount_diagnosis(cluster, test_reps=args.reps),
+            "Fig. 8 — Wordcount",
+        ),
+        "fig9-10": lambda: rp.format_comparison(
+            ex.run_fig9_fig10_comparison(cluster, test_reps=args.reps)
+        ),
+        "table1": lambda: rp.format_table1(ex.run_table1_overhead(cluster)),
+    }
+    names = list(producers) if args.name == "all" else [args.name]
+    sections: list[str] = []
+    for name in names:
+        if args.name == "all":
+            print(f"... running {name}", file=sys.stderr)
+        sections.append(producers[name]())
+    report = "\n\n".join(sections)
+    if args.name == "all":
+        report = (
+            "InvarNet-X reproduction report (BPOE/VLDB 2014)\n"
+            f"held-out runs per fault: {args.reps}\n\n" + report
+        )
+    print(report)
+    if args.out is not None:
+        args.out.write_text(report + "\n")
+        print(f"\nwrote {args.out}", file=sys.stderr)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "diagnose":
+        return _cmd_diagnose(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

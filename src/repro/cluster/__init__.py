@@ -1,0 +1,51 @@
+"""Simulated Hadoop cluster substrate.
+
+The paper evaluates InvarNet-X on a five-server Hadoop 1.0.2 cluster running
+BigDataBench workloads.  That hardware is unavailable here, so this
+subpackage provides a discrete-time simulator with the same externally
+observable structure:
+
+- nodes with hardware capacities (:mod:`repro.cluster.hardware`) and
+  resource accounting (:mod:`repro.cluster.node`);
+- BigDataBench-style workload profiles — Wordcount, Sort, Grep, Bayes and
+  the TPC-DS 8-query interactive mix (:mod:`repro.cluster.workloads`);
+- MapReduce job execution through map/shuffle/reduce phases
+  (:mod:`repro.cluster.job`) under FIFO batch scheduling
+  (:mod:`repro.cluster.scheduler`);
+- the cluster facade that runs jobs, injects faults and emits
+  :class:`repro.telemetry.trace.RunTrace` objects
+  (:mod:`repro.cluster.cluster`).
+
+One simulation tick is 10 seconds, matching the paper's collection interval.
+
+Note:
+    Public names resolve lazily (PEP 562).  The cluster facade imports the
+    fault and telemetry layers, which in turn import this package's leaf
+    modules; resolving :class:`HadoopCluster` at first attribute access
+    instead of at package import keeps that dependency loop acyclic.
+"""
+
+__all__ = [
+    "HadoopCluster",
+    "NodeSpec",
+    "WorkloadProfile",
+    "WorkloadType",
+    "WORKLOADS",
+    "get_workload",
+]
+
+
+def __getattr__(name: str):
+    if name == "HadoopCluster":
+        from repro.cluster.cluster import HadoopCluster
+
+        return HadoopCluster
+    if name == "NodeSpec":
+        from repro.cluster.hardware import NodeSpec
+
+        return NodeSpec
+    if name in ("WorkloadProfile", "WorkloadType", "WORKLOADS", "get_workload"):
+        from repro.cluster import workloads
+
+        return getattr(workloads, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

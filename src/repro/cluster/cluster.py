@@ -1,0 +1,260 @@
+"""The cluster facade: runs jobs, injects faults, emits traces.
+
+A :class:`HadoopCluster` mirrors the paper's testbed: one master hosting the
+JobTracker/NameNode plus data nodes hosting TaskTrackers/DataNodes (five
+servers total by default).  :meth:`HadoopCluster.run` executes one workload
+— a batch job to completion or an interactive mix for a fixed observation
+window — with any number of faults injected, and returns a
+:class:`repro.telemetry.trace.RunTrace` with the 26-metric series and the
+CPI series of every node at 10-second resolution.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.cluster.demand import ResourceDemand
+from repro.cluster.hardware import DEFAULT_NODE_SPEC, NodeSpec
+from repro.cluster.job import (
+    ArOneProcess,
+    BatchJobExecution,
+    InteractiveMixExecution,
+)
+from repro.cluster.node import FaultModifiers, SimulatedNode
+from repro.cluster.scheduler import FIFOScheduler
+from repro.cluster.workloads import WorkloadProfile, WorkloadType, get_workload
+from repro.faults.spec import Fault
+from repro.telemetry.collectl import CollectlSampler, MetricEffects
+from repro.telemetry.perfcounter import PerfCounterSampler
+from repro.telemetry.trace import NodeTrace, RunTrace
+
+__all__ = ["HadoopCluster"]
+
+
+class HadoopCluster:
+    """A simulated Hadoop 1.x cluster.
+
+    Args:
+        n_slaves: number of data nodes (the paper's testbed has 4 + master).
+        spec: hardware spec shared by all nodes; pass ``slave_specs`` for a
+            heterogeneous cluster.
+        slave_specs: optional per-slave hardware overrides.
+        metric_noise_pct: collectl measurement noise.
+        cpi_noise_pct: perf measurement noise.
+    """
+
+    MASTER_ID = "master"
+
+    def __init__(
+        self,
+        n_slaves: int = 4,
+        spec: NodeSpec = DEFAULT_NODE_SPEC,
+        slave_specs: Sequence[NodeSpec] | None = None,
+        metric_noise_pct: float = 0.02,
+        cpi_noise_pct: float = 0.015,
+    ) -> None:
+        if n_slaves < 1:
+            raise ValueError(f"need at least one slave, got {n_slaves}")
+        if slave_specs is not None and len(slave_specs) != n_slaves:
+            raise ValueError(
+                f"slave_specs has {len(slave_specs)} entries for "
+                f"{n_slaves} slaves"
+            )
+        self.nodes: dict[str, SimulatedNode] = {}
+        self.nodes[self.MASTER_ID] = SimulatedNode(
+            self.MASTER_ID, "10.10.0.10", spec
+        )
+        for i in range(1, n_slaves + 1):
+            node_spec = slave_specs[i - 1] if slave_specs else spec
+            self.nodes[f"slave-{i}"] = SimulatedNode(
+                f"slave-{i}", f"10.10.0.{10 + i}", node_spec
+            )
+        self._collectl = CollectlSampler(noise_pct=metric_noise_pct)
+        self._perf = {
+            node_id: PerfCounterSampler(node.spec, noise_pct=cpi_noise_pct)
+            for node_id, node in self.nodes.items()
+        }
+
+    @property
+    def slave_ids(self) -> list[str]:
+        """Data-node identifiers in order."""
+        return [nid for nid in self.nodes if nid != self.MASTER_ID]
+
+    def ip_of(self, node_id: str) -> str:
+        """IP address of a node (used in the paper's XML tuples)."""
+        return self.nodes[node_id].ip
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        workload: str | WorkloadProfile,
+        faults: Sequence[Fault] = (),
+        seed: int = 0,
+        max_ticks: int = 400,
+        observation_ticks: int | None = None,
+    ) -> RunTrace:
+        """Execute one workload and collect all telemetry.
+
+        Args:
+            workload: workload name or profile.
+            faults: faults to inject (targets must be known node ids).
+            seed: seed for all of the run's randomness.
+            max_ticks: hard simulation cap (a suspended job never finishes).
+            observation_ticks: trace length for interactive workloads
+                (defaults to the profile's ``observation_ticks``).
+
+        Returns:
+            The run's :class:`RunTrace`.
+        """
+        profile = (
+            workload
+            if isinstance(workload, WorkloadProfile)
+            else get_workload(workload)
+        )
+        for fault in faults:
+            if fault.spec.target not in self.nodes:
+                raise ValueError(
+                    f"fault {fault.name} targets unknown node "
+                    f"{fault.spec.target!r}"
+                )
+        rng = np.random.default_rng(seed)
+        for node in self.nodes.values():
+            node.reset()
+        for fault in faults:
+            fault.begin_run(rng)
+
+        if profile.kind is WorkloadType.BATCH:
+            execution: BatchJobExecution | InteractiveMixExecution = (
+                BatchJobExecution(profile, rng)
+            )
+            horizon = max_ticks
+        else:
+            execution = InteractiveMixExecution(profile, rng)
+            horizon = observation_ticks or profile.observation_ticks
+
+        master_wobble = ArOneProcess(rho=0.6, sigma=0.2, amp=0.2)
+        metric_rows: dict[str, list[np.ndarray]] = {
+            nid: [] for nid in self.nodes
+        }
+        cpi_rows: dict[str, list[float]] = {nid: [] for nid in self.nodes}
+
+        tick = 0
+        completed = True
+        while True:
+            if profile.kind is WorkloadType.BATCH and execution.done:
+                break
+            if tick >= horizon:
+                completed = profile.kind is not WorkloadType.BATCH
+                break
+            if isinstance(execution, InteractiveMixExecution):
+                execution.extra_concurrency = sum(
+                    f.extra_concurrency(tick) for f in faults
+                )
+            slave_demand = execution.node_demand(rng)
+            master_demand = self._master_demand(slave_demand, master_wobble, rng)
+
+            progress_rates: list[float] = []
+            for node_id, node in self.nodes.items():
+                demand = (
+                    master_demand if node_id == self.MASTER_ID else slave_demand
+                )
+                mods = FaultModifiers()
+                effects: MetricEffects | None = None
+                for fault in faults:
+                    if fault.spec.target != node_id:
+                        continue
+                    fault_mods = fault.modifiers(tick, rng)
+                    if fault_mods is not None:
+                        mods = mods.combine(fault_mods)
+                    fault_fx = fault.metric_effects(tick, rng)
+                    if fault_fx is not None:
+                        effects = (
+                            fault_fx
+                            if effects is None
+                            else effects.combine(fault_fx)
+                        )
+                internals = node.tick(demand, mods, rng)
+                metric_rows[node_id].append(
+                    self._collectl.sample(internals, effects, rng)
+                )
+                cpi_rows[node_id].append(
+                    self._perf[node_id]
+                    .sample(internals, profile.base_cpi, rng)
+                    .cpi
+                )
+                if node_id != self.MASTER_ID:
+                    progress_rates.append(internals.progress_rate)
+
+            # Job progress: stragglers dominate a wave of tasks, but healthy
+            # nodes steal work, so the rate is a blend of min and mean.
+            rate = 0.6 * min(progress_rates) + 0.4 * float(
+                np.mean(progress_rates)
+            )
+            execution.advance(rate)
+            tick += 1
+
+        primary = faults[0] if faults else None
+        return RunTrace(
+            workload=profile.name,
+            nodes={
+                nid: NodeTrace(
+                    node_id=nid,
+                    ip=self.nodes[nid].ip,
+                    metrics=np.asarray(rows),
+                    cpi=np.asarray(cpi_rows[nid]),
+                )
+                for nid, rows in metric_rows.items()
+            },
+            execution_ticks=tick,
+            completed=completed,
+            fault=primary.name if primary else None,
+            fault_node=primary.spec.target if primary else None,
+            fault_window=(
+                (primary.spec.start, min(primary.spec.stop, tick))
+                if primary
+                else None
+            ),
+            all_faults=tuple(f.name for f in faults),
+            seed=seed,
+        )
+
+    def run_queue(
+        self, scheduler: FIFOScheduler, max_ticks: int = 400
+    ) -> list[RunTrace]:
+        """Drain a FIFO queue of batch jobs, one at a time (Hadoop 1.x
+        exclusivity), returning the traces in completion order."""
+        traces: list[RunTrace] = []
+        while True:
+            request = scheduler.next_job()
+            if request is None:
+                return traces
+            traces.append(
+                self.run(
+                    request.workload,
+                    faults=request.faults,
+                    seed=request.seed,
+                    max_ticks=max_ticks,
+                )
+            )
+            scheduler.job_finished()
+
+    # ------------------------------------------------------------------
+    def _master_demand(
+        self,
+        slave_demand: ResourceDemand,
+        wobble: ArOneProcess,
+        rng: np.random.Generator,
+    ) -> ResourceDemand:
+        """JobTracker/NameNode coordination load, tracking cluster activity."""
+        factor = wobble.step(rng)
+        activity = min(slave_demand.cpu, 1.0)
+        return ResourceDemand(
+            cpu=(0.05 + 0.06 * activity) * factor,
+            mem_mb=2_600.0,
+            disk_read_kbs=500.0 * factor,
+            disk_write_kbs=900.0 * factor,
+            net_rx_kbs=(800.0 + 2_000.0 * activity) * factor,
+            net_tx_kbs=(800.0 + 2_000.0 * activity) * factor,
+        )

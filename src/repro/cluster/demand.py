@@ -1,0 +1,70 @@
+"""Resource-demand vectors: the latent channels of the generative model.
+
+Everything a job or a fault does to a node is expressed as a
+:class:`ResourceDemand` — how much CPU, memory, disk and network it asks for
+during one tick.  Observable metrics are derived from the node's aggregated
+demand (see :mod:`repro.cluster.node`), which is what makes metrics co-vary
+and gives MIC its invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["ResourceDemand"]
+
+
+@dataclass(frozen=True)
+class ResourceDemand:
+    """Per-tick resource demand on one node.
+
+    Attributes:
+        cpu: CPU demand as a fraction of the node's total cores (can exceed
+            1.0 — that is contention).
+        mem_mb: resident working set in MB.
+        disk_read_kbs: disk read bandwidth demand in KB/s.
+        disk_write_kbs: disk write bandwidth demand in KB/s.
+        net_rx_kbs: network receive demand in KB/s.
+        net_tx_kbs: network transmit demand in KB/s.
+    """
+
+    cpu: float = 0.0
+    mem_mb: float = 0.0
+    disk_read_kbs: float = 0.0
+    disk_write_kbs: float = 0.0
+    net_rx_kbs: float = 0.0
+    net_tx_kbs: float = 0.0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if getattr(self, f.name) < 0:
+                raise ValueError(f"{f.name} must be >= 0")
+
+    def __add__(self, other: "ResourceDemand") -> "ResourceDemand":
+        return ResourceDemand(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def scaled(self, factor: float) -> "ResourceDemand":
+        """Multiply every channel by ``factor`` (>= 0)."""
+        if factor < 0:
+            raise ValueError(f"factor must be >= 0, got {factor}")
+        return ResourceDemand(
+            **{f.name: getattr(self, f.name) * factor for f in fields(self)}
+        )
+
+    def jittered(self, noise: dict[str, float]) -> "ResourceDemand":
+        """Apply per-channel multiplicative fluctuation.
+
+        Args:
+            noise: map from channel name to a multiplicative factor; missing
+                channels keep factor 1.0.  Factors are clamped at 0.
+        """
+        values = {}
+        for f in fields(self):
+            factor = max(noise.get(f.name, 1.0), 0.0)
+            values[f.name] = getattr(self, f.name) * factor
+        return ResourceDemand(**values)

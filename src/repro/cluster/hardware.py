@@ -1,0 +1,48 @@
+"""Hardware specifications of simulated nodes.
+
+Defaults mirror the paper's testbed (§4.1): two 4-core Xeon 2.1 GHz
+processors, 16 GB memory, one 1 TB disk and a gigabit NIC per server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NodeSpec", "DEFAULT_NODE_SPEC"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Capacity description of one server.
+
+    Attributes:
+        cores: number of CPU cores.
+        cpu_ghz: clock rate per core; fixes the paper's cycle time ``C``.
+        mem_mb: physical memory in MB.
+        disk_kbs: sustained disk bandwidth in KB/s (read + write combined).
+        disk_iops: sustained disk operations per second.
+        net_kbs: NIC bandwidth in KB/s per direction.
+    """
+
+    cores: int = 8
+    cpu_ghz: float = 2.1
+    mem_mb: int = 16384
+    disk_kbs: float = 120_000.0
+    disk_iops: float = 5_000.0
+    net_kbs: float = 125_000.0
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError(f"cores must be positive, got {self.cores}")
+        for attr in ("cpu_ghz", "mem_mb", "disk_kbs", "disk_iops", "net_kbs"):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{attr} must be positive")
+
+    @property
+    def cycle_seconds(self) -> float:
+        """Duration of one CPU cycle in seconds (the paper's ``C``)."""
+        return 1.0 / (self.cpu_ghz * 1e9)
+
+
+#: The paper's server configuration.
+DEFAULT_NODE_SPEC = NodeSpec()

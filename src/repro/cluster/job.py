@@ -1,0 +1,212 @@
+"""Job execution engines: batch MapReduce phases and the interactive mix.
+
+Demand generation follows a latent-intensity model: every run carries one
+smooth AR(1) *intensity* process that scales all resource channels together
+(data skew, task waves and scheduling beat all move the whole pipeline), plus
+smaller per-channel AR(1) jitter and a per-run level factor.  The shared
+intensity is what couples the observable metrics — it is the physical origin
+of the MIC invariants the diagnosis pipeline discovers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.demand import ResourceDemand
+from repro.cluster.workloads import WorkloadProfile, WorkloadType
+
+__all__ = ["ArOneProcess", "BatchJobExecution", "InteractiveMixExecution"]
+
+#: Demand channel names subjected to per-channel jitter.
+_CHANNELS = (
+    "cpu",
+    "mem_mb",
+    "disk_read_kbs",
+    "disk_write_kbs",
+    "net_rx_kbs",
+    "net_tx_kbs",
+)
+
+
+class ArOneProcess:
+    """A smooth AR(1) fluctuation around 1.0.
+
+    Args:
+        rho: autoregressive coefficient in [0, 1).
+        sigma: innovation standard deviation.
+        amp: amplitude mapping the latent state to a multiplicative factor
+            ``1 + amp * state``.
+    """
+
+    def __init__(self, rho: float = 0.8, sigma: float = 0.25, amp: float = 0.35) -> None:
+        if not 0.0 <= rho < 1.0:
+            raise ValueError(f"rho must be in [0, 1), got {rho}")
+        self.rho = rho
+        self.sigma = sigma
+        self.amp = amp
+        self._state = 0.0
+
+    def step(self, rng: np.random.Generator) -> float:
+        """Advance one tick and return the multiplicative factor (>= 0.05)."""
+        self._state = self.rho * self._state + float(
+            rng.normal(0.0, self.sigma)
+        )
+        return max(1.0 + self.amp * self._state, 0.05)
+
+
+class BatchJobExecution:
+    """One batch MapReduce job moving through its phases.
+
+    Args:
+        profile: the workload being executed.
+        rng: per-run random generator (drives the run-level factor and the
+            latent fluctuation processes).
+
+    The job holds ``work_ticks`` work units per phase; each tick it consumes
+    ``rate`` units (``rate`` is supplied by the cluster from the slaves'
+    progress rates), so a fault that slows progress stretches execution time
+    exactly the way the paper's Fig. 4 requires.
+    """
+
+    def __init__(self, profile: WorkloadProfile, rng: np.random.Generator) -> None:
+        if profile.kind is not WorkloadType.BATCH:
+            raise ValueError(f"{profile.name} is not a batch workload")
+        self.profile = profile
+        self._phase_idx = 0
+        self._phase_done = 0.0
+        self._run_factor = float(rng.normal(1.0, 0.04))
+        self._run_factor = min(max(self._run_factor, 0.85), 1.15)
+        # The shared intensity must dominate per-channel jitter: it is the
+        # common cause that couples the observable metrics, and the MIC
+        # invariants only stabilise when that coupling beats the noise.
+        self._intensity = ArOneProcess(rho=0.8, sigma=0.25, amp=0.55)
+        self._channel_jitter = {
+            ch: ArOneProcess(rho=0.6, sigma=0.2, amp=0.10) for ch in _CHANNELS
+        }
+
+    @property
+    def done(self) -> bool:
+        """True once every phase's work is consumed."""
+        return self._phase_idx >= len(self.profile.phases)
+
+    @property
+    def current_phase(self) -> str:
+        """Name of the phase currently executing ("done" afterwards)."""
+        if self.done:
+            return "done"
+        return self.profile.phases[self._phase_idx].name
+
+    def node_demand(self, rng: np.random.Generator) -> ResourceDemand:
+        """Per-slave demand for this tick.
+
+        Must be called exactly once per tick (it advances the latent
+        fluctuation processes).
+        """
+        if self.done:
+            return ResourceDemand()
+        phase = self.profile.phases[self._phase_idx]
+        intensity = self._intensity.step(rng)
+        noise = {
+            ch: proc.step(rng) for ch, proc in self._channel_jitter.items()
+        }
+        scaled = phase.demand.scaled(self._run_factor * intensity)
+        # Memory working sets do not swing with instantaneous intensity the
+        # way rates do; damp the fluctuation on the mem channel.
+        mem_factor = 1.0 + 0.25 * (intensity - 1.0)
+        damped = ResourceDemand(
+            cpu=scaled.cpu,
+            mem_mb=phase.demand.mem_mb * self._run_factor * mem_factor,
+            disk_read_kbs=scaled.disk_read_kbs,
+            disk_write_kbs=scaled.disk_write_kbs,
+            net_rx_kbs=scaled.net_rx_kbs,
+            net_tx_kbs=scaled.net_tx_kbs,
+        )
+        return damped.jittered(noise)
+
+    def advance(self, rate: float) -> None:
+        """Consume ``rate`` work units from the current phase."""
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        if self.done:
+            return
+        self._phase_done += rate
+        phase = self.profile.phases[self._phase_idx]
+        if self._phase_done >= phase.work_ticks:
+            self._phase_done -= phase.work_ticks
+            self._phase_idx += 1
+
+
+class InteractiveMixExecution:
+    """The TPC-DS mixed-query interactive engine.
+
+    Keeps a target number of concurrently active queries; each finished
+    query is replaced (with slight arrival randomness) by a random template.
+    There is no completion point — the cluster observes a fixed window.
+
+    Args:
+        profile: an interactive workload profile.
+        rng: per-run random generator.
+    """
+
+    def __init__(self, profile: WorkloadProfile, rng: np.random.Generator) -> None:
+        if profile.kind is not WorkloadType.INTERACTIVE:
+            raise ValueError(f"{profile.name} is not an interactive workload")
+        self.profile = profile
+        self.extra_concurrency = 0  # raised by the Overload fault
+        self._active: list[tuple[int, float]] = []  # (query idx, remaining)
+        # Interactive load is smoother than a batch pipeline's wavefront:
+        # admission control keeps the mix from spiking into contention on
+        # its own, which is what lets ARIMA thresholds stay tight enough to
+        # catch injected faults (Fig. 6).
+        self._intensity = ArOneProcess(rho=0.75, sigma=0.22, amp=0.32)
+        self._run_factor = float(rng.normal(1.0, 0.05))
+        self._run_factor = min(max(self._run_factor, 0.8), 1.2)
+        # Warm start: fill the initial slots with partially-complete queries.
+        for _ in range(profile.concurrency):
+            idx = int(rng.integers(len(profile.queries)))
+            remaining = float(
+                rng.uniform(1, profile.queries[idx].duration_ticks)
+            )
+            self._active.append((idx, remaining))
+
+    @property
+    def done(self) -> bool:
+        """Interactive mixes never finish on their own."""
+        return False
+
+    @property
+    def current_phase(self) -> str:
+        """Interactive mixes run one perpetual phase."""
+        return "mix"
+
+    @property
+    def active_queries(self) -> int:
+        """Number of queries currently holding a slot."""
+        return len(self._active)
+
+    def node_demand(self, rng: np.random.Generator) -> ResourceDemand:
+        """Per-slave demand for this tick (advances arrivals and progress)."""
+        target = self.profile.concurrency + max(self.extra_concurrency, 0)
+        # Stochastic admission: occasionally run one light or one heavy.
+        effective_target = max(target + int(rng.integers(-1, 2)), 1)
+        while len(self._active) < effective_target:
+            idx = int(rng.integers(len(self.profile.queries)))
+            self._active.append(
+                (idx, float(self.profile.queries[idx].duration_ticks))
+            )
+        intensity = self._intensity.step(rng)
+        total = ResourceDemand()
+        for idx, _ in self._active:
+            total = total + self.profile.queries[idx].demand
+        total = total.scaled(self._run_factor * intensity)
+        return total
+
+    def advance(self, rate: float) -> None:
+        """Progress every active query by ``rate`` ticks of service."""
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        self._active = [
+            (idx, remaining - rate)
+            for idx, remaining in self._active
+            if remaining - rate > 0
+        ]

@@ -1,0 +1,80 @@
+"""Job scheduling: Hadoop 1.x FIFO semantics.
+
+The paper's restriction (§2) is central to its operation-context design:
+"When a batch job is submitted to Hadoop, Hadoop works in the FIFO mode
+which means the job takes up the cluster exclusively."  The FIFO scheduler
+here enforces exactly that — one batch job owns the cluster at a time — and
+is what the cluster facade uses when a queue of jobs is submitted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["JobRequest", "FIFOScheduler"]
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A submitted job waiting in the FIFO queue.
+
+    Attributes:
+        workload: workload name to run.
+        seed: RNG seed for the run.
+        faults: fault objects to inject during the run.
+        tag: free-form label for bookkeeping.
+    """
+
+    workload: str
+    seed: int
+    faults: tuple = ()
+    tag: str = ""
+
+
+@dataclass
+class FIFOScheduler:
+    """Strict first-in-first-out, cluster-exclusive batch scheduling."""
+
+    _queue: deque[JobRequest] = field(default_factory=deque)
+    _running: JobRequest | None = None
+    completed: list[JobRequest] = field(default_factory=list)
+
+    def submit(self, request: JobRequest) -> None:
+        """Append a job to the queue."""
+        self._queue.append(request)
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (not yet started) jobs."""
+        return len(self._queue)
+
+    @property
+    def running(self) -> JobRequest | None:
+        """The job currently owning the cluster, if any."""
+        return self._running
+
+    def next_job(self) -> JobRequest | None:
+        """Dequeue the next job and mark it running.
+
+        Returns None when the queue is empty.
+
+        Raises:
+            RuntimeError: if a job is already running (FIFO exclusivity).
+        """
+        if self._running is not None:
+            raise RuntimeError(
+                f"job {self._running.tag or self._running.workload!r} still "
+                "owns the cluster (FIFO mode is exclusive)"
+            )
+        if not self._queue:
+            return None
+        self._running = self._queue.popleft()
+        return self._running
+
+    def job_finished(self) -> None:
+        """Release the cluster after the running job completes."""
+        if self._running is None:
+            raise RuntimeError("no job is running")
+        self.completed.append(self._running)
+        self._running = None

@@ -1,0 +1,240 @@
+"""BigDataBench-style workload profiles.
+
+The paper runs four batch workloads (Wordcount, Sort, Grep, Naive Bayes) and
+one interactive workload (eight TPC-DS queries in a mixed mode) over 15 GB of
+generated data.  A :class:`WorkloadProfile` captures what the diagnosis
+pipeline can actually sense about a workload: how its map/shuffle/reduce
+phases load each resource channel over time, its baseline CPI on the
+testbed's CPU, and how much it fluctuates run to run.
+
+Demands are expressed per *slave node*, assuming the input data is evenly
+distributed across the cluster's DataNodes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cluster.demand import ResourceDemand
+
+__all__ = [
+    "WorkloadType",
+    "PhaseSpec",
+    "QuerySpec",
+    "WorkloadProfile",
+    "WORKLOADS",
+    "BATCH_WORKLOADS",
+    "get_workload",
+]
+
+
+class WorkloadType(enum.Enum):
+    """The paper's two workload classes (§1, challenge b)."""
+
+    BATCH = "batch"
+    INTERACTIVE = "interactive"
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One MapReduce phase of a batch workload.
+
+    Attributes:
+        name: phase label ("map", "shuffle", "reduce").
+        work_ticks: nominal duration in ticks at full progress rate; the
+            phase holds this many work units, one consumed per tick at
+            rate 1.0.
+        demand: per-node resource demand while the phase runs.
+        jitter: relative amplitude of the phase's demand fluctuation.
+    """
+
+    name: str
+    work_ticks: int
+    demand: ResourceDemand
+    jitter: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.work_ticks <= 0:
+            raise ValueError(f"work_ticks must be positive, got {self.work_ticks}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One TPC-DS query template of the interactive mix.
+
+    Attributes:
+        name: query label (e.g. "q3").
+        duration_ticks: how long one execution occupies its slot.
+        demand: per-node demand contributed while active.
+    """
+
+    name: str
+    duration_ticks: int
+    demand: ResourceDemand
+
+    def __post_init__(self) -> None:
+        if self.duration_ticks <= 0:
+            raise ValueError("duration_ticks must be positive")
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Everything the simulator needs to run one workload type.
+
+    Attributes:
+        name: canonical workload name (the operation-context ``type``).
+        kind: batch or interactive.
+        base_cpi: cycles-per-instruction of the job on an unloaded node.
+        phases: batch phases in execution order (batch workloads only).
+        queries: query templates (interactive workloads only).
+        concurrency: target number of simultaneously active queries
+            (interactive only; the Overload fault raises it).
+        observation_ticks: trace length for interactive runs, which have no
+            natural completion point.
+    """
+
+    name: str
+    kind: WorkloadType
+    base_cpi: float
+    phases: tuple[PhaseSpec, ...] = ()
+    queries: tuple[QuerySpec, ...] = ()
+    concurrency: int = 0
+    observation_ticks: int = 120
+    data_gb: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.base_cpi <= 0:
+            raise ValueError("base_cpi must be positive")
+        if self.kind is WorkloadType.BATCH and not self.phases:
+            raise ValueError(f"batch workload {self.name} needs phases")
+        if self.kind is WorkloadType.INTERACTIVE and not self.queries:
+            raise ValueError(f"interactive workload {self.name} needs queries")
+
+    @property
+    def nominal_ticks(self) -> int:
+        """Fault-free duration: total phase work (batch) or the observation
+        window (interactive)."""
+        if self.kind is WorkloadType.BATCH:
+            return sum(p.work_ticks for p in self.phases)
+        return self.observation_ticks
+
+
+def _d(
+    cpu: float = 0.0,
+    mem: float = 0.0,
+    dr: float = 0.0,
+    dw: float = 0.0,
+    rx: float = 0.0,
+    tx: float = 0.0,
+) -> ResourceDemand:
+    """Shorthand demand constructor used by the profile tables."""
+    return ResourceDemand(
+        cpu=cpu,
+        mem_mb=mem,
+        disk_read_kbs=dr,
+        disk_write_kbs=dw,
+        net_rx_kbs=rx,
+        net_tx_kbs=tx,
+    )
+
+
+WORDCOUNT = WorkloadProfile(
+    name="wordcount",
+    kind=WorkloadType.BATCH,
+    base_cpi=1.10,
+    phases=(
+        PhaseSpec("map", 55, _d(cpu=0.55, mem=4200, dr=32_000, dw=4_000,
+                                rx=1_500, tx=1_500)),
+        PhaseSpec("shuffle", 15, _d(cpu=0.20, mem=4600, dr=6_000, dw=8_000,
+                                    rx=28_000, tx=28_000)),
+        PhaseSpec("reduce", 30, _d(cpu=0.38, mem=5200, dr=5_000, dw=22_000,
+                                   rx=4_000, tx=2_000)),
+    ),
+)
+
+SORT = WorkloadProfile(
+    name="sort",
+    kind=WorkloadType.BATCH,
+    base_cpi=1.40,
+    phases=(
+        PhaseSpec("map", 40, _d(cpu=0.35, mem=5200, dr=48_000, dw=12_000,
+                                rx=2_000, tx=2_000)),
+        PhaseSpec("shuffle", 30, _d(cpu=0.22, mem=6400, dr=10_000, dw=14_000,
+                                    rx=52_000, tx=52_000)),
+        PhaseSpec("reduce", 40, _d(cpu=0.30, mem=6800, dr=8_000, dw=46_000,
+                                   rx=5_000, tx=2_500)),
+    ),
+)
+
+GREP = WorkloadProfile(
+    name="grep",
+    kind=WorkloadType.BATCH,
+    base_cpi=0.95,
+    phases=(
+        PhaseSpec("map", 50, _d(cpu=0.48, mem=3200, dr=52_000, dw=2_000,
+                                rx=1_000, tx=1_000)),
+        PhaseSpec("shuffle", 6, _d(cpu=0.12, mem=3300, dr=2_000, dw=2_000,
+                                   rx=8_000, tx=8_000)),
+        PhaseSpec("reduce", 10, _d(cpu=0.18, mem=3400, dr=1_500, dw=6_000,
+                                   rx=1_500, tx=800)),
+    ),
+)
+
+BAYES = WorkloadProfile(
+    name="bayes",
+    kind=WorkloadType.BATCH,
+    base_cpi=1.30,
+    phases=(
+        PhaseSpec("map", 65, _d(cpu=0.68, mem=9200, dr=26_000, dw=6_000,
+                                rx=2_500, tx=2_500)),
+        PhaseSpec("shuffle", 15, _d(cpu=0.25, mem=9600, dr=5_000, dw=9_000,
+                                    rx=24_000, tx=24_000)),
+        PhaseSpec("reduce", 30, _d(cpu=0.52, mem=10_200, dr=4_000, dw=16_000,
+                                   rx=3_000, tx=1_500)),
+    ),
+)
+
+#: Eight heterogeneous TPC-DS query templates run "in a mixed mode" (§4.1).
+_TPCDS_QUERIES = (
+    QuerySpec("q3", 4, _d(cpu=0.10, mem=900, dr=9_000, dw=800, rx=2_500, tx=2_000)),
+    QuerySpec("q7", 6, _d(cpu=0.14, mem=1_300, dr=12_000, dw=1_200, rx=3_500, tx=2_500)),
+    QuerySpec("q19", 3, _d(cpu=0.08, mem=700, dr=7_000, dw=500, rx=2_000, tx=1_500)),
+    QuerySpec("q27", 7, _d(cpu=0.16, mem=1_600, dr=13_000, dw=1_800, rx=4_000, tx=3_000)),
+    QuerySpec("q34", 5, _d(cpu=0.11, mem=1_100, dr=10_000, dw=900, rx=2_800, tx=2_200)),
+    QuerySpec("q42", 4, _d(cpu=0.09, mem=800, dr=8_500, dw=600, rx=2_200, tx=1_800)),
+    QuerySpec("q46", 8, _d(cpu=0.18, mem=1_900, dr=15_000, dw=2_200, rx=4_500, tx=3_500)),
+    QuerySpec("q59", 6, _d(cpu=0.13, mem=1_200, dr=11_000, dw=1_400, rx=3_200, tx=2_600)),
+)
+
+TPCDS = WorkloadProfile(
+    name="tpcds",
+    kind=WorkloadType.INTERACTIVE,
+    base_cpi=1.60,
+    queries=_TPCDS_QUERIES,
+    concurrency=4,
+    observation_ticks=120,
+)
+
+#: All workloads, keyed by canonical name.
+WORKLOADS: dict[str, WorkloadProfile] = {
+    w.name: w for w in (WORDCOUNT, SORT, GREP, BAYES, TPCDS)
+}
+
+#: The batch subset (FIFO-exclusive jobs).
+BATCH_WORKLOADS: tuple[str, ...] = ("wordcount", "sort", "grep", "bayes")
+
+
+def get_workload(name: str) -> WorkloadProfile:
+    """Look up a workload profile by name.
+
+    Raises:
+        KeyError: with the list of known workloads when the name is unknown.
+    """
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None

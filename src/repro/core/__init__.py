@@ -1,0 +1,62 @@
+"""The paper's primary contribution: the InvarNet-X diagnosis pipeline.
+
+Modules map one-to-one onto the architecture of Fig. 3:
+
+offline part
+    - :mod:`repro.core.anomaly` — performance-model building (ARIMA on CPI)
+      and the three threshold rules;
+    - :mod:`repro.core.invariants` — MIC likely-invariant construction
+      (Algorithm 1);
+    - :mod:`repro.core.signatures` — the signature database of violation
+      tuples;
+
+online part
+    - :mod:`repro.core.anomaly` — performance-anomaly detection (model
+      drift, three-consecutive rule);
+    - :mod:`repro.core.inference` — cause inference by signature
+      similarity;
+
+shared
+    - :mod:`repro.core.context` — the operation context (workload, node);
+    - :mod:`repro.core.kpi` — CPI as the key performance indicator;
+    - :mod:`repro.core.persistence` — the XML stores of §3.2/§3.3;
+    - :mod:`repro.core.pipeline` — the :class:`InvarNetX` facade wiring
+      everything together.
+"""
+
+from repro.core.anomaly import AnomalyDetector, AnomalyReport, ThresholdRule
+from repro.core.context import OperationContext
+from repro.core.inference import CauseInferenceEngine, RankedCause
+from repro.core.invariants import (
+    AssociationMatrix,
+    InvariantSet,
+    InvariantTracker,
+    select_invariants,
+)
+from repro.core.kpi import execution_time_seconds, run_kpi
+from repro.core.online import OnlineMonitor
+from repro.core.orchestrator import ClusterDiagnoser
+from repro.core.pipeline import DiagnosisResult, InvarNetX, InvarNetXConfig
+from repro.core.signatures import Signature, SignatureDatabase
+
+__all__ = [
+    "OperationContext",
+    "AnomalyDetector",
+    "AnomalyReport",
+    "ThresholdRule",
+    "AssociationMatrix",
+    "InvariantSet",
+    "InvariantTracker",
+    "select_invariants",
+    "Signature",
+    "SignatureDatabase",
+    "CauseInferenceEngine",
+    "RankedCause",
+    "InvarNetX",
+    "InvarNetXConfig",
+    "DiagnosisResult",
+    "OnlineMonitor",
+    "ClusterDiagnoser",
+    "execution_time_seconds",
+    "run_kpi",
+]

@@ -1,0 +1,46 @@
+"""The operation context (paper §2).
+
+InvarNet-X builds a separate performance model, invariant set and signature
+database for every (workload type, node) pair — that is what lets it adapt
+to varying workloads and heterogeneous hardware, and what the paper ablates
+in Figs. 9/10 ("InvarNet-X without operation context").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["OperationContext", "GLOBAL_CONTEXT"]
+
+
+@dataclass(frozen=True, order=True)
+class OperationContext:
+    """One (workload type, node) modelling scope.
+
+    Attributes:
+        workload: workload type name (e.g. ``"wordcount"``).
+        node_id: node identifier (e.g. ``"slave-1"``).
+        ip: the node's address; carried into the XML tuple formats.
+    """
+
+    workload: str
+    node_id: str
+    ip: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.workload:
+            raise ValueError("workload must be non-empty")
+        if not self.node_id:
+            raise ValueError("node_id must be non-empty")
+
+    def key(self) -> tuple[str, str]:
+        """Dictionary key identifying this context."""
+        return (self.workload, self.node_id)
+
+    def __str__(self) -> str:
+        return f"{self.workload}@{self.node_id}"
+
+
+#: Sentinel context used by the "no operation context" ablation: every
+#: workload and node shares one model (paper Figs. 9/10).
+GLOBAL_CONTEXT = OperationContext(workload="*", node_id="*", ip="*")

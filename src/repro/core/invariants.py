@@ -1,0 +1,242 @@
+"""Likely-invariant construction with MIC (paper §3.3, Algorithm 1).
+
+For one operation context, the association matrix ``A^i`` of every normal
+run ``i`` holds the pairwise MIC score of all M(M−1)/2 metric pairs.  With
+``V(m,n) = (A^1(m,n), …, A^N(m,n))``, a pair is a *likely invariant* iff
+
+    max(V(m,n)) − min(V(m,n)) < τ        (τ = 0.2)
+
+and its invariant value is ``I(m,n) = max(V(m,n))``.  A pair that does not
+associate in one run scores MIC = 0 there (this is how stably-silent metrics
+such as swap usage become "zero invariants" that light up when a fault
+activates them).
+
+A *violation* against an abnormal association matrix ``A`` is
+
+    |I(m,n) − A(m,n)| >= ε               (ε = 0.2)
+
+and the ordered binary violation flags form the signature tuple of §2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.stats.mic import MICParameters, mic_matrix
+from repro.telemetry.metrics import MetricCatalog
+
+__all__ = [
+    "TAU",
+    "EPSILON",
+    "AssociationMatrix",
+    "InvariantSet",
+    "select_invariants",
+]
+
+#: Algorithm 1 stability threshold.
+TAU = 0.2
+#: §2 violation threshold.
+EPSILON = 0.2
+
+
+@dataclass(frozen=True)
+class AssociationMatrix:
+    """Pairwise MIC matrix of one observation window.
+
+    Attributes:
+        values: symmetric (M, M) matrix of MIC scores with unit diagonal.
+        catalog: the metric vocabulary fixing row/column meaning.
+    """
+
+    values: np.ndarray
+    catalog: MetricCatalog = field(default_factory=MetricCatalog)
+
+    def __post_init__(self) -> None:
+        m = len(self.catalog)
+        if self.values.shape != (m, m):
+            raise ValueError(
+                f"expected a ({m}, {m}) matrix, got {self.values.shape}"
+            )
+
+    @classmethod
+    def from_samples(
+        cls,
+        samples: np.ndarray,
+        catalog: MetricCatalog | None = None,
+        params: MICParameters | None = None,
+    ) -> "AssociationMatrix":
+        """Compute the matrix from a (ticks, M) sample window."""
+        catalog = catalog or MetricCatalog()
+        arr = np.asarray(samples, dtype=float)
+        if arr.ndim != 2 or arr.shape[1] != len(catalog):
+            raise ValueError(
+                f"expected (ticks, {len(catalog)}) samples, got {arr.shape}"
+            )
+        return cls(values=mic_matrix(arr, params), catalog=catalog)
+
+    def score(self, metric_a: str, metric_b: str) -> float:
+        """MIC score of a named metric pair."""
+        i = self.catalog.index(metric_a)
+        j = self.catalog.index(metric_b)
+        return float(self.values[i, j])
+
+
+@dataclass
+class InvariantSet:
+    """The likely invariants of one operation context.
+
+    Attributes:
+        pairs: invariant metric-index pairs (i < j), in canonical order.
+        baseline: invariant value ``I(m,n)`` per pair (same order).
+        catalog: metric vocabulary.
+    """
+
+    pairs: list[tuple[int, int]]
+    baseline: np.ndarray
+    catalog: MetricCatalog = field(default_factory=MetricCatalog)
+
+    def __post_init__(self) -> None:
+        self.baseline = np.asarray(self.baseline, dtype=float)
+        if len(self.pairs) != self.baseline.size:
+            raise ValueError("pairs and baseline lengths differ")
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def pair_names(self) -> list[tuple[str, str]]:
+        """Invariant pairs as metric-name tuples."""
+        return [
+            (self.catalog.name(i), self.catalog.name(j)) for i, j in self.pairs
+        ]
+
+    def violations(
+        self, abnormal: AssociationMatrix, epsilon: float = EPSILON
+    ) -> np.ndarray:
+        """The binary violation tuple against an abnormal matrix (§2).
+
+        Args:
+            abnormal: association matrix of the abnormal window.
+            epsilon: violation threshold ε.
+
+        Returns:
+            Boolean array aligned with :attr:`pairs`; True = violated.
+        """
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        observed = np.array(
+            [abnormal.values[i, j] for i, j in self.pairs], dtype=float
+        )
+        return np.abs(self.baseline - observed) >= epsilon
+
+    def violated_pair_names(
+        self, abnormal: AssociationMatrix, epsilon: float = EPSILON
+    ) -> list[tuple[str, str]]:
+        """Names of the violated pairs — the paper's "hints" output for
+        problems with no matching signature (§4.3)."""
+        flags = self.violations(abnormal, epsilon)
+        names = self.pair_names()
+        return [names[k] for k in np.flatnonzero(flags)]
+
+
+class InvariantTracker:
+    """Incremental Algorithm 1.
+
+    The paper's offline construction consumes N runs at once; a deployed
+    system keeps learning as fresh normal runs arrive.  Algorithm 1 only
+    needs each pair's running min and max of ``V(m, n)``, so the tracker
+    maintains exactly those and can materialise the current
+    :class:`InvariantSet` at any time in O(pairs).
+
+    Feeding the same runs through :meth:`add_run` yields an invariant set
+    identical to the batch :func:`select_invariants`.
+    """
+
+    def __init__(
+        self,
+        tau: float = TAU,
+        catalog: MetricCatalog | None = None,
+    ) -> None:
+        if tau <= 0:
+            raise ValueError(f"tau must be positive, got {tau}")
+        self.tau = tau
+        self.catalog = catalog or MetricCatalog()
+        m = len(self.catalog)
+        self._min = np.full((m, m), np.inf)
+        self._max = np.full((m, m), -np.inf)
+        self.n_runs = 0
+
+    def add_run(self, matrix: "AssociationMatrix | np.ndarray") -> None:
+        """Fold one normal run's association matrix into the running
+        min/max statistics."""
+        values = (
+            matrix.values
+            if isinstance(matrix, AssociationMatrix)
+            else np.asarray(matrix, dtype=float)
+        )
+        m = len(self.catalog)
+        if values.shape != (m, m):
+            raise ValueError(
+                f"expected a ({m}, {m}) matrix, got {values.shape}"
+            )
+        np.minimum(self._min, values, out=self._min)
+        np.maximum(self._max, values, out=self._max)
+        self.n_runs += 1
+
+    def current(self) -> InvariantSet:
+        """The invariant set implied by the runs folded in so far."""
+        if self.n_runs == 0:
+            raise RuntimeError("no runs have been added")
+        pairs: list[tuple[int, int]] = []
+        baseline: list[float] = []
+        for i, j in self.catalog.pairs():
+            if self._max[i, j] - self._min[i, j] < self.tau:
+                pairs.append((i, j))
+                baseline.append(float(self._max[i, j]))
+        return InvariantSet(
+            pairs=pairs, baseline=np.asarray(baseline), catalog=self.catalog
+        )
+
+
+def select_invariants(
+    association_matrices: list[AssociationMatrix] | list[np.ndarray],
+    tau: float = TAU,
+    catalog: MetricCatalog | None = None,
+) -> InvariantSet:
+    """Algorithm 1: select the stable association pairs over N normal runs.
+
+    Args:
+        association_matrices: one association matrix per normal run (either
+            :class:`AssociationMatrix` objects or raw (M, M) arrays).
+        tau: stability threshold τ.
+        catalog: metric vocabulary (required when raw arrays are passed).
+
+    Returns:
+        The :class:`InvariantSet` with ``I(m,n) = max(V(m,n))`` for every
+        pair whose spread is below τ.
+    """
+    if not association_matrices:
+        raise ValueError("need at least one normal-run association matrix")
+    if tau <= 0:
+        raise ValueError(f"tau must be positive, got {tau}")
+    mats: list[np.ndarray] = []
+    for item in association_matrices:
+        if isinstance(item, AssociationMatrix):
+            catalog = catalog or item.catalog
+            mats.append(item.values)
+        else:
+            mats.append(np.asarray(item, dtype=float))
+    catalog = catalog or MetricCatalog()
+    stack = np.stack(mats)  # (N, M, M)
+
+    pairs: list[tuple[int, int]] = []
+    baseline: list[float] = []
+    for i, j in catalog.pairs():
+        v = stack[:, i, j]
+        if float(v.max() - v.min()) < tau:
+            pairs.append((i, j))
+            baseline.append(float(v.max()))
+    return InvariantSet(
+        pairs=pairs, baseline=np.asarray(baseline), catalog=catalog
+    )

@@ -1,0 +1,63 @@
+"""CPI as the key performance indicator (paper §3.1).
+
+For a program compiled for a specific machine the execution time is
+
+    T = I * CPI * C
+
+with ``I`` the instruction count and ``C`` the cycle time; both are fixed,
+so CPI is the only free factor and is therefore a valid KPI for long-running
+big-data jobs whose response time cannot be observed in real time.  The
+paper condenses each run's CPI series into its 95th percentile and verifies
+it rises monotonically with execution time (Fig. 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats.correlation import percentile
+from repro.telemetry.trace import RunTrace
+
+__all__ = ["execution_time_seconds", "run_kpi", "cpi_series"]
+
+#: The paper's per-run sufficient statistic over the CPI series.
+KPI_PERCENTILE = 95.0
+
+
+def execution_time_seconds(
+    instructions: float, cpi: float, cycle_seconds: float
+) -> float:
+    """The §3.1 identity ``T = I * CPI * C``.
+
+    Args:
+        instructions: total instructions ``I`` retired by the program.
+        cpi: cycles per instruction.
+        cycle_seconds: duration ``C`` of one cycle in seconds.
+
+    Returns:
+        Execution time in seconds.
+    """
+    if instructions < 0 or cpi <= 0 or cycle_seconds <= 0:
+        raise ValueError(
+            "instructions must be >= 0 and cpi/cycle_seconds positive"
+        )
+    return instructions * cpi * cycle_seconds
+
+
+def cpi_series(trace: RunTrace, node_id: str) -> np.ndarray:
+    """The CPI time series of one node in a run."""
+    return trace.node(node_id).cpi
+
+
+def run_kpi(trace: RunTrace, node_id: str, q: float = KPI_PERCENTILE) -> float:
+    """One run's KPI: the ``q``-th percentile of the node's CPI series.
+
+    The paper uses the 95 % percentile "as a sufficient statistic for one
+    run" and notes other statistics such as the mean also work.
+
+    Args:
+        trace: the run.
+        node_id: which node's CPI to condense.
+        q: percentile (default 95).
+    """
+    return percentile(cpi_series(trace, node_id), q)

@@ -1,0 +1,201 @@
+"""Streaming deployment of the online part (Fig. 3, right half).
+
+A real deployment does not see whole runs: collectl/perf deliver one
+sample every 10 seconds.  :class:`OnlineMonitor` is the stateful wrapper
+an agent would run per operation context:
+
+1. **monitoring** — each new CPI sample is checked against the ARIMA
+   one-step prediction; three consecutive anomalies raise the alarm
+   (§3.2's robustness rule);
+2. **collecting** — after the alarm, metric samples are gathered until the
+   abnormal window is full (the alarm's lead-in samples are included from
+   the ring buffer, matching :meth:`InvarNetX.extract_abnormal_window`);
+3. **diagnosing** — cause inference runs on the collected window and a
+   :class:`DiagnosisEvent` is emitted, after which the monitor holds a
+   cool-down before re-arming (one incident, one report).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.context import OperationContext
+from repro.core.inference import InferenceResult
+from repro.core.pipeline import ABNORMAL_WINDOW_TICKS, InvarNetX
+
+__all__ = ["MonitorState", "AlarmEvent", "DiagnosisEvent", "OnlineMonitor"]
+
+
+class MonitorState(enum.Enum):
+    """Lifecycle of the streaming monitor."""
+
+    WARMUP = "warmup"
+    MONITORING = "monitoring"
+    COLLECTING = "collecting"
+    COOLDOWN = "cooldown"
+
+
+@dataclass(frozen=True)
+class AlarmEvent:
+    """Raised at the third consecutive anomalous CPI sample."""
+
+    tick: int
+
+
+@dataclass(frozen=True)
+class DiagnosisEvent:
+    """Emitted when the abnormal window has been collected and inferred."""
+
+    tick: int
+    alarm_tick: int
+    inference: InferenceResult
+
+    @property
+    def root_cause(self) -> str | None:
+        """The top-ranked matched cause, or None."""
+        return self.inference.top_cause
+
+
+class OnlineMonitor:
+    """Per-context streaming monitor.
+
+    Args:
+        pipeline: a trained :class:`InvarNetX` (performance model and
+            invariants for ``context`` must exist; signatures optional).
+        context: the operation context being monitored.
+        window_ticks: abnormal-window length for cause inference.
+        warmup_ticks: samples to buffer before drift checks begin (the
+            ARIMA recursion needs history).
+        cooldown_ticks: ticks to stay silent after emitting a diagnosis.
+        max_history: CPI history bound (prediction only needs the recent
+            past; memory stays constant over week-long streams).
+    """
+
+    #: Consecutive anomalous samples required to raise the alarm (§3.2).
+    CONSECUTIVE = 3
+
+    def __init__(
+        self,
+        pipeline: InvarNetX,
+        context: OperationContext,
+        window_ticks: int = ABNORMAL_WINDOW_TICKS,
+        warmup_ticks: int = 12,
+        cooldown_ticks: int = 30,
+        max_history: int = 600,
+    ) -> None:
+        if window_ticks < 8:
+            raise ValueError("window_ticks must be >= 8")
+        if max_history < warmup_ticks + 4:
+            raise ValueError("max_history too small for the warm-up")
+        slot = pipeline._slot(context)
+        if slot.detector is None or slot.invariants is None:
+            raise RuntimeError(
+                f"pipeline is not trained for {context} "
+                "(performance model and invariants required)"
+            )
+        self.pipeline = pipeline
+        self.context = context
+        self.window_ticks = window_ticks
+        self.warmup_ticks = warmup_ticks
+        self.cooldown_ticks = cooldown_ticks
+        self._cpi: deque[float] = deque(maxlen=max_history)
+        # lead-in buffer: the alarm fires CONSECUTIVE ticks into the
+        # problem, and the window starts 2 ticks before the alarm
+        self._recent_metrics: deque[np.ndarray] = deque(
+            maxlen=self.CONSECUTIVE + 2
+        )
+        self._collected: list[np.ndarray] = []
+        self._tick = -1
+        self._streak = 0
+        self._alarm_tick: int | None = None
+        self._cooldown_left = 0
+        self.state = MonitorState.WARMUP
+
+    # ------------------------------------------------------------------
+    def observe(
+        self, metrics_row: np.ndarray, cpi: float
+    ) -> AlarmEvent | DiagnosisEvent | None:
+        """Feed one tick of telemetry.
+
+        Args:
+            metrics_row: the 26-metric sample of this tick.
+            cpi: the CPI sample of this tick.
+
+        Returns:
+            An :class:`AlarmEvent` at the tick the problem is reported, a
+            :class:`DiagnosisEvent` once the abnormal window has been
+            collected and inferred, or None.
+        """
+        self._tick += 1
+        row = np.asarray(metrics_row, dtype=float)
+        detector = self.pipeline._slot(self.context).detector
+        assert detector is not None
+
+        if self.state is MonitorState.COLLECTING:
+            self._collected.append(row)
+            self._cpi.append(float(cpi))
+            if len(self._collected) >= self.window_ticks:
+                window = np.asarray(self._collected)
+                inference = self.pipeline.infer(self.context, window)
+                assert self._alarm_tick is not None
+                event = DiagnosisEvent(
+                    tick=self._tick,
+                    alarm_tick=self._alarm_tick,
+                    inference=inference,
+                )
+                self._collected = []
+                self._alarm_tick = None
+                self._streak = 0
+                self._cooldown_left = self.cooldown_ticks
+                self.state = MonitorState.COOLDOWN
+                return event
+            return None
+
+        anomalous = False
+        if len(self._cpi) >= self.warmup_ticks:
+            history = np.asarray(self._cpi)
+            try:
+                anomalous = detector.check_next(history, float(cpi))
+            except ValueError:
+                anomalous = False  # history still too short for the order
+        self._cpi.append(float(cpi))
+        self._recent_metrics.append(row)
+
+        if self.state is MonitorState.WARMUP:
+            if len(self._cpi) >= self.warmup_ticks:
+                self.state = MonitorState.MONITORING
+            return None
+        if self.state is MonitorState.COOLDOWN:
+            self._cooldown_left -= 1
+            if self._cooldown_left <= 0:
+                self.state = MonitorState.MONITORING
+            return None
+
+        # MONITORING
+        self._streak = self._streak + 1 if anomalous else 0
+        if self._streak >= self.CONSECUTIVE:
+            self._alarm_tick = self._tick
+            # seed the window with the lead-in samples already buffered
+            self._collected = list(self._recent_metrics)
+            self.state = MonitorState.COLLECTING
+            return AlarmEvent(tick=self._tick)
+        return None
+
+    def run_stream(
+        self, metrics: np.ndarray, cpi: np.ndarray
+    ) -> list[AlarmEvent | DiagnosisEvent]:
+        """Convenience: feed a whole trace and collect every event."""
+        metrics = np.asarray(metrics)
+        cpi = np.asarray(cpi, dtype=float)
+        if metrics.shape[0] != cpi.size:
+            raise ValueError("metrics and cpi lengths differ")
+        events: list[AlarmEvent | DiagnosisEvent] = []
+        for t in range(cpi.size):
+            event = self.observe(metrics[t], float(cpi[t]))
+            if event is not None:
+                events.append(event)
+        return events

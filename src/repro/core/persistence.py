@@ -1,0 +1,233 @@
+"""XML persistence of models, invariants and signatures.
+
+The paper stores each artifact in XML with fixed tuple schemas:
+
+- the ARIMA performance model as the five-tuple ``(p, d, q, ip, type)``
+  (§3.2) — we additionally persist the fitted coefficients and the
+  calibrated threshold so a stored model is actually usable;
+- the invariants as the three-tuple ``(I, ip, type)`` with ``I`` in matrix
+  form (§3.3);
+- each signature as the four-tuple ``(binary tuple, problem name, ip,
+  workload type)`` (§3.3).
+
+:mod:`xml.etree.ElementTree` is used throughout; files round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.anomaly import DriftThreshold, ThresholdRule
+from repro.core.context import OperationContext
+from repro.core.invariants import InvariantSet
+from repro.core.signatures import SignatureDatabase
+from repro.stats.arima import ARIMAModel, ARIMAOrder
+from repro.telemetry.metrics import MetricCatalog
+
+__all__ = [
+    "save_performance_model",
+    "load_performance_model",
+    "save_invariants",
+    "load_invariants",
+    "save_signatures",
+    "load_signatures",
+]
+
+
+def _fmt_floats(values: np.ndarray | list[float]) -> str:
+    return " ".join(repr(float(v)) for v in values)
+
+
+def _parse_floats(text: str | None) -> np.ndarray:
+    if not text or not text.strip():
+        return np.empty(0)
+    return np.asarray([float(tok) for tok in text.split()], dtype=float)
+
+
+def _write(root: ET.Element, path: str | Path) -> None:
+    tree = ET.ElementTree(root)
+    ET.indent(tree)
+    tree.write(path, encoding="unicode", xml_declaration=True)
+
+
+# ----------------------------------------------------------------------
+# performance model: (p, d, q, ip, type)
+# ----------------------------------------------------------------------
+def save_performance_model(
+    model: ARIMAModel,
+    threshold: DriftThreshold,
+    context: OperationContext,
+    path: str | Path,
+) -> None:
+    """Persist a trained ARIMA performance model.
+
+    Args:
+        model: the fitted model.
+        threshold: the calibrated drift threshold.
+        context: the operation context the model belongs to.
+        path: output XML file.
+    """
+    root = ET.Element("performance-model")
+    five = ET.SubElement(root, "five-tuple")
+    five.set("p", str(model.order.p))
+    five.set("d", str(model.order.d))
+    five.set("q", str(model.order.q))
+    five.set("ip", context.ip)
+    five.set("type", context.workload)
+    params = ET.SubElement(root, "parameters")
+    ET.SubElement(params, "ar").text = _fmt_floats(model.ar)
+    ET.SubElement(params, "ma").text = _fmt_floats(model.ma)
+    ET.SubElement(params, "intercept").text = repr(model.intercept)
+    ET.SubElement(params, "sigma2").text = repr(model.sigma2)
+    thr = ET.SubElement(root, "threshold")
+    thr.set("rule", threshold.rule.value)
+    thr.set("upper", repr(threshold.upper))
+    thr.set("lower", repr(threshold.lower))
+    node = ET.SubElement(root, "node")
+    node.set("id", context.node_id)
+    _write(root, path)
+
+
+def load_performance_model(
+    path: str | Path,
+) -> tuple[ARIMAModel, DriftThreshold, OperationContext]:
+    """Load a performance model saved by :func:`save_performance_model`.
+
+    Returns:
+        ``(model, threshold, context)``.
+    """
+    root = ET.parse(path).getroot()
+    five = root.find("five-tuple")
+    params = root.find("parameters")
+    thr = root.find("threshold")
+    node = root.find("node")
+    if five is None or params is None or thr is None or node is None:
+        raise ValueError(f"{path} is not a performance-model file")
+    order = ARIMAOrder(
+        int(five.get("p", "0")), int(five.get("d", "0")), int(five.get("q", "0"))
+    )
+    ar_el = params.find("ar")
+    ma_el = params.find("ma")
+    intercept_el = params.find("intercept")
+    sigma2_el = params.find("sigma2")
+    if intercept_el is None or sigma2_el is None:
+        raise ValueError(f"{path} is missing model parameters")
+    model = ARIMAModel(
+        order=order,
+        ar=_parse_floats(ar_el.text if ar_el is not None else ""),
+        ma=_parse_floats(ma_el.text if ma_el is not None else ""),
+        intercept=float(intercept_el.text or 0.0),
+        sigma2=float(sigma2_el.text or 0.0),
+    )
+    threshold = DriftThreshold(
+        rule=ThresholdRule(thr.get("rule", "beta-max")),
+        upper=float(thr.get("upper", "0")),
+        lower=float(thr.get("lower", "0")),
+    )
+    context = OperationContext(
+        workload=five.get("type", ""),
+        node_id=node.get("id", ""),
+        ip=five.get("ip", ""),
+    )
+    return model, threshold, context
+
+
+# ----------------------------------------------------------------------
+# invariants: (I, ip, type)
+# ----------------------------------------------------------------------
+def save_invariants(
+    invariants: InvariantSet,
+    context: OperationContext,
+    path: str | Path,
+) -> None:
+    """Persist an invariant set as the three-tuple ``(I, ip, type)``.
+
+    ``I`` is stored in matrix form as the paper states: the full (M, M)
+    matrix with NaN for non-invariant pairs.
+    """
+    m = len(invariants.catalog)
+    matrix = np.full((m, m), np.nan)
+    for (i, j), value in zip(invariants.pairs, invariants.baseline):
+        matrix[i, j] = value
+        matrix[j, i] = value
+    root = ET.Element("invariants")
+    root.set("ip", context.ip)
+    root.set("type", context.workload)
+    root.set("node", context.node_id)
+    metrics = ET.SubElement(root, "metrics")
+    metrics.text = " ".join(invariants.catalog.names)
+    mat = ET.SubElement(root, "matrix")
+    mat.set("size", str(m))
+    for i in range(m):
+        row = ET.SubElement(mat, "row")
+        row.set("index", str(i))
+        row.text = _fmt_floats(matrix[i])
+    _write(root, path)
+
+
+def load_invariants(
+    path: str | Path,
+) -> tuple[InvariantSet, OperationContext]:
+    """Load an invariant set saved by :func:`save_invariants`."""
+    root = ET.parse(path).getroot()
+    metrics_el = root.find("metrics")
+    mat_el = root.find("matrix")
+    if metrics_el is None or mat_el is None or not metrics_el.text:
+        raise ValueError(f"{path} is not an invariants file")
+    catalog = MetricCatalog(names=tuple(metrics_el.text.split()))
+    m = int(mat_el.get("size", "0"))
+    matrix = np.full((m, m), np.nan)
+    for row in mat_el.findall("row"):
+        i = int(row.get("index", "-1"))
+        matrix[i] = _parse_floats(row.text)
+    pairs: list[tuple[int, int]] = []
+    baseline: list[float] = []
+    for i in range(m):
+        for j in range(i + 1, m):
+            if not np.isnan(matrix[i, j]):
+                pairs.append((i, j))
+                baseline.append(float(matrix[i, j]))
+    invariants = InvariantSet(
+        pairs=pairs, baseline=np.asarray(baseline), catalog=catalog
+    )
+    context = OperationContext(
+        workload=root.get("type", ""),
+        node_id=root.get("node", ""),
+        ip=root.get("ip", ""),
+    )
+    return invariants, context
+
+
+# ----------------------------------------------------------------------
+# signatures: (binary tuple, problem name, ip, workload type)
+# ----------------------------------------------------------------------
+def save_signatures(db: SignatureDatabase, path: str | Path) -> None:
+    """Persist a signature database."""
+    root = ET.Element("signature-database")
+    for sig in db.signatures:
+        el = ET.SubElement(root, "signature")
+        el.set("problem", sig.problem)
+        el.set("ip", sig.ip)
+        el.set("type", sig.workload)
+        el.text = "".join("1" if v else "0" for v in sig.violations)
+    _write(root, path)
+
+
+def load_signatures(path: str | Path) -> SignatureDatabase:
+    """Load a signature database saved by :func:`save_signatures`."""
+    root = ET.parse(path).getroot()
+    if root.tag != "signature-database":
+        raise ValueError(f"{path} is not a signature-database file")
+    db = SignatureDatabase()
+    for el in root.findall("signature"):
+        bits = el.text or ""
+        db.add(
+            np.asarray([c == "1" for c in bits], dtype=bool),
+            problem=el.get("problem", ""),
+            ip=el.get("ip", ""),
+            workload=el.get("type", ""),
+        )
+    return db

@@ -1,0 +1,454 @@
+"""The InvarNet-X facade: offline training and online diagnosis (Fig. 3).
+
+:class:`InvarNetX` wires the five modules of the architecture together and
+keeps one model set per operation context:
+
+offline
+    1. *performance model building* — ARIMA on normal CPI traces;
+    2. *invariant construction* — MIC association matrices of normal runs
+       fed through Algorithm 1;
+    3. *signature base building* — violation tuples of investigated
+       problems;
+
+online
+    4. *performance anomaly detection* — ARIMA drift with the
+       three-consecutive rule (this gates everything: "To reduce the cost
+       of unnecessary performance diagnosis");
+    5. *cause inference* — signature similarity ranking.
+
+The ``use_operation_context=False`` switch reproduces the paper's ablation
+(Figs. 9/10): every workload and node then shares one global model set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.anomaly import AnomalyDetector, AnomalyReport, ThresholdRule
+from repro.core.context import GLOBAL_CONTEXT, OperationContext
+from repro.core.inference import CauseInferenceEngine, InferenceResult
+from repro.core.invariants import (
+    EPSILON,
+    TAU,
+    AssociationMatrix,
+    InvariantSet,
+    select_invariants,
+)
+from repro.core.persistence import (
+    save_invariants,
+    save_performance_model,
+    save_signatures,
+)
+from repro.core.signatures import SignatureDatabase
+from repro.stats.mic import MICParameters
+from repro.telemetry.metrics import MetricCatalog
+from repro.telemetry.trace import RunTrace
+
+__all__ = ["InvarNetXConfig", "DiagnosisResult", "InvarNetX"]
+
+#: Length (ticks) of the abnormal window handed to cause inference.
+ABNORMAL_WINDOW_TICKS = 30
+
+
+@dataclass(frozen=True)
+class InvarNetXConfig:
+    """Tunables of the pipeline, defaults per the paper.
+
+    Attributes:
+        rule: anomaly threshold rule (beta-max after Fig. 6).
+        beta: fluctuation factor β of the beta-max rule.
+        tau: Algorithm 1 stability threshold τ.
+        epsilon: violation threshold ε.
+        min_similarity: floor under which inference reports only hints.
+        use_operation_context: False reproduces the Figs. 9/10 ablation.
+        arima_order: fixed (p, d, q), or None for AIC selection.
+        mic_alpha: MIC grid-budget exponent.
+        mic_clumps_factor: MIC superclump factor.
+    """
+
+    rule: ThresholdRule = ThresholdRule.BETA_MAX
+    beta: float = 1.2
+    tau: float = TAU
+    epsilon: float = EPSILON
+    min_similarity: float = 0.5
+    similarity: str = "matching"
+    use_operation_context: bool = True
+    arima_order: tuple[int, int, int] | None = None
+    mic_alpha: float = 0.6
+    mic_clumps_factor: int = 15
+
+    def mic_params(self) -> MICParameters:
+        """The MIC tuning object implied by this config."""
+        return MICParameters(
+            alpha=self.mic_alpha, clumps_factor=self.mic_clumps_factor
+        )
+
+
+@dataclass
+class DiagnosisResult:
+    """Outcome of one online diagnosis pass.
+
+    Attributes:
+        context: the operation context the run was diagnosed under.
+        anomaly: the detector's report on the CPI series.
+        inference: the cause-inference result, or None when no performance
+            problem was detected (inference is never triggered).
+    """
+
+    context: OperationContext
+    anomaly: AnomalyReport
+    inference: InferenceResult | None = None
+
+    @property
+    def detected(self) -> bool:
+        """Was a performance problem reported?"""
+        return self.anomaly.problem_detected
+
+    @property
+    def root_cause(self) -> str | None:
+        """The top-ranked root cause, or None."""
+        if self.inference is None:
+            return None
+        return self.inference.top_cause
+
+    def top_causes(self, k: int) -> list[str]:
+        """The ``k`` most probable root causes, best first.
+
+        The paper's multi-fault extension (§4.1): "our method could be
+        easily extended to multiple faults by listing multiple root causes
+        whose signatures are most similar to the violation tuple."
+        Returns an empty list when no problem was detected or matched.
+        """
+        if self.inference is None or not self.inference.matched:
+            return []
+        return [c.problem for c in self.inference.causes[:k]]
+
+
+@dataclass
+class _ContextModels:
+    """Everything trained for one operation context."""
+
+    detector: AnomalyDetector | None = None
+    invariants: InvariantSet | None = None
+    database: SignatureDatabase = field(default_factory=SignatureDatabase)
+
+
+class InvarNetX:
+    """The full diagnosis system.
+
+    Args:
+        config: pipeline tunables (paper defaults when omitted).
+        catalog: metric vocabulary (the canonical 26 metrics by default).
+    """
+
+    def __init__(
+        self,
+        config: InvarNetXConfig | None = None,
+        catalog: MetricCatalog | None = None,
+    ) -> None:
+        self.config = config or InvarNetXConfig()
+        self.catalog = catalog or MetricCatalog()
+        self._models: dict[tuple[str, str], _ContextModels] = {}
+
+    # ------------------------------------------------------------------
+    def _key(self, context: OperationContext) -> tuple[str, str]:
+        if self.config.use_operation_context:
+            return context.key()
+        return GLOBAL_CONTEXT.key()
+
+    def _slot(self, context: OperationContext) -> _ContextModels:
+        return self._models.setdefault(self._key(context), _ContextModels())
+
+    def contexts(self) -> list[tuple[str, str]]:
+        """Keys of all trained contexts."""
+        return sorted(self._models)
+
+    # ------------------------------------------------------------------
+    # offline part
+    # ------------------------------------------------------------------
+    def train_performance_model(
+        self, context: OperationContext, cpi_traces: list[np.ndarray]
+    ) -> AnomalyDetector:
+        """Module 1: fit the context's ARIMA model and threshold.
+
+        Args:
+            context: operation context the traces belong to.
+            cpi_traces: N normal-state CPI series.
+        """
+        slot = self._slot(context)
+        detector = AnomalyDetector(
+            rule=self.config.rule,
+            beta=self.config.beta,
+            order=self.config.arima_order,
+        )
+        detector.train(cpi_traces)
+        slot.detector = detector
+        return detector
+
+    def association_matrix(self, samples: np.ndarray) -> AssociationMatrix:
+        """Pairwise MIC matrix of one observation window (helper shared by
+        training and diagnosis)."""
+        return AssociationMatrix.from_samples(
+            samples, catalog=self.catalog, params=self.config.mic_params()
+        )
+
+    def build_invariants(
+        self, context: OperationContext, normal_windows: list[np.ndarray]
+    ) -> InvariantSet:
+        """Module 2: run Algorithm 1 over N normal runs' metric samples.
+
+        Args:
+            context: operation context.
+            normal_windows: per-run (ticks, 26) metric arrays.
+        """
+        slot = self._slot(context)
+        matrices = [self.association_matrix(w) for w in normal_windows]
+        slot.invariants = select_invariants(
+            matrices, tau=self.config.tau, catalog=self.catalog
+        )
+        return slot.invariants
+
+    def train_signature(
+        self,
+        context: OperationContext,
+        problem: str,
+        abnormal_window: np.ndarray,
+    ) -> np.ndarray:
+        """Module 3: store one investigated problem's signature.
+
+        Args:
+            context: operation context the problem occurred in.
+            problem: root-cause name.
+            abnormal_window: (ticks, 26) metric samples collected while the
+                problem was active.
+
+        Returns:
+            The stored binary violation tuple.
+        """
+        slot = self._slot(context)
+        if slot.invariants is None:
+            raise RuntimeError(
+                f"invariants for {context} must be built before signatures"
+            )
+        abnormal = self.association_matrix(abnormal_window)
+        violations = slot.invariants.violations(abnormal, self.config.epsilon)
+        slot.database.add(
+            violations, problem, ip=context.ip, workload=context.workload
+        )
+        return violations
+
+    @staticmethod
+    def slice_windows(
+        samples: np.ndarray, window_ticks: int = ABNORMAL_WINDOW_TICKS
+    ) -> list[np.ndarray]:
+        """Cut a run's metric samples into observation windows.
+
+        Invariant construction and cause inference must estimate MIC over
+        windows of the same length, or the short-window association scores
+        drift systematically from the full-run baseline and flood the
+        violation tuples with noise.  Runts shorter than 80 % of a window
+        are dropped.
+        """
+        arr = np.asarray(samples)
+        out = [
+            arr[start : start + window_ticks]
+            for start in range(0, arr.shape[0], window_ticks)
+        ]
+        return [w for w in out if w.shape[0] >= int(window_ticks * 0.8)]
+
+    def run_association_matrix(
+        self,
+        samples: np.ndarray,
+        window_ticks: int = ABNORMAL_WINDOW_TICKS,
+    ) -> AssociationMatrix:
+        """The association matrix ``A^i`` of one whole normal run.
+
+        Defined as the mean of the MIC matrices of the run's
+        ``window_ticks`` observation windows: each window is estimated
+        under exactly the conditions cause inference will face (same sample
+        count), and averaging over the run's windows removes most of the
+        short-window sampling variance from Algorithm 1's stability test.
+        """
+        windows = self.slice_windows(samples, window_ticks)
+        if not windows:
+            raise ValueError(
+                f"run too short ({np.asarray(samples).shape[0]} ticks) for "
+                f"{window_ticks}-tick windows"
+            )
+        stacked = np.stack(
+            [self.association_matrix(w).values for w in windows]
+        )
+        return AssociationMatrix(
+            values=stacked.mean(axis=0), catalog=self.catalog
+        )
+
+    def train_from_runs(
+        self,
+        context: OperationContext,
+        normal_runs: list[RunTrace],
+        window_ticks: int = ABNORMAL_WINDOW_TICKS,
+    ) -> None:
+        """Convenience: run modules 1 and 2 from whole normal run traces.
+
+        The performance model trains on the full CPI series; Algorithm 1
+        receives one association matrix per run, each computed by
+        :meth:`run_association_matrix`.
+        """
+        traces = [run.node(context.node_id).cpi for run in normal_runs]
+        matrices = [
+            self.run_association_matrix(
+                run.node(context.node_id).metrics, window_ticks
+            )
+            for run in normal_runs
+        ]
+        self.train_performance_model(context, traces)
+        slot = self._slot(context)
+        slot.invariants = select_invariants(
+            matrices, tau=self.config.tau, catalog=self.catalog
+        )
+
+    def extract_abnormal_window(
+        self,
+        context: OperationContext,
+        run: RunTrace,
+        window_ticks: int = ABNORMAL_WINDOW_TICKS,
+    ) -> np.ndarray | None:
+        """The abnormal metric window an online deployment would gather.
+
+        Runs anomaly detection on the run's CPI and returns the
+        ``window_ticks`` metric samples starting where the problem was first
+        reported (less the three-consecutive lead).  Returns None when no
+        problem is detected.  Signature training and diagnosis both use
+        this, so stored and queried signatures come from identically
+        selected windows.
+        """
+        node = run.node(context.node_id)
+        report = self.detect(context, node.cpi)
+        first = report.first_problem_tick()
+        if first is None:
+            return None
+        start = max(first - 2, 0)
+        stop = min(start + window_ticks, node.ticks)
+        if stop - start < 8:
+            start = max(stop - window_ticks, 0)
+        return node.metrics[start:stop]
+
+    def train_signature_from_run(
+        self,
+        context: OperationContext,
+        problem: str,
+        run: RunTrace,
+        window_ticks: int = ABNORMAL_WINDOW_TICKS,
+    ) -> np.ndarray | None:
+        """Module 3 from a whole faulty run: detect the problem the way the
+        online path would, then store the signature of the detected window.
+
+        Falls back to the run's recorded fault window when detection misses
+        (an operator investigating a known problem has the window anyway).
+
+        Returns:
+            The stored violation tuple, or None if no window was available.
+        """
+        window = self.extract_abnormal_window(context, run, window_ticks)
+        if window is None:
+            if run.fault_window is None:
+                return None
+            window = run.fault_slice(context.node_id).metrics
+        return self.train_signature(context, problem, window)
+
+    # ------------------------------------------------------------------
+    # online part
+    # ------------------------------------------------------------------
+    def detect(
+        self, context: OperationContext, cpi: np.ndarray
+    ) -> AnomalyReport:
+        """Module 4: scan a CPI series for performance problems."""
+        slot = self._slot(context)
+        if slot.detector is None:
+            raise RuntimeError(f"no performance model trained for {context}")
+        return slot.detector.detect(cpi)
+
+    def infer(
+        self, context: OperationContext, abnormal_window: np.ndarray,
+        top_k: int = 3,
+    ) -> InferenceResult:
+        """Module 5: rank root causes for an abnormal metric window."""
+        slot = self._slot(context)
+        if slot.invariants is None:
+            raise RuntimeError(f"no invariants built for {context}")
+        engine = CauseInferenceEngine(
+            slot.invariants,
+            slot.database,
+            epsilon=self.config.epsilon,
+            min_similarity=self.config.min_similarity,
+            measure=self.config.similarity,
+        )
+        abnormal = self.association_matrix(abnormal_window)
+        return engine.infer(abnormal, top_k=top_k)
+
+    def diagnose_run(
+        self,
+        context: OperationContext,
+        run: RunTrace,
+        window_ticks: int = ABNORMAL_WINDOW_TICKS,
+        top_k: int = 3,
+    ) -> DiagnosisResult:
+        """Full online pass over one run: detect, and on detection infer.
+
+        The abnormal window handed to inference starts where the detector
+        first reported the problem (less the three-consecutive lead) and
+        spans ``window_ticks`` samples, exactly the data an online deployment
+        would gather after raising the alarm.
+
+        Args:
+            context: operation context of the run.
+            run: the run to diagnose.
+            window_ticks: abnormal-window length for cause inference.
+            top_k: length of the cause list.
+        """
+        node = run.node(context.node_id)
+        report = self.detect(context, node.cpi)
+        if not report.problem_detected:
+            return DiagnosisResult(context=context, anomaly=report)
+        window = self.extract_abnormal_window(context, run, window_ticks)
+        assert window is not None  # problem_detected implies a window
+        inference = self.infer(context, window, top_k=top_k)
+        return DiagnosisResult(
+            context=context, anomaly=report, inference=inference
+        )
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save_context(
+        self, context: OperationContext, directory: str | Path
+    ) -> list[Path]:
+        """Write the context's XML artifacts (§3.2/§3.3 formats).
+
+        Returns:
+            Paths of the files written.
+        """
+        slot = self._slot(context)
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        stem = f"{context.workload}_{context.node_id}"
+        written: list[Path] = []
+        if slot.detector is not None and slot.detector.model is not None:
+            assert slot.detector.threshold is not None
+            path = directory / f"model_{stem}.xml"
+            save_performance_model(
+                slot.detector.model, slot.detector.threshold, context, path
+            )
+            written.append(path)
+        if slot.invariants is not None:
+            path = directory / f"invariants_{stem}.xml"
+            save_invariants(slot.invariants, context, path)
+            written.append(path)
+        if len(slot.database):
+            path = directory / f"signatures_{stem}.xml"
+            save_signatures(slot.database, path)
+            written.append(path)
+        return written

@@ -1,0 +1,11 @@
+"""Reproducible experiment-data generation.
+
+:mod:`repro.datagen.campaigns` generates the labelled run sets the paper's
+evaluation needs — N normal runs per workload plus ``reps`` injected runs
+per fault — with fully deterministic seeding (no salted ``hash()``), so
+every experiment, test and benchmark regenerates identical data.
+"""
+
+from repro.datagen.campaigns import CampaignConfig, FaultCampaign
+
+__all__ = ["CampaignConfig", "FaultCampaign"]

@@ -1,0 +1,36 @@
+"""Evaluation harness: one runner per table and figure of the paper.
+
+- :mod:`repro.eval.confusion` — precision/recall bookkeeping (§4.1's
+  metrics);
+- :mod:`repro.eval.experiments` — runners for Figs. 2, 4, 5, 6, 7, 8, 9,
+  10 and Table 1;
+- :mod:`repro.eval.reporting` — paper-style ASCII tables and series.
+"""
+
+from repro.eval.confusion import DiagnosisOutcome, PrecisionRecall, score_outcomes
+from repro.eval.experiments import (
+    DiagnosisExperimentResult,
+    run_fig2_cpi_disturbance,
+    run_fig4_cpi_kpi,
+    run_fig5_residuals,
+    run_fig6_threshold_rules,
+    run_fig7_tpcds_diagnosis,
+    run_fig8_wordcount_diagnosis,
+    run_fig9_fig10_comparison,
+    run_table1_overhead,
+)
+
+__all__ = [
+    "DiagnosisOutcome",
+    "PrecisionRecall",
+    "score_outcomes",
+    "DiagnosisExperimentResult",
+    "run_fig2_cpi_disturbance",
+    "run_fig4_cpi_kpi",
+    "run_fig5_residuals",
+    "run_fig6_threshold_rules",
+    "run_fig7_tpcds_diagnosis",
+    "run_fig8_wordcount_diagnosis",
+    "run_fig9_fig10_comparison",
+    "run_table1_overhead",
+]

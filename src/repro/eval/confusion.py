@@ -1,0 +1,100 @@
+"""Precision/recall scoring of diagnosis outcomes (paper §4.1).
+
+    Recall    = N_tp / (N_tp + N_fn)
+    Precision = N_tp / (N_tp + N_fp)
+
+computed per fault over a set of labelled diagnosis outcomes: a run of
+fault ``f`` predicted as ``f`` is a true positive of ``f``; predicted as
+``g ≠ f`` it is a false negative of ``f`` and a false positive of ``g``;
+an undetected or unmatched run is a false negative of ``f``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DiagnosisOutcome", "PrecisionRecall", "score_outcomes"]
+
+
+@dataclass(frozen=True)
+class DiagnosisOutcome:
+    """One labelled diagnosis result.
+
+    Attributes:
+        truth: the injected fault's name.
+        predicted: the top-ranked cause, or None when undetected/unmatched.
+        detected: whether the anomaly detector fired at all.
+    """
+
+    truth: str
+    predicted: str | None
+    detected: bool
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    """Per-fault precision and recall with their raw counts."""
+
+    precision: float
+    recall: float
+    tp: int
+    fp: int
+    fn: int
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0 when both are 0)."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return (
+            2 * self.precision * self.recall / (self.precision + self.recall)
+        )
+
+
+def score_outcomes(
+    outcomes: list[DiagnosisOutcome],
+) -> dict[str, PrecisionRecall]:
+    """Per-fault precision/recall over a batch of outcomes.
+
+    Faults with no true positives and no predictions score 0/0 → reported
+    as precision 0, recall 0.
+
+    Returns:
+        Mapping from fault name to its :class:`PrecisionRecall`; the key
+        ``"average"`` holds the unweighted mean over faults (the paper's
+        "average precision/recall").
+    """
+    if not outcomes:
+        raise ValueError("no outcomes to score")
+    faults = sorted({o.truth for o in outcomes})
+    tp = {f: 0 for f in faults}
+    fp = {f: 0 for f in faults}
+    fn = {f: 0 for f in faults}
+    for o in outcomes:
+        if o.predicted == o.truth:
+            tp[o.truth] += 1
+        else:
+            fn[o.truth] += 1
+            if o.predicted is not None and o.predicted in fp:
+                fp[o.predicted] += 1
+    out: dict[str, PrecisionRecall] = {}
+    for f in faults:
+        denom_p = tp[f] + fp[f]
+        denom_r = tp[f] + fn[f]
+        out[f] = PrecisionRecall(
+            precision=tp[f] / denom_p if denom_p else 0.0,
+            recall=tp[f] / denom_r if denom_r else 0.0,
+            tp=tp[f],
+            fp=fp[f],
+            fn=fn[f],
+        )
+    out["average"] = PrecisionRecall(
+        precision=float(np.mean([out[f].precision for f in faults])),
+        recall=float(np.mean([out[f].recall for f in faults])),
+        tp=sum(tp.values()),
+        fp=sum(fp.values()),
+        fn=sum(fn.values()),
+    )
+    return out

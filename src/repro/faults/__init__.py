@@ -1,0 +1,67 @@
+"""Fault-injection substrate (the paper's AnarchyApe + Hadoop inject framework).
+
+The paper injects fifteen faults (§4.1): nine runtime-environment faults
+(CPU-hog, Mem-hog, Disk-hog, Net-drop, Net-delay, Block corruption,
+misconfiguration, Overload, Suspend) and six software-bug faults (RPC-hang,
+HADOOP-9703 thread leak, HADOOP-1036 NPE, lock race, HADOOP-1970, block
+receiver exception).  Every fault in this package models the documented
+*manifestation* of its real counterpart — which latent resource channels and
+which observable metrics it perturbs — because the diagnosis pipeline only
+ever sees those consequences.
+
+Faults are injected into a run through :class:`repro.cluster.cluster.
+HadoopCluster`; each is parameterised by target node and injection window
+(the paper uses 5-minute injections, i.e. 30 ticks).
+"""
+
+from repro.faults.bugs import (
+    BlockReceiverFault,
+    CommThreadFault,
+    LockRaceFault,
+    NpeFault,
+    RpcHangFault,
+    ThreadLeakFault,
+)
+from repro.faults.environment import (
+    BlockCorruptionFault,
+    CpuHogFault,
+    DiskHogFault,
+    MemHogFault,
+    MisconfFault,
+    NetDelayFault,
+    NetDropFault,
+    OverloadFault,
+    SuspendFault,
+)
+from repro.faults.spec import (
+    ALL_FAULTS,
+    BATCH_FAULTS,
+    INTERACTIVE_FAULTS,
+    Fault,
+    FaultSpec,
+    build_fault,
+)
+
+__all__ = [
+    "Fault",
+    "FaultSpec",
+    "build_fault",
+    "ALL_FAULTS",
+    "BATCH_FAULTS",
+    "INTERACTIVE_FAULTS",
+    "CpuHogFault",
+    "MemHogFault",
+    "DiskHogFault",
+    "NetDropFault",
+    "NetDelayFault",
+    "BlockCorruptionFault",
+    "MisconfFault",
+    "OverloadFault",
+    "SuspendFault",
+    "RpcHangFault",
+    "ThreadLeakFault",
+    "NpeFault",
+    "LockRaceFault",
+    "CommThreadFault",
+    "BlockReceiverFault",
+]

@@ -1,0 +1,305 @@
+"""Software-bug faults (paper §4.1, items 1-6 of the bug list).
+
+Each class reproduces the *manifestation* of a real Hadoop bug the paper
+triggers with the Hadoop fault-injection framework.  The JIRA numbers are
+the paper's; the behavioural descriptions come from the paper's §4.1 and
+§4.3 discussion (notably Lock-R's non-determinism, which the paper blames
+for its low recall).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.demand import ResourceDemand
+from repro.cluster.node import FaultModifiers
+from repro.faults.spec import Fault, register_fault
+from repro.telemetry.collectl import MetricEffects
+
+__all__ = [
+    "RpcHangFault",
+    "ThreadLeakFault",
+    "NpeFault",
+    "LockRaceFault",
+    "CommThreadFault",
+    "BlockReceiverFault",
+]
+
+
+@register_fault
+class RpcHangFault(Fault):
+    """HADOOP-6498: RPC calls hang (paper bug 1; reproduced by delaying RPC
+    with an injected sleep).
+
+    Manifestation: the node alternates between stalls (waiting on the hung
+    call — activity and progress collapse, pending connections pile up) and
+    catch-up bursts.
+    """
+
+    name = "RPC-hang"
+
+    def begin_run(self, rng: np.random.Generator) -> None:
+        # Hangs arrive in bouts; precompute a stall pattern for the window.
+        self._stalled: dict[int, bool] = {}
+        stalled = False
+        for t in range(self.spec.start, self.spec.stop):
+            if stalled:
+                stalled = rng.random() < 0.80  # bouts persist
+            else:
+                stalled = rng.random() < 0.55
+            self._stalled[t] = stalled
+
+    def _modifiers(self, tick: int, rng: np.random.Generator) -> FaultModifiers:
+        if self._stalled.get(tick, False):
+            return FaultModifiers(
+                activity_factor=0.30,
+                progress_factor=0.10,
+                cpi_factor=1.35,
+            )
+        return FaultModifiers(progress_factor=0.85)
+
+    def _metric_effects(
+        self, tick: int, rng: np.random.Generator
+    ) -> MetricEffects:
+        backlog = 95.0 if self._stalled.get(tick, False) else 40.0
+        return MetricEffects(
+            add={"sock_used": backlog * float(rng.uniform(0.8, 1.2))}
+        )
+
+
+@register_fault
+class ThreadLeakFault(Fault):
+    """HADOOP-9703: thread leak when ``ipc.Client.stop()`` is invoked
+    (paper bug 2).
+
+    Manifestation: leaked threads (and their sockets and stacks) accumulate
+    monotonically for as long as the bug is active — creeping memory use,
+    growing context-switch pressure and socket counts.
+    """
+
+    name = "H-9703"
+
+    #: Memory leaked per tick (MB) and sockets leaked per tick.
+    LEAK_MB_PER_TICK = 480.0
+    LEAK_SOCKS_PER_TICK = 20.0
+
+    def begin_run(self, rng: np.random.Generator) -> None:
+        self._leak_rate = self.LEAK_MB_PER_TICK * float(rng.uniform(0.85, 1.15))
+
+    def _leaked_ticks(self, tick: int) -> int:
+        return max(tick - self.spec.start + 1, 0)
+
+    def _modifiers(self, tick: int, rng: np.random.Generator) -> FaultModifiers:
+        n = self._leaked_ticks(tick)
+        leaked = self._leak_rate * n
+        # Every leaked thread is schedulable: the run queue churns and the
+        # job's cache locality erodes, jitterily, as the leak grows.
+        return FaultModifiers(
+            external=ResourceDemand(cpu=0.05, mem_mb=leaked),
+            cpi_factor=1.0 + 0.008 * n * float(rng.uniform(0.7, 1.3)),
+        )
+
+    def _metric_effects(
+        self, tick: int, rng: np.random.Generator
+    ) -> MetricEffects:
+        n = self._leaked_ticks(tick)
+        return MetricEffects(
+            add={
+                "sock_used": self.LEAK_SOCKS_PER_TICK * n,
+                "ctxt_per_sec": 200.0 * n * float(rng.uniform(0.8, 1.2)),
+            }
+        )
+
+
+@register_fault
+class NpeFault(Fault):
+    """HADOOP-1036: NullPointerException in the TaskTracker (paper bug 3;
+    reproduced on a reverted Hadoop version).
+
+    Manifestation: tasks die and are rescheduled — progress halves, CPU
+    activity turns ragged (kill/restart cycles), and attempt bookkeeping
+    adds scheduling churn.
+    """
+
+    name = "H-1036"
+
+    def begin_run(self, rng: np.random.Generator) -> None:
+        # Restart storms: once tasks start dying they keep dying for a
+        # stretch (the NPE hits every attempt scheduled onto the node).
+        self._crashing: dict[int, bool] = {}
+        crashing = False
+        for t in range(self.spec.start, self.spec.stop):
+            if crashing:
+                crashing = rng.random() < 0.8
+            else:
+                crashing = rng.random() < 0.5
+            self._crashing[t] = crashing
+
+    def _modifiers(self, tick: int, rng: np.random.Generator) -> FaultModifiers:
+        crashing = self._crashing.get(tick, False)
+        return FaultModifiers(
+            activity_factor=0.45 if crashing else 0.95,
+            progress_factor=0.5,
+            cpi_factor=1.30 if crashing else 1.10,
+        )
+
+    def _metric_effects(
+        self, tick: int, rng: np.random.Generator
+    ) -> MetricEffects:
+        # Dying attempts drop their JVM heaps and restarts re-read input
+        # splits — memory and read traffic churn out of step with the job.
+        return MetricEffects(
+            noise={
+                "cpu_user_pct": 0.25,
+                "ctxt_per_sec": 0.25,
+                "mem_used_mb": 0.10,
+                "disk_read_kbs": 0.20,
+            },
+            add={"pgfault_per_sec": 2_500.0 * float(rng.uniform(0.5, 1.5))},
+        )
+
+
+@register_fault
+class LockRaceFault(Fault):
+    """A ``synchronized`` method replaced by an unsynchronised one (paper
+    bug 4, "Lock-R").
+
+    Manifestation is *non-deterministic*: which shared structures get
+    corrupted — and therefore which metrics go haywire — differs from run
+    to run.  The paper singles this out: "Lock-R makes different violations
+    in different runs leading to a high false positive [rate]" and a very
+    low recall.  :meth:`begin_run` draws a fresh random subset of effects
+    per run to reproduce exactly that behaviour.
+    """
+
+    name = "Lock-R"
+
+    #: The pool of possible per-run manifestations.
+    _EFFECT_POOL = (
+        "ctxt_storm",
+        "queue_spike",
+        "cpu_jitter",
+        "blocked_io",
+        "cpi_spin",
+        "slow_progress",
+        "sock_churn",
+    )
+
+    def begin_run(self, rng: np.random.Generator) -> None:
+        size = int(rng.integers(2, 5))
+        picks = rng.choice(len(self._EFFECT_POOL), size=size, replace=False)
+        self._effects = {self._EFFECT_POOL[i] for i in picks}
+
+    def _modifiers(self, tick: int, rng: np.random.Generator) -> FaultModifiers:
+        # Every manifestation shares the lock-spinning CPI cost (threads
+        # burning cycles on a contended word); which structures corrupt —
+        # and hence which metrics go haywire — stays per-run random.
+        mods = FaultModifiers(
+            progress_factor=0.9,
+            cpi_factor=1.22 * float(rng.uniform(0.95, 1.05)),
+        )
+        if "cpi_spin" in self._effects:
+            mods = mods.combine(FaultModifiers(cpi_factor=1.18))
+        if "slow_progress" in self._effects:
+            mods = mods.combine(FaultModifiers(progress_factor=0.55))
+        if "cpu_jitter" in self._effects:
+            mods = mods.combine(
+                FaultModifiers(
+                    external=ResourceDemand(
+                        cpu=0.30 * float(rng.uniform(0.2, 1.8))
+                    )
+                )
+            )
+        return mods
+
+    def _metric_effects(
+        self, tick: int, rng: np.random.Generator
+    ) -> MetricEffects:
+        effects = MetricEffects()
+        wobble = float(rng.uniform(0.5, 1.5))
+        if "ctxt_storm" in self._effects:
+            effects = effects.combine(
+                MetricEffects(add={"ctxt_per_sec": 14_000.0 * wobble})
+            )
+        if "queue_spike" in self._effects:
+            effects = effects.combine(
+                MetricEffects(add={"proc_run_queue": 9.0 * wobble})
+            )
+        if "blocked_io" in self._effects:
+            effects = effects.combine(
+                MetricEffects(add={"proc_blocked": 8.0 * wobble})
+            )
+        if "sock_churn" in self._effects:
+            effects = effects.combine(
+                MetricEffects(noise={"sock_used": 0.35})
+            )
+        return effects
+
+
+@register_fault
+class CommThreadFault(Fault):
+    """HADOOP-1970: the TaskTracker/JobTracker communication thread is
+    interfered with (paper bug 5).
+
+    Manifestation: heartbeat and status traffic turn erratic — transmit and
+    receive rates jitter independently of the job, some heartbeats are
+    lost and retried, progress reporting (and hence scheduling of new
+    tasks) slows.
+    """
+
+    name = "H-1970"
+
+    def _modifiers(self, tick: int, rng: np.random.Generator) -> FaultModifiers:
+        # Lost heartbeats idle task slots and stall status RPCs; the job's
+        # threads spend cycles blocked-then-bursting.
+        return FaultModifiers(
+            net_capacity_factor=0.80,
+            progress_factor=0.70,
+            cpi_factor=1.24 * float(rng.uniform(0.95, 1.05)),
+        )
+
+    def _metric_effects(
+        self, tick: int, rng: np.random.Generator
+    ) -> MetricEffects:
+        return MetricEffects(
+            noise={"net_tx_kbs": 0.40, "net_rx_kbs": 0.30, "net_tx_pkts": 0.35},
+            add={
+                "tcp_retrans_per_sec": 6.0 * float(rng.uniform(0.5, 1.5)),
+                "sock_used": 35.0 * float(rng.uniform(0.7, 1.3)),
+            },
+        )
+
+
+@register_fault
+class BlockReceiverFault(Fault):
+    """An exception injected into ``BlockReceiver.receivePacket`` (paper
+    bug 6, "Block-R").
+
+    Manifestation: incoming block writes fail on this node — local disk
+    writes collapse, the write pipeline retries against other replicas
+    (transmit bumps, receive shrinks), and tasks writing output slow down.
+    """
+
+    name = "Block-R"
+
+    def _modifiers(self, tick: int, rng: np.random.Generator) -> FaultModifiers:
+        # Each failed packet aborts and re-establishes the write pipeline;
+        # writers spin through exception handling and retries.
+        return FaultModifiers(
+            progress_factor=0.8,
+            cpi_factor=1.21 * float(rng.uniform(0.95, 1.05)),
+        )
+
+    def _metric_effects(
+        self, tick: int, rng: np.random.Generator
+    ) -> MetricEffects:
+        return MetricEffects(
+            scale={
+                "disk_write_kbs": 0.35,
+                "disk_write_ops": 0.35,
+                "net_rx_kbs": 0.60,
+                "net_rx_pkts": 0.60,
+            },
+            noise={"disk_write_kbs": 0.30, "net_rx_kbs": 0.20},
+            add={"tcp_retrans_per_sec": 4.0 * float(rng.uniform(0.5, 1.5))},
+        )

@@ -1,0 +1,103 @@
+"""Chaos schedules: randomised fault campaigns (AnarchyApe's actual job).
+
+The paper uses AnarchyApe to inject one chosen fault at a chosen time; the
+tool's real purpose is chaos testing — hitting a long-running cluster with
+*random* faults at *random* times.  A :class:`ChaosSchedule` generates such
+a campaign deterministically from a seed: non-overlapping injection
+windows, random fault types, targets and severities.  Together with
+:class:`repro.core.online.OnlineMonitor` this supports soak tests: a long
+interactive observation window with several incidents, each of which must
+be detected and diagnosed independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.spec import Fault, FaultSpec, build_fault
+
+__all__ = ["ChaosSchedule"]
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A deterministic random fault campaign.
+
+    Attributes:
+        faults: candidate fault names to draw from.
+        targets: candidate target nodes.
+        horizon_ticks: length of the observation period being attacked.
+        n_incidents: number of injections to place.
+        duration: injection length per incident (paper default: 30).
+        gap: minimum quiet ticks between incidents (detection and
+            diagnosis of one incident need room before the next).
+        min_intensity / max_intensity: severity range drawn per incident.
+    """
+
+    faults: tuple[str, ...]
+    targets: tuple[str, ...]
+    horizon_ticks: int
+    n_incidents: int = 3
+    duration: int = 30
+    gap: int = 45
+    min_intensity: float = 1.0
+    max_intensity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.faults or not self.targets:
+            raise ValueError("faults and targets must be non-empty")
+        if self.n_incidents < 1:
+            raise ValueError("n_incidents must be >= 1")
+        needed = (
+            self.n_incidents * self.duration
+            + (self.n_incidents - 1) * self.gap
+            + 20
+        )
+        if self.horizon_ticks < needed:
+            raise ValueError(
+                f"horizon {self.horizon_ticks} too short for "
+                f"{self.n_incidents} incidents (need >= {needed})"
+            )
+        if not 0 < self.min_intensity <= self.max_intensity:
+            raise ValueError("need 0 < min_intensity <= max_intensity")
+
+    def generate(self, seed: int) -> list[Fault]:
+        """Materialise the campaign's fault objects.
+
+        Windows are placed by spreading the incidents over the horizon and
+        jittering each start inside its slot, so no two windows overlap
+        and at least ``gap`` quiet ticks separate them.
+
+        Args:
+            seed: determines types, targets, severities and timings.
+
+        Returns:
+            Fault objects in injection order.
+        """
+        rng = np.random.default_rng(seed)
+        usable = self.horizon_ticks - 20  # leave a warm-up prefix
+        slot = usable // self.n_incidents
+        slack = slot - self.duration - self.gap
+        out: list[Fault] = []
+        for k in range(self.n_incidents):
+            jitter = int(rng.integers(0, max(slack, 1)))
+            start = 20 + k * slot + jitter
+            name = self.faults[int(rng.integers(len(self.faults)))]
+            target = self.targets[int(rng.integers(len(self.targets)))]
+            intensity = float(
+                rng.uniform(self.min_intensity, self.max_intensity)
+            )
+            out.append(
+                build_fault(
+                    name,
+                    FaultSpec(
+                        target=target,
+                        start=start,
+                        duration=self.duration,
+                        intensity=intensity,
+                    ),
+                )
+            )
+        return out

@@ -1,0 +1,246 @@
+"""Fault base classes, the catalog and the factory.
+
+A fault is defined by its *manifestation*: per tick inside its injection
+window it contributes
+
+- :class:`repro.cluster.node.FaultModifiers` — external resource demand and
+  capacity/CPI/progress factors resolved by the node model, and
+- :class:`repro.telemetry.collectl.MetricEffects` — direct distortions of
+  sampled metric values (offsets, scales, independent noise).
+
+Independent per-tick fluctuation of a fault's contribution is deliberate and
+important: MIC is invariant under monotone rescaling, so a fault breaks a
+likely invariant only by adding variation that does not follow the
+workload's shared intensity.  Hog processes genuinely do fluctuate on their
+own schedule, which is exactly what decouples the affected metrics.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.node import FaultModifiers
+from repro.telemetry.collectl import MetricEffects
+
+__all__ = [
+    "FaultSpec",
+    "Fault",
+    "register_fault",
+    "build_fault",
+    "ALL_FAULTS",
+    "BATCH_FAULTS",
+    "INTERACTIVE_FAULTS",
+]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Where, when and how hard a fault is injected.
+
+    Attributes:
+        target: node id the fault lands on (e.g. ``"slave-1"``).
+        start: first tick of the injection window.
+        duration: window length in ticks (paper: 5 min = 30 ticks).
+        intensity: severity multiplier (1.0 = the paper's calibration).
+            External demands and metric distortions scale linearly;
+            multiplicative factors (CPI, progress, capacities, activity)
+            scale as ``factor ** intensity``, so 0.5 halves the fault's
+            "log-severity" and 2.0 doubles it.
+    """
+
+    target: str
+    start: int
+    duration: int = 30
+    intensity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if self.intensity <= 0:
+            raise ValueError(
+                f"intensity must be positive, got {self.intensity}"
+            )
+
+    @property
+    def stop(self) -> int:
+        """First tick after the injection window."""
+        return self.start + self.duration
+
+
+class Fault(abc.ABC):
+    """Base class of every injectable fault.
+
+    Subclasses override :meth:`_modifiers` and/or :meth:`_metric_effects`
+    to describe their manifestation, and may override :meth:`begin_run`
+    for per-run (non-deterministic) behaviour.
+
+    Attributes:
+        name: canonical fault name as used in the paper's figures.
+        spec: target node and injection window.
+    """
+
+    #: Canonical name; subclasses must set it.
+    name: str = ""
+
+    def __init__(self, spec: FaultSpec) -> None:
+        if not self.name:
+            raise TypeError(f"{type(self).__name__} does not define a name")
+        self.spec = spec
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(target={self.spec.target!r}, "
+            f"window=[{self.spec.start}, {self.spec.stop}))"
+        )
+
+    def active(self, tick: int) -> bool:
+        """True while ``tick`` lies inside the injection window."""
+        return self.spec.start <= tick < self.spec.stop
+
+    def begin_run(self, rng: np.random.Generator) -> None:
+        """Per-run initialisation hook (draws fault-instance randomness)."""
+
+    def extra_concurrency(self, tick: int) -> int:
+        """Extra interactive-query slots this fault forces (Overload)."""
+        return 0
+
+    def modifiers(
+        self, tick: int, rng: np.random.Generator
+    ) -> FaultModifiers | None:
+        """Node-level modifiers at ``tick``, or None outside the window.
+
+        The subclass manifestation is rescaled by the spec's intensity.
+        """
+        if not self.active(tick):
+            return None
+        return _scale_modifiers(self._modifiers(tick, rng), self.spec.intensity)
+
+    def metric_effects(
+        self, tick: int, rng: np.random.Generator
+    ) -> MetricEffects | None:
+        """Metric-level distortions at ``tick``, or None outside the window.
+
+        The subclass manifestation is rescaled by the spec's intensity.
+        """
+        if not self.active(tick):
+            return None
+        return _scale_effects(self._metric_effects(tick, rng), self.spec.intensity)
+
+    def _modifiers(self, tick: int, rng: np.random.Generator) -> FaultModifiers:
+        return FaultModifiers()
+
+    def _metric_effects(
+        self, tick: int, rng: np.random.Generator
+    ) -> MetricEffects:
+        return MetricEffects()
+
+
+def _scale_factor(factor: float, intensity: float) -> float:
+    """Rescale a multiplicative modifier: identity stays identity, and
+    deviation from 1.0 grows/shrinks geometrically with intensity."""
+    if factor <= 0.0:
+        # A hard zero (e.g. Suspend's progress) fades in linearly.
+        return 0.0 if intensity >= 1.0 else 1.0 - intensity
+    return float(factor**intensity)
+
+
+def _scale_modifiers(mods: FaultModifiers, intensity: float) -> FaultModifiers:
+    """Apply a severity multiplier to node-level modifiers."""
+    if intensity == 1.0:
+        return mods
+    return FaultModifiers(
+        external=mods.external.scaled(intensity),
+        activity_factor=_scale_factor(mods.activity_factor, intensity),
+        disk_capacity_factor=_scale_factor(
+            mods.disk_capacity_factor, intensity
+        ),
+        net_capacity_factor=_scale_factor(mods.net_capacity_factor, intensity),
+        cpi_factor=_scale_factor(mods.cpi_factor, intensity),
+        progress_factor=_scale_factor(mods.progress_factor, intensity),
+    )
+
+
+def _scale_effects(fx: MetricEffects, intensity: float) -> MetricEffects:
+    """Apply a severity multiplier to metric-level distortions."""
+    if intensity == 1.0:
+        return fx
+    return MetricEffects(
+        add={k: v * intensity for k, v in fx.add.items()},
+        scale={k: _scale_factor(v, intensity) for k, v in fx.scale.items()},
+        noise={k: v * intensity for k, v in fx.noise.items()},
+    )
+
+
+#: name -> fault class registry.
+_REGISTRY: dict[str, type[Fault]] = {}
+
+
+def register_fault(cls: type[Fault]) -> type[Fault]:
+    """Class decorator adding a fault type to the catalog."""
+    if not cls.name:
+        raise TypeError(f"{cls.__name__} does not define a name")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"fault {cls.name!r} already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def build_fault(name: str, spec: FaultSpec) -> Fault:
+    """Instantiate a fault from the catalog by its paper name.
+
+    Raises:
+        KeyError: with the list of known faults when the name is unknown.
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown fault {name!r}; known: {known}") from None
+    return cls(spec)
+
+
+def _registered_names() -> tuple[str, ...]:
+    return tuple(_REGISTRY)
+
+
+class _FaultCatalog:
+    """Lazily materialised fault-name tuples (the registry fills at import
+    time of the environment/bugs modules)."""
+
+    @property
+    def all(self) -> tuple[str, ...]:
+        """Every registered fault name."""
+        import repro.faults.bugs  # noqa: F401  (populate registry)
+        import repro.faults.environment  # noqa: F401
+
+        return _registered_names()
+
+    @property
+    def batch(self) -> tuple[str, ...]:
+        """Fault names applicable to FIFO batch jobs."""
+        # Overload is meaningless in FIFO mode: a batch job owns the whole
+        # cluster (paper §4.3, Fig. 8 discussion).
+        return tuple(n for n in self.all if n != "Overload")
+
+    @property
+    def interactive(self) -> tuple[str, ...]:
+        """Fault names applicable to the interactive mix (all of them)."""
+        return self.all
+
+
+_catalog = _FaultCatalog()
+
+
+def __getattr__(name: str):  # module-level lazy attributes
+    if name == "ALL_FAULTS":
+        return _catalog.all
+    if name == "BATCH_FAULTS":
+        return _catalog.batch
+    if name == "INTERACTIVE_FAULTS":
+        return _catalog.interactive
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

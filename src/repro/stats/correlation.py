@@ -1,0 +1,123 @@
+"""Association and regression helpers used across the evaluation.
+
+These are the small statistical utilities the paper leans on outside the two
+big engines: Pearson/Spearman correlation (Fig. 4's CPI-vs-execution-time
+validation), second-order polynomial fitting (the monotone CPI/time fit) and
+min-normalisation (the paper normalises both series "to the minimum value"
+within a group).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pearson",
+    "spearman",
+    "polyfit2",
+    "normalize_to_min",
+    "percentile",
+]
+
+
+def _paired(x: np.ndarray | list[float], y: np.ndarray | list[float]) -> tuple[np.ndarray, np.ndarray]:
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.shape != ya.shape or xa.ndim != 1:
+        raise ValueError(
+            f"inputs must be 1-D of equal length, got {xa.shape} and {ya.shape}"
+        )
+    if xa.size < 2:
+        raise ValueError("need at least two paired observations")
+    return xa, ya
+
+
+def pearson(x: np.ndarray | list[float], y: np.ndarray | list[float]) -> float:
+    """Pearson correlation coefficient.
+
+    Returns 0.0 when either sample is constant (correlation undefined).
+    """
+    xa, ya = _paired(x, y)
+    sx = xa.std()
+    sy = ya.std()
+    if sx == 0.0 or sy == 0.0:
+        return 0.0
+    return float(np.mean((xa - xa.mean()) * (ya - ya.mean())) / (sx * sy))
+
+
+def spearman(x: np.ndarray | list[float], y: np.ndarray | list[float]) -> float:
+    """Spearman rank correlation (Pearson over midranks)."""
+    xa, ya = _paired(x, y)
+
+    def midrank(arr: np.ndarray) -> np.ndarray:
+        order = np.argsort(arr, kind="stable")
+        ranks = np.empty(arr.size, dtype=float)
+        sorted_vals = arr[order]
+        i = 0
+        while i < arr.size:
+            j = i + 1
+            while j < arr.size and sorted_vals[j] == sorted_vals[i]:
+                j += 1
+            ranks[order[i:j]] = 0.5 * (i + j - 1) + 1.0
+            i = j
+        return ranks
+
+    return pearson(midrank(xa), midrank(ya))
+
+
+def polyfit2(
+    x: np.ndarray | list[float], y: np.ndarray | list[float]
+) -> tuple[np.ndarray, float]:
+    """Least-squares 2nd-order polynomial fit, as used in Fig. 4 (c)/(d).
+
+    Args:
+        x: predictor values.
+        y: response values.
+
+    Returns:
+        Tuple ``(coefficients, r_squared)`` where coefficients are ordered
+        ``(c2, c1, c0)`` for ``y = c2 x^2 + c1 x + c0``.
+    """
+    xa, ya = _paired(x, y)
+    if xa.size < 3:
+        raise ValueError("need at least three points for a quadratic fit")
+    coeffs = np.polyfit(xa, ya, deg=2)
+    fitted = np.polyval(coeffs, xa)
+    ss_res = float(np.sum((ya - fitted) ** 2))
+    ss_tot = float(np.sum((ya - ya.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return coeffs, r2
+
+
+def normalize_to_min(values: np.ndarray | list[float]) -> np.ndarray:
+    """Normalise a positive series to its minimum (paper §3.1, Fig. 4).
+
+    Args:
+        values: strictly positive values.
+
+    Returns:
+        ``values / min(values)`` — the minimum maps to 1.0.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot normalise an empty series")
+    lo = float(arr.min())
+    if lo <= 0.0:
+        raise ValueError(f"values must be strictly positive, min is {lo}")
+    return arr / lo
+
+
+def percentile(values: np.ndarray | list[float], q: float) -> float:
+    """Percentile helper (paper uses the 95th percentile of CPI as the
+    per-run sufficient statistic and of residuals as a threshold rule).
+
+    Args:
+        values: sample.
+        q: percentile in [0, 100].
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    return float(np.percentile(arr, q))

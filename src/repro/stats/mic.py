@@ -1,0 +1,332 @@
+"""Maximal Information Coefficient (MIC), implemented from scratch.
+
+InvarNet-X builds its likely invariants from pairwise MIC scores between
+performance metrics (paper §3.3), citing Reshef et al., *Detecting novel
+associations in large data sets*, Science 334 (2011).  ``minepy`` is not
+available in this environment, so this module implements the MINE
+approximation algorithm directly:
+
+1. For every grid resolution ``(x, y)`` with ``x * y <= B(n) = n ** alpha``
+   the algorithm computes (approximately) the maximal mutual information
+   achievable by an ``x``-by-``y`` grid over the data.
+2. The y-axis is equipartitioned into ``y`` rows; the x-axis partition is
+   optimised by dynamic programming over *clumps* (maximal runs of x-ordered
+   points falling into a single row).
+3. The characteristic matrix entry is the maximal MI normalised by
+   ``log2(min(x, y))``; MIC is the largest entry.
+
+Both axis orientations are evaluated and the per-cell maximum taken, as in
+the reference implementation.  The dynamic programme here is vectorised with
+numpy: for each row count ``y`` a dense ``(k+1, k+1)`` partial-entropy gain
+matrix over clump boundaries is built once, after which each additional
+column of the DP is a single broadcast-and-max.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mic", "mic_matrix", "MICParameters"]
+
+
+class MICParameters:
+    """Tuning constants of the MINE approximation.
+
+    Attributes:
+        alpha: exponent of the grid-size budget ``B(n) = n ** alpha``
+            (0.6 in the paper and in minepy's default).
+        clumps_factor: the number of superclumps retained on the optimised
+            axis is at most ``clumps_factor * x`` (15 in minepy's default).
+    """
+
+    def __init__(self, alpha: float = 0.6, clumps_factor: int = 15) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if clumps_factor < 1:
+            raise ValueError(f"clumps_factor must be >= 1, got {clumps_factor}")
+        self.alpha = alpha
+        self.clumps_factor = clumps_factor
+
+    def budget(self, n: int) -> int:
+        """Grid-size budget ``B(n)``, never below the minimal 2x2 grid."""
+        return max(int(n**self.alpha), 4)
+
+
+_DEFAULT_PARAMS = MICParameters()
+
+
+def _equipartition(values: np.ndarray, num_bins: int) -> np.ndarray:
+    """Assign sorted values to ``num_bins`` bins of near-equal size.
+
+    Tied values always land in the same bin (Reshef's EquipartitionYAxis),
+    so the realised number of bins can be smaller than requested when the
+    data is heavily tied.
+
+    Args:
+        values: values sorted ascending.
+        num_bins: desired number of bins.
+
+    Returns:
+        Integer bin index per position (non-decreasing).
+    """
+    n = values.size
+    assign = np.empty(n, dtype=np.int64)
+    current_bin = 0
+    placed = 0
+    bin_size = 0
+    i = 0
+    while i < n:
+        j = i + 1
+        while j < n and values[j] == values[i]:
+            j += 1
+        run = j - i
+        remaining_bins = num_bins - current_bin
+        # Ideal size for the bin being filled: points not yet committed to a
+        # closed bin, spread over the bins still available.
+        target = (n - placed) / remaining_bins if remaining_bins else n
+        if (
+            bin_size > 0
+            and current_bin < num_bins - 1
+            and abs(bin_size + run - target) >= abs(bin_size - target)
+        ):
+            current_bin += 1
+            placed += bin_size
+            bin_size = 0
+        assign[i:j] = current_bin
+        bin_size += run
+        i = j
+    return assign
+
+
+def _clumps(x_sorted: np.ndarray, q_by_xorder: np.ndarray) -> np.ndarray:
+    """Clump boundaries (cumulative point counts) along the x axis.
+
+    A clump is a maximal run of x-consecutive points that share a y-row.
+    Groups of points with identical x-values are atomic: if such a group
+    spans several rows it becomes its own (mixed) clump.
+
+    Args:
+        x_sorted: x values sorted ascending.
+        q_by_xorder: row index of each point, in x order.
+
+    Returns:
+        Array ``c`` with ``c[0] == 0`` and ``c[-1] == n`` so that clump ``t``
+        covers points ``c[t-1]:c[t]``.
+    """
+    n = x_sorted.size
+    # Resolve x ties: a tie group with heterogeneous rows gets a fresh
+    # sentinel label so it cannot merge with its neighbours.
+    labels = q_by_xorder.astype(np.int64).copy()
+    sentinel = int(labels.max(initial=0)) + 1
+    i = 0
+    while i < n:
+        j = i + 1
+        while j < n and x_sorted[j] == x_sorted[i]:
+            j += 1
+        if j - i > 1 and np.unique(labels[i:j]).size > 1:
+            labels[i:j] = sentinel
+            sentinel += 1
+        i = j
+    changes = np.nonzero(labels[1:] != labels[:-1])[0] + 1
+    return np.concatenate(([0], changes, [n])).astype(np.int64)
+
+
+def _superclumps(boundaries: np.ndarray, n: int, k_hat: int) -> np.ndarray:
+    """Coarsen clump boundaries down to at most ``k_hat`` superclumps.
+
+    Walks the clumps in order, closing a superclump whenever its size
+    reaches the equipartition target.  Clumps are atomic.
+    """
+    k = boundaries.size - 1
+    if k <= k_hat:
+        return boundaries
+    out = [0]
+    target = n / k_hat
+    filled = 0.0
+    for t in range(1, k + 1):
+        if boundaries[t] >= filled + target or t == k:
+            out.append(int(boundaries[t]))
+            filled = float(boundaries[t])
+            target = (n - filled) / max(k_hat - (len(out) - 1), 1)
+    return np.asarray(out, dtype=np.int64)
+
+
+def _entropy_gains(cum: np.ndarray) -> np.ndarray:
+    """Pairwise column-gain matrix for the x-axis DP.
+
+    ``cum[s]`` holds per-row cumulative counts of the first ``s`` clumps.
+    Entry ``(s, t)`` (for ``s < t``) is the unnormalised contribution of a
+    column spanning clumps ``s+1 .. t`` to ``-n * H(Q | P)``:
+
+        gain(s, t) = sum_rows  m_r * log(m_r / m)
+
+    with ``m_r`` the per-row counts inside the column and ``m`` its total.
+    """
+    k_plus_1 = cum.shape[0]
+    counts = cum[None, :, :] - cum[:, None, :]  # (s, t, rows)
+    totals = counts.sum(axis=2)
+    safe_counts = np.maximum(counts, 1)
+    safe_totals = np.maximum(totals, 1)
+    logs = np.log(safe_counts) - np.log(safe_totals)[:, :, None]
+    terms = np.where(counts > 0, counts * logs, 0.0)
+    gains = terms.sum(axis=2)
+    # Invalid (s >= t or empty column) cells must never win a max.
+    invalid = np.tril(np.ones((k_plus_1, k_plus_1), dtype=bool))
+    gains[invalid] = -np.inf
+    gains[totals == 0] = -np.inf
+    return gains
+
+
+def _optimize_axis(
+    q_counts_cum: np.ndarray, n: int, max_cols: int
+) -> np.ndarray:
+    """Maximal ``-n * H(Q|P)`` for each column count ``l = 1 .. max_cols``.
+
+    Args:
+        q_counts_cum: ``(k+1, rows)`` cumulative per-row counts at each
+            clump boundary.
+        n: total number of points.
+        max_cols: largest number of x-axis columns to evaluate.
+
+    Returns:
+        Array ``G`` of length ``max_cols + 1``; ``G[l]`` is the optimum for
+        ``l`` columns (``G[0]`` unused, ``-inf``).
+    """
+    k = q_counts_cum.shape[0] - 1
+    gains = _entropy_gains(q_counts_cum)
+    max_cols = min(max_cols, k)
+    out = np.full(max_cols + 1, -np.inf)
+    # G_l[t] = best value partitioning the first t clumps into l columns.
+    g_prev = gains[0, :].copy()  # l = 1: single column over clumps 1..t
+    out[1] = g_prev[k]
+    for l in range(2, max_cols + 1):
+        # g_curr[t] = max_s g_prev[s] + gains[s, t]
+        stacked = g_prev[:, None] + gains
+        g_curr = stacked.max(axis=0)
+        out[l] = g_curr[k]
+        g_prev = g_curr
+    return out
+
+
+def _half_characteristic(
+    x: np.ndarray, y: np.ndarray, budget: int, params: MICParameters
+) -> dict[tuple[int, int], float]:
+    """Characteristic-matrix entries with the y axis equipartitioned.
+
+    Returns a map from grid shape ``(cols, rows)`` to mutual information in
+    nats (unnormalised).
+    """
+    n = x.size
+    order_x = np.argsort(x, kind="stable")
+    x_sorted = x[order_x]
+    order_y = np.argsort(y, kind="stable")
+
+    entries: dict[tuple[int, int], float] = {}
+    max_rows = budget // 2
+    for rows in range(2, max_rows + 1):
+        q_sorted = _equipartition(y[order_y], rows)
+        q = np.empty(n, dtype=np.int64)
+        q[order_y] = q_sorted
+        realised_rows = int(q.max()) + 1
+        if realised_rows < 2:
+            continue  # too many ties to form two rows
+        q_x = q[order_x]
+        max_cols = budget // rows
+        if max_cols < 2:
+            break
+        boundaries = _clumps(x_sorted, q_x)
+        k_hat = max(params.clumps_factor * max_cols, 2)
+        boundaries = _superclumps(boundaries, n, k_hat)
+        # Cumulative per-row counts at each boundary.
+        k = boundaries.size - 1
+        cum = np.zeros((k + 1, realised_rows), dtype=np.int64)
+        onehot_cum = np.zeros((n + 1, realised_rows), dtype=np.int64)
+        np.add.at(onehot_cum[1:], (np.arange(n), q_x), 1)
+        onehot_cum = np.cumsum(onehot_cum, axis=0)
+        cum = onehot_cum[boundaries]
+        # H(Q) over all points, in nats.
+        row_totals = cum[-1].astype(float)
+        probs = row_totals / n
+        h_q = -float(np.sum(probs[probs > 0] * np.log(probs[probs > 0])))
+        g = _optimize_axis(cum, n, max_cols)
+        for cols in range(2, min(max_cols, k) + 1):
+            if not np.isfinite(g[cols]):
+                continue
+            mi = h_q + g[cols] / n
+            key = (cols, rows)
+            if mi > entries.get(key, -np.inf):
+                entries[key] = mi
+    return entries
+
+
+def mic(
+    x: np.ndarray | list[float],
+    y: np.ndarray | list[float],
+    params: MICParameters | None = None,
+) -> float:
+    """Maximal Information Coefficient between two samples.
+
+    Args:
+        x: first sample.
+        y: second sample, same length.
+        params: optional tuning constants; defaults match minepy
+            (``alpha=0.6``, ``c=15``).
+
+    Returns:
+        MIC score in ``[0, 1]``.  Returns 0.0 when either input is constant
+        (no association can be expressed) or when fewer than 4 paired
+        observations are available.
+    """
+    params = params or _DEFAULT_PARAMS
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.shape != ya.shape or xa.ndim != 1:
+        raise ValueError(
+            f"x and y must be 1-D of equal length, got {xa.shape} and {ya.shape}"
+        )
+    mask = np.isfinite(xa) & np.isfinite(ya)
+    xa, ya = xa[mask], ya[mask]
+    n = xa.size
+    if n < 4:
+        return 0.0
+    if np.ptp(xa) == 0.0 or np.ptp(ya) == 0.0:
+        return 0.0
+    budget = params.budget(n)
+
+    best = 0.0
+    for first, second in ((xa, ya), (ya, xa)):
+        entries = _half_characteristic(first, second, budget, params)
+        for (cols, rows), mi in entries.items():
+            denom = np.log(min(cols, rows))
+            if denom <= 0:
+                continue
+            score = mi / denom
+            if score > best:
+                best = score
+    return float(min(max(best, 0.0), 1.0))
+
+
+def mic_matrix(
+    data: np.ndarray,
+    params: MICParameters | None = None,
+) -> np.ndarray:
+    """Pairwise MIC over the columns of a samples-by-metrics array.
+
+    Args:
+        data: array of shape ``(n_samples, n_metrics)``.
+        params: optional tuning constants.
+
+    Returns:
+        Symmetric ``(n_metrics, n_metrics)`` matrix with unit diagonal.
+    """
+    arr = np.asarray(data, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a 2-D array, got shape {arr.shape}")
+    m = arr.shape[1]
+    out = np.eye(m)
+    for i in range(m):
+        for j in range(i + 1, m):
+            score = mic(arr[:, i], arr[:, j], params)
+            out[i, j] = score
+            out[j, i] = score
+    return out

@@ -1,0 +1,238 @@
+"""Core time-series primitives shared by the ARIMA and ARX models.
+
+Everything here operates on one-dimensional :class:`numpy.ndarray` series and
+is deliberately free of any project-specific concepts: differencing,
+autocorrelation, partial autocorrelation, information criteria and a
+light-weight stationarity check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "difference",
+    "undifference",
+    "acf",
+    "pacf",
+    "aic",
+    "bic",
+    "is_stationary",
+    "ljung_box",
+]
+
+
+def _as_series(values: np.ndarray | list[float]) -> np.ndarray:
+    """Validate and convert input to a 1-D float array."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D series, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError("series is empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("series contains NaN or infinite values")
+    return arr
+
+
+def difference(series: np.ndarray | list[float], order: int = 1) -> np.ndarray:
+    """Apply ``order`` rounds of first differencing.
+
+    Differencing is the "I" in ARIMA: it removes trend so the AR/MA parts
+    model a (weakly) stationary process.
+
+    Args:
+        series: input series of length ``n``.
+        order: number of differencing passes (``d`` in ARIMA); 0 returns a
+            copy of the input.
+
+    Returns:
+        Array of length ``n - order``.
+    """
+    arr = _as_series(series)
+    if order < 0:
+        raise ValueError(f"differencing order must be >= 0, got {order}")
+    if order >= arr.size:
+        raise ValueError(
+            f"cannot difference a length-{arr.size} series {order} times"
+        )
+    if order == 0:
+        return arr.copy()
+    for _ in range(order):
+        arr = np.diff(arr)
+    return arr
+
+
+def undifference(
+    diffed: np.ndarray | list[float],
+    heads: np.ndarray | list[float],
+) -> np.ndarray:
+    """Invert :func:`difference`.
+
+    Args:
+        diffed: the differenced series.
+        heads: the leading values dropped by each differencing pass, ordered
+            from the outermost pass inward (``heads[0]`` is the first value
+            of the original series).  Its length determines the differencing
+            order to undo.
+
+    Returns:
+        The reconstructed series of length ``len(diffed) + len(heads)``.
+    """
+    arr = np.asarray(diffed, dtype=float)
+    head_arr = np.asarray(heads, dtype=float)
+    for head in head_arr[::-1]:
+        arr = np.concatenate(([head], head + np.cumsum(arr)))
+    return arr
+
+
+def acf(series: np.ndarray | list[float], nlags: int) -> np.ndarray:
+    """Sample autocorrelation function.
+
+    Uses the biased (1/n) covariance estimator, the standard choice for
+    Yule-Walker style fitting because it guarantees a positive-definite
+    autocovariance sequence.
+
+    Args:
+        series: input series.
+        nlags: largest lag to compute.
+
+    Returns:
+        Array ``rho`` of length ``nlags + 1`` with ``rho[0] == 1``.
+    """
+    arr = _as_series(series)
+    if nlags < 0:
+        raise ValueError(f"nlags must be >= 0, got {nlags}")
+    if nlags >= arr.size:
+        raise ValueError(f"nlags={nlags} too large for series of length {arr.size}")
+    centered = arr - arr.mean()
+    denom = float(centered @ centered)
+    if denom == 0.0:
+        # A constant series is perfectly "autocorrelated" by convention.
+        return np.ones(nlags + 1)
+    out = np.empty(nlags + 1)
+    out[0] = 1.0
+    for lag in range(1, nlags + 1):
+        out[lag] = float(centered[lag:] @ centered[:-lag]) / denom
+    return out
+
+
+def pacf(series: np.ndarray | list[float], nlags: int) -> np.ndarray:
+    """Sample partial autocorrelation function via Durbin-Levinson.
+
+    Args:
+        series: input series.
+        nlags: largest lag to compute.
+
+    Returns:
+        Array ``phi`` of length ``nlags + 1`` with ``phi[0] == 1``; entry
+        ``phi[k]`` is the lag-``k`` partial autocorrelation.
+    """
+    rho = acf(series, nlags)
+    out = np.empty(nlags + 1)
+    out[0] = 1.0
+    if nlags == 0:
+        return out
+    # Durbin-Levinson recursion.
+    phi_prev = np.zeros(nlags + 1)
+    phi_curr = np.zeros(nlags + 1)
+    phi_prev[1] = rho[1]
+    out[1] = rho[1]
+    for k in range(2, nlags + 1):
+        num = rho[k] - float(phi_prev[1:k] @ rho[k - 1 : 0 : -1])
+        den = 1.0 - float(phi_prev[1:k] @ rho[1:k])
+        alpha = num / den if abs(den) > 1e-12 else 0.0
+        phi_curr[k] = alpha
+        phi_curr[1:k] = phi_prev[1:k] - alpha * phi_prev[k - 1 : 0 : -1]
+        out[k] = alpha
+        phi_prev, phi_curr = phi_curr.copy(), phi_prev
+    return out
+
+
+def aic(rss: float, n_obs: int, n_params: int) -> float:
+    """Akaike information criterion for a Gaussian least-squares fit.
+
+    Args:
+        rss: residual sum of squares.
+        n_obs: number of fitted observations.
+        n_params: number of estimated parameters (excluding the variance).
+    """
+    if n_obs <= 0:
+        raise ValueError("n_obs must be positive")
+    sigma2 = max(rss / n_obs, 1e-300)
+    return n_obs * float(np.log(sigma2)) + 2.0 * n_params
+
+
+def bic(rss: float, n_obs: int, n_params: int) -> float:
+    """Bayesian information criterion for a Gaussian least-squares fit."""
+    if n_obs <= 0:
+        raise ValueError("n_obs must be positive")
+    sigma2 = max(rss / n_obs, 1e-300)
+    return n_obs * float(np.log(sigma2)) + n_params * float(np.log(n_obs))
+
+
+def is_stationary(series: np.ndarray | list[float], threshold: float = 0.05) -> bool:
+    """Cheap stationarity screen used to choose the differencing order ``d``.
+
+    This is a Dickey-Fuller-style test: regress ``diff(y)`` on ``y[:-1]`` and
+    an intercept, and examine the t-statistic of the lag coefficient.  Rather
+    than interpolating the Dickey-Fuller distribution we use the conventional
+    5 % critical value (-2.86 for the constant-only case), which is accurate
+    enough for the "does CPI need one difference?" decision the pipeline
+    makes.
+
+    Args:
+        series: input series (length >= 8).
+        threshold: nominal test level; only 0.05 and 0.01 are tabulated.
+
+    Returns:
+        True when the unit-root hypothesis is rejected (series looks
+        stationary).
+    """
+    arr = _as_series(series)
+    if arr.size < 8:
+        raise ValueError("need at least 8 observations for the stationarity test")
+    if np.ptp(arr) == 0.0:
+        return True  # a constant series is trivially stationary
+    dy = np.diff(arr)
+    y_lag = arr[:-1]
+    design = np.column_stack([y_lag, np.ones_like(y_lag)])
+    coef, residuals, rank, _ = np.linalg.lstsq(design, dy, rcond=None)
+    fitted = design @ coef
+    resid = dy - fitted
+    dof = max(dy.size - 2, 1)
+    sigma2 = float(resid @ resid) / dof
+    xtx_inv = np.linalg.pinv(design.T @ design)
+    se = float(np.sqrt(max(sigma2 * xtx_inv[0, 0], 1e-300)))
+    t_stat = float(coef[0]) / se if se > 0 else 0.0
+    critical = {0.05: -2.86, 0.01: -3.43}.get(threshold, -2.86)
+    return t_stat < critical
+
+
+def ljung_box(
+    residuals: np.ndarray | list[float],
+    nlags: int = 10,
+    n_fitted_params: int = 0,
+) -> tuple[float, float]:
+    """Ljung-Box portmanteau test for residual whiteness.
+
+    Args:
+        residuals: model residuals.
+        nlags: number of autocorrelation lags pooled into the statistic.
+        n_fitted_params: degrees of freedom consumed by the model (p + q for
+            an ARMA fit); subtracted from the chi-square dof.
+
+    Returns:
+        Tuple ``(Q, p_value)``.  A large p-value means the residuals are
+        consistent with white noise.
+    """
+    from scipy import stats as sps
+
+    arr = _as_series(residuals)
+    n = arr.size
+    if nlags >= n:
+        raise ValueError("nlags must be smaller than the series length")
+    rho = acf(arr, nlags)
+    q_stat = n * (n + 2) * float(np.sum(rho[1:] ** 2 / (n - np.arange(1, nlags + 1))))
+    dof = max(nlags - n_fitted_params, 1)
+    p_value = float(sps.chi2.sf(q_stat, dof))
+    return q_stat, p_value

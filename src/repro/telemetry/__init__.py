@@ -1,0 +1,27 @@
+"""Measurement substrate: the paper's collectl + perf monitoring stack.
+
+The original system samples 26 OS/process performance metrics with
+``collectl`` and reads hardware performance counters (cycles, instructions)
+with ``perf`` every 10 seconds.  This subpackage reproduces that measurement
+layer over the simulated cluster:
+
+- :mod:`repro.telemetry.metrics` — the 26-metric vocabulary;
+- :mod:`repro.telemetry.collectl` — the per-tick sampler that converts node
+  internals into observable metric values;
+- :mod:`repro.telemetry.perfcounter` — the CPI sampler;
+- :mod:`repro.telemetry.trace` — trace containers produced by a run.
+"""
+
+from repro.telemetry.collectl import CollectlSampler
+from repro.telemetry.metrics import METRIC_NAMES, MetricCatalog
+from repro.telemetry.perfcounter import PerfCounterSampler
+from repro.telemetry.trace import NodeTrace, RunTrace
+
+__all__ = [
+    "METRIC_NAMES",
+    "MetricCatalog",
+    "CollectlSampler",
+    "PerfCounterSampler",
+    "NodeTrace",
+    "RunTrace",
+]

@@ -1,0 +1,177 @@
+"""The collectl-like metric sampler.
+
+Derives the 26 observable metrics (:mod:`repro.telemetry.metrics`) from a
+node's resolved internals each tick.  The derivations encode the couplings
+that make invariants exist: context switches track CPU and IO activity,
+page-fault rates track memory allocation, packet rates track byte rates, and
+so on.  Every metric carries a small measurement noise so association scores
+are estimated, never degenerate — with two deliberate exceptions (swap usage
+and major faults are exactly zero on a healthy node, giving the stable
+"MIC = 0" invariants the paper's Algorithm 1 admits).
+
+Faults additionally warp sampled values through :class:`MetricEffects`
+(additive offsets, scale factors and extra independent noise).  Independent
+noise is the key decorrelator: MIC is invariant under monotone rescaling, so
+a fault only breaks an invariant by adding variation that does not follow
+the shared workload intensity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.node import NodeInternals
+from repro.telemetry.metrics import METRIC_NAMES
+
+__all__ = ["MetricEffects", "CollectlSampler"]
+
+
+@dataclass(frozen=True)
+class MetricEffects:
+    """Fault-induced distortions applied to sampled metric values.
+
+    Attributes:
+        add: additive offsets per metric name (applied after scaling).
+        scale: multiplicative factors per metric name.
+        noise: standard deviation of extra zero-mean Gaussian noise per
+            metric name, expressed as a fraction of the metric's current
+            value plus an absolute floor of 1.0.
+    """
+
+    add: dict[str, float] = field(default_factory=dict)
+    scale: dict[str, float] = field(default_factory=dict)
+    noise: dict[str, float] = field(default_factory=dict)
+
+    def combine(self, other: "MetricEffects") -> "MetricEffects":
+        """Compose two effect sets (adds sum, scales multiply, noise adds
+        in quadrature)."""
+        add = dict(self.add)
+        for k, v in other.add.items():
+            add[k] = add.get(k, 0.0) + v
+        scale = dict(self.scale)
+        for k, v in other.scale.items():
+            scale[k] = scale.get(k, 1.0) * v
+        noise = dict(self.noise)
+        for k, v in other.noise.items():
+            noise[k] = float(np.hypot(noise.get(k, 0.0), v))
+        return MetricEffects(add=add, scale=scale, noise=noise)
+
+
+#: Average packet size (KB) used to convert byte rates to packet rates.
+_PKT_KB = 1.45
+#: Average IO size (KB) used to convert disk byte rates to operation rates.
+_IO_KB = 64.0
+#: Quantisation floors: readings below one event per sampling interval
+#: report exactly zero (counter-derived rates cannot resolve less).
+_QUANTUM = {
+    "tcp_retrans_per_sec": 1.0,
+    "pgmajfault_per_sec": 0.5,
+    "swap_used_mb": 1.0,
+}
+
+
+class CollectlSampler:
+    """Per-tick converter from :class:`NodeInternals` to the 26 metrics.
+
+    Args:
+        noise_pct: relative measurement noise applied to every metric
+            (collectl's sampling granularity); 0 disables noise entirely,
+            which tests use for exactness checks.
+    """
+
+    def __init__(self, noise_pct: float = 0.025) -> None:
+        if noise_pct < 0:
+            raise ValueError(f"noise_pct must be >= 0, got {noise_pct}")
+        self.noise_pct = noise_pct
+
+    def sample(
+        self,
+        internals: NodeInternals,
+        effects: MetricEffects | None,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Produce one 26-metric sample.
+
+        Args:
+            internals: the node's resolved state this tick.
+            effects: fault metric distortions, or None.
+            rng: random generator for measurement noise.
+
+        Returns:
+            Array of length 26 in :data:`METRIC_NAMES` order, all values
+            clamped non-negative.
+        """
+        s = internals
+        disk_read_ops = s.disk_read_kbs / _IO_KB
+        disk_write_ops = s.disk_write_kbs / _IO_KB
+        rx_pkts = s.net_rx_kbs / _PKT_KB
+        tx_pkts = s.net_tx_kbs / _PKT_KB
+
+        cpu_user = 100.0 * s.cpu_util * 0.82
+        cpu_sys = 100.0 * s.cpu_util * 0.10 + 6.0 * s.disk_util + 3.5 * s.net_util
+        cpu_wait = 100.0 * s.io_wait
+        cpu_idle = max(100.0 - cpu_user - cpu_sys - cpu_wait, 0.0)
+
+        values = {
+            "cpu_user_pct": cpu_user,
+            "cpu_sys_pct": cpu_sys,
+            "cpu_wait_pct": cpu_wait,
+            "cpu_idle_pct": cpu_idle,
+            "mem_used_mb": s.mem_used_mb,
+            "mem_free_mb": s.mem_free_mb,
+            "mem_cached_mb": s.mem_cached_mb,
+            "swap_used_mb": s.swap_used_mb,
+            "disk_read_kbs": s.disk_read_kbs,
+            "disk_write_kbs": s.disk_write_kbs,
+            "disk_read_ops": disk_read_ops,
+            "disk_write_ops": disk_write_ops,
+            "net_rx_kbs": s.net_rx_kbs,
+            "net_tx_kbs": s.net_tx_kbs,
+            "net_rx_pkts": rx_pkts,
+            "net_tx_pkts": tx_pkts,
+            "ctxt_per_sec": (
+                900.0
+                + 11_000.0 * s.cpu_util
+                + 0.9 * (disk_read_ops + disk_write_ops)
+                + 0.05 * (rx_pkts + tx_pkts)
+            ),
+            "intr_per_sec": (
+                450.0
+                + 0.45 * (disk_read_ops + disk_write_ops)
+                + 0.30 * (rx_pkts + tx_pkts)
+                + 1_200.0 * s.cpu_util
+            ),
+            "proc_run_queue": s.cpu_demand * 8.0,
+            "proc_blocked": 14.0 * s.io_wait + 2.5 * s.disk_util,
+            "pgfault_per_sec": (
+                180.0 + 2_400.0 * s.cpu_util + 0.05 * s.mem_used_mb
+            ),
+            "pgmajfault_per_sec": 0.05 * s.swap_io_kbs,
+            "pgin_kbs": 0.05 * s.disk_read_kbs + 0.5 * s.swap_io_kbs,
+            "pgout_kbs": 0.03 * s.disk_write_kbs + 0.5 * s.swap_io_kbs,
+            "tcp_retrans_per_sec": 0.05 + 25.0 * s.net_congestion,
+            "sock_used": 130.0 + 0.002 * (s.net_rx_kbs + s.net_tx_kbs),
+        }
+
+        out = np.empty(len(METRIC_NAMES))
+        for idx, name in enumerate(METRIC_NAMES):
+            val = values[name]
+            if effects is not None:
+                val *= effects.scale.get(name, 1.0)
+                val += effects.add.get(name, 0.0)
+                sigma = effects.noise.get(name, 0.0)
+                if sigma > 0.0:
+                    val += float(rng.normal(0.0, sigma * abs(val) + 1.0))
+            if self.noise_pct > 0.0:
+                val *= 1.0 + float(rng.normal(0.0, self.noise_pct))
+            quantum = _QUANTUM.get(name)
+            if quantum is not None and val < quantum:
+                # Counter-derived rates quantise: below one event per
+                # interval, collectl reports a hard zero.  These stable
+                # zeros are the "MIC = 0" invariants that light up when a
+                # fault activates the metric.
+                val = 0.0
+            out[idx] = max(val, 0.0)
+        return out

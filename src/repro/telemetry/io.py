@@ -1,0 +1,149 @@
+"""Trace import/export.
+
+Lets runs be persisted and — more importantly — lets *real* monitoring
+data enter the pipeline: anyone with collectl + perf output can assemble
+the CSV layout below and diagnose their own cluster with InvarNet-X.
+
+Two formats:
+
+- **NPZ** (:func:`save_run_npz` / :func:`load_run_npz`): lossless binary
+  round-trip of a whole :class:`~repro.telemetry.trace.RunTrace`.
+- **CSV** (:func:`save_node_csv` / :func:`load_node_csv`): one node's
+  samples in a collectl-like table — a ``tick`` column, the 26 metric
+  columns and a ``cpi`` column — editable by hand and producible from
+  real collectl/perf logs.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.telemetry.metrics import METRIC_NAMES
+from repro.telemetry.trace import NodeTrace, RunTrace
+
+__all__ = [
+    "save_run_npz",
+    "load_run_npz",
+    "save_node_csv",
+    "load_node_csv",
+]
+
+
+def save_run_npz(run: RunTrace, path: str | Path) -> None:
+    """Persist a whole run losslessly to a compressed NPZ file."""
+    payload: dict[str, np.ndarray] = {
+        "workload": np.array(run.workload),
+        "execution_ticks": np.array(run.execution_ticks),
+        "completed": np.array(run.completed),
+        "fault": np.array(run.fault or ""),
+        "fault_node": np.array(run.fault_node or ""),
+        "fault_window": np.array(run.fault_window or (-1, -1)),
+        "all_faults": np.array(list(run.all_faults)),
+        "seed": np.array(-1 if run.seed is None else run.seed),
+        "node_ids": np.array(list(run.nodes)),
+        "node_ips": np.array([t.ip for t in run.nodes.values()]),
+    }
+    for node_id, trace in run.nodes.items():
+        payload[f"metrics_{node_id}"] = trace.metrics
+        payload[f"cpi_{node_id}"] = trace.cpi
+    np.savez_compressed(path, **payload)
+
+
+def load_run_npz(path: str | Path) -> RunTrace:
+    """Load a run saved by :func:`save_run_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        node_ids = [str(n) for n in data["node_ids"]]
+        node_ips = [str(ip) for ip in data["node_ips"]]
+        nodes = {
+            node_id: NodeTrace(
+                node_id=node_id,
+                ip=ip,
+                metrics=data[f"metrics_{node_id}"],
+                cpi=data[f"cpi_{node_id}"],
+            )
+            for node_id, ip in zip(node_ids, node_ips)
+        }
+        fault = str(data["fault"]) or None
+        fault_node = str(data["fault_node"]) or None
+        window = tuple(int(x) for x in data["fault_window"])
+        seed = int(data["seed"])
+        return RunTrace(
+            workload=str(data["workload"]),
+            nodes=nodes,
+            execution_ticks=int(data["execution_ticks"]),
+            completed=bool(data["completed"]),
+            fault=fault,
+            fault_node=fault_node,
+            fault_window=None if window == (-1, -1) else window,  # type: ignore[arg-type]
+            all_faults=tuple(str(f) for f in data["all_faults"]),
+            seed=None if seed == -1 else seed,
+        )
+
+
+def save_node_csv(trace: NodeTrace, path: str | Path) -> None:
+    """Write one node's samples as a collectl-like CSV table.
+
+    Columns: ``tick``, the 26 metric names, ``cpi``.
+    """
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["tick", *METRIC_NAMES, "cpi"])
+        for t in range(trace.ticks):
+            writer.writerow(
+                [
+                    t,
+                    *(repr(float(v)) for v in trace.metrics[t]),
+                    repr(float(trace.cpi[t])),
+                ]
+            )
+
+
+def load_node_csv(
+    path: str | Path, node_id: str = "node", ip: str = ""
+) -> NodeTrace:
+    """Read a node trace from the CSV layout of :func:`save_node_csv`.
+
+    Args:
+        path: CSV file with a ``tick``, 26 metric and ``cpi`` columns
+            (metric columns may appear in any order but must cover the
+            canonical vocabulary exactly).
+        node_id: id to assign the loaded trace.
+        ip: address to assign.
+
+    Raises:
+        ValueError: when the header does not cover the 26 metrics + cpi.
+    """
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header is None:
+            raise ValueError(f"{path} is empty")
+        expected = {"tick", "cpi", *METRIC_NAMES}
+        if set(header) != expected:
+            missing = expected - set(header)
+            extra = set(header) - expected
+            raise ValueError(
+                f"{path} has a bad header; missing={sorted(missing)}, "
+                f"unexpected={sorted(extra)}"
+            )
+        col = {name: header.index(name) for name in header}
+        metrics_rows: list[list[float]] = []
+        cpi_vals: list[float] = []
+        for row in reader:
+            if not row:
+                continue
+            metrics_rows.append(
+                [float(row[col[name]]) for name in METRIC_NAMES]
+            )
+            cpi_vals.append(float(row[col["cpi"]]))
+    if not metrics_rows:
+        raise ValueError(f"{path} contains no samples")
+    return NodeTrace(
+        node_id=node_id,
+        ip=ip,
+        metrics=np.asarray(metrics_rows),
+        cpi=np.asarray(cpi_vals),
+    )

@@ -1,0 +1,111 @@
+"""The 26-metric vocabulary collected on every node.
+
+The paper (§4) collects 26 process/OS performance metrics with collectl:
+coarse-grained CPU, memory, disk and network utilisation plus fine-grained
+metrics such as context switches per second and page faults.  The exact list
+is not published, so this module fixes a faithful 26-metric vocabulary drawn
+from collectl's standard subsystems (cpu, mem, disk, net, proc) — the same
+families the paper names.
+
+The order of :data:`METRIC_NAMES` is the canonical metric index used by all
+association matrices, invariant stores and signatures in this project.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["METRIC_NAMES", "METRIC_GROUPS", "MetricCatalog"]
+
+
+#: Canonical, ordered names of the 26 collected metrics.
+METRIC_NAMES: tuple[str, ...] = (
+    # -- coarse CPU (collectl -sc)
+    "cpu_user_pct",        # % CPU in user mode
+    "cpu_sys_pct",         # % CPU in system mode
+    "cpu_wait_pct",        # % CPU waiting on IO
+    "cpu_idle_pct",        # % CPU idle
+    # -- coarse memory (collectl -sm)
+    "mem_used_mb",         # used physical memory
+    "mem_free_mb",         # free physical memory
+    "mem_cached_mb",       # page-cache size
+    "swap_used_mb",        # swap in use
+    # -- coarse disk (collectl -sd)
+    "disk_read_kbs",       # KB/s read
+    "disk_write_kbs",      # KB/s written
+    "disk_read_ops",       # read operations/s
+    "disk_write_ops",      # write operations/s
+    # -- coarse network (collectl -sn)
+    "net_rx_kbs",          # KB/s received
+    "net_tx_kbs",          # KB/s transmitted
+    "net_rx_pkts",         # packets/s received
+    "net_tx_pkts",         # packets/s transmitted
+    # -- fine-grained (collectl -sj / -sm / -st, /proc counters)
+    "ctxt_per_sec",        # context switches/s
+    "intr_per_sec",        # interrupts/s
+    "proc_run_queue",      # runnable processes
+    "proc_blocked",        # processes blocked on IO
+    "pgfault_per_sec",     # minor page faults/s
+    "pgmajfault_per_sec",  # major page faults/s
+    "pgin_kbs",            # KB/s paged in
+    "pgout_kbs",           # KB/s paged out
+    "tcp_retrans_per_sec", # TCP segments retransmitted/s
+    "sock_used",           # sockets in use
+)
+
+#: Metric names grouped by collectl subsystem.
+METRIC_GROUPS: dict[str, tuple[str, ...]] = {
+    "cpu": METRIC_NAMES[0:4],
+    "memory": METRIC_NAMES[4:8],
+    "disk": METRIC_NAMES[8:12],
+    "network": METRIC_NAMES[12:16],
+    "fine": METRIC_NAMES[16:26],
+}
+
+
+@dataclass(frozen=True)
+class MetricCatalog:
+    """Index helper over the canonical metric vocabulary.
+
+    The catalog freezes the mapping between metric names and the integer
+    columns of association matrices; every component that stores or compares
+    matrices shares one catalog so indices never drift.
+    """
+
+    names: tuple[str, ...] = METRIC_NAMES
+
+    def __post_init__(self) -> None:
+        if len(set(self.names)) != len(self.names):
+            raise ValueError("metric names must be unique")
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def index(self, name: str) -> int:
+        """Column index of a metric name.
+
+        Raises:
+            KeyError: when the name is not in the catalog.
+        """
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise KeyError(f"unknown metric {name!r}") from None
+
+    def name(self, idx: int) -> str:
+        """Metric name at a column index."""
+        return self.names[idx]
+
+    def pair_count(self) -> int:
+        """Number of unordered metric pairs, M(M-1)/2 (paper §3.3)."""
+        m = len(self.names)
+        return m * (m - 1) // 2
+
+    def pairs(self) -> list[tuple[int, int]]:
+        """All unordered index pairs (i < j) in canonical order."""
+        m = len(self.names)
+        return [(i, j) for i in range(m) for j in range(i + 1, m)]
+
+
+#: Number of metrics, as stated in the paper.
+assert len(METRIC_NAMES) == 26

@@ -1,0 +1,144 @@
+"""Trace containers produced by a simulated run.
+
+A :class:`RunTrace` is the unit of data every InvarNet-X component consumes:
+one job execution (batch job or a fixed interactive observation window) with,
+for every node, the 26-metric time series and the CPI series sampled every
+10 simulated seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.telemetry.metrics import METRIC_NAMES
+
+__all__ = ["NodeTrace", "RunTrace", "TICK_SECONDS"]
+
+#: Sampling interval of the collectl/perf collectors (paper §4: 10 s).
+TICK_SECONDS: int = 10
+
+
+@dataclass
+class NodeTrace:
+    """Per-node time series for one run.
+
+    Attributes:
+        node_id: node identifier (e.g. ``"slave-1"``).
+        ip: the node's address, used in the paper's XML tuple formats.
+        metrics: array of shape ``(ticks, 26)`` in :data:`METRIC_NAMES` order.
+        cpi: array of shape ``(ticks,)`` — cycles per instruction of the
+            monitored job's processes on this node.
+    """
+
+    node_id: str
+    ip: str
+    metrics: np.ndarray
+    cpi: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.metrics = np.asarray(self.metrics, dtype=float)
+        self.cpi = np.asarray(self.cpi, dtype=float)
+        if self.metrics.ndim != 2 or self.metrics.shape[1] != len(METRIC_NAMES):
+            raise ValueError(
+                f"metrics must be (ticks, {len(METRIC_NAMES)}), "
+                f"got {self.metrics.shape}"
+            )
+        if self.cpi.shape != (self.metrics.shape[0],):
+            raise ValueError(
+                f"cpi length {self.cpi.shape} does not match "
+                f"{self.metrics.shape[0]} ticks"
+            )
+
+    @property
+    def ticks(self) -> int:
+        """Number of samples in this trace."""
+        return self.metrics.shape[0]
+
+    def metric(self, name: str) -> np.ndarray:
+        """Time series of a single named metric."""
+        return self.metrics[:, METRIC_NAMES.index(name)]
+
+    def window(self, start: int, stop: int) -> "NodeTrace":
+        """Sub-trace covering ticks ``[start, stop)``."""
+        if not 0 <= start < stop <= self.ticks:
+            raise ValueError(
+                f"window [{start}, {stop}) out of range for {self.ticks} ticks"
+            )
+        return NodeTrace(
+            node_id=self.node_id,
+            ip=self.ip,
+            metrics=self.metrics[start:stop],
+            cpi=self.cpi[start:stop],
+        )
+
+
+@dataclass
+class RunTrace:
+    """All observations from one simulated run.
+
+    Attributes:
+        workload: workload type name (the paper's operation-context ``type``).
+        nodes: traces keyed by node id.
+        execution_ticks: job duration in ticks (batch) or observation-window
+            length (interactive).
+        completed: False when the run hit the simulation tick limit before
+            the job finished (e.g. under a Suspend fault).
+        fault: name of the primary injected fault, or None for a normal
+            run.
+        fault_node: node id the primary fault was injected on, or None.
+        fault_window: ``(start_tick, stop_tick)`` of the primary
+            injection, or None.
+        all_faults: names of every injected fault, in injection order
+            (multi-fault runs; the paper's future-work extension).
+        seed: RNG seed used to generate the run.
+    """
+
+    workload: str
+    nodes: dict[str, NodeTrace]
+    execution_ticks: int
+    completed: bool = True
+    fault: str | None = None
+    fault_node: str | None = None
+    fault_window: tuple[int, int] | None = None
+    all_faults: tuple[str, ...] = ()
+    seed: int | None = None
+    extras: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("a run trace needs at least one node")
+        lengths = {t.ticks for t in self.nodes.values()}
+        if len(lengths) != 1:
+            raise ValueError(f"node traces have inconsistent lengths: {lengths}")
+
+    @property
+    def ticks(self) -> int:
+        """Trace length in ticks (same for every node)."""
+        return next(iter(self.nodes.values())).ticks
+
+    @property
+    def execution_seconds(self) -> float:
+        """Job execution time in (simulated) seconds."""
+        return self.execution_ticks * TICK_SECONDS
+
+    def node(self, node_id: str) -> NodeTrace:
+        """Trace of a specific node.
+
+        Raises:
+            KeyError: for an unknown node id.
+        """
+        return self.nodes[node_id]
+
+    def fault_slice(self, node_id: str) -> NodeTrace:
+        """The faulted node's trace restricted to the injection window.
+
+        Raises:
+            ValueError: when this run has no fault window.
+        """
+        if self.fault_window is None:
+            raise ValueError("run has no fault window")
+        start, stop = self.fault_window
+        stop = min(stop, self.ticks)
+        return self.nodes[node_id].window(start, stop)

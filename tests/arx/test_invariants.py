@@ -1,0 +1,107 @@
+"""Unit tests for the ARX invariant network."""
+
+import numpy as np
+import pytest
+
+from repro.arx.invariants import ARXInvariantNetwork, build_arx_network
+from repro.telemetry.metrics import MetricCatalog
+
+CAT3 = MetricCatalog(names=("a", "b", "c"))
+
+
+def _coupled_run(rng, n=80, noise=0.02):
+    """Columns a and b linearly coupled; c independent."""
+    base = rng.uniform(1, 2, n)
+    return np.column_stack(
+        [
+            base * (1 + rng.normal(0, noise, n)),
+            2.0 * base * (1 + rng.normal(0, noise, n)),
+            rng.uniform(0, 1, n),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_coupled_pair_becomes_invariant(self, rng):
+        runs = [_coupled_run(rng) for _ in range(3)]
+        net = build_arx_network(runs, catalog=CAT3)
+        pairs = {
+            frozenset((e.input_idx, e.output_idx)) for e in net.invariants
+        }
+        assert frozenset((0, 1)) in pairs
+
+    def test_independent_pair_excluded(self, rng):
+        runs = [_coupled_run(rng) for _ in range(3)]
+        net = build_arx_network(runs, catalog=CAT3)
+        pairs = {
+            frozenset((e.input_idx, e.output_idx)) for e in net.invariants
+        }
+        assert frozenset((0, 2)) not in pairs
+
+    def test_unstable_gain_excluded(self, rng):
+        """A relation whose coefficient flips between runs is no
+        invariant (Jiang's parameter-consistency requirement)."""
+        base1 = rng.uniform(1, 2, 80)
+        run1 = np.column_stack(
+            [base1, 2.0 * base1, rng.uniform(0, 1, 80)]
+        )
+        base2 = rng.uniform(1, 2, 80)
+        run2 = np.column_stack(
+            [base2, 8.0 * base2, rng.uniform(0, 1, 80)]
+        )
+        net = build_arx_network([run1, run2], catalog=CAT3)
+        pairs = {
+            frozenset((e.input_idx, e.output_idx)) for e in net.invariants
+        }
+        assert frozenset((0, 1)) not in pairs
+
+    def test_empty_runs_rejected(self):
+        with pytest.raises(ValueError):
+            build_arx_network([])
+
+    def test_wrong_width_rejected(self, rng):
+        with pytest.raises(ValueError):
+            build_arx_network([rng.uniform(0, 1, (50, 5))], catalog=CAT3)
+
+    def test_min_fitness_recorded(self, rng):
+        runs = [_coupled_run(rng) for _ in range(3)]
+        net = build_arx_network(runs, catalog=CAT3)
+        for edge in net.invariants:
+            assert 0.5 <= edge.min_fitness <= 1.0
+
+
+class TestViolations:
+    @pytest.fixture()
+    def network(self, rng):
+        return build_arx_network(
+            [_coupled_run(rng) for _ in range(3)], catalog=CAT3
+        )
+
+    def test_healthy_window_few_violations(self, network, rng):
+        window = _coupled_run(rng, n=30)
+        flags = network.violations(window)
+        assert flags.mean() <= 0.5
+
+    def test_broken_coupling_violates(self, network, rng):
+        window = _coupled_run(rng, n=30)
+        window[:, 1] = rng.uniform(0, 10, 30)  # decouple b from a
+        flags = network.violations(window)
+        idx = [
+            k
+            for k, e in enumerate(network.invariants)
+            if {e.input_idx, e.output_idx} == {0, 1}
+        ]
+        assert flags[idx].all()
+
+    def test_tuple_length_matches_network(self, network, rng):
+        flags = network.violations(_coupled_run(rng, n=30))
+        assert flags.size == len(network)
+
+    def test_wrong_window_width_rejected(self, network, rng):
+        with pytest.raises(ValueError):
+            network.violations(rng.uniform(0, 1, (30, 7)))
+
+    def test_pair_names(self, network):
+        for inp, out in network.pair_names():
+            assert inp in CAT3.names
+            assert out in CAT3.names

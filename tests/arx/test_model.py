@@ -1,0 +1,123 @@
+"""Unit tests for ARX model estimation and the fitness score."""
+
+import numpy as np
+import pytest
+
+from repro.arx.model import (
+    DEFAULT_ORDER_GRID,
+    ARXModel,
+    ARXOrder,
+    fit_arx,
+    fit_best_arx,
+)
+
+
+def _simulate_arx(rng, n=400, a=0.5, b=0.8, d=1.0, noise=0.05):
+    """y(t) = a y(t-1) + b u(t) + d + e."""
+    u = rng.uniform(0, 1, n)
+    y = np.zeros(n)
+    for t in range(1, n):
+        y[t] = a * y[t - 1] + b * u[t] + d + rng.normal(0, noise)
+    return u, y
+
+
+class TestFitArx:
+    def test_recovers_known_system(self, rng):
+        u, y = _simulate_arx(rng)
+        model = fit_arx(u, y, ARXOrder(1, 0, 0))
+        assert model.a[0] == pytest.approx(0.5, abs=0.05)
+        assert model.b[0] == pytest.approx(0.8, abs=0.08)
+        assert model.d == pytest.approx(1.0, abs=0.1)
+
+    def test_fitness_high_for_true_order(self, rng):
+        # fitness = 1 - ||e||/||y - mean|| ~= 1 - sqrt(1 - R^2): a 0.05
+        # noise on a 0.32-std response gives ~0.82, not ~R^2 = 0.97.
+        u, y = _simulate_arx(rng)
+        assert fit_arx(u, y, ARXOrder(1, 0, 0)).fitness > 0.75
+
+    def test_fitness_low_for_unrelated_input(self, rng):
+        u = rng.uniform(0, 1, 300)
+        y = rng.uniform(0, 1, 300)
+        model = fit_arx(u, y, ARXOrder(0, 0, 0))
+        assert model.fitness < 0.3
+
+    def test_static_relation_order_000(self, rng):
+        u = rng.uniform(0, 1, 200)
+        y = 3.0 * u + 2.0
+        model = fit_arx(u, y, ARXOrder(0, 0, 0))
+        assert model.fitness > 0.999
+        assert model.b[0] == pytest.approx(3.0, abs=1e-6)
+
+    def test_lagged_input_identified(self, rng):
+        u = rng.uniform(0, 1, 300)
+        y = np.zeros(300)
+        y[1:] = 2.0 * u[:-1]  # pure one-tick delay
+        model = fit_arx(u, y, ARXOrder(0, 0, 1))
+        assert model.fitness > 0.999
+
+    def test_too_short_rejected(self, rng):
+        with pytest.raises(ValueError, match="too short"):
+            fit_arx(np.ones(4), np.ones(4), ARXOrder(2, 2, 1))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            fit_arx(np.ones(10), np.ones(11), ARXOrder(1, 0, 0))
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(ValueError):
+            ARXOrder(-1, 0, 0).validate()
+
+
+class TestPredictScore:
+    def test_predict_warmup_nan(self, rng):
+        u, y = _simulate_arx(rng, n=100)
+        model = fit_arx(u, y, ARXOrder(2, 1, 1))
+        preds = model.predict(u, y)
+        assert np.all(np.isnan(preds[: model.warmup]))
+        assert not np.any(np.isnan(preds[model.warmup :]))
+
+    def test_score_on_fresh_data_from_same_system(self, rng):
+        u1, y1 = _simulate_arx(rng)
+        model = fit_arx(u1, y1, ARXOrder(1, 0, 0))
+        u2, y2 = _simulate_arx(rng)
+        assert model.score(u2, y2) > 0.7
+
+    def test_score_collapses_when_relation_breaks(self, rng):
+        u, y = _simulate_arx(rng)
+        model = fit_arx(u, y, ARXOrder(1, 0, 0))
+        broken = y + rng.normal(0, 3.0, y.size)
+        assert model.score(u, broken) < model.fitness - 0.3
+
+    def test_perfectly_tracked_constant_scores_one(self):
+        model = ARXModel(
+            order=ARXOrder(0, 0, 0),
+            a=np.empty(0),
+            b=np.array([0.0]),
+            d=5.0,
+            fitness=1.0,
+        )
+        u = np.zeros(20)
+        y = np.full(20, 5.0)
+        assert model.score(u, y) == 1.0
+
+
+class TestGridSearch:
+    def test_grid_covers_low_orders(self):
+        assert ARXOrder(0, 0, 0) in DEFAULT_ORDER_GRID
+        assert ARXOrder(2, 2, 1) in DEFAULT_ORDER_GRID
+
+    def test_best_fit_at_least_as_good_as_any_member(self, rng):
+        u, y = _simulate_arx(rng, n=200)
+        best = fit_best_arx(u, y)
+        direct = fit_arx(u, y, ARXOrder(1, 0, 0))
+        assert best.fitness >= direct.fitness - 1e-12
+
+    def test_model_coefficient_length_validation(self):
+        with pytest.raises(ValueError):
+            ARXModel(
+                order=ARXOrder(1, 0, 0),
+                a=np.empty(0),
+                b=np.array([1.0]),
+                d=0.0,
+                fitness=0.5,
+            )

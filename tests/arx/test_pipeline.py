@@ -1,0 +1,52 @@
+"""Tests for the ARX baseline pipeline on the simulated cluster."""
+
+import pytest
+
+from repro.arx.pipeline import ARXInvarNet, ARXInvarNetConfig
+from repro.core import OperationContext
+from repro.faults.spec import FaultSpec, build_fault
+
+
+@pytest.fixture(scope="module")
+def arx_trained(cluster, wordcount_runs, wordcount_context):
+    arx = ARXInvarNet()
+    arx.train_from_runs(wordcount_context, wordcount_runs)
+    for fault_name, seed in (("CPU-hog", 3001), ("Mem-hog", 3002)):
+        fault = build_fault(fault_name, FaultSpec("slave-1", 30, 30))
+        run = cluster.run("wordcount", faults=[fault], seed=seed)
+        arx.train_signature_from_run(wordcount_context, fault_name, run)
+    return arx
+
+
+class TestARXPipeline:
+    def test_network_nonempty(self, arx_trained, wordcount_context):
+        net = arx_trained._models[wordcount_context.key()].network
+        assert net is not None
+        assert len(net) > 20
+
+    def test_normal_run_clean(self, arx_trained, cluster, wordcount_context):
+        run = cluster.run("wordcount", seed=9911)
+        result = arx_trained.diagnose_run(wordcount_context, run)
+        assert not result.detected
+
+    @pytest.mark.parametrize("fault_name", ["CPU-hog", "Mem-hog"])
+    def test_trained_faults_diagnosed(
+        self, arx_trained, cluster, wordcount_context, fault_name
+    ):
+        fault = build_fault(fault_name, FaultSpec("slave-1", 30, 30))
+        run = cluster.run("wordcount", faults=[fault], seed=9920)
+        result = arx_trained.diagnose_run(wordcount_context, run)
+        assert result.detected
+        assert result.root_cause == fault_name
+
+    def test_untrained_context_rejected(self, arx_trained, cluster):
+        other = OperationContext("sort", "slave-1")
+        run = cluster.run("sort", seed=1)
+        with pytest.raises(RuntimeError):
+            arx_trained.diagnose_run(other, run)
+
+    def test_no_context_mode_collapses(self):
+        arx = ARXInvarNet(ARXInvarNetConfig(use_operation_context=False))
+        a = arx._slot(OperationContext("wordcount", "slave-1"))
+        b = arx._slot(OperationContext("sort", "slave-2"))
+        assert a is b

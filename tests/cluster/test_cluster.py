@@ -1,0 +1,120 @@
+"""Integration-leaning tests for the cluster facade."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import HadoopCluster, NodeSpec
+from repro.cluster.scheduler import FIFOScheduler, JobRequest
+from repro.faults.spec import FaultSpec, build_fault
+
+
+class TestTopology:
+    def test_default_five_servers(self, cluster):
+        """The paper's testbed: five servers (§4.1)."""
+        assert len(cluster.nodes) == 5
+        assert cluster.slave_ids == [
+            "slave-1", "slave-2", "slave-3", "slave-4",
+        ]
+
+    def test_ips_unique(self, cluster):
+        ips = [n.ip for n in cluster.nodes.values()]
+        assert len(set(ips)) == len(ips)
+
+    def test_heterogeneous_specs(self):
+        specs = [NodeSpec(cores=c) for c in (4, 8, 8, 16)]
+        c = HadoopCluster(n_slaves=4, slave_specs=specs)
+        assert c.nodes["slave-1"].spec.cores == 4
+        assert c.nodes["slave-4"].spec.cores == 16
+
+    def test_spec_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            HadoopCluster(n_slaves=3, slave_specs=[NodeSpec()])
+
+    def test_at_least_one_slave(self):
+        with pytest.raises(ValueError):
+            HadoopCluster(n_slaves=0)
+
+
+class TestRuns:
+    def test_batch_run_completes(self, cluster):
+        run = cluster.run("wordcount", seed=5)
+        assert run.completed
+        assert 80 <= run.execution_ticks <= 140
+        assert set(run.nodes) == set(cluster.nodes)
+
+    def test_reproducible_with_same_seed(self, cluster):
+        a = cluster.run("grep", seed=42)
+        b = cluster.run("grep", seed=42)
+        assert a.execution_ticks == b.execution_ticks
+        assert np.allclose(a.node("slave-1").metrics, b.node("slave-1").metrics)
+        assert np.allclose(a.node("slave-2").cpi, b.node("slave-2").cpi)
+
+    def test_different_seeds_differ(self, cluster):
+        a = cluster.run("grep", seed=1)
+        b = cluster.run("grep", seed=2)
+        assert not np.allclose(
+            a.node("slave-1").cpi[:50], b.node("slave-1").cpi[: a.ticks][:50]
+        )
+
+    def test_interactive_run_fixed_window(self, cluster):
+        run = cluster.run("tpcds", seed=3)
+        assert run.execution_ticks == 120
+        assert run.completed
+
+    def test_interactive_window_override(self, cluster):
+        run = cluster.run("tpcds", seed=3, observation_ticks=50)
+        assert run.ticks == 50
+
+    def test_unknown_workload_rejected(self, cluster):
+        with pytest.raises(KeyError):
+            cluster.run("terasort", seed=1)
+
+    def test_fault_on_unknown_node_rejected(self, cluster):
+        fault = build_fault("CPU-hog", FaultSpec("slave-99", 10, 10))
+        with pytest.raises(ValueError, match="unknown node"):
+            cluster.run("wordcount", faults=[fault], seed=1)
+
+    def test_fault_metadata_recorded(self, cluster):
+        fault = build_fault("Mem-hog", FaultSpec("slave-2", 25, 30))
+        run = cluster.run("wordcount", faults=[fault], seed=9)
+        assert run.fault == "Mem-hog"
+        assert run.fault_node == "slave-2"
+        assert run.fault_window is not None
+        assert run.fault_window[0] == 25
+
+    def test_fault_extends_execution(self, cluster):
+        clean = cluster.run("wordcount", seed=77)
+        fault = build_fault("CPU-hog", FaultSpec("slave-1", 20, 40))
+        slowed = cluster.run("wordcount", faults=[fault], seed=77)
+        assert slowed.execution_ticks > clean.execution_ticks
+
+    def test_fault_localised_to_target(self, cluster):
+        fault = build_fault("Mem-hog", FaultSpec("slave-1", 30, 30))
+        run = cluster.run("wordcount", faults=[fault], seed=12)
+        hit = run.node("slave-1").metric("swap_used_mb")[30:60]
+        spared = run.node("slave-3").metric("swap_used_mb")[30:60]
+        assert hit.max() > 0
+        assert spared.max() == 0.0
+
+    def test_suspend_caps_at_max_ticks_when_permanent(self, cluster):
+        fault = build_fault("Suspend", FaultSpec("slave-1", 10, 10_000))
+        run = cluster.run("wordcount", faults=[fault], seed=4, max_ticks=150)
+        assert not run.completed
+        assert run.execution_ticks == 150
+
+    def test_master_sees_coordination_load_only(self, cluster):
+        run = cluster.run("sort", seed=6)
+        master_cpu = run.node("master").metric("cpu_user_pct").mean()
+        slave_cpu = run.node("slave-1").metric("cpu_user_pct").mean()
+        assert master_cpu < slave_cpu
+
+
+class TestRunQueue:
+    def test_drains_in_order(self, cluster):
+        sched = FIFOScheduler()
+        sched.submit(JobRequest("grep", seed=1))
+        sched.submit(JobRequest("wordcount", seed=2))
+        traces = cluster.run_queue(sched)
+        assert [t.workload for t in traces] == ["grep", "wordcount"]
+        assert sched.pending == 0
+        assert len(sched.completed) == 2

@@ -1,0 +1,43 @@
+"""Unit tests for resource-demand vectors."""
+
+import pytest
+
+from repro.cluster.demand import ResourceDemand
+
+
+class TestResourceDemand:
+    def test_addition_is_channelwise(self):
+        a = ResourceDemand(cpu=0.2, mem_mb=100, disk_read_kbs=10)
+        b = ResourceDemand(cpu=0.3, net_tx_kbs=5)
+        c = a + b
+        assert c.cpu == pytest.approx(0.5)
+        assert c.mem_mb == 100
+        assert c.disk_read_kbs == 10
+        assert c.net_tx_kbs == 5
+
+    def test_scaling(self):
+        d = ResourceDemand(cpu=0.4, mem_mb=200).scaled(0.5)
+        assert d.cpu == pytest.approx(0.2)
+        assert d.mem_mb == pytest.approx(100)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceDemand(cpu=0.1).scaled(-1.0)
+
+    def test_negative_channel_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceDemand(cpu=-0.1)
+
+    def test_jittered_clamps_at_zero(self):
+        d = ResourceDemand(cpu=0.5).jittered({"cpu": -2.0})
+        assert d.cpu == 0.0
+
+    def test_jittered_missing_channels_unchanged(self):
+        d = ResourceDemand(cpu=0.5, mem_mb=100).jittered({"cpu": 2.0})
+        assert d.cpu == pytest.approx(1.0)
+        assert d.mem_mb == 100
+
+    def test_immutable(self):
+        d = ResourceDemand(cpu=0.5)
+        with pytest.raises(AttributeError):
+            d.cpu = 0.9

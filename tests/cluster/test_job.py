@@ -1,0 +1,131 @@
+"""Unit tests for the job execution engines."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.job import (
+    ArOneProcess,
+    BatchJobExecution,
+    InteractiveMixExecution,
+)
+from repro.cluster.workloads import WORKLOADS
+
+
+class TestArOneProcess:
+    def test_fluctuates_around_one(self, rng):
+        proc = ArOneProcess()
+        vals = np.array([proc.step(rng) for _ in range(3000)])
+        assert vals.mean() == pytest.approx(1.0, abs=0.05)
+        assert vals.std() > 0.02
+
+    def test_never_negative(self, rng):
+        proc = ArOneProcess(rho=0.9, sigma=2.0, amp=1.0)
+        vals = [proc.step(rng) for _ in range(1000)]
+        assert min(vals) >= 0.05
+
+    def test_autocorrelated(self, rng):
+        proc = ArOneProcess(rho=0.9, sigma=0.3, amp=0.5)
+        vals = np.array([proc.step(rng) for _ in range(3000)])
+        lag1 = np.corrcoef(vals[:-1], vals[1:])[0, 1]
+        assert lag1 > 0.6
+
+    def test_rho_bounds(self):
+        with pytest.raises(ValueError):
+            ArOneProcess(rho=1.0)
+
+
+class TestBatchJobExecution:
+    def test_phase_progression(self, rng):
+        job = BatchJobExecution(WORKLOADS["wordcount"], rng)
+        phases_seen = []
+        while not job.done:
+            phases_seen.append(job.current_phase)
+            job.node_demand(rng)
+            job.advance(1.0)
+        assert phases_seen[0] == "map"
+        assert "shuffle" in phases_seen
+        assert phases_seen[-1] == "reduce"
+        assert job.current_phase == "done"
+
+    def test_nominal_duration_at_unit_rate(self, rng):
+        profile = WORKLOADS["wordcount"]
+        job = BatchJobExecution(profile, rng)
+        ticks = 0
+        while not job.done:
+            job.advance(1.0)
+            ticks += 1
+        assert ticks == profile.nominal_ticks
+
+    def test_slow_rate_stretches_duration(self, rng):
+        profile = WORKLOADS["grep"]
+        job = BatchJobExecution(profile, rng)
+        ticks = 0
+        while not job.done and ticks < 10_000:
+            job.advance(0.5)
+            ticks += 1
+        assert ticks == pytest.approx(profile.nominal_ticks * 2, abs=2)
+
+    def test_zero_rate_never_finishes(self, rng):
+        job = BatchJobExecution(WORKLOADS["grep"], rng)
+        for _ in range(100):
+            job.advance(0.0)
+        assert not job.done
+
+    def test_demand_positive_in_each_phase(self, rng):
+        job = BatchJobExecution(WORKLOADS["sort"], rng)
+        d = job.node_demand(rng)
+        assert d.cpu > 0
+        assert d.disk_read_kbs > 0
+
+    def test_done_job_demands_nothing(self, rng):
+        job = BatchJobExecution(WORKLOADS["grep"], rng)
+        while not job.done:
+            job.advance(5.0)
+        d = job.node_demand(rng)
+        assert d.cpu == 0.0
+
+    def test_negative_rate_rejected(self, rng):
+        job = BatchJobExecution(WORKLOADS["grep"], rng)
+        with pytest.raises(ValueError):
+            job.advance(-0.1)
+
+    def test_interactive_profile_rejected(self, rng):
+        with pytest.raises(ValueError, match="not a batch"):
+            BatchJobExecution(WORKLOADS["tpcds"], rng)
+
+
+class TestInteractiveMixExecution:
+    def test_never_done(self, rng):
+        mix = InteractiveMixExecution(WORKLOADS["tpcds"], rng)
+        for _ in range(100):
+            mix.node_demand(rng)
+            mix.advance(1.0)
+        assert not mix.done
+
+    def test_maintains_concurrency(self, rng):
+        mix = InteractiveMixExecution(WORKLOADS["tpcds"], rng)
+        counts = []
+        for _ in range(200):
+            mix.node_demand(rng)
+            mix.advance(1.0)
+            counts.append(mix.active_queries)
+        assert np.mean(counts) == pytest.approx(
+            WORKLOADS["tpcds"].concurrency, abs=1.5
+        )
+
+    def test_overload_raises_load(self, rng):
+        mix = InteractiveMixExecution(WORKLOADS["tpcds"], rng)
+        normal = []
+        for _ in range(100):
+            normal.append(mix.node_demand(rng).cpu)
+            mix.advance(1.0)
+        mix.extra_concurrency = 9
+        overloaded = []
+        for _ in range(100):
+            overloaded.append(mix.node_demand(rng).cpu)
+            mix.advance(1.0)
+        assert np.mean(overloaded) > np.mean(normal) * 2
+
+    def test_batch_profile_rejected(self, rng):
+        with pytest.raises(ValueError, match="not an interactive"):
+            InteractiveMixExecution(WORKLOADS["wordcount"], rng)

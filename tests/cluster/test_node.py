@@ -1,0 +1,154 @@
+"""Unit tests for per-node resource accounting."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.demand import ResourceDemand
+from repro.cluster.hardware import NodeSpec
+from repro.cluster.node import FaultModifiers, SimulatedNode
+
+
+@pytest.fixture()
+def node():
+    return SimulatedNode("slave-1", "10.0.0.11", NodeSpec())
+
+
+class TestCpuAccounting:
+    def test_no_contention_below_capacity(self, node, rng):
+        s = node.tick(ResourceDemand(cpu=0.6), FaultModifiers(), rng)
+        assert s.cpu_contention == 0.0
+        assert s.cpu_util == pytest.approx(0.6)
+        assert s.cpi_inflation == pytest.approx(1.0, abs=0.05)
+
+    def test_contention_above_capacity(self, node, rng):
+        mods = FaultModifiers(external=ResourceDemand(cpu=0.8))
+        s = node.tick(ResourceDemand(cpu=0.6), mods, rng)
+        assert s.cpu_contention == pytest.approx(0.4)
+        assert s.cpu_util == 1.0
+        assert s.cpi_inflation > 1.3
+
+    def test_fig2_premise_disturbance_with_headroom_is_free(self, node, rng):
+        """A 30% external load with spare cores must not move CPI (§3.1)."""
+        calm = node.tick(ResourceDemand(cpu=0.55), FaultModifiers(), rng)
+        noisy = node.tick(
+            ResourceDemand(cpu=0.55),
+            FaultModifiers(external=ResourceDemand(cpu=0.30)),
+            rng,
+        )
+        assert noisy.cpi_inflation == pytest.approx(
+            calm.cpi_inflation, rel=0.02
+        )
+
+    def test_task_share_proportional_under_contention(self, node, rng):
+        mods = FaultModifiers(external=ResourceDemand(cpu=0.5))
+        s = node.tick(ResourceDemand(cpu=1.0), mods, rng)
+        assert s.cpu_task_share == pytest.approx(1.0 / 1.5)
+
+
+class TestDiskAccounting:
+    def test_throttling_at_capacity(self, node, rng):
+        s = node.tick(
+            ResourceDemand(disk_read_kbs=100_000, disk_write_kbs=100_000),
+            FaultModifiers(),
+            rng,
+        )
+        assert s.disk_read_kbs + s.disk_write_kbs <= NodeSpec().disk_kbs * 1.001
+        assert s.disk_util == 1.0
+        assert s.io_wait > 0.4
+
+    def test_no_wait_when_idle(self, node, rng):
+        s = node.tick(ResourceDemand(), FaultModifiers(), rng)
+        assert s.io_wait == 0.0
+        assert s.disk_util == 0.0
+
+    def test_capacity_factor_shrinks_disk(self, node, rng):
+        demand = ResourceDemand(disk_read_kbs=60_000)
+        full = node.tick(demand, FaultModifiers(), rng)
+        halved = node.tick(
+            demand, FaultModifiers(disk_capacity_factor=0.25), rng
+        )
+        assert halved.disk_read_kbs < full.disk_read_kbs
+        assert halved.io_wait > full.io_wait
+
+
+class TestNetworkAccounting:
+    def test_congestion_above_capacity(self, node, rng):
+        s = node.tick(
+            ResourceDemand(net_rx_kbs=200_000), FaultModifiers(), rng
+        )
+        assert s.net_congestion > 0.5
+        assert s.net_rx_kbs <= NodeSpec().net_kbs * 1.001
+
+    def test_net_capacity_factor(self, node, rng):
+        demand = ResourceDemand(net_rx_kbs=50_000, net_tx_kbs=50_000)
+        squeezed = node.tick(
+            demand, FaultModifiers(net_capacity_factor=0.2), rng
+        )
+        assert squeezed.net_rx_kbs <= 25_000 * 1.001
+        assert squeezed.net_congestion > 0.0
+
+
+class TestMemoryAccounting:
+    def test_no_swap_under_normal_load(self, node, rng):
+        s = node.tick(ResourceDemand(mem_mb=8_000), FaultModifiers(), rng)
+        assert s.swap_used_mb == 0.0
+        assert s.mem_pressure == 0.0
+
+    def test_overcommit_swaps_and_pressures(self, node, rng):
+        s = node.tick(ResourceDemand(mem_mb=16_500), FaultModifiers(), rng)
+        assert s.swap_used_mb > 0.0
+        assert s.mem_pressure > 0.0
+        assert s.swap_io_kbs > 0.0
+        assert s.cpi_inflation > 1.5
+
+    def test_memory_identity(self, node, rng):
+        s = node.tick(ResourceDemand(mem_mb=6_000), FaultModifiers(), rng)
+        total = s.mem_used_mb + s.mem_free_mb + s.mem_cached_mb
+        assert total <= NodeSpec().mem_mb * 1.001
+
+
+class TestProgressAndModifiers:
+    def test_suspension_stops_progress(self, node, rng):
+        s = node.tick(
+            ResourceDemand(cpu=0.5),
+            FaultModifiers(activity_factor=0.0, progress_factor=0.0),
+            rng,
+        )
+        assert s.progress_rate == 0.0
+        assert s.cpu_util == 0.0
+
+    def test_progress_inverse_to_inflation(self, node, rng):
+        calm = node.tick(ResourceDemand(cpu=0.5), FaultModifiers(), rng)
+        hot = node.tick(
+            ResourceDemand(cpu=0.5),
+            FaultModifiers(external=ResourceDemand(cpu=1.0)),
+            rng,
+        )
+        assert hot.progress_rate < calm.progress_rate
+        assert hot.progress_rate == pytest.approx(
+            1.0 / hot.cpi_inflation, rel=1e-6
+        )
+
+    def test_modifier_combination(self):
+        a = FaultModifiers(
+            external=ResourceDemand(cpu=0.2), cpi_factor=1.2,
+            progress_factor=0.8,
+        )
+        b = FaultModifiers(
+            external=ResourceDemand(cpu=0.3), cpi_factor=1.5,
+            net_capacity_factor=0.5,
+        )
+        c = a.combine(b)
+        assert c.external.cpu == pytest.approx(0.5)
+        assert c.cpi_factor == pytest.approx(1.8)
+        assert c.progress_factor == pytest.approx(0.8)
+        assert c.net_capacity_factor == pytest.approx(0.5)
+
+    def test_reset_clears_cache_state(self, node, rng):
+        for _ in range(20):
+            node.tick(
+                ResourceDemand(disk_read_kbs=80_000), FaultModifiers(), rng
+            )
+        warmed = node._cached_mb
+        node.reset()
+        assert node._cached_mb != warmed or warmed == 2500.0

@@ -1,0 +1,121 @@
+"""Property-based tests of the node model's physical invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.demand import ResourceDemand
+from repro.cluster.hardware import NodeSpec
+from repro.cluster.node import FaultModifiers, SimulatedNode
+
+_frac = st.floats(min_value=0.0, max_value=2.0, allow_nan=False)
+_kbs = st.floats(min_value=0.0, max_value=300_000.0, allow_nan=False)
+_mb = st.floats(min_value=0.0, max_value=30_000.0, allow_nan=False)
+
+
+@st.composite
+def demands(draw):
+    return ResourceDemand(
+        cpu=draw(_frac),
+        mem_mb=draw(_mb),
+        disk_read_kbs=draw(_kbs),
+        disk_write_kbs=draw(_kbs),
+        net_rx_kbs=draw(_kbs),
+        net_tx_kbs=draw(_kbs),
+    )
+
+
+def _tick(demand, modifiers=None, seed=0):
+    node = SimulatedNode("n", "ip", NodeSpec())
+    return node.tick(
+        demand, modifiers or FaultModifiers(), np.random.default_rng(seed)
+    )
+
+
+class TestPhysicalBounds:
+    @given(demands())
+    @settings(max_examples=60, deadline=None)
+    def test_utilisations_bounded(self, demand):
+        s = _tick(demand)
+        assert 0.0 <= s.cpu_util <= 1.0
+        assert 0.0 <= s.disk_util <= 1.0
+        assert 0.0 <= s.net_util <= 1.0
+        assert 0.0 <= s.io_wait <= 1.0
+
+    @given(demands())
+    @settings(max_examples=60, deadline=None)
+    def test_throughput_never_exceeds_capacity(self, demand):
+        spec = NodeSpec()
+        s = _tick(demand)
+        assert s.disk_read_kbs + s.disk_write_kbs <= spec.disk_kbs * 1.0001
+        assert s.net_rx_kbs <= spec.net_kbs * 1.0001
+        assert s.net_tx_kbs <= spec.net_kbs * 1.0001
+
+    @given(demands())
+    @settings(max_examples=60, deadline=None)
+    def test_cpi_inflation_at_least_one(self, demand):
+        s = _tick(demand)
+        assert s.cpi_inflation >= 1.0
+
+    @given(demands())
+    @settings(max_examples=60, deadline=None)
+    def test_progress_bounded_by_inverse_inflation(self, demand):
+        s = _tick(demand)
+        assert 0.0 <= s.progress_rate <= 1.0 / s.cpi_inflation + 1e-9
+
+    @given(demands())
+    @settings(max_examples=60, deadline=None)
+    def test_memory_nonnegative_and_within_ram(self, demand):
+        spec = NodeSpec()
+        s = _tick(demand)
+        assert s.mem_used_mb >= 0
+        assert s.mem_free_mb >= 0
+        assert s.mem_cached_mb >= 0
+        assert s.mem_used_mb <= spec.mem_mb
+
+
+class TestMonotonicity:
+    @given(demands(), st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_more_external_cpu_never_deflates_cpi(self, demand, extra):
+        base = _tick(demand)
+        loaded = _tick(
+            demand,
+            FaultModifiers(external=ResourceDemand(cpu=extra)),
+        )
+        assert loaded.cpi_inflation >= base.cpi_inflation - 1e-9
+
+    @given(demands())
+    @settings(max_examples=40, deadline=None)
+    def test_suspension_dominates(self, demand):
+        """A suspended task consumes nothing and makes no progress."""
+        s = _tick(demand, FaultModifiers(activity_factor=0.0))
+        assert s.progress_rate == 0.0
+        baseline = _tick(demand)
+        assert s.cpu_util <= baseline.cpu_util + 1e-9
+
+
+class TestModifierAlgebra:
+    @given(
+        st.floats(min_value=0.1, max_value=2.0),
+        st.floats(min_value=0.1, max_value=2.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_combine_commutative_on_factors(self, f1, f2):
+        a = FaultModifiers(cpi_factor=f1, progress_factor=f2)
+        b = FaultModifiers(cpi_factor=f2, net_capacity_factor=f1)
+        ab = a.combine(b)
+        ba = b.combine(a)
+        assert ab.cpi_factor == pytest.approx(ba.cpi_factor)
+        assert ab.progress_factor == pytest.approx(ba.progress_factor)
+        assert ab.net_capacity_factor == pytest.approx(ba.net_capacity_factor)
+
+    def test_identity_modifiers(self):
+        ident = FaultModifiers()
+        other = FaultModifiers(
+            external=ResourceDemand(cpu=0.5), cpi_factor=1.3
+        )
+        combined = ident.combine(other)
+        assert combined.cpi_factor == other.cpi_factor
+        assert combined.external.cpu == other.external.cpu

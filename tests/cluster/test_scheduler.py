@@ -1,0 +1,42 @@
+"""Unit tests for FIFO scheduling semantics."""
+
+import pytest
+
+from repro.cluster.scheduler import FIFOScheduler, JobRequest
+
+
+class TestFIFOScheduler:
+    def test_fifo_order(self):
+        sched = FIFOScheduler()
+        sched.submit(JobRequest("wordcount", seed=1, tag="a"))
+        sched.submit(JobRequest("sort", seed=2, tag="b"))
+        first = sched.next_job()
+        assert first is not None and first.tag == "a"
+        sched.job_finished()
+        second = sched.next_job()
+        assert second is not None and second.tag == "b"
+
+    def test_exclusivity(self):
+        """A batch job owns the cluster (paper §2 restriction)."""
+        sched = FIFOScheduler()
+        sched.submit(JobRequest("wordcount", seed=1))
+        sched.submit(JobRequest("sort", seed=2))
+        sched.next_job()
+        with pytest.raises(RuntimeError, match="exclusive"):
+            sched.next_job()
+
+    def test_empty_queue_returns_none(self):
+        assert FIFOScheduler().next_job() is None
+
+    def test_finish_without_running_rejected(self):
+        with pytest.raises(RuntimeError):
+            FIFOScheduler().job_finished()
+
+    def test_completed_bookkeeping(self):
+        sched = FIFOScheduler()
+        sched.submit(JobRequest("wordcount", seed=1, tag="x"))
+        sched.next_job()
+        assert sched.pending == 0
+        sched.job_finished()
+        assert [j.tag for j in sched.completed] == ["x"]
+        assert sched.running is None

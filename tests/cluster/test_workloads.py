@@ -1,0 +1,106 @@
+"""Unit tests for the workload profiles."""
+
+import pytest
+
+from repro.cluster.demand import ResourceDemand
+from repro.cluster.workloads import (
+    BATCH_WORKLOADS,
+    WORKLOADS,
+    PhaseSpec,
+    QuerySpec,
+    WorkloadProfile,
+    WorkloadType,
+    get_workload,
+)
+
+
+class TestCatalog:
+    def test_paper_workloads_present(self):
+        """§4.1: Sort, Wordcount, Grep, Bayes batch + TPC-DS interactive."""
+        for name in ("wordcount", "sort", "grep", "bayes", "tpcds"):
+            assert name in WORKLOADS
+
+    def test_batch_interactive_split(self):
+        assert set(BATCH_WORKLOADS) == {"wordcount", "sort", "grep", "bayes"}
+        assert WORKLOADS["tpcds"].kind is WorkloadType.INTERACTIVE
+        for name in BATCH_WORKLOADS:
+            assert WORKLOADS[name].kind is WorkloadType.BATCH
+
+    def test_tpcds_has_eight_queries(self):
+        """§4.1: the 8 TPC-DS queries run in a mixed mode."""
+        assert len(WORKLOADS["tpcds"].queries) == 8
+
+    def test_batch_phases_are_map_shuffle_reduce(self):
+        for name in BATCH_WORKLOADS:
+            assert [p.name for p in WORKLOADS[name].phases] == [
+                "map",
+                "shuffle",
+                "reduce",
+            ]
+
+    def test_get_workload_unknown(self):
+        with pytest.raises(KeyError, match="known:"):
+            get_workload("terasort")
+
+    def test_nominal_ticks(self):
+        wc = WORKLOADS["wordcount"]
+        assert wc.nominal_ticks == sum(p.work_ticks for p in wc.phases)
+        assert WORKLOADS["tpcds"].nominal_ticks == 120
+
+
+class TestValidation:
+    def test_phase_requires_positive_work(self):
+        with pytest.raises(ValueError):
+            PhaseSpec("map", 0, ResourceDemand())
+
+    def test_phase_jitter_bounds(self):
+        with pytest.raises(ValueError):
+            PhaseSpec("map", 10, ResourceDemand(), jitter=1.5)
+
+    def test_query_requires_positive_duration(self):
+        with pytest.raises(ValueError):
+            QuerySpec("q1", 0, ResourceDemand())
+
+    def test_batch_profile_requires_phases(self):
+        with pytest.raises(ValueError, match="phases"):
+            WorkloadProfile(name="x", kind=WorkloadType.BATCH, base_cpi=1.0)
+
+    def test_interactive_profile_requires_queries(self):
+        with pytest.raises(ValueError, match="queries"):
+            WorkloadProfile(
+                name="x", kind=WorkloadType.INTERACTIVE, base_cpi=1.0
+            )
+
+    def test_base_cpi_positive(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(
+                name="x",
+                kind=WorkloadType.BATCH,
+                base_cpi=0.0,
+                phases=(PhaseSpec("map", 1, ResourceDemand()),),
+            )
+
+
+class TestProfileCharacter:
+    def test_sort_is_io_heavier_than_wordcount(self):
+        """Sort shuffles/writes far more data per §3.1's workload variety."""
+        wc = WORKLOADS["wordcount"]
+        sort = WORKLOADS["sort"]
+        wc_io = sum(
+            p.demand.disk_write_kbs + p.demand.net_rx_kbs for p in wc.phases
+        )
+        sort_io = sum(
+            p.demand.disk_write_kbs + p.demand.net_rx_kbs for p in sort.phases
+        )
+        assert sort_io > wc_io
+
+    def test_bayes_is_memory_heaviest_batch(self):
+        mems = {
+            name: max(p.demand.mem_mb for p in WORKLOADS[name].phases)
+            for name in BATCH_WORKLOADS
+        }
+        assert max(mems, key=mems.get) == "bayes"
+
+    def test_base_cpis_distinct(self):
+        cpis = [w.base_cpi for w in WORKLOADS.values()]
+        assert len(set(cpis)) == len(cpis)

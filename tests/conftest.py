@@ -1,0 +1,55 @@
+"""Shared fixtures.
+
+Expensive artifacts (simulated runs, trained pipelines) are session-scoped:
+the simulator is deterministic, so sharing them across tests is safe and
+keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import HadoopCluster
+from repro.core import InvarNetX, OperationContext
+from repro.faults.spec import FaultSpec, build_fault
+
+
+@pytest.fixture(scope="session")
+def cluster() -> HadoopCluster:
+    """One default five-server cluster shared by the whole session."""
+    return HadoopCluster()
+
+
+@pytest.fixture(scope="session")
+def wordcount_runs(cluster) -> list:
+    """Eight fault-free Wordcount runs (training corpus)."""
+    return [cluster.run("wordcount", seed=1000 + i) for i in range(8)]
+
+
+@pytest.fixture(scope="session")
+def wordcount_context(cluster) -> OperationContext:
+    return OperationContext("wordcount", "slave-1", cluster.ip_of("slave-1"))
+
+
+@pytest.fixture(scope="session")
+def trained_pipeline(cluster, wordcount_runs, wordcount_context) -> InvarNetX:
+    """An InvarNetX trained on the Wordcount corpus with a few signatures."""
+    pipe = InvarNetX()
+    pipe.train_from_runs(wordcount_context, wordcount_runs)
+    for fault_name, seed in (
+        ("CPU-hog", 2001),
+        ("Mem-hog", 2002),
+        ("Disk-hog", 2003),
+        ("Suspend", 2004),
+    ):
+        fault = build_fault(fault_name, FaultSpec("slave-1", 30, 30))
+        run = cluster.run("wordcount", faults=[fault], seed=seed)
+        pipe.train_signature_from_run(wordcount_context, fault_name, run)
+    return pipe
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,144 @@
+"""Unit tests for the ARIMA-drift anomaly detector (§3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.anomaly import (
+    CONSECUTIVE_ANOMALIES,
+    AnomalyDetector,
+    DriftThreshold,
+    ThresholdRule,
+)
+
+
+def _normal_trace(rng, n=120, base=1.2, noise=0.02):
+    """A CPI-like stationary trace."""
+    s = 0.0
+    out = np.empty(n)
+    for t in range(n):
+        s = 0.8 * s + rng.normal(0, 0.3)
+        out[t] = base * (1 + 0.05 * s) * (1 + rng.normal(0, noise))
+    return out
+
+
+@pytest.fixture()
+def detector(rng):
+    traces = [_normal_trace(rng) for _ in range(6)]
+    return AnomalyDetector(order=(1, 0, 0)).train(traces)
+
+
+class TestThresholdRules:
+    def test_beta_max_is_default(self):
+        assert AnomalyDetector().rule is ThresholdRule.BETA_MAX
+
+    def test_beta_max_above_max_min(self, detector):
+        mm = detector.calibrate(ThresholdRule.MAX_MIN)
+        bm = detector.calibrate(ThresholdRule.BETA_MAX)
+        assert bm.upper == pytest.approx(1.2 * mm.upper)
+
+    def test_pct95_below_max(self, detector):
+        p95 = detector.calibrate(ThresholdRule.PCT95)
+        mm = detector.calibrate(ThresholdRule.MAX_MIN)
+        assert p95.upper < mm.upper
+
+    def test_max_min_has_lower_bar(self, detector):
+        mm = detector.calibrate(ThresholdRule.MAX_MIN)
+        assert mm.lower > 0.0
+        assert mm.is_anomalous(mm.lower / 2)  # "too perfect" fit flags
+
+    def test_other_rules_have_no_lower_bar(self, detector):
+        for rule in (ThresholdRule.PCT95, ThresholdRule.BETA_MAX):
+            assert detector.calibrate(rule).lower == 0.0
+
+    def test_calibrate_requires_training(self):
+        with pytest.raises(RuntimeError):
+            AnomalyDetector().calibrate(ThresholdRule.BETA_MAX)
+
+    def test_drift_threshold_rejects_negative_residual(self):
+        thr = DriftThreshold(ThresholdRule.BETA_MAX, upper=1.0)
+        with pytest.raises(ValueError):
+            thr.is_anomalous(-0.1)
+
+
+class TestDetection:
+    def test_no_problem_on_normal_trace(self, detector, rng):
+        report = detector.detect(_normal_trace(rng))
+        assert not report.problem_detected
+
+    def test_step_change_detected(self, detector, rng):
+        trace = _normal_trace(rng)
+        trace[60:] *= 1.5
+        report = detector.detect(trace)
+        assert report.problem_detected
+        first = report.first_problem_tick()
+        assert first is not None
+        assert 60 <= first <= 60 + CONSECUTIVE_ANOMALIES + 2
+
+    def test_single_spike_not_reported(self, detector, rng):
+        """The three-consecutive rule suppresses isolated glitches."""
+        trace = _normal_trace(rng)
+        trace[50] *= 1.6
+        report = detector.detect(trace)
+        assert report.anomalous[50]
+        assert not report.problem_detected
+
+    def test_separated_spikes_not_reported(self, detector, rng):
+        """Isolated anomalies with normal ticks between never reach the
+        three-consecutive count."""
+        trace = _normal_trace(rng)
+        trace[40] *= 1.6
+        trace[50] *= 1.6
+        trace[60] *= 1.6
+        assert not detector.detect(trace).problem_detected
+
+    def test_three_consecutive_reported(self, detector, rng):
+        trace = _normal_trace(rng)
+        trace[50:56] *= 1.6
+        report = detector.detect(trace)
+        assert report.problem_detected
+
+    def test_pct95_rule_noisier_than_beta_max(self, detector, rng):
+        trace = _normal_trace(rng, n=400)
+        flags95 = detector.detect(trace, rule=ThresholdRule.PCT95).anomalous
+        flagsbm = detector.detect(
+            trace, rule=ThresholdRule.BETA_MAX
+        ).anomalous
+        assert flags95.sum() >= flagsbm.sum()
+
+    def test_detect_requires_training(self, rng):
+        with pytest.raises(RuntimeError):
+            AnomalyDetector().detect(_normal_trace(rng))
+
+
+class TestOnlineCheck:
+    def test_check_next_flags_jump(self, detector, rng):
+        history = _normal_trace(rng)
+        predicted = detector.model.predict_next(history)
+        assert detector.check_next(history, predicted * 1.5)
+        assert not detector.check_next(history, predicted)
+
+
+class TestTraining:
+    def test_pools_residuals_across_traces(self, rng):
+        traces = [_normal_trace(rng) for _ in range(4)]
+        det = AnomalyDetector(order=(1, 0, 0)).train(traces)
+        assert det._train_residuals is not None
+        expected = sum(t.size - 1 for t in traces)  # warmup 1 per trace
+        assert det._train_residuals.size == expected
+
+    def test_short_trace_rejected(self):
+        with pytest.raises(ValueError):
+            AnomalyDetector().train([np.ones(5)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AnomalyDetector().train([])
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            AnomalyDetector(beta=0.0)
+
+    def test_order_selection_when_unspecified(self, rng):
+        det = AnomalyDetector().train([_normal_trace(rng) for _ in range(3)])
+        assert det.model is not None
+        assert det.model.order.p + det.model.order.q >= 1 or det.model.order.d > 0

@@ -1,0 +1,86 @@
+"""Unit tests for signature-conflict detection (future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.signatures import SignatureDatabase
+
+
+def _bits(s: str) -> np.ndarray:
+    return np.array([c == "1" for c in s])
+
+
+@pytest.fixture()
+def db():
+    db = SignatureDatabase()
+    db.add(_bits("11110000"), "Net-drop")
+    db.add(_bits("11110001"), "Net-delay")  # near-identical to Net-drop
+    db.add(_bits("00001111"), "Mem-hog")
+    db.add(_bits("10101010"), "Lock-R")
+    return db
+
+
+class TestConflicts:
+    def test_near_identical_pair_reported(self, db):
+        conflicts = db.conflicts(threshold=0.85)
+        pairs = {(a, b) for a, b, _ in conflicts}
+        assert ("Net-delay", "Net-drop") in pairs
+
+    def test_distinct_pairs_not_reported(self, db):
+        conflicts = db.conflicts(threshold=0.85)
+        pairs = {(a, b) for a, b, _ in conflicts}
+        assert ("Mem-hog", "Net-drop") not in pairs
+
+    def test_sorted_by_similarity(self, db):
+        scores = [s for _, _, s in db.conflicts(threshold=0.0)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_same_problem_signatures_never_conflict(self):
+        db = SignatureDatabase()
+        db.add(_bits("1111"), "CPU-hog")
+        db.add(_bits("1111"), "CPU-hog")
+        assert db.conflicts(threshold=0.5) == []
+
+    def test_pair_reported_once_with_best_score(self):
+        db = SignatureDatabase()
+        db.add(_bits("1100"), "A")
+        db.add(_bits("0011"), "A")
+        db.add(_bits("1100"), "B")
+        conflicts = db.conflicts(threshold=0.9)
+        assert conflicts == [("A", "B", 1.0)]
+
+    def test_threshold_validation(self, db):
+        with pytest.raises(ValueError):
+            db.conflicts(threshold=1.5)
+
+    def test_measure_validation(self, db):
+        with pytest.raises(ValueError, match="known:"):
+            db.conflicts(measure="cosine")
+
+    def test_jaccard_measure_supported(self, db):
+        conflicts = db.conflicts(threshold=0.7, measure="jaccard")
+        pairs = {(a, b) for a, b, _ in conflicts}
+        assert ("Net-delay", "Net-drop") in pairs
+
+
+class TestTopCauses:
+    def test_top_causes_from_diagnosis(
+        self, cluster, trained_pipeline, wordcount_context
+    ):
+        from repro.faults.spec import FaultSpec, build_fault
+
+        fault = build_fault("Mem-hog", FaultSpec("slave-1", 30, 30))
+        run = cluster.run("wordcount", faults=[fault], seed=8850)
+        result = trained_pipeline.diagnose_run(
+            wordcount_context, run, top_k=3
+        )
+        causes = result.top_causes(2)
+        assert causes[0] == "Mem-hog"
+        assert len(causes) == 2
+
+    def test_top_causes_empty_when_undetected(
+        self, cluster, trained_pipeline, wordcount_context
+    ):
+        run = cluster.run("wordcount", seed=8851)
+        result = trained_pipeline.diagnose_run(wordcount_context, run)
+        assert result.top_causes(3) == []

@@ -1,0 +1,36 @@
+"""Unit tests for the operation context."""
+
+import pytest
+
+from repro.core.context import GLOBAL_CONTEXT, OperationContext
+
+
+class TestOperationContext:
+    def test_key(self):
+        ctx = OperationContext("wordcount", "slave-1", "10.0.0.11")
+        assert ctx.key() == ("wordcount", "slave-1")
+
+    def test_str(self):
+        assert str(OperationContext("sort", "slave-2")) == "sort@slave-2"
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            OperationContext("", "slave-1")
+
+    def test_empty_node_rejected(self):
+        with pytest.raises(ValueError):
+            OperationContext("sort", "")
+
+    def test_frozen(self):
+        ctx = OperationContext("sort", "slave-1")
+        with pytest.raises(AttributeError):
+            ctx.workload = "grep"
+
+    def test_hashable_and_equal(self):
+        a = OperationContext("sort", "slave-1", "ip")
+        b = OperationContext("sort", "slave-1", "ip")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_global_sentinel(self):
+        assert GLOBAL_CONTEXT.key() == ("*", "*")

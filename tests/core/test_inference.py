@@ -1,0 +1,85 @@
+"""Unit tests for the cause-inference engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.inference import CauseInferenceEngine
+from repro.core.invariants import AssociationMatrix, InvariantSet
+from repro.core.signatures import SignatureDatabase
+from repro.telemetry.metrics import MetricCatalog
+
+CAT3 = MetricCatalog(names=("a", "b", "c"))
+
+
+@pytest.fixture()
+def invariants():
+    return InvariantSet(
+        pairs=[(0, 1), (0, 2), (1, 2)],
+        baseline=np.array([0.9, 0.8, 0.0]),
+        catalog=CAT3,
+    )
+
+
+@pytest.fixture()
+def database():
+    db = SignatureDatabase()
+    db.add(np.array([True, False, False]), "CPU-hog")
+    db.add(np.array([False, True, True]), "Mem-hog")
+    return db
+
+
+def _abnormal(ab, ac, bc):
+    values = np.array([[1, ab, ac], [ab, 1, bc], [ac, bc, 1]], float)
+    return AssociationMatrix(values=values, catalog=CAT3)
+
+
+class TestInference:
+    def test_matches_correct_cause(self, invariants, database):
+        engine = CauseInferenceEngine(invariants, database)
+        # break (a,b) only -> CPU-hog's signature
+        result = engine.infer(_abnormal(ab=0.3, ac=0.75, bc=0.05))
+        assert result.matched
+        assert result.top_cause == "CPU-hog"
+
+    def test_ranked_list_ordered(self, invariants, database):
+        engine = CauseInferenceEngine(invariants, database)
+        result = engine.infer(_abnormal(0.3, 0.75, 0.05), top_k=2)
+        assert len(result.causes) == 2
+        assert result.causes[0].score >= result.causes[1].score
+
+    def test_hints_name_violated_pairs(self, invariants, database):
+        engine = CauseInferenceEngine(invariants, database)
+        result = engine.infer(_abnormal(0.3, 0.75, 0.05))
+        assert ("a", "b") in result.hints
+
+    def test_unmatched_below_similarity_floor(self, invariants, database):
+        engine = CauseInferenceEngine(
+            invariants, database, min_similarity=0.99
+        )
+        result = engine.infer(_abnormal(0.3, 0.2, 0.6))
+        assert not result.matched
+        assert result.top_cause is None
+        assert result.hints  # operator still gets the violated pairs
+
+    def test_empty_database_never_matches(self, invariants):
+        engine = CauseInferenceEngine(invariants, SignatureDatabase())
+        result = engine.infer(_abnormal(0.3, 0.75, 0.05))
+        assert not result.matched
+        assert result.causes == []
+
+    def test_learn_appends_signature(self, invariants, database):
+        engine = CauseInferenceEngine(invariants, database)
+        before = len(database)
+        violations = engine.learn(_abnormal(0.3, 0.2, 0.6), "Disk-hog")
+        assert len(database) == before + 1
+        assert violations.dtype == bool
+        assert "Disk-hog" in database.problems
+
+    def test_top_k_validation(self, invariants, database):
+        engine = CauseInferenceEngine(invariants, database)
+        with pytest.raises(ValueError):
+            engine.infer(_abnormal(0.3, 0.75, 0.05), top_k=0)
+
+    def test_min_similarity_validation(self, invariants, database):
+        with pytest.raises(ValueError):
+            CauseInferenceEngine(invariants, database, min_similarity=1.5)

@@ -1,0 +1,144 @@
+"""Unit tests for Algorithm 1 and violation checking (§3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.invariants import (
+    EPSILON,
+    TAU,
+    AssociationMatrix,
+    InvariantSet,
+    select_invariants,
+)
+from repro.telemetry.metrics import MetricCatalog
+
+CAT3 = MetricCatalog(names=("a", "b", "c"))
+
+
+def _matrix(values):
+    return AssociationMatrix(values=np.asarray(values, float), catalog=CAT3)
+
+
+class TestAssociationMatrix:
+    def test_from_samples_shape(self, rng):
+        samples = rng.uniform(0, 1, size=(40, 3))
+        m = AssociationMatrix.from_samples(samples, catalog=CAT3)
+        assert m.values.shape == (3, 3)
+
+    def test_from_samples_detects_coupling(self, rng):
+        base = rng.uniform(0, 1, 60)
+        samples = np.column_stack([base, 2 * base, rng.uniform(0, 1, 60)])
+        m = AssociationMatrix.from_samples(samples, catalog=CAT3)
+        assert m.score("a", "b") > 0.9
+        assert m.score("a", "c") < m.score("a", "b")
+
+    def test_wrong_width_rejected(self, rng):
+        with pytest.raises(ValueError):
+            AssociationMatrix.from_samples(
+                rng.uniform(0, 1, (40, 5)), catalog=CAT3
+            )
+
+    def test_wrong_matrix_shape_rejected(self):
+        with pytest.raises(ValueError):
+            AssociationMatrix(values=np.eye(4), catalog=CAT3)
+
+
+class TestAlgorithm1:
+    def test_paper_defaults(self):
+        assert TAU == 0.2
+        assert EPSILON == 0.2
+
+    def test_stable_pair_selected_with_max_value(self):
+        runs = [
+            _matrix([[1, 0.80, 0.1], [0.80, 1, 0.5], [0.1, 0.5, 1]]),
+            _matrix([[1, 0.90, 0.4], [0.90, 1, 0.5], [0.4, 0.5, 1]]),
+            _matrix([[1, 0.85, 0.7], [0.85, 1, 0.5], [0.7, 0.5, 1]]),
+        ]
+        inv = select_invariants(runs, tau=0.2, catalog=CAT3)
+        # (a,b) spread 0.10 < tau -> kept with I = max = 0.90
+        # (a,c) spread 0.60 -> dropped; (b,c) spread 0 -> kept at 0.5
+        assert inv.pairs == [(0, 1), (1, 2)]
+        assert inv.baseline[0] == pytest.approx(0.90)
+        assert inv.baseline[1] == pytest.approx(0.50)
+
+    def test_boundary_spread_excluded(self):
+        """max - min == tau is NOT < tau (Algorithm 1 strict inequality).
+
+        Values chosen to be exactly representable in binary floating point
+        so the boundary is hit exactly.
+        """
+        runs = [
+            _matrix([[1, 0.25, 0], [0.25, 1, 0], [0, 0, 1]]),
+            _matrix([[1, 0.5, 0], [0.5, 1, 0], [0, 0, 1]]),
+        ]
+        inv = select_invariants(runs, tau=0.25, catalog=CAT3)
+        assert (0, 1) not in inv.pairs
+
+    def test_zero_invariants_kept(self):
+        """A pair silent in every run is a stable MIC=0 invariant."""
+        runs = [_matrix(np.eye(3)) for _ in range(3)]
+        inv = select_invariants(runs, catalog=CAT3)
+        assert len(inv) == 3
+        assert np.allclose(inv.baseline, 0.0)
+
+    def test_single_run_keeps_everything(self):
+        inv = select_invariants(
+            [_matrix([[1, 0.3, 0.9], [0.3, 1, 0.6], [0.9, 0.6, 1]])],
+            catalog=CAT3,
+        )
+        assert len(inv) == 3
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            select_invariants([])
+
+    def test_invalid_tau_rejected(self):
+        with pytest.raises(ValueError):
+            select_invariants([_matrix(np.eye(3))], tau=0.0)
+
+    def test_accepts_raw_arrays(self):
+        inv = select_invariants([np.eye(3)], catalog=CAT3)
+        assert len(inv) == 3
+
+
+class TestViolations:
+    @pytest.fixture()
+    def invariants(self):
+        return InvariantSet(
+            pairs=[(0, 1), (1, 2)],
+            baseline=np.array([0.9, 0.0]),
+            catalog=CAT3,
+        )
+
+    def test_violation_when_association_drops(self, invariants):
+        abnormal = _matrix([[1, 0.4, 0], [0.4, 1, 0.05], [0, 0.05, 1]])
+        flags = invariants.violations(abnormal)
+        assert list(flags) == [True, False]
+
+    def test_violation_when_silent_pair_activates(self, invariants):
+        abnormal = _matrix([[1, 0.85, 0], [0.85, 1, 0.6], [0, 0.6, 1]])
+        flags = invariants.violations(abnormal)
+        assert list(flags) == [False, True]
+
+    def test_epsilon_boundary_is_violation(self, invariants):
+        """|I - A| >= epsilon counts (§2 uses >=)."""
+        abnormal = _matrix([[1, 0.7, 0], [0.7, 1, 0.0], [0, 0.0, 1]])
+        flags = invariants.violations(abnormal, epsilon=0.2)
+        assert flags[0]  # |0.9 - 0.7| == 0.2 -> violated
+
+    def test_violated_pair_names(self, invariants):
+        abnormal = _matrix([[1, 0.1, 0], [0.1, 1, 0], [0, 0, 1]])
+        names = invariants.violated_pair_names(abnormal)
+        assert names == [("a", "b")]
+
+    def test_invalid_epsilon(self, invariants):
+        abnormal = _matrix(np.eye(3))
+        with pytest.raises(ValueError):
+            invariants.violations(abnormal, epsilon=0.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            InvariantSet(pairs=[(0, 1)], baseline=np.array([0.5, 0.6]))
+
+    def test_pair_names(self, invariants):
+        assert invariants.pair_names() == [("a", "b"), ("b", "c")]

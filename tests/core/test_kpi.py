@@ -1,0 +1,56 @@
+"""Unit tests for CPI-as-KPI (§3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kpi import cpi_series, execution_time_seconds, run_kpi
+from repro.telemetry.trace import NodeTrace, RunTrace
+
+
+def _run(cpi_values):
+    arr = np.asarray(cpi_values, dtype=float)
+    node = NodeTrace(
+        node_id="slave-1",
+        ip="10.0.0.11",
+        metrics=np.zeros((arr.size, 26)),
+        cpi=arr,
+    )
+    return RunTrace(
+        workload="wordcount", nodes={"slave-1": node},
+        execution_ticks=arr.size,
+    )
+
+
+class TestExecutionTimeIdentity:
+    def test_t_equals_i_cpi_c(self):
+        # 1e9 instructions at CPI 2 on a 1 GHz machine: 2 seconds.
+        assert execution_time_seconds(1e9, 2.0, 1e-9) == pytest.approx(2.0)
+
+    def test_linear_in_cpi(self):
+        base = execution_time_seconds(1e9, 1.0, 1e-9)
+        assert execution_time_seconds(1e9, 3.0, 1e-9) == pytest.approx(3 * base)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            execution_time_seconds(1e9, -1.0, 1e-9)
+
+
+class TestRunKpi:
+    def test_default_is_95th_percentile(self):
+        values = np.linspace(1.0, 2.0, 101)
+        run = _run(values)
+        assert run_kpi(run, "slave-1") == pytest.approx(
+            np.percentile(values, 95)
+        )
+
+    def test_alternative_percentile(self):
+        run = _run([1.0, 2.0, 3.0])
+        assert run_kpi(run, "slave-1", q=50) == 2.0
+
+    def test_cpi_series_passthrough(self):
+        run = _run([1.1, 1.2, 1.3])
+        assert np.allclose(cpi_series(run, "slave-1"), [1.1, 1.2, 1.3])
+
+    def test_unknown_node(self):
+        with pytest.raises(KeyError):
+            run_kpi(_run([1.0, 2.0]), "slave-9")

@@ -1,0 +1,134 @@
+"""Tests for the streaming monitor and the incremental invariant tracker."""
+
+import numpy as np
+import pytest
+
+from repro.core import InvarNetX, OperationContext
+from repro.core.invariants import InvariantTracker, select_invariants
+from repro.core.online import (
+    AlarmEvent,
+    DiagnosisEvent,
+    MonitorState,
+    OnlineMonitor,
+)
+from repro.faults.spec import FaultSpec, build_fault
+
+
+@pytest.fixture()
+def monitor(trained_pipeline, wordcount_context):
+    return OnlineMonitor(trained_pipeline, wordcount_context)
+
+
+class TestOnlineMonitor:
+    def test_requires_trained_pipeline(self, wordcount_context):
+        with pytest.raises(RuntimeError, match="not trained"):
+            OnlineMonitor(InvarNetX(), wordcount_context)
+
+    def test_healthy_stream_emits_nothing(self, monitor, cluster):
+        run = cluster.run("wordcount", seed=6500)
+        node = run.node("slave-1")
+        events = monitor.run_stream(node.metrics, node.cpi)
+        assert events == []
+        assert monitor.state is MonitorState.MONITORING
+
+    def test_incident_produces_alarm_then_diagnosis(self, monitor, cluster):
+        fault = build_fault("CPU-hog", FaultSpec("slave-1", 40, 30))
+        run = cluster.run("wordcount", faults=[fault], seed=6501)
+        node = run.node("slave-1")
+        events = monitor.run_stream(node.metrics, node.cpi)
+        assert len(events) >= 2
+        alarm, diagnosis = events[0], events[1]
+        assert isinstance(alarm, AlarmEvent)
+        assert isinstance(diagnosis, DiagnosisEvent)
+        # alarm inside the injection window (onset latency depends on how
+        # fast contention builds under the run's demand fluctuation)
+        assert 40 <= alarm.tick < 70
+        assert diagnosis.alarm_tick == alarm.tick
+        assert diagnosis.root_cause == "CPU-hog"
+        # the window is collected after the alarm
+        assert diagnosis.tick > alarm.tick
+
+    def test_single_incident_single_report(self, monitor, cluster):
+        """The cool-down keeps one incident from flooding reports."""
+        fault = build_fault("Mem-hog", FaultSpec("slave-1", 40, 30))
+        run = cluster.run("wordcount", faults=[fault], seed=6502)
+        node = run.node("slave-1")
+        events = monitor.run_stream(node.metrics, node.cpi)
+        diagnoses = [e for e in events if isinstance(e, DiagnosisEvent)]
+        assert len(diagnoses) == 1
+
+    def test_streaming_matches_batch_verdict(
+        self, trained_pipeline, wordcount_context, cluster
+    ):
+        fault = build_fault("Disk-hog", FaultSpec("slave-1", 40, 30))
+        run = cluster.run("wordcount", faults=[fault], seed=6503)
+        node = run.node("slave-1")
+        monitor = OnlineMonitor(trained_pipeline, wordcount_context)
+        events = monitor.run_stream(node.metrics, node.cpi)
+        diagnoses = [e for e in events if isinstance(e, DiagnosisEvent)]
+        batch = trained_pipeline.diagnose_run(wordcount_context, run)
+        assert diagnoses
+        assert diagnoses[0].root_cause == batch.root_cause
+
+    def test_length_mismatch_rejected(self, monitor):
+        with pytest.raises(ValueError):
+            monitor.run_stream(np.zeros((5, 26)), np.zeros(6))
+
+    def test_window_validation(self, trained_pipeline, wordcount_context):
+        with pytest.raises(ValueError):
+            OnlineMonitor(
+                trained_pipeline, wordcount_context, window_ticks=4
+            )
+
+
+class TestInvariantTracker:
+    def _matrices(self, rng, n=5):
+        from repro.telemetry.metrics import MetricCatalog
+
+        cat = MetricCatalog(names=("a", "b", "c", "d"))
+        mats = []
+        for _ in range(n):
+            m = rng.uniform(0, 1, (4, 4))
+            m = (m + m.T) / 2
+            np.fill_diagonal(m, 1.0)
+            mats.append(m)
+        return cat, mats
+
+    def test_matches_batch_algorithm(self, rng):
+        cat, mats = self._matrices(rng)
+        tracker = InvariantTracker(catalog=cat)
+        for m in mats:
+            tracker.add_run(m)
+        incremental = tracker.current()
+        batch = select_invariants(mats, catalog=cat)
+        assert incremental.pairs == batch.pairs
+        assert np.allclose(incremental.baseline, batch.baseline)
+
+    def test_invariants_only_shrink_with_more_runs(self, rng):
+        cat, mats = self._matrices(rng, n=8)
+        tracker = InvariantTracker(catalog=cat)
+        sizes = []
+        for m in mats:
+            tracker.add_run(m)
+            sizes.append(len(tracker.current()))
+        assert all(b <= a for a, b in zip(sizes, sizes[1:]))
+
+    def test_empty_tracker_rejected(self):
+        with pytest.raises(RuntimeError):
+            InvariantTracker().current()
+
+    def test_shape_validated(self, rng):
+        tracker = InvariantTracker()
+        with pytest.raises(ValueError):
+            tracker.add_run(np.eye(4))
+
+    def test_tau_validated(self):
+        with pytest.raises(ValueError):
+            InvariantTracker(tau=0.0)
+
+    def test_run_count(self, rng):
+        cat, mats = self._matrices(rng, n=3)
+        tracker = InvariantTracker(catalog=cat)
+        for m in mats:
+            tracker.add_run(m)
+        assert tracker.n_runs == 3

@@ -1,0 +1,83 @@
+"""Tests for centralized cluster-wide diagnosis (Fig. 1's scenario)."""
+
+import pytest
+
+from repro.core.orchestrator import ClusterDiagnoser
+from repro.faults.spec import FaultSpec, build_fault
+
+
+@pytest.fixture(scope="module")
+def diagnoser(cluster, wordcount_runs):
+    d = ClusterDiagnoser()
+    d.train(wordcount_runs)
+    for problem, seed in (("CPU-hog", 4001), ("Mem-hog", 4002)):
+        for node in ("slave-1", "slave-3"):
+            fault = build_fault(problem, FaultSpec(node, 30, 30))
+            run = cluster.run("wordcount", faults=[fault], seed=seed)
+            d.train_signature(problem, run, node)
+    return d
+
+
+class TestTraining:
+    def test_trains_all_slaves(self, diagnoser):
+        contexts = diagnoser.pipeline.contexts()
+        nodes = {node for _, node in contexts}
+        assert nodes == {"slave-1", "slave-2", "slave-3", "slave-4"}
+
+    def test_master_not_monitored(self, diagnoser):
+        assert ("wordcount", "master") not in diagnoser.pipeline.contexts()
+
+    def test_mixed_workloads_rejected(self, cluster):
+        d = ClusterDiagnoser()
+        runs = [
+            cluster.run("wordcount", seed=1),
+            cluster.run("grep", seed=2),
+        ]
+        with pytest.raises(ValueError, match="multiple workloads"):
+            d.train(runs)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterDiagnoser().train([])
+
+
+class TestLocalisation:
+    def test_healthy_cluster(self, diagnoser, cluster):
+        run = cluster.run("wordcount", seed=4400)
+        diagnosis = diagnoser.diagnose(run)
+        assert not diagnosis.problem_detected
+        assert diagnosis.verdict() is None
+        assert diagnosis.faulty_nodes == []
+
+    @pytest.mark.parametrize("target", ["slave-1", "slave-3"])
+    def test_localises_node_and_cause(self, diagnoser, cluster, target):
+        """Fig. 1: the violations on slave-3 identify both the node and
+        the CPU-hog."""
+        fault = build_fault("CPU-hog", FaultSpec(target, 30, 30))
+        run = cluster.run("wordcount", faults=[fault], seed=4401)
+        diagnosis = diagnoser.diagnose(run)
+        verdict = diagnosis.verdict()
+        assert verdict is not None
+        node, cause = verdict
+        assert node == target
+        assert cause == "CPU-hog"
+
+    def test_unaffected_nodes_stay_clean(self, diagnoser, cluster):
+        fault = build_fault("Mem-hog", FaultSpec("slave-2", 30, 30))
+        run = cluster.run("wordcount", faults=[fault], seed=4402)
+        diagnosis = diagnoser.diagnose(run)
+        per_node = {n.node_id: n for n in diagnosis.nodes}
+        assert per_node["slave-2"].detected
+        # the hog is local; the majority of peers must not raise
+        clean = [
+            n for nid, n in per_node.items()
+            if nid != "slave-2" and not n.detected
+        ]
+        assert len(clean) >= 2
+
+    def test_restricted_node_list(self, cluster, wordcount_runs):
+        d = ClusterDiagnoser(node_ids=["slave-1"])
+        d.train(wordcount_runs)
+        run = cluster.run("wordcount", seed=4403)
+        diagnosis = d.diagnose(run)
+        assert [n.node_id for n in diagnosis.nodes] == ["slave-1"]

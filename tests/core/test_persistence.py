@@ -1,0 +1,158 @@
+"""Round-trip tests for the XML stores (§3.2/§3.3 tuple formats)."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.core.anomaly import DriftThreshold, ThresholdRule
+from repro.core.context import OperationContext
+from repro.core.invariants import InvariantSet
+from repro.core.persistence import (
+    load_invariants,
+    load_performance_model,
+    load_signatures,
+    save_invariants,
+    save_performance_model,
+    save_signatures,
+)
+from repro.core.signatures import SignatureDatabase
+from repro.stats.arima import ARIMAModel, ARIMAOrder
+from repro.telemetry.metrics import MetricCatalog
+
+CTX = OperationContext("wordcount", "slave-1", "10.0.0.11")
+
+
+@pytest.fixture()
+def model():
+    return ARIMAModel(
+        order=ARIMAOrder(2, 1, 1),
+        ar=np.array([0.5, -0.2]),
+        ma=np.array([0.3]),
+        intercept=0.01,
+        sigma2=0.002,
+    )
+
+
+class TestPerformanceModelStore:
+    def test_roundtrip(self, tmp_path, model):
+        path = tmp_path / "model.xml"
+        threshold = DriftThreshold(ThresholdRule.BETA_MAX, upper=0.15, lower=0.0)
+        save_performance_model(model, threshold, CTX, path)
+        loaded, thr, ctx = load_performance_model(path)
+        assert loaded.order == model.order
+        assert np.allclose(loaded.ar, model.ar)
+        assert np.allclose(loaded.ma, model.ma)
+        assert loaded.intercept == model.intercept
+        assert loaded.sigma2 == model.sigma2
+        assert thr == threshold
+        assert ctx == CTX
+
+    def test_five_tuple_schema(self, tmp_path, model):
+        """The paper stores (p, d, q, ip, type)."""
+        path = tmp_path / "model.xml"
+        threshold = DriftThreshold(ThresholdRule.BETA_MAX, upper=0.1)
+        save_performance_model(model, threshold, CTX, path)
+        five = ET.parse(path).getroot().find("five-tuple")
+        assert five is not None
+        assert five.get("p") == "2"
+        assert five.get("d") == "1"
+        assert five.get("q") == "1"
+        assert five.get("ip") == "10.0.0.11"
+        assert five.get("type") == "wordcount"
+
+    def test_loaded_model_predicts(self, tmp_path, model, rng):
+        path = tmp_path / "model.xml"
+        save_performance_model(
+            model, DriftThreshold(ThresholdRule.BETA_MAX, 0.1), CTX, path
+        )
+        loaded, _, _ = load_performance_model(path)
+        history = rng.normal(1.0, 0.1, 50)
+        assert loaded.predict_next(history) == pytest.approx(
+            model.predict_next(history)
+        )
+
+    def test_wrong_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.xml"
+        path.write_text("<other/>")
+        with pytest.raises(ValueError):
+            load_performance_model(path)
+
+
+class TestInvariantStore:
+    def test_roundtrip(self, tmp_path):
+        cat = MetricCatalog(names=("a", "b", "c", "d"))
+        inv = InvariantSet(
+            pairs=[(0, 1), (2, 3)],
+            baseline=np.array([0.85, 0.0]),
+            catalog=cat,
+        )
+        path = tmp_path / "inv.xml"
+        save_invariants(inv, CTX, path)
+        loaded, ctx = load_invariants(path)
+        assert loaded.pairs == inv.pairs
+        assert np.allclose(loaded.baseline, inv.baseline)
+        assert loaded.catalog.names == cat.names
+        assert ctx == CTX
+
+    def test_three_tuple_schema(self, tmp_path):
+        """The paper stores (I, ip, type) with I in matrix form."""
+        inv = InvariantSet(
+            pairs=[(0, 1)], baseline=np.array([0.5]),
+            catalog=MetricCatalog(names=("a", "b")),
+        )
+        path = tmp_path / "inv.xml"
+        save_invariants(inv, CTX, path)
+        root = ET.parse(path).getroot()
+        assert root.get("ip") == "10.0.0.11"
+        assert root.get("type") == "wordcount"
+        assert root.find("matrix") is not None
+
+    def test_full_catalog_roundtrip(self, tmp_path):
+        cat = MetricCatalog()
+        pairs = cat.pairs()[:40]
+        inv = InvariantSet(
+            pairs=pairs,
+            baseline=np.linspace(0, 1, len(pairs)),
+            catalog=cat,
+        )
+        path = tmp_path / "inv.xml"
+        save_invariants(inv, CTX, path)
+        loaded, _ = load_invariants(path)
+        assert loaded.pairs == pairs
+
+
+class TestSignatureStore:
+    def test_roundtrip(self, tmp_path):
+        db = SignatureDatabase()
+        db.add(
+            np.array([True, False, True]), "CPU-hog",
+            ip="10.0.0.11", workload="wordcount",
+        )
+        db.add(np.array([False, True, False]), "Mem-hog")
+        path = tmp_path / "sigs.xml"
+        save_signatures(db, path)
+        loaded = load_signatures(path)
+        assert len(loaded) == 2
+        assert loaded.signatures[0].violations == (True, False, True)
+        assert loaded.signatures[0].problem == "CPU-hog"
+        assert loaded.signatures[0].ip == "10.0.0.11"
+        assert loaded.signatures[0].workload == "wordcount"
+
+    def test_four_tuple_schema(self, tmp_path):
+        """The paper stores (binary tuple, problem, ip, workload type)."""
+        db = SignatureDatabase()
+        db.add(np.array([True, True]), "Suspend", ip="x", workload="sort")
+        path = tmp_path / "sigs.xml"
+        save_signatures(db, path)
+        el = ET.parse(path).getroot().find("signature")
+        assert el is not None
+        assert el.text == "11"
+        assert el.get("problem") == "Suspend"
+        assert el.get("type") == "sort"
+
+    def test_wrong_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.xml"
+        path.write_text("<nope/>")
+        with pytest.raises(ValueError):
+            load_signatures(path)

@@ -1,0 +1,161 @@
+"""Tests for the InvarNetX facade (uses session-scoped trained fixtures)."""
+
+import numpy as np
+import pytest
+
+from repro.core import InvarNetX, InvarNetXConfig, OperationContext
+from repro.core.pipeline import ABNORMAL_WINDOW_TICKS
+from repro.faults.spec import FaultSpec, build_fault
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        cfg = InvarNetXConfig()
+        assert cfg.tau == 0.2
+        assert cfg.epsilon == 0.2
+        assert cfg.beta == 1.2
+        assert cfg.use_operation_context
+
+    def test_mic_params_propagated(self):
+        cfg = InvarNetXConfig(mic_alpha=0.5, mic_clumps_factor=10)
+        p = cfg.mic_params()
+        assert p.alpha == 0.5
+        assert p.clumps_factor == 10
+
+
+class TestSliceWindows:
+    def test_exact_multiple(self):
+        windows = InvarNetX.slice_windows(np.zeros((90, 26)), 30)
+        assert [w.shape[0] for w in windows] == [30, 30, 30]
+
+    def test_runt_dropped(self):
+        windows = InvarNetX.slice_windows(np.zeros((70, 26)), 30)
+        assert [w.shape[0] for w in windows] == [30, 30]
+
+    def test_large_runt_kept(self):
+        windows = InvarNetX.slice_windows(np.zeros((85, 26)), 30)
+        assert [w.shape[0] for w in windows] == [30, 30, 25]
+
+
+class TestTraining:
+    def test_training_registers_context(
+        self, trained_pipeline, wordcount_context
+    ):
+        assert wordcount_context.key() in trained_pipeline.contexts()
+
+    def test_invariants_cover_zero_pairs(
+        self, trained_pipeline, wordcount_context
+    ):
+        inv = trained_pipeline._slot(wordcount_context).invariants
+        assert inv is not None
+        assert len(inv) > 50
+        assert np.any(inv.baseline == 0.0)  # stable silent pairs
+
+    def test_signature_requires_invariants(self, cluster):
+        pipe = InvarNetX()
+        ctx = OperationContext("sort", "slave-1")
+        with pytest.raises(RuntimeError, match="invariants"):
+            pipe.train_signature(ctx, "CPU-hog", np.zeros((30, 26)))
+
+    def test_detect_requires_model(self):
+        pipe = InvarNetX()
+        with pytest.raises(RuntimeError, match="performance model"):
+            pipe.detect(OperationContext("sort", "slave-1"), np.ones(50))
+
+
+class TestDiagnosis:
+    def test_normal_run_not_flagged(
+        self, cluster, trained_pipeline, wordcount_context
+    ):
+        run = cluster.run("wordcount", seed=7777)
+        result = trained_pipeline.diagnose_run(wordcount_context, run)
+        assert not result.detected
+        assert result.inference is None
+        assert result.root_cause is None
+
+    @pytest.mark.parametrize(
+        "fault_name", ["CPU-hog", "Mem-hog", "Disk-hog", "Suspend"]
+    )
+    def test_trained_faults_diagnosed(
+        self, cluster, trained_pipeline, wordcount_context, fault_name
+    ):
+        fault = build_fault(fault_name, FaultSpec("slave-1", 30, 30))
+        run = cluster.run("wordcount", faults=[fault], seed=8800)
+        result = trained_pipeline.diagnose_run(wordcount_context, run)
+        assert result.detected
+        assert result.root_cause == fault_name
+
+    def test_extract_window_length(
+        self, cluster, trained_pipeline, wordcount_context
+    ):
+        fault = build_fault("CPU-hog", FaultSpec("slave-1", 30, 30))
+        run = cluster.run("wordcount", faults=[fault], seed=8801)
+        window = trained_pipeline.extract_abnormal_window(
+            wordcount_context, run
+        )
+        assert window is not None
+        assert window.shape == (ABNORMAL_WINDOW_TICKS, 26)
+
+    def test_extract_window_none_when_healthy(
+        self, cluster, trained_pipeline, wordcount_context
+    ):
+        run = cluster.run("wordcount", seed=7778)
+        assert (
+            trained_pipeline.extract_abnormal_window(wordcount_context, run)
+            is None
+        )
+
+    def test_unknown_problem_reports_hints(
+        self, cluster, trained_pipeline, wordcount_context
+    ):
+        """A fault with no stored signature still yields violated-pair
+        hints (the paper's fallback for unknown problems)."""
+        fault = build_fault("Net-drop", FaultSpec("slave-1", 30, 30))
+        run = cluster.run("wordcount", faults=[fault], seed=8802)
+        result = trained_pipeline.diagnose_run(wordcount_context, run)
+        assert result.detected
+        assert result.inference is not None
+        assert result.inference.hints  # operator clues
+
+
+class TestNoOperationContext:
+    def test_contexts_collapse_to_global(self, cluster):
+        pipe = InvarNetX(InvarNetXConfig(use_operation_context=False))
+        a = OperationContext("wordcount", "slave-1")
+        b = OperationContext("sort", "slave-2")
+        assert pipe._key(a) == pipe._key(b) == ("*", "*")
+
+
+class TestPersistenceIntegration:
+    def test_save_context_writes_three_files(
+        self, tmp_path, trained_pipeline, wordcount_context
+    ):
+        written = trained_pipeline.save_context(wordcount_context, tmp_path)
+        names = sorted(p.name for p in written)
+        assert names == [
+            "invariants_wordcount_slave-1.xml",
+            "model_wordcount_slave-1.xml",
+            "signatures_wordcount_slave-1.xml",
+        ]
+        for p in written:
+            assert p.stat().st_size > 0
+
+    def test_saved_artifacts_reload(
+        self, tmp_path, trained_pipeline, wordcount_context
+    ):
+        from repro.core.persistence import (
+            load_invariants,
+            load_performance_model,
+            load_signatures,
+        )
+
+        trained_pipeline.save_context(wordcount_context, tmp_path)
+        model, thr, ctx = load_performance_model(
+            tmp_path / "model_wordcount_slave-1.xml"
+        )
+        inv, _ = load_invariants(tmp_path / "invariants_wordcount_slave-1.xml")
+        db = load_signatures(tmp_path / "signatures_wordcount_slave-1.xml")
+        assert ctx == wordcount_context
+        slot = trained_pipeline._slot(wordcount_context)
+        assert len(inv) == len(slot.invariants)
+        assert len(db) == len(slot.database)

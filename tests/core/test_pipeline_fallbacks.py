@@ -1,0 +1,71 @@
+"""Tests for the pipeline's less-travelled paths."""
+
+import numpy as np
+import pytest
+
+from repro.faults.spec import FaultSpec, build_fault
+
+
+class TestSignatureTrainingFallback:
+    def test_undetected_training_run_falls_back_to_fault_window(
+        self, cluster, trained_pipeline, wordcount_context
+    ):
+        """An operator investigating a known problem has the injection
+        window even when the detector missed it; signature training must
+        use it rather than fail."""
+        # intensity 0.2 sits below the detection boundary
+        fault = build_fault(
+            "CPU-hog", FaultSpec("slave-1", 30, 30, intensity=0.2)
+        )
+        run = cluster.run("wordcount", faults=[fault], seed=8860)
+        report = trained_pipeline.detect(
+            wordcount_context, run.node("slave-1").cpi
+        )
+        assert not report.problem_detected  # precondition
+        violations = trained_pipeline.train_signature_from_run(
+            wordcount_context, "Faint-hog", run
+        )
+        assert violations is not None
+        assert violations.dtype == bool
+
+    def test_undetected_run_without_fault_window_returns_none(
+        self, cluster, trained_pipeline, wordcount_context
+    ):
+        run = cluster.run("wordcount", seed=8861)  # healthy, no window
+        result = trained_pipeline.train_signature_from_run(
+            wordcount_context, "ghost", run
+        )
+        assert result is None
+        assert "ghost" not in trained_pipeline._slot(
+            wordcount_context
+        ).database.problems
+
+    def test_top_k_controls_cause_list_length(
+        self, cluster, trained_pipeline, wordcount_context
+    ):
+        fault = build_fault("CPU-hog", FaultSpec("slave-1", 30, 30))
+        run = cluster.run("wordcount", faults=[fault], seed=8862)
+        result = trained_pipeline.diagnose_run(
+            wordcount_context, run, top_k=2
+        )
+        assert result.inference is not None
+        assert len(result.inference.causes) == 2
+
+
+class TestAssociationMatrixEdges:
+    def test_run_association_matrix_rejects_tiny_run(
+        self, trained_pipeline
+    ):
+        with pytest.raises(ValueError, match="too short"):
+            trained_pipeline.run_association_matrix(np.zeros((10, 26)))
+
+    def test_window_and_run_matrices_agree_on_strong_pairs(
+        self, cluster, trained_pipeline
+    ):
+        """The run-average matrix is the mean of window matrices, so a
+        pair at the MIC ceiling in every window stays at the ceiling."""
+        run = cluster.run("wordcount", seed=8863)
+        metrics = run.node("slave-1").metrics
+        run_matrix = trained_pipeline.run_association_matrix(metrics)
+        # disk_read_kbs vs disk_read_ops is a fixed ratio + tiny noise
+        assert run_matrix.score("disk_read_kbs", "disk_read_ops") > 0.85

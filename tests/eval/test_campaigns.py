@@ -1,0 +1,66 @@
+"""Unit tests for campaign generation (determinism, seed hygiene)."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.campaigns import CampaignConfig, FaultCampaign
+
+
+@pytest.fixture()
+def campaign(cluster):
+    config = CampaignConfig(
+        workload="grep", n_normal=2, train_reps=1, test_reps=2, base_seed=5
+    )
+    return FaultCampaign(cluster, config, ("CPU-hog", "Mem-hog"))
+
+
+class TestCampaign:
+    def test_normal_runs_deterministic(self, campaign):
+        a = campaign.normal_runs()
+        b = campaign.normal_runs()
+        assert len(a) == 2
+        for x, y in zip(a, b):
+            assert np.allclose(
+                x.node("slave-1").cpi, y.node("slave-1").cpi
+            )
+
+    def test_train_and_test_seeds_disjoint(self, campaign):
+        train = list(campaign.train_runs("CPU-hog"))
+        test = list(campaign.test_runs("CPU-hog"))
+        assert {t.seed for t in train}.isdisjoint({t.seed for t in test})
+
+    def test_fault_seeds_disjoint_across_faults(self, campaign):
+        a = {t.seed for t in campaign.test_runs("CPU-hog")}
+        b = {t.seed for t in campaign.test_runs("Mem-hog")}
+        assert a.isdisjoint(b)
+
+    def test_runs_carry_fault_metadata(self, campaign):
+        run = next(campaign.train_runs("Mem-hog"))
+        assert run.fault == "Mem-hog"
+        assert run.fault_node == "slave-1"
+
+    def test_counts_respected(self, campaign):
+        assert len(list(campaign.train_runs("CPU-hog"))) == 1
+        assert len(list(campaign.test_runs("CPU-hog"))) == 2
+
+    def test_unknown_node_rejected(self, cluster):
+        config = CampaignConfig(workload="grep", node="slave-77")
+        with pytest.raises(ValueError):
+            FaultCampaign(cluster, config, ("CPU-hog",))
+
+    def test_no_faults_rejected(self, cluster):
+        config = CampaignConfig(workload="grep")
+        with pytest.raises(ValueError):
+            FaultCampaign(cluster, config, ())
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(workload="grep", n_normal=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(workload="grep", test_reps=0)
+
+    def test_with_workload(self):
+        config = CampaignConfig(workload="grep", test_reps=7)
+        other = config.with_workload("sort")
+        assert other.workload == "sort"
+        assert other.test_reps == 7

@@ -1,0 +1,60 @@
+"""Unit tests for precision/recall scoring."""
+
+import pytest
+
+from repro.eval.confusion import DiagnosisOutcome, score_outcomes
+
+
+def _o(truth, predicted, detected=True):
+    return DiagnosisOutcome(truth=truth, predicted=predicted, detected=detected)
+
+
+class TestScoreOutcomes:
+    def test_perfect_diagnosis(self):
+        outcomes = [_o("A", "A")] * 3 + [_o("B", "B")] * 3
+        scores = score_outcomes(outcomes)
+        assert scores["A"].precision == 1.0
+        assert scores["A"].recall == 1.0
+        assert scores["average"].precision == 1.0
+
+    def test_misdiagnosis_is_fn_for_truth_and_fp_for_prediction(self):
+        outcomes = [_o("A", "B"), _o("A", "A"), _o("B", "B")]
+        scores = score_outcomes(outcomes)
+        assert scores["A"].fn == 1
+        assert scores["A"].tp == 1
+        assert scores["B"].fp == 1
+        assert scores["B"].precision == pytest.approx(0.5)
+        assert scores["A"].recall == pytest.approx(0.5)
+
+    def test_undetected_counts_as_fn_only(self):
+        outcomes = [_o("A", None, detected=False), _o("A", "A")]
+        scores = score_outcomes(outcomes)
+        assert scores["A"].fn == 1
+        assert scores["A"].fp == 0
+        assert scores["A"].recall == pytest.approx(0.5)
+        assert scores["A"].precision == 1.0
+
+    def test_prediction_outside_fault_set_ignored_for_fp(self):
+        outcomes = [_o("A", "weird-cause")]
+        scores = score_outcomes(outcomes)
+        assert scores["A"].fn == 1
+        assert "weird-cause" not in scores
+
+    def test_average_is_unweighted_mean(self):
+        outcomes = [_o("A", "A")] * 4 + [_o("B", "A")]
+        scores = score_outcomes(outcomes)
+        expected_p = (scores["A"].precision + scores["B"].precision) / 2
+        assert scores["average"].precision == pytest.approx(expected_p)
+
+    def test_f1(self):
+        outcomes = [_o("A", "A"), _o("A", None, detected=False)]
+        pr = score_outcomes(outcomes)["A"]
+        assert pr.f1 == pytest.approx(2 * 1.0 * 0.5 / 1.5)
+
+    def test_f1_zero_when_nothing_found(self):
+        pr = score_outcomes([_o("A", None, detected=False)])["A"]
+        assert pr.f1 == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            score_outcomes([])

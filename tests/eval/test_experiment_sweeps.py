@@ -1,0 +1,74 @@
+"""Smoke tests for the sweep/extension experiment runners (tiny scales)."""
+
+import math
+
+from repro.core.pipeline import InvarNetXConfig
+from repro.eval.experiments import (
+    run_config_sweep,
+    run_intensity_sweep,
+    run_multi_fault_extension,
+    run_peer_blindspot_experiment,
+    run_training_size_sweep,
+)
+
+
+class TestIntensitySweep:
+    def test_point_per_intensity(self, cluster):
+        points = run_intensity_sweep(
+            cluster, intensities=(1.0,), reps=2
+        )
+        assert len(points) == 1
+        p = points[0]
+        assert p.intensity == 1.0
+        assert p.detection_rate == 1.0
+        assert not math.isnan(p.mean_latency_ticks)
+        assert p.diagnosis_accuracy == 1.0
+
+
+class TestTrainingSizeSweep:
+    def test_monotone_invariant_counts(self, cluster):
+        points = run_training_size_sweep(
+            cluster, sizes=(2, 4), faults=("CPU-hog", "Mem-hog"), reps=1
+        )
+        assert [p.n_runs for p in points] == [2, 4]
+        assert points[1].n_invariants <= points[0].n_invariants
+        for p in points:
+            assert 0.0 <= p.false_violation_rate <= 1.0
+            assert 0.0 <= p.diagnosis_accuracy <= 1.0
+
+
+class TestConfigSweep:
+    def test_same_campaign_for_every_config(self, cluster):
+        results = run_config_sweep(
+            {
+                "a": InvarNetXConfig(),
+                "b": InvarNetXConfig(epsilon=0.3),
+            },
+            cluster,
+            faults=("CPU-hog", "Suspend"),
+            test_reps=1,
+        )
+        assert set(results) == {"a", "b"}
+        for result in results.values():
+            truths = sorted({o.truth for o in result.outcomes})
+            assert truths == ["CPU-hog", "Suspend"]
+
+
+class TestMultiFaultExtension:
+    def test_rates_bounded(self, cluster):
+        result = run_multi_fault_extension(
+            cluster, pairs=(("CPU-hog", "Mem-hog"),), reps=2
+        )
+        pair = ("CPU-hog", "Mem-hog")
+        assert 0.0 <= result.pair_hits[pair] <= 1.0
+        assert 0.0 <= result.any_hits[pair] <= 1.0
+
+
+class TestPeerBlindspotShape:
+    def test_result_fields(self, cluster):
+        result = run_peer_blindspot_experiment(cluster)
+        assert isinstance(result.local_peer_flagged, list)
+        assert isinstance(result.global_invarnet_nodes, list)
+        assert set(result.peer_scores_global) == {
+            "slave-1", "slave-2", "slave-3", "slave-4",
+        }

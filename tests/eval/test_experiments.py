@@ -1,0 +1,88 @@
+"""Smoke/shape tests for the experiment runners (small repetitions)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import (
+    BATCH_FAULT_NAMES,
+    INTERACTIVE_FAULT_NAMES,
+    run_fig2_cpi_disturbance,
+    run_fig4_cpi_kpi,
+    run_fig5_residuals,
+    run_fig6_threshold_rules,
+)
+
+
+class TestFaultLists:
+    def test_fifteen_interactive_faults(self):
+        assert len(INTERACTIVE_FAULT_NAMES) == 15
+
+    def test_batch_drops_overload_only(self):
+        assert set(INTERACTIVE_FAULT_NAMES) - set(BATCH_FAULT_NAMES) == {
+            "Overload"
+        }
+
+
+class TestFig2:
+    def test_disturbance_is_benign_and_hog_is_not(self, cluster):
+        r = run_fig2_cpi_disturbance(cluster)
+        lo, hi = r.disturb_window
+        base = float(np.mean(r.baseline_cpi[lo:hi]))
+        disturbed = float(np.mean(r.disturbed_cpi[lo:hi]))
+        hogged = float(
+            np.mean(r.hogged_cpi[lo : min(hi, r.hogged_cpi.size)])
+        )
+        # paper: disturbance changes neither time nor CPI
+        assert disturbed == pytest.approx(base, rel=0.03)
+        assert abs(r.disturbed_ticks - r.baseline_ticks) <= 2
+        # ...but genuine contention moves both
+        assert hogged > base * 1.15
+        assert r.hogged_ticks > r.baseline_ticks
+
+
+class TestFig4:
+    def test_cpi_tracks_execution_time(self, cluster):
+        series = run_fig4_cpi_kpi(cluster, reps=10)
+        for s in series.values():
+            assert s.correlation > 0.9  # paper: 0.97 / 0.95
+            assert s.exec_norm.min() == pytest.approx(1.0)
+            assert s.kpi_norm.min() == pytest.approx(1.0)
+
+    def test_fit_is_monotone_over_observed_range(self, cluster):
+        series = run_fig4_cpi_kpi(cluster, reps=10)
+        for s in series.values():
+            grid = np.linspace(s.exec_norm.min(), s.exec_norm.max(), 50)
+            fitted = np.polyval(s.poly_coeffs, grid)
+            assert np.all(np.diff(fitted) > -0.02)
+
+
+class TestFig5:
+    def test_fault_residuals_exceed_threshold(self, cluster):
+        series = run_fig5_residuals(cluster)
+        assert set(series) == {"wordcount", "tpcds"}
+        for s in series.values():
+            lo, hi = s.fault_window
+            resid = np.abs(s.residuals)
+            inside = resid[lo:hi]
+            inside = inside[~np.isnan(inside)]
+            outside = resid[:lo]
+            outside = outside[~np.isnan(outside)]
+            assert np.mean(inside) > np.mean(outside) * 2
+            assert np.max(inside) > s.threshold_upper
+
+
+class TestFig6:
+    def test_pct95_is_noisiest_rule(self, cluster):
+        scores = run_fig6_threshold_rules(cluster)
+        for rows in scores.values():
+            by_rule = {r.rule: r for r in rows}
+            assert (
+                by_rule["95-percentile"].false_positive_rate
+                >= by_rule["beta-max"].false_positive_rate
+            )
+
+    def test_all_rules_detect_the_problem(self, cluster):
+        scores = run_fig6_threshold_rules(cluster)
+        for rows in scores.values():
+            for r in rows:
+                assert r.problem_detected

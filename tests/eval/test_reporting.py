@@ -1,0 +1,153 @@
+"""Tests for the paper-style report formatting."""
+
+import numpy as np
+
+from repro.eval.confusion import PrecisionRecall
+from repro.eval.experiments import (
+    DiagnosisExperimentResult,
+    Fig2Result,
+    Fig4Series,
+    Fig5Series,
+    Fig6RuleScore,
+    OverheadRow,
+)
+from repro.eval.reporting import (
+    format_comparison,
+    format_diagnosis,
+    format_fig2,
+    format_fig4,
+    format_fig5,
+    format_fig6,
+    format_table1,
+)
+
+
+def _pr(p, r):
+    return PrecisionRecall(precision=p, recall=r, tp=1, fp=0, fn=0)
+
+
+def _result(system="InvarNet-X"):
+    return DiagnosisExperimentResult(
+        workload="wordcount",
+        system=system,
+        scores={
+            "CPU-hog": _pr(1.0, 0.9),
+            "Lock-R": _pr(0.8, 0.3),
+            "average": _pr(0.9, 0.6),
+        },
+    )
+
+
+class TestFormatters:
+    def test_fig2_mentions_all_three_conditions(self):
+        r = Fig2Result(
+            baseline_ticks=100,
+            disturbed_ticks=101,
+            hogged_ticks=110,
+            baseline_cpi=np.full(100, 1.1),
+            disturbed_cpi=np.full(100, 1.1),
+            hogged_cpi=np.full(110, 1.4),
+            disturb_window=(45, 75),
+        )
+        text = format_fig2(r)
+        assert "baseline=100" in text
+        assert "disturbed=101" in text
+        assert "CPU-hog=110" in text
+
+    def test_fig4_reports_correlation_and_fit(self):
+        s = Fig4Series(
+            workload="wordcount",
+            exec_norm=np.array([1.0, 1.5, 2.0]),
+            kpi_norm=np.array([1.0, 1.4, 2.1]),
+            correlation=0.97,
+            poly_coeffs=np.array([0.5, 0.2, 0.3]),
+            poly_r2=0.99,
+        )
+        text = format_fig4({"wordcount": s})
+        assert "r=0.970" in text
+        assert "R^2=0.990" in text
+
+    def test_fig5_reports_threshold(self):
+        resid = np.full(80, 0.01)
+        resid[40:70] = 0.3
+        s = Fig5Series(
+            workload="tpcds",
+            residuals=resid,
+            fault_window=(40, 70),
+            threshold_upper=0.15,
+        )
+        text = format_fig5({"tpcds": s})
+        assert "threshold=0.1500" in text
+        assert "fault=0.3000" in text
+
+    def test_fig6_lists_every_rule(self):
+        rows = [
+            Fig6RuleScore("max-min", 0.6, 0.01, True),
+            Fig6RuleScore("95-percentile", 0.8, 0.06, True),
+            Fig6RuleScore("beta-max", 0.6, 0.0, True),
+        ]
+        text = format_fig6({"wordcount": rows})
+        for rule in ("max-min", "95-percentile", "beta-max"):
+            assert rule in text
+
+    def test_diagnosis_has_average_row_last(self):
+        text = format_diagnosis(_result(), "title")
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert "AVERAGE" in lines[-1]
+        assert "Lock-R" in text
+        # per-fault rows exclude the synthetic average key
+        assert sum("average" in ln for ln in lines) == 0
+
+    def test_comparison_lists_all_systems(self):
+        text = format_comparison(
+            {
+                "InvarNet-X": _result(),
+                "ARX": _result("ARX"),
+                "no-context": _result("no-context"),
+            }
+        )
+        for name in ("InvarNet-X", "ARX", "no-context"):
+            assert name in text
+
+    def test_table1_columns(self):
+        rows = [
+            OverheadRow(
+                workload="wordcount",
+                perf_model=0.01,
+                invariant_mic=3.0,
+                invariant_arx=4.0,
+                signature_build=0.2,
+                detect=0.0002,
+                cause_infer=0.15,
+                cause_infer_arx=0.01,
+            )
+        ]
+        text = format_table1(rows)
+        assert "Invar-C(ARX)" in text
+        assert "wordcount" in text
+        assert "3.00" in text
+
+    def test_bars_bounded(self):
+        from repro.eval.reporting import _bar
+
+        assert _bar(0.0) == "." * 24
+        assert _bar(1.0) == "#" * 24
+        assert _bar(2.0) == "#" * 24  # clamped
+        assert len(_bar(0.37)) == 24
+
+
+class TestConfusionView:
+    def test_confusion_counts(self):
+        from repro.eval.confusion import DiagnosisOutcome
+
+        result = _result()
+        result.outcomes = [
+            DiagnosisOutcome("CPU-hog", "CPU-hog", True),
+            DiagnosisOutcome("CPU-hog", "Lock-R", True),
+            DiagnosisOutcome("Lock-R", None, False),
+        ]
+        conf = result.confusion()
+        assert conf[("CPU-hog", "CPU-hog")] == 1
+        assert conf[("CPU-hog", "Lock-R")] == 1
+        assert conf[("Lock-R", "none")] == 1

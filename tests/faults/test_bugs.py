@@ -1,0 +1,107 @@
+"""Manifestation tests for the six software-bug faults."""
+
+import numpy as np
+import pytest
+
+from repro.faults.bugs import LockRaceFault, RpcHangFault, ThreadLeakFault
+from repro.faults.spec import FaultSpec, build_fault
+
+SPEC = FaultSpec("slave-1", start=0, duration=30)
+
+
+class TestRpcHang:
+    def test_stall_pattern_is_per_run(self):
+        fault = RpcHangFault(SPEC)
+        fault.begin_run(np.random.default_rng(1))
+        first = dict(fault._stalled)
+        fault.begin_run(np.random.default_rng(2))
+        assert first != fault._stalled
+
+    def test_stalls_are_bouts(self, rng):
+        """Hangs persist across ticks rather than flickering."""
+        fault = RpcHangFault(FaultSpec("slave-1", 0, 2000))
+        fault.begin_run(rng)
+        flags = [fault._stalled[t] for t in range(2000)]
+        transitions = sum(a != b for a, b in zip(flags, flags[1:]))
+        assert transitions < 0.6 * len(flags)
+
+    def test_stalled_ticks_hurt_more(self, rng):
+        fault = RpcHangFault(SPEC)
+        fault.begin_run(rng)
+        stalled_t = next(t for t, s in fault._stalled.items() if s)
+        ok_t = next(t for t, s in fault._stalled.items() if not s)
+        stalled = fault.modifiers(stalled_t, rng)
+        healthy = fault.modifiers(ok_t, rng)
+        assert stalled.progress_factor < healthy.progress_factor
+        assert stalled.activity_factor < healthy.activity_factor
+
+
+class TestThreadLeak:
+    def test_leak_grows_monotonically(self, rng):
+        fault = ThreadLeakFault(SPEC)
+        fault.begin_run(rng)
+        mems = [fault.modifiers(t, rng).external.mem_mb for t in range(30)]
+        assert all(b > a for a, b in zip(mems, mems[1:]))
+
+    def test_sockets_accumulate(self, rng):
+        fault = ThreadLeakFault(SPEC)
+        fault.begin_run(rng)
+        early = fault.metric_effects(2, rng).add["sock_used"]
+        late = fault.metric_effects(28, rng).add["sock_used"]
+        assert late > early * 5
+
+    def test_cpi_degrades_with_leak(self, rng):
+        fault = ThreadLeakFault(SPEC)
+        fault.begin_run(rng)
+        early = np.mean([fault.modifiers(2, rng).cpi_factor for _ in range(50)])
+        late = np.mean([fault.modifiers(28, rng).cpi_factor for _ in range(50)])
+        assert late > early
+
+
+class TestLockRace:
+    def test_manifestation_is_nondeterministic_across_runs(self):
+        """Paper §4.3: Lock-R makes different violations in different
+        runs — the source of its low recall."""
+        fault = LockRaceFault(SPEC)
+        seen = set()
+        for seed in range(12):
+            fault.begin_run(np.random.default_rng(seed))
+            seen.add(frozenset(fault._effects))
+        assert len(seen) >= 5
+
+    def test_effect_subset_size_bounds(self):
+        fault = LockRaceFault(SPEC)
+        for seed in range(20):
+            fault.begin_run(np.random.default_rng(seed))
+            assert 2 <= len(fault._effects) <= 4
+
+    def test_spinning_always_inflates_cpi(self, rng):
+        """All manifestations share the lock-spin CPI cost (detectable)."""
+        fault = LockRaceFault(SPEC)
+        for seed in range(10):
+            fault.begin_run(np.random.default_rng(seed))
+            assert fault.modifiers(5, rng).cpi_factor > 1.1
+
+
+class TestOtherBugs:
+    def test_h1036_restart_storms_persist(self, rng):
+        fault = build_fault("H-1036", FaultSpec("slave-1", 0, 2000))
+        fault.begin_run(rng)
+        flags = [fault._crashing[t] for t in range(2000)]
+        assert 0.3 < np.mean(flags) < 0.9
+        transitions = sum(a != b for a, b in zip(flags, flags[1:]))
+        assert transitions < 0.6 * len(flags)
+
+    def test_h1970_jitters_network(self, rng):
+        fault = build_fault("H-1970", SPEC)
+        fault.begin_run(rng)
+        fx = fault.metric_effects(5, rng)
+        assert fx.noise["net_tx_kbs"] > 0.2
+        assert fx.add["sock_used"] > 0
+
+    def test_block_receiver_collapses_writes(self, rng):
+        fault = build_fault("Block-R", SPEC)
+        fault.begin_run(rng)
+        fx = fault.metric_effects(5, rng)
+        assert fx.scale["disk_write_kbs"] < 0.5
+        assert fx.scale["net_rx_kbs"] < 0.8

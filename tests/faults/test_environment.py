@@ -1,0 +1,109 @@
+"""Manifestation tests for the nine environment faults."""
+
+import numpy as np
+import pytest
+
+from repro.faults.environment import CpuDisturbanceFault, OverloadFault
+from repro.faults.spec import FaultSpec, build_fault
+
+SPEC = FaultSpec("slave-1", start=0, duration=30)
+
+
+def _mods(name, rng, tick=5):
+    fault = build_fault(name, SPEC)
+    fault.begin_run(rng)
+    return fault.modifiers(tick, rng)
+
+
+def _fx(name, rng, tick=5):
+    fault = build_fault(name, SPEC)
+    fault.begin_run(rng)
+    return fault.metric_effects(tick, rng)
+
+
+class TestHogs:
+    def test_cpu_hog_burns_cpu_only(self, rng):
+        m = _mods("CPU-hog", rng)
+        assert m.external.cpu > 0.5
+        assert m.external.disk_read_kbs == 0.0
+        assert m.external.net_rx_kbs == 0.0
+
+    def test_cpu_hog_intensity_fluctuates(self, rng):
+        fault = build_fault("CPU-hog", SPEC)
+        fault.begin_run(rng)
+        vals = [fault.modifiers(t, rng).external.cpu for t in range(30)]
+        assert np.std(vals) > 0.05
+
+    def test_mem_hog_overcommits(self, rng):
+        m = _mods("Mem-hog", rng)
+        assert m.external.mem_mb > 9_000
+
+    def test_disk_hog_saturates_disk(self, rng):
+        m = _mods("Disk-hog", rng)
+        total = m.external.disk_read_kbs + m.external.disk_write_kbs
+        assert total > 90_000
+
+
+class TestNetworkFaults:
+    def test_drop_and_delay_share_manifestation_shape(self, rng):
+        """The paper's 'signature conflict': near-identical effects."""
+        drop = _mods("Net-drop", rng)
+        delay = _mods("Net-delay", rng)
+        assert drop.net_capacity_factor < 0.3
+        assert delay.net_capacity_factor < 0.3
+        assert drop.cpi_factor == pytest.approx(delay.cpi_factor, rel=0.15)
+
+    def test_both_raise_retransmissions(self, rng):
+        for name in ("Net-drop", "Net-delay"):
+            fx = _fx(name, rng)
+            assert fx.add["tcp_retrans_per_sec"] > 5.0
+
+    def test_drop_is_burstier_than_delay(self, rng):
+        drop = _fx("Net-drop", rng)
+        delay = _fx("Net-delay", rng)
+        assert drop.noise["net_rx_kbs"] > delay.noise["net_rx_kbs"]
+
+
+class TestOtherEnvironmentFaults:
+    def test_block_corruption_adds_reads_and_refetches(self, rng):
+        m = _mods("Block-C", rng)
+        assert m.external.disk_read_kbs > 0
+        assert m.external.net_rx_kbs > 0
+        assert m.progress_factor < 1.0
+
+    def test_misconf_floods_scheduling_metrics(self, rng):
+        fx = _fx("Misconf", rng)
+        assert fx.add["ctxt_per_sec"] > 3_000
+        assert fx.add["intr_per_sec"] > 1_000
+
+    def test_suspend_stops_everything(self, rng):
+        m = _mods("Suspend", rng)
+        assert m.activity_factor == 0.0
+        assert m.progress_factor == 0.0
+
+    def test_overload_extra_concurrency_only_in_window(self, rng):
+        fault = OverloadFault(FaultSpec("slave-1", 10, 10))
+        fault.begin_run(rng)
+        assert fault.extra_concurrency(5) == 0
+        assert fault.extra_concurrency(15) == OverloadFault.EXTRA_QUERIES
+        assert fault.extra_concurrency(25) == 0
+
+    def test_non_overload_faults_add_no_concurrency(self, rng):
+        fault = build_fault("CPU-hog", SPEC)
+        assert fault.extra_concurrency(5) == 0
+
+
+class TestCpuDisturbance:
+    def test_not_in_catalog(self):
+        """Fig. 2's benign disturbance is not one of the 15 faults."""
+        from repro.faults.spec import ALL_FAULTS
+
+        assert "CPU-disturb" not in ALL_FAULTS
+
+    def test_adds_only_modest_cpu(self, rng):
+        fault = CpuDisturbanceFault(SPEC)
+        fault.begin_run(rng)
+        m = fault.modifiers(5, rng)
+        assert 0.25 <= m.external.cpu <= 0.35
+        assert m.cpi_factor == 1.0
+        assert m.progress_factor == 1.0

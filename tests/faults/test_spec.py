@@ -1,0 +1,82 @@
+"""Unit tests for the fault base machinery and catalog."""
+
+import pytest
+
+from repro.faults.spec import (
+    ALL_FAULTS,
+    BATCH_FAULTS,
+    INTERACTIVE_FAULTS,
+    FaultSpec,
+    build_fault,
+)
+
+
+class TestFaultSpec:
+    def test_window(self):
+        spec = FaultSpec("slave-1", start=30, duration=30)
+        assert spec.stop == 60
+
+    def test_paper_default_duration_is_five_minutes(self):
+        """§4.1: each fault lasts 5 min = 30 ten-second ticks."""
+        assert FaultSpec("slave-1", 0).duration == 30
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("slave-1", start=-1)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("slave-1", start=0, duration=0)
+
+
+class TestCatalog:
+    def test_fifteen_faults(self):
+        """§4.1 injects 9 environment faults + 6 software bugs."""
+        assert len(ALL_FAULTS) == 15
+
+    def test_paper_names_present(self):
+        expected = {
+            "CPU-hog", "Mem-hog", "Disk-hog", "Net-drop", "Net-delay",
+            "Block-C", "Misconf", "Overload", "Suspend",
+            "RPC-hang", "H-9703", "H-1036", "Lock-R", "H-1970", "Block-R",
+        }
+        assert set(ALL_FAULTS) == expected
+
+    def test_batch_excludes_overload(self):
+        assert "Overload" not in BATCH_FAULTS
+        assert len(BATCH_FAULTS) == 14
+
+    def test_interactive_includes_all(self):
+        assert set(INTERACTIVE_FAULTS) == set(ALL_FAULTS)
+
+    def test_build_fault_unknown_name(self):
+        with pytest.raises(KeyError, match="known:"):
+            build_fault("Quantum-hog", FaultSpec("slave-1", 0))
+
+    def test_build_fault_roundtrip(self):
+        for name in ALL_FAULTS:
+            fault = build_fault(name, FaultSpec("slave-2", 10, 20))
+            assert fault.name == name
+            assert fault.spec.target == "slave-2"
+
+
+class TestActivation:
+    def test_active_only_inside_window(self, rng):
+        fault = build_fault("CPU-hog", FaultSpec("slave-1", 10, 5))
+        fault.begin_run(rng)
+        assert not fault.active(9)
+        assert fault.active(10)
+        assert fault.active(14)
+        assert not fault.active(15)
+
+    def test_modifiers_none_outside_window(self, rng):
+        fault = build_fault("Mem-hog", FaultSpec("slave-1", 10, 5))
+        fault.begin_run(rng)
+        assert fault.modifiers(5, rng) is None
+        assert fault.modifiers(12, rng) is not None
+
+    def test_metric_effects_none_outside_window(self, rng):
+        fault = build_fault("Net-drop", FaultSpec("slave-1", 10, 5))
+        fault.begin_run(rng)
+        assert fault.metric_effects(3, rng) is None
+        assert fault.metric_effects(11, rng) is not None

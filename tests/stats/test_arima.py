@@ -1,0 +1,251 @@
+"""Unit tests for the from-scratch ARIMA implementation."""
+
+import numpy as np
+import pytest
+
+from repro.stats.arima import ARIMAModel, ARIMAOrder, fit_arima, select_order
+
+
+def _simulate_ar1(rng, n=800, phi=0.7, c=0.0, sigma=1.0):
+    y = np.zeros(n)
+    for t in range(1, n):
+        y[t] = c + phi * y[t - 1] + rng.normal(0, sigma)
+    return y
+
+
+def _simulate_arma11(rng, n=1500, phi=0.5, theta=0.3):
+    e = rng.normal(size=n)
+    y = np.zeros(n)
+    for t in range(1, n):
+        y[t] = phi * y[t - 1] + e[t] + theta * e[t - 1]
+    return y
+
+
+class TestARIMAOrder:
+    def test_validate_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ARIMAOrder(-1, 0, 1).validate()
+
+    def test_validate_rejects_degenerate(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            ARIMAOrder(0, 0, 0).validate()
+
+
+class TestFitAR:
+    def test_recovers_ar1_coefficient(self, rng):
+        y = _simulate_ar1(rng, phi=0.7)
+        model = fit_arima(y, (1, 0, 0))
+        assert model.ar[0] == pytest.approx(0.7, abs=0.08)
+        assert abs(model.intercept) < 0.2
+
+    def test_recovers_ar2(self, rng):
+        n = 2000
+        y = np.zeros(n)
+        for t in range(2, n):
+            y[t] = 0.5 * y[t - 1] + 0.3 * y[t - 2] + rng.normal()
+        model = fit_arima(y, (2, 0, 0))
+        assert model.ar[0] == pytest.approx(0.5, abs=0.08)
+        assert model.ar[1] == pytest.approx(0.3, abs=0.08)
+
+    def test_residual_variance_near_innovation_variance(self, rng):
+        y = _simulate_ar1(rng, sigma=2.0)
+        model = fit_arima(y, (1, 0, 0))
+        assert model.sigma2 == pytest.approx(4.0, rel=0.2)
+
+
+class TestFitARMA:
+    def test_recovers_arma11(self, rng):
+        y = _simulate_arma11(rng)
+        model = fit_arima(y, (1, 0, 1))
+        assert model.ar[0] == pytest.approx(0.5, abs=0.12)
+        assert model.ma[0] == pytest.approx(0.3, abs=0.15)
+
+    def test_refine_does_not_hurt(self, rng):
+        y = _simulate_arma11(rng, n=600)
+        base = fit_arima(y, (1, 0, 1))
+        refined = fit_arima(y, (1, 0, 1), refine=True)
+        assert refined.train_rss <= base.train_rss * 1.001
+
+    def test_ma_only(self, rng):
+        n = 2000
+        e = rng.normal(size=n)
+        y = e.copy()
+        y[1:] += 0.6 * e[:-1]
+        model = fit_arima(y, (0, 0, 1))
+        assert model.ma[0] == pytest.approx(0.6, abs=0.12)
+
+
+class TestDifferencedFit:
+    def test_arima_110_on_random_walk_with_ar_steps(self, rng):
+        w = _simulate_ar1(rng, phi=0.6)
+        y = np.cumsum(w)
+        model = fit_arima(y, (1, 1, 0))
+        assert model.ar[0] == pytest.approx(0.6, abs=0.08)
+
+    def test_arima_010_intercept_is_drift(self, rng):
+        y = np.cumsum(rng.normal(0.5, 1.0, size=2000))
+        model = fit_arima(y, (0, 1, 0))
+        assert model.intercept == pytest.approx(0.5, abs=0.1)
+
+
+class TestResiduals:
+    def test_warmup_region_is_nan(self, rng):
+        y = _simulate_ar1(rng, n=100)
+        model = fit_arima(y, (2, 1, 1))
+        resid = model.one_step_residuals(y)
+        warm = model.order.d + max(model.order.p, model.order.q)
+        assert np.all(np.isnan(resid[:warm]))
+        assert not np.any(np.isnan(resid[warm:]))
+
+    def test_residuals_approximately_white(self, rng):
+        from repro.stats.timeseries import ljung_box
+
+        y = _simulate_ar1(rng, phi=0.8)
+        model = fit_arima(y, (1, 0, 0))
+        resid = model.one_step_residuals(y)
+        _, p = ljung_box(resid[~np.isnan(resid)], nlags=8, n_fitted_params=1)
+        assert p > 0.001
+
+    def test_series_too_short_rejected(self, rng):
+        model = fit_arima(_simulate_ar1(rng, n=100), (2, 1, 0))
+        with pytest.raises(ValueError, match="too short"):
+            model.one_step_residuals([1.0, 2.0])
+
+
+class TestPrediction:
+    def test_predict_next_is_conditional_mean_ar1(self, rng):
+        y = _simulate_ar1(rng, phi=0.7)
+        model = fit_arima(y, (1, 0, 0))
+        manual = model.intercept + model.ar[0] * y[-1]
+        assert model.predict_next(y) == pytest.approx(manual, abs=1e-9)
+
+    def test_predict_next_tracks_level_after_differencing(self, rng):
+        y = np.cumsum(rng.normal(0.0, 1.0, 400)) + 100.0
+        model = fit_arima(y, (1, 1, 0))
+        pred = model.predict_next(y)
+        assert abs(pred - y[-1]) < 5.0  # next value near current level
+
+    def test_forecast_converges_to_mean(self, rng):
+        y = _simulate_ar1(rng, phi=0.6, c=2.0)
+        model = fit_arima(y, (1, 0, 0))
+        mean = model.intercept / (1 - model.ar[0])
+        fc = model.forecast(y, steps=100)
+        assert fc[-1] == pytest.approx(mean, abs=0.05)
+
+    def test_forecast_length_and_validation(self, rng):
+        y = _simulate_ar1(rng, n=120)
+        model = fit_arima(y, (1, 0, 0))
+        assert model.forecast(y, 7).shape == (7,)
+        with pytest.raises(ValueError):
+            model.forecast(y, 0)
+
+    def test_one_step_residual_scale_invariant_to_differencing(self, rng):
+        """Residuals are identical in differenced and original scale."""
+        y = np.cumsum(_simulate_ar1(rng, n=300))
+        model = fit_arima(y, (1, 1, 0))
+        pred = model.predict_next(y[:200])
+        resid_direct = y[200] - pred
+        full = model.one_step_residuals(y[:201])
+        assert resid_direct == pytest.approx(full[200], abs=1e-9)
+
+
+class TestSelectOrder:
+    def test_selects_d1_for_random_walk(self, rng):
+        y = np.cumsum(rng.normal(size=400))
+        order = select_order(y)
+        assert order.d == 1
+
+    def test_selects_d0_for_stationary(self, rng):
+        y = _simulate_ar1(rng, n=400)
+        assert select_order(y).d == 0
+
+    def test_prefers_low_order_for_ar1(self, rng):
+        y = _simulate_ar1(rng, n=1500, phi=0.7)
+        order = select_order(y, max_p=3, max_q=2)
+        assert order.p >= 1  # needs at least the true AR lag
+
+
+class TestModelValidation:
+    def test_wrong_ar_length_rejected(self):
+        with pytest.raises(ValueError, match="AR"):
+            ARIMAModel(
+                order=ARIMAOrder(2, 0, 0),
+                ar=np.array([0.5]),
+                ma=np.empty(0),
+                intercept=0.0,
+                sigma2=1.0,
+            )
+
+    def test_wrong_ma_length_rejected(self):
+        with pytest.raises(ValueError, match="MA"):
+            ARIMAModel(
+                order=ARIMAOrder(0, 0, 2),
+                ar=np.empty(0),
+                ma=np.array([0.5]),
+                intercept=0.0,
+                sigma2=1.0,
+            )
+
+    def test_aic_requires_training_stats(self):
+        model = ARIMAModel(
+            order=ARIMAOrder(1, 0, 0),
+            ar=np.array([0.5]),
+            ma=np.empty(0),
+            intercept=0.0,
+            sigma2=1.0,
+        )
+        with pytest.raises(ValueError, match="training"):
+            model.aic()
+
+
+class TestForecastInterval:
+    def test_interval_contains_mean(self, rng):
+        y = _simulate_ar1(rng, phi=0.6)
+        model = fit_arima(y, (1, 0, 0))
+        mean, lo, hi = model.forecast_interval(y, steps=10)
+        assert np.all(lo <= mean)
+        assert np.all(mean <= hi)
+
+    def test_interval_widens_with_horizon(self, rng):
+        y = _simulate_ar1(rng, phi=0.6)
+        model = fit_arima(y, (1, 0, 0))
+        _, lo, hi = model.forecast_interval(y, steps=20)
+        widths = hi - lo
+        assert all(b >= a - 1e-12 for a, b in zip(widths, widths[1:]))
+
+    def test_one_step_width_matches_sigma(self, rng):
+        y = _simulate_ar1(rng, phi=0.6, sigma=1.0)
+        model = fit_arima(y, (1, 0, 0))
+        _, lo, hi = model.forecast_interval(y, steps=1, level=0.95)
+        # one-step variance is sigma2; 95% half-width = 1.96 sigma
+        expected = 2 * 1.959964 * np.sqrt(model.sigma2)
+        assert (hi[0] - lo[0]) == pytest.approx(expected, rel=1e-4)
+
+    def test_empirical_coverage(self, rng):
+        """~95% of realised next values fall inside the 95% interval."""
+        phi, sigma = 0.7, 1.0
+        hits = 0
+        trials = 200
+        y = _simulate_ar1(rng, n=3000, phi=phi, sigma=sigma)
+        model = fit_arima(y[:800], (1, 0, 0))
+        for k in range(trials):
+            start = 800 + k * 10
+            history = y[:start]
+            _, lo, hi = model.forecast_interval(history, steps=1)
+            if lo[0] <= y[start] <= hi[0]:
+                hits += 1
+        assert hits / trials > 0.88
+
+    def test_random_walk_interval_grows_like_sqrt_h(self, rng):
+        y = np.cumsum(rng.normal(size=500))
+        model = fit_arima(y, (0, 1, 0))
+        _, lo, hi = model.forecast_interval(y, steps=16)
+        widths = hi - lo
+        # width(16) / width(4) ~ sqrt(16/4) = 2 for a pure random walk
+        assert widths[15] / widths[3] == pytest.approx(2.0, rel=0.1)
+
+    def test_level_validated(self, rng):
+        y = _simulate_ar1(rng, n=200)
+        model = fit_arima(y, (1, 0, 0))
+        with pytest.raises(ValueError):
+            model.forecast_interval(y, steps=5, level=1.5)

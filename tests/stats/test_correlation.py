@@ -1,0 +1,114 @@
+"""Unit tests for the association/regression helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.correlation import (
+    normalize_to_min,
+    pearson,
+    percentile,
+    polyfit2,
+    spearman,
+)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.arange(10.0)
+        assert pearson(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(10.0)
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self, rng):
+        assert abs(pearson(rng.normal(size=5000), rng.normal(size=5000))) < 0.05
+
+    def test_constant_returns_zero(self):
+        assert pearson([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson([1.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError):
+            pearson([1.0], [1.0])
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_bounded_and_symmetric(self, seed):
+        r = np.random.default_rng(seed)
+        x = r.normal(size=30)
+        y = r.normal(size=30)
+        c = pearson(x, y)
+        assert -1.0 - 1e-9 <= c <= 1.0 + 1e-9
+        assert c == pytest.approx(pearson(y, x))
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_is_one(self):
+        x = np.linspace(0.1, 2.0, 30)
+        assert spearman(x, np.exp(x)) == pytest.approx(1.0)
+
+    def test_ties_midranked(self):
+        # concordant with ties: should still be strongly positive
+        x = np.array([1.0, 1.0, 2.0, 3.0])
+        y = np.array([5.0, 5.0, 6.0, 7.0])
+        assert spearman(x, y) == pytest.approx(1.0)
+
+    def test_reversal_is_minus_one(self):
+        x = np.arange(20.0)
+        assert spearman(x, x[::-1]) == pytest.approx(-1.0)
+
+
+class TestPolyfit2:
+    def test_exact_quadratic(self):
+        x = np.linspace(-2, 2, 20)
+        y = 3 * x**2 - x + 0.5
+        coeffs, r2 = polyfit2(x, y)
+        assert np.allclose(coeffs, [3.0, -1.0, 0.5], atol=1e-9)
+        assert r2 == pytest.approx(1.0)
+
+    def test_r2_degrades_with_noise(self, rng):
+        x = np.linspace(0, 1, 100)
+        y = x**2
+        _, clean = polyfit2(x, y)
+        _, noisy = polyfit2(x, y + rng.normal(0, 0.5, 100))
+        assert clean > noisy
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            polyfit2([1.0, 2.0], [1.0, 2.0])
+
+
+class TestNormalizeToMin:
+    def test_minimum_maps_to_one(self):
+        out = normalize_to_min([4.0, 2.0, 8.0])
+        assert out.min() == pytest.approx(1.0)
+        assert np.allclose(out, [2.0, 1.0, 4.0])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            normalize_to_min([1.0, 0.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            normalize_to_min([])
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+
+    def test_p95_of_uniform(self, rng):
+        vals = rng.uniform(0, 1, 20000)
+        assert percentile(vals, 95) == pytest.approx(0.95, abs=0.01)
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([], 50)

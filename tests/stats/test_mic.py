@@ -1,0 +1,179 @@
+"""Unit and property tests for the from-scratch MIC implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.mic import MICParameters, mic, mic_matrix
+
+
+class TestFunctionalRelationships:
+    """Reshef et al.: MIC approaches 1 for noiseless functional relations."""
+
+    def test_linear(self, rng):
+        x = rng.uniform(0, 1, 300)
+        assert mic(x, 3.0 * x - 1.0) >= 0.99
+
+    def test_decreasing_linear(self, rng):
+        x = rng.uniform(0, 1, 300)
+        assert mic(x, -2.0 * x) >= 0.99
+
+    def test_parabola(self, rng):
+        x = rng.uniform(0, 1, 300)
+        assert mic(x, (x - 0.5) ** 2) >= 0.9
+
+    def test_exponential(self, rng):
+        x = rng.uniform(0, 1, 300)
+        assert mic(x, np.exp(3 * x)) >= 0.99
+
+    def test_moderate_frequency_sine(self, rng):
+        x = rng.uniform(0, 1, 400)
+        assert mic(x, np.sin(4 * np.pi * x)) >= 0.7
+
+    def test_step_function(self, rng):
+        x = rng.uniform(0, 1, 300)
+        assert mic(x, (x > 0.5).astype(float)) >= 0.9
+
+
+class TestIndependenceAndNoise:
+    def test_independent_low(self, rng):
+        scores = [
+            mic(rng.uniform(0, 1, 300), rng.uniform(0, 1, 300))
+            for _ in range(10)
+        ]
+        assert float(np.mean(scores)) < 0.3
+
+    def test_noise_degrades_monotonically(self, rng):
+        x = rng.uniform(0, 1, 400)
+        clean = mic(x, x)
+        mild = mic(x, x + rng.normal(0, 0.1, 400))
+        heavy = mic(x, x + rng.normal(0, 1.5, 400))
+        assert clean > mild > heavy
+
+    def test_correlated_beats_independent_at_window_scale(self, rng):
+        """The 30-sample windows of the pipeline must separate signal
+        from noise."""
+        n = 30
+        corr, indep = [], []
+        for _ in range(20):
+            x = rng.uniform(0, 1, n)
+            corr.append(mic(x, x + rng.normal(0, 0.05, n)))
+            indep.append(mic(rng.uniform(0, 1, n), rng.uniform(0, 1, n)))
+        assert float(np.mean(corr)) > float(np.mean(indep)) + 0.3
+
+
+class TestEdgeCases:
+    def test_constant_input_scores_zero(self, rng):
+        x = rng.uniform(0, 1, 100)
+        assert mic(x, np.full(100, 7.0)) == 0.0
+        assert mic(np.zeros(100), x) == 0.0
+
+    def test_too_few_points_scores_zero(self):
+        assert mic([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_nan_pairs_masked(self, rng):
+        x = rng.uniform(0, 1, 100)
+        y = 2 * x
+        x2 = x.copy()
+        x2[::10] = np.nan
+        assert mic(x2, y) >= 0.95
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mic([1.0, 2.0, 3.0, 4.0], [1.0, 2.0])
+
+    def test_heavy_ties(self, rng):
+        x = np.repeat([0.0, 1.0, 2.0], 30)
+        y = x * 2.0
+        score = mic(x, y + rng.normal(0, 1e-6, x.size))
+        assert score > 0.8
+
+    def test_binary_vs_binary(self, rng):
+        # MIC of a skewed binary variable with itself is its entropy H(p),
+        # slightly below 1 unless the classes are perfectly balanced.
+        x = (rng.uniform(0, 1, 200) > 0.5).astype(float)
+        assert mic(x, x) >= 0.9
+
+
+class TestMICProperties:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_range(self, seed):
+        r = np.random.default_rng(seed)
+        x = r.normal(size=40)
+        y = r.normal(size=40)
+        score = mic(x, y)
+        assert 0.0 <= score <= 1.0
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_symmetry(self, seed):
+        r = np.random.default_rng(seed)
+        x = r.normal(size=50)
+        y = x * 0.5 + r.normal(size=50)
+        assert mic(x, y) == pytest.approx(mic(y, x), abs=1e-12)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_monotone_transform_invariance(self, seed):
+        """MIC depends only on rank structure: strictly monotone transforms
+        of either variable leave it unchanged."""
+        r = np.random.default_rng(seed)
+        x = r.uniform(0.1, 2.0, 60)
+        y = x + r.normal(0, 0.2, 60)
+        base = mic(x, y)
+        assert mic(np.log(x), y) == pytest.approx(base, abs=1e-12)
+        assert mic(x, y**3) == pytest.approx(base, abs=1e-12)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_joint_permutation_invariance(self, seed):
+        r = np.random.default_rng(seed)
+        x = r.normal(size=50)
+        y = x + r.normal(size=50)
+        perm = r.permutation(50)
+        assert mic(x[perm], y[perm]) == pytest.approx(mic(x, y), abs=1e-12)
+
+
+class TestParameters:
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            MICParameters(alpha=0.0)
+        with pytest.raises(ValueError):
+            MICParameters(alpha=1.5)
+
+    def test_clumps_factor_bound(self):
+        with pytest.raises(ValueError):
+            MICParameters(clumps_factor=0)
+
+    def test_budget_floor(self):
+        assert MICParameters().budget(4) >= 4
+
+    def test_smaller_alpha_never_higher_budget(self):
+        small = MICParameters(alpha=0.4)
+        large = MICParameters(alpha=0.8)
+        for n in (20, 100, 1000):
+            assert small.budget(n) <= large.budget(n)
+
+
+class TestMicMatrix:
+    def test_shape_symmetry_diagonal(self, rng):
+        data = rng.normal(size=(60, 4))
+        m = mic_matrix(data)
+        assert m.shape == (4, 4)
+        assert np.allclose(m, m.T)
+        assert np.allclose(np.diag(m), 1.0)
+
+    def test_coupled_columns_score_high(self, rng):
+        base = rng.uniform(0, 1, 80)
+        data = np.column_stack(
+            [base, base * 2 + 1, rng.uniform(0, 1, 80)]
+        )
+        m = mic_matrix(data)
+        assert m[0, 1] >= 0.9
+        assert m[0, 2] < m[0, 1]
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(ValueError):
+            mic_matrix(rng.normal(size=30))

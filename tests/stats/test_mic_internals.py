@@ -1,0 +1,149 @@
+"""White-box tests of the MIC machinery (equipartition, clumps, DP).
+
+These target the parts of the MINE approximation where subtle bugs hide:
+bin balancing under ties, clump atomicity for repeated x values, the
+superclump coarsening bound and the dynamic programme's optimality on
+small cases that can be brute-forced.
+"""
+
+import importlib
+import itertools
+
+import numpy as np
+import pytest
+
+_mic = importlib.import_module("repro.stats.mic")
+
+
+class TestEquipartition:
+    def test_balanced_without_ties(self):
+        values = np.arange(12, dtype=float)
+        assign = _mic._equipartition(values, 3)
+        counts = np.bincount(assign)
+        assert list(counts) == [4, 4, 4]
+
+    def test_near_balanced_odd_sizes(self):
+        values = np.arange(10, dtype=float)
+        assign = _mic._equipartition(values, 3)
+        counts = np.bincount(assign)
+        assert counts.sum() == 10
+        assert max(counts) - min(counts) <= 1
+
+    def test_ties_stay_together(self):
+        values = np.array([0.0, 0.0, 0.0, 0.0, 1.0, 2.0])
+        assign = _mic._equipartition(values, 2)
+        assert len(set(assign[:4])) == 1  # the tie block is atomic
+
+    def test_assignment_non_decreasing(self, rng):
+        values = np.sort(rng.normal(size=50))
+        assign = _mic._equipartition(values, 5)
+        assert np.all(np.diff(assign) >= 0)
+
+    def test_two_point_split(self):
+        assign = _mic._equipartition(np.array([1.0, 2.0]), 2)
+        assert list(assign) == [0, 1]
+
+    def test_all_tied_single_bin(self):
+        assign = _mic._equipartition(np.zeros(8), 3)
+        assert len(set(assign)) == 1
+
+
+class TestClumps:
+    def test_clean_split_two_clumps(self):
+        x = np.arange(6, dtype=float)
+        q = np.array([0, 0, 0, 1, 1, 1])
+        boundaries = _mic._clumps(x, q)
+        assert list(boundaries) == [0, 3, 6]
+
+    def test_alternating_rows_many_clumps(self):
+        x = np.arange(6, dtype=float)
+        q = np.array([0, 1, 0, 1, 0, 1])
+        boundaries = _mic._clumps(x, q)
+        assert len(boundaries) - 1 == 6
+
+    def test_x_ties_with_mixed_rows_are_atomic(self):
+        x = np.array([0.0, 1.0, 1.0, 2.0])
+        q = np.array([0, 0, 1, 1])
+        boundaries = _mic._clumps(x, q)
+        # the tied block at x=1 spans rows 0 and 1 -> its own clump
+        assert 1 in boundaries and 3 in boundaries
+
+    def test_covers_all_points(self, rng):
+        x = np.sort(rng.normal(size=40))
+        q = (rng.random(40) > 0.5).astype(np.int64)
+        boundaries = _mic._clumps(x, q)
+        assert boundaries[0] == 0
+        assert boundaries[-1] == 40
+        assert np.all(np.diff(boundaries) > 0)
+
+
+class TestSuperclumps:
+    def test_no_coarsening_when_under_limit(self):
+        boundaries = np.array([0, 3, 6, 10])
+        out = _mic._superclumps(boundaries, 10, k_hat=5)
+        assert np.array_equal(out, boundaries)
+
+    def test_coarsens_to_at_most_k_hat(self):
+        boundaries = np.arange(0, 41)  # 40 singleton clumps
+        out = _mic._superclumps(boundaries, 40, k_hat=8)
+        assert len(out) - 1 <= 8
+        assert out[0] == 0 and out[-1] == 40
+
+    def test_respects_clump_boundaries(self):
+        boundaries = np.array([0, 5, 6, 7, 20])
+        out = _mic._superclumps(boundaries, 20, k_hat=2)
+        assert set(out) <= set(boundaries)
+
+
+class TestDynamicProgramme:
+    def _brute_force(self, q_x, n_cols, rows):
+        """Exhaustive max of -n*H(Q|P) over all column partitions."""
+        n = q_x.size
+        best = -np.inf
+        for cuts in itertools.combinations(range(1, n), n_cols - 1):
+            edges = [0, *cuts, n]
+            total = 0.0
+            for a, b in zip(edges, edges[1:]):
+                seg = q_x[a:b]
+                m = seg.size
+                for r in range(rows):
+                    c = int(np.sum(seg == r))
+                    if c > 0:
+                        total += c * np.log(c / m)
+            best = max(best, total)
+        return best
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_dp_matches_brute_force_on_singleton_clumps(self, seed):
+        rng = np.random.default_rng(seed)
+        n, rows, cols = 10, 2, 3
+        q_x = rng.integers(0, rows, n).astype(np.int64)
+        # singleton clumps let the DP consider every cut position
+        boundaries = np.arange(0, n + 1)
+        onehot = np.zeros((n + 1, rows), dtype=np.int64)
+        np.add.at(onehot[1:], (np.arange(n), q_x), 1)
+        cum = np.cumsum(onehot, axis=0)[boundaries]
+        g = _mic._optimize_axis(cum, n, cols)
+        assert g[cols] == pytest.approx(
+            self._brute_force(q_x, cols, rows), abs=1e-9
+        )
+
+    def test_more_columns_never_worse(self, rng):
+        n, rows = 20, 3
+        q_x = rng.integers(0, rows, n).astype(np.int64)
+        boundaries = np.arange(0, n + 1)
+        onehot = np.zeros((n + 1, rows), dtype=np.int64)
+        np.add.at(onehot[1:], (np.arange(n), q_x), 1)
+        cum = np.cumsum(onehot, axis=0)[boundaries]
+        g = _mic._optimize_axis(cum, n, 5)
+        finite = [v for v in g[1:] if np.isfinite(v)]
+        assert all(b >= a - 1e-9 for a, b in zip(finite, finite[1:]))
+
+    def test_perfectly_separable_reaches_zero_conditional_entropy(self):
+        q_x = np.array([0, 0, 0, 1, 1, 1], dtype=np.int64)
+        boundaries = np.array([0, 3, 6])
+        onehot = np.zeros((7, 2), dtype=np.int64)
+        np.add.at(onehot[1:], (np.arange(6), q_x), 1)
+        cum = np.cumsum(onehot, axis=0)[boundaries]
+        g = _mic._optimize_axis(cum, 6, 2)
+        assert g[2] == pytest.approx(0.0, abs=1e-12)  # H(Q|P) = 0

@@ -1,0 +1,189 @@
+"""Unit tests for the shared time-series primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.timeseries import (
+    acf,
+    aic,
+    bic,
+    difference,
+    is_stationary,
+    ljung_box,
+    pacf,
+    undifference,
+)
+
+
+class TestDifference:
+    def test_first_difference(self):
+        out = difference([1.0, 3.0, 6.0, 10.0])
+        assert np.allclose(out, [2.0, 3.0, 4.0])
+
+    def test_second_difference(self):
+        out = difference([1.0, 3.0, 6.0, 10.0], order=2)
+        assert np.allclose(out, [1.0, 1.0])
+
+    def test_zero_order_is_copy(self):
+        src = np.array([1.0, 2.0, 3.0])
+        out = difference(src, order=0)
+        assert np.allclose(out, src)
+        out[0] = 99.0
+        assert src[0] == 1.0  # no aliasing
+
+    def test_removes_linear_trend(self):
+        t = np.arange(50, dtype=float)
+        out = difference(3.0 * t + 7.0)
+        assert np.allclose(out, 3.0)
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(ValueError, match="order"):
+            difference([1.0, 2.0], order=-1)
+
+    def test_order_too_large_rejected(self):
+        with pytest.raises(ValueError, match="difference"):
+            difference([1.0, 2.0], order=2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            difference([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            difference([1.0, np.nan, 2.0])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            difference(np.ones((3, 3)))
+
+
+class TestUndifference:
+    def test_roundtrip_order_1(self):
+        y = np.array([2.0, 5.0, 4.0, 8.0, 9.0])
+        d = difference(y)
+        assert np.allclose(undifference(d, [y[0]]), y)
+
+    def test_roundtrip_order_2(self):
+        y = np.array([2.0, 5.0, 4.0, 8.0, 9.0, 3.0])
+        d2 = difference(y, 2)
+        heads = [y[0], difference(y)[0]]
+        assert np.allclose(undifference(d2, heads), y)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100), min_size=3, max_size=40
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, values):
+        y = np.asarray(values)
+        d = difference(y)
+        assert np.allclose(undifference(d, [y[0]]), y, atol=1e-9)
+
+
+class TestAcf:
+    def test_lag_zero_is_one(self):
+        assert acf([1.0, 2.0, 1.5, 3.0], nlags=0)[0] == 1.0
+
+    def test_alternating_series_negative_lag1(self):
+        series = np.tile([1.0, -1.0], 25)
+        rho = acf(series, nlags=1)
+        assert rho[1] < -0.9
+
+    def test_white_noise_small_acf(self, rng):
+        series = rng.normal(size=2000)
+        rho = acf(series, nlags=5)
+        assert np.all(np.abs(rho[1:]) < 0.1)
+
+    def test_ar1_acf_geometric(self, rng):
+        n, phi = 4000, 0.8
+        y = np.zeros(n)
+        for t in range(1, n):
+            y[t] = phi * y[t - 1] + rng.normal()
+        rho = acf(y, nlags=3)
+        assert rho[1] == pytest.approx(phi, abs=0.05)
+        assert rho[2] == pytest.approx(phi**2, abs=0.07)
+
+    def test_constant_series_convention(self):
+        rho = acf(np.ones(20), nlags=3)
+        assert np.allclose(rho, 1.0)
+
+    def test_nlags_bounds(self):
+        with pytest.raises(ValueError):
+            acf([1.0, 2.0], nlags=5)
+        with pytest.raises(ValueError):
+            acf([1.0, 2.0], nlags=-1)
+
+
+class TestPacf:
+    def test_ar1_pacf_cuts_off(self, rng):
+        n, phi = 4000, 0.7
+        y = np.zeros(n)
+        for t in range(1, n):
+            y[t] = phi * y[t - 1] + rng.normal()
+        p = pacf(y, nlags=4)
+        assert p[1] == pytest.approx(phi, abs=0.05)
+        assert np.all(np.abs(p[2:]) < 0.08)
+
+    def test_lag1_matches_acf(self, rng):
+        y = rng.normal(size=300)
+        assert pacf(y, 1)[1] == pytest.approx(acf(y, 1)[1])
+
+    def test_zero_lags(self):
+        assert pacf([1.0, 2.0, 3.0, 2.0], 0)[0] == 1.0
+
+
+class TestInformationCriteria:
+    def test_aic_prefers_better_fit_same_params(self):
+        assert aic(1.0, 100, 3) < aic(2.0, 100, 3)
+
+    def test_aic_penalises_params(self):
+        assert aic(1.0, 100, 5) > aic(1.0, 100, 3)
+
+    def test_bic_penalises_params_harder_for_large_n(self):
+        n = 1000
+        delta_aic = aic(1.0, n, 5) - aic(1.0, n, 3)
+        delta_bic = bic(1.0, n, 5) - bic(1.0, n, 3)
+        assert delta_bic > delta_aic
+
+    def test_invalid_nobs(self):
+        with pytest.raises(ValueError):
+            aic(1.0, 0, 1)
+        with pytest.raises(ValueError):
+            bic(1.0, -5, 1)
+
+
+class TestStationarity:
+    def test_white_noise_stationary(self, rng):
+        assert is_stationary(rng.normal(size=500))
+
+    def test_random_walk_not_stationary(self, rng):
+        assert not is_stationary(np.cumsum(rng.normal(size=500)))
+
+    def test_constant_stationary(self):
+        assert is_stationary(np.full(50, 3.0))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError, match="8"):
+            is_stationary([1.0, 2.0, 3.0])
+
+
+class TestLjungBox:
+    def test_white_noise_passes(self, rng):
+        _, p = ljung_box(rng.normal(size=500), nlags=10)
+        assert p > 0.01
+
+    def test_autocorrelated_fails(self, rng):
+        n = 500
+        y = np.zeros(n)
+        for t in range(1, n):
+            y[t] = 0.9 * y[t - 1] + rng.normal()
+        q, p = ljung_box(y, nlags=10)
+        assert p < 1e-6
+        assert q > 100
+
+    def test_nlags_bound(self):
+        with pytest.raises(ValueError):
+            ljung_box([1.0, 2.0, 3.0], nlags=5)

@@ -1,0 +1,126 @@
+"""Unit tests for the collectl-like metric sampler."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.demand import ResourceDemand
+from repro.cluster.hardware import NodeSpec
+from repro.cluster.node import FaultModifiers, SimulatedNode
+from repro.telemetry.collectl import CollectlSampler, MetricEffects
+from repro.telemetry.metrics import METRIC_NAMES
+
+
+def _internals(rng, cpu=0.5, disk=30_000.0, net=10_000.0, mem=5_000.0):
+    node = SimulatedNode("n", "1.2.3.4", NodeSpec())
+    demand = ResourceDemand(
+        cpu=cpu,
+        mem_mb=mem,
+        disk_read_kbs=disk,
+        disk_write_kbs=disk / 3,
+        net_rx_kbs=net,
+        net_tx_kbs=net,
+    )
+    return node.tick(demand, FaultModifiers(), rng)
+
+
+def _idx(name: str) -> int:
+    return METRIC_NAMES.index(name)
+
+
+class TestSampling:
+    def test_vector_shape_and_nonnegative(self, rng):
+        sampler = CollectlSampler()
+        out = sampler.sample(_internals(rng), None, rng)
+        assert out.shape == (26,)
+        assert np.all(out >= 0.0)
+
+    def test_noise_free_sampling_is_deterministic(self, rng):
+        sampler = CollectlSampler(noise_pct=0.0)
+        s = _internals(rng)
+        a = sampler.sample(s, None, np.random.default_rng(1))
+        b = sampler.sample(s, None, np.random.default_rng(2))
+        assert np.allclose(a, b)
+
+    def test_cpu_percentages_sum_to_100(self, rng):
+        sampler = CollectlSampler(noise_pct=0.0)
+        out = sampler.sample(_internals(rng), None, rng)
+        total = (
+            out[_idx("cpu_user_pct")]
+            + out[_idx("cpu_sys_pct")]
+            + out[_idx("cpu_wait_pct")]
+            + out[_idx("cpu_idle_pct")]
+        )
+        assert total == pytest.approx(100.0, abs=0.01)
+
+    def test_packet_rate_tracks_byte_rate(self, rng):
+        sampler = CollectlSampler(noise_pct=0.0)
+        low = sampler.sample(_internals(rng, net=5_000), None, rng)
+        high = sampler.sample(_internals(rng, net=50_000), None, rng)
+        ratio_low = low[_idx("net_rx_pkts")] / low[_idx("net_rx_kbs")]
+        ratio_high = high[_idx("net_rx_pkts")] / high[_idx("net_rx_kbs")]
+        assert ratio_low == pytest.approx(ratio_high, rel=1e-6)
+
+    def test_cpu_drives_context_switches(self, rng):
+        sampler = CollectlSampler(noise_pct=0.0)
+        idle = sampler.sample(_internals(rng, cpu=0.05), None, rng)
+        busy = sampler.sample(_internals(rng, cpu=0.9), None, rng)
+        assert busy[_idx("ctxt_per_sec")] > idle[_idx("ctxt_per_sec")] * 2
+
+    def test_quiet_metrics_are_exactly_zero(self, rng):
+        """Quantised counters are the stable MIC=0 invariants."""
+        sampler = CollectlSampler()
+        out = sampler.sample(_internals(rng), None, rng)
+        assert out[_idx("swap_used_mb")] == 0.0
+        assert out[_idx("pgmajfault_per_sec")] == 0.0
+        assert out[_idx("tcp_retrans_per_sec")] == 0.0
+
+    def test_memory_pressure_activates_swap_metrics(self, rng):
+        sampler = CollectlSampler()
+        out = sampler.sample(_internals(rng, mem=16_500.0), None, rng)
+        assert out[_idx("swap_used_mb")] > 0.0
+        assert out[_idx("pgmajfault_per_sec")] > 0.0
+
+    def test_negative_noise_pct_rejected(self):
+        with pytest.raises(ValueError):
+            CollectlSampler(noise_pct=-0.1)
+
+
+class TestMetricEffects:
+    def test_add_and_scale_applied(self, rng):
+        sampler = CollectlSampler(noise_pct=0.0)
+        s = _internals(rng)
+        base = sampler.sample(s, None, rng)
+        fx = MetricEffects(
+            add={"ctxt_per_sec": 1000.0}, scale={"disk_read_kbs": 0.5}
+        )
+        out = sampler.sample(s, fx, rng)
+        assert out[_idx("ctxt_per_sec")] == pytest.approx(
+            base[_idx("ctxt_per_sec")] + 1000.0
+        )
+        assert out[_idx("disk_read_kbs")] == pytest.approx(
+            base[_idx("disk_read_kbs")] * 0.5
+        )
+
+    def test_noise_effect_perturbs(self, rng):
+        sampler = CollectlSampler(noise_pct=0.0)
+        s = _internals(rng)
+        fx = MetricEffects(noise={"cpu_user_pct": 0.3})
+        a = sampler.sample(s, fx, np.random.default_rng(1))
+        b = sampler.sample(s, fx, np.random.default_rng(2))
+        assert a[_idx("cpu_user_pct")] != b[_idx("cpu_user_pct")]
+
+    def test_combine_semantics(self):
+        a = MetricEffects(
+            add={"x": 1.0}, scale={"y": 2.0}, noise={"z": 0.3}
+        )
+        b = MetricEffects(
+            add={"x": 2.0}, scale={"y": 3.0}, noise={"z": 0.4}
+        )
+        c = a.combine(b)
+        assert c.add["x"] == 3.0
+        assert c.scale["y"] == 6.0
+        assert c.noise["z"] == pytest.approx(0.5)  # quadrature
+
+    def test_combine_disjoint_keys(self):
+        c = MetricEffects(add={"x": 1.0}).combine(MetricEffects(add={"y": 2.0}))
+        assert c.add == {"x": 1.0, "y": 2.0}

@@ -1,0 +1,112 @@
+"""Round-trip tests for trace import/export."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.io import (
+    load_node_csv,
+    load_run_npz,
+    save_node_csv,
+    save_run_npz,
+)
+from repro.telemetry.metrics import METRIC_NAMES
+
+
+class TestNpzRoundtrip:
+    def test_full_roundtrip(self, cluster, tmp_path):
+        run = cluster.run("grep", seed=11)
+        path = tmp_path / "run.npz"
+        save_run_npz(run, path)
+        loaded = load_run_npz(path)
+        assert loaded.workload == run.workload
+        assert loaded.execution_ticks == run.execution_ticks
+        assert loaded.completed == run.completed
+        assert loaded.seed == run.seed
+        assert set(loaded.nodes) == set(run.nodes)
+        for node_id in run.nodes:
+            assert np.array_equal(
+                loaded.node(node_id).metrics, run.node(node_id).metrics
+            )
+            assert np.array_equal(
+                loaded.node(node_id).cpi, run.node(node_id).cpi
+            )
+            assert loaded.node(node_id).ip == run.node(node_id).ip
+
+    def test_fault_metadata_roundtrip(self, cluster, tmp_path):
+        from repro.faults.spec import FaultSpec, build_fault
+
+        fault = build_fault("Mem-hog", FaultSpec("slave-2", 25, 30))
+        run = cluster.run("grep", faults=[fault], seed=12)
+        path = tmp_path / "run.npz"
+        save_run_npz(run, path)
+        loaded = load_run_npz(path)
+        assert loaded.fault == "Mem-hog"
+        assert loaded.fault_node == "slave-2"
+        assert loaded.fault_window == run.fault_window
+        assert loaded.all_faults == ("Mem-hog",)
+
+    def test_normal_run_has_no_fault_fields(self, cluster, tmp_path):
+        run = cluster.run("grep", seed=13)
+        path = tmp_path / "run.npz"
+        save_run_npz(run, path)
+        loaded = load_run_npz(path)
+        assert loaded.fault is None
+        assert loaded.fault_window is None
+        assert loaded.all_faults == ()
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip(self, cluster, tmp_path):
+        trace = cluster.run("grep", seed=14).node("slave-1")
+        path = tmp_path / "node.csv"
+        save_node_csv(trace, path)
+        loaded = load_node_csv(path, node_id="slave-1", ip=trace.ip)
+        assert np.allclose(loaded.metrics, trace.metrics)
+        assert np.allclose(loaded.cpi, trace.cpi)
+
+    def test_header_is_canonical(self, cluster, tmp_path):
+        trace = cluster.run("grep", seed=15).node("slave-1")
+        path = tmp_path / "node.csv"
+        save_node_csv(trace, path)
+        header = path.read_text().splitlines()[0].split(",")
+        assert header[0] == "tick"
+        assert header[-1] == "cpi"
+        assert tuple(header[1:-1]) == METRIC_NAMES
+
+    def test_column_order_free_load(self, tmp_path):
+        """Real collectl exports may order columns differently."""
+        names = list(METRIC_NAMES)
+        shuffled = ["cpi", *reversed(names), "tick"]
+        rows = [",".join(shuffled)]
+        for t in range(12):
+            vals = {n: float(i) for i, n in enumerate(names)}
+            row = [
+                "1.5" if c == "cpi" else str(t) if c == "tick"
+                else repr(vals[c])
+                for c in shuffled
+            ]
+            rows.append(",".join(row))
+        path = tmp_path / "shuffled.csv"
+        path.write_text("\n".join(rows))
+        trace = load_node_csv(path)
+        assert trace.ticks == 12
+        assert trace.metric("cpu_user_pct")[0] == 0.0
+        assert trace.metric("sock_used")[0] == 25.0
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("tick,foo,cpi\n0,1,1.5\n")
+        with pytest.raises(ValueError, match="bad header"):
+            load_node_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_node_csv(path)
+
+    def test_header_only_rejected(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("tick," + ",".join(METRIC_NAMES) + ",cpi\n")
+        with pytest.raises(ValueError, match="no samples"):
+            load_node_csv(path)

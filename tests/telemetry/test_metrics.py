@@ -1,0 +1,57 @@
+"""Unit tests for the 26-metric vocabulary."""
+
+import pytest
+
+from repro.telemetry.metrics import METRIC_GROUPS, METRIC_NAMES, MetricCatalog
+
+
+class TestVocabulary:
+    def test_exactly_26_metrics(self):
+        """The paper collects exactly 26 performance metrics (§4)."""
+        assert len(METRIC_NAMES) == 26
+
+    def test_names_unique(self):
+        assert len(set(METRIC_NAMES)) == 26
+
+    def test_groups_partition_the_vocabulary(self):
+        grouped = [m for g in METRIC_GROUPS.values() for m in g]
+        assert sorted(grouped) == sorted(METRIC_NAMES)
+
+    def test_coarse_families_present(self):
+        """The paper names CPU, memory, disk and network utilisation plus
+        fine-grained metrics such as context switches and page faults."""
+        for g in ("cpu", "memory", "disk", "network", "fine"):
+            assert g in METRIC_GROUPS
+        assert "ctxt_per_sec" in METRIC_GROUPS["fine"]
+        assert "pgfault_per_sec" in METRIC_GROUPS["fine"]
+
+
+class TestCatalog:
+    def test_index_roundtrip(self):
+        cat = MetricCatalog()
+        for idx, name in enumerate(METRIC_NAMES):
+            assert cat.index(name) == idx
+            assert cat.name(idx) == name
+
+    def test_unknown_metric_raises_keyerror(self):
+        with pytest.raises(KeyError, match="unknown metric"):
+            MetricCatalog().index("nope")
+
+    def test_pair_count_formula(self):
+        """M(M-1)/2 association pairs (paper §3.3)."""
+        cat = MetricCatalog()
+        assert cat.pair_count() == 26 * 25 // 2 == 325
+        assert len(cat.pairs()) == cat.pair_count()
+
+    def test_pairs_canonical_order(self):
+        pairs = MetricCatalog().pairs()
+        assert all(i < j for i, j in pairs)
+        assert pairs == sorted(pairs)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            MetricCatalog(names=("a", "b", "a"))
+
+    def test_len(self):
+        assert len(MetricCatalog()) == 26
+        assert len(MetricCatalog(names=("x", "y"))) == 2

@@ -1,0 +1,82 @@
+"""Unit tests for the perf-like CPI sampler."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.demand import ResourceDemand
+from repro.cluster.hardware import NodeSpec
+from repro.cluster.node import FaultModifiers, SimulatedNode
+from repro.core.kpi import execution_time_seconds
+from repro.telemetry.perfcounter import PerfCounterSampler
+from repro.telemetry.trace import TICK_SECONDS
+
+
+def _internals(rng, cpu=0.5, modifiers=None):
+    node = SimulatedNode("n", "1.2.3.4", NodeSpec())
+    demand = ResourceDemand(cpu=cpu, mem_mb=4000.0)
+    return node.tick(demand, modifiers or FaultModifiers(), rng)
+
+
+class TestCpiSampling:
+    def test_unloaded_cpi_near_base(self, rng):
+        sampler = PerfCounterSampler(NodeSpec(), noise_pct=0.0)
+        sample = sampler.sample(_internals(rng), base_cpi=1.2, rng=rng)
+        assert sample.cpi == pytest.approx(1.2, rel=0.02)
+
+    def test_contention_inflates_cpi(self, rng):
+        sampler = PerfCounterSampler(NodeSpec(), noise_pct=0.0)
+        calm = sampler.sample(_internals(rng, cpu=0.5), 1.2, rng)
+        hot = sampler.sample(
+            _internals(
+                rng,
+                cpu=0.5,
+                modifiers=FaultModifiers(external=ResourceDemand(cpu=0.9)),
+            ),
+            1.2,
+            rng,
+        )
+        assert hot.cpi > calm.cpi * 1.2
+
+    def test_suspended_process_shows_stall_artifact(self, rng):
+        sampler = PerfCounterSampler(NodeSpec(), noise_pct=0.0)
+        stalled = sampler.sample(
+            _internals(rng, modifiers=FaultModifiers(activity_factor=0.0)),
+            1.2,
+            rng,
+        )
+        assert stalled.cpi > 1.2 * 2.0
+
+    def test_invalid_base_cpi(self, rng):
+        sampler = PerfCounterSampler(NodeSpec())
+        with pytest.raises(ValueError):
+            sampler.sample(_internals(rng), base_cpi=0.0, rng=rng)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            PerfCounterSampler(NodeSpec(), noise_pct=-0.01)
+
+
+class TestCounterIdentity:
+    def test_cycles_instructions_cpi_consistent(self, rng):
+        """cycles / instructions == CPI, as read from real counters."""
+        sampler = PerfCounterSampler(NodeSpec(), noise_pct=0.0)
+        s = sampler.sample(_internals(rng, cpu=0.7), 1.4, rng)
+        assert s.cycles / s.instructions == pytest.approx(s.cpi, rel=1e-9)
+
+    def test_t_equals_i_cpi_c(self, rng):
+        """The §3.1 identity: per-tick work obeys T = I * CPI * C."""
+        spec = NodeSpec()
+        sampler = PerfCounterSampler(spec, noise_pct=0.0)
+        s = sampler.sample(_internals(rng, cpu=1.0), 1.0, rng)
+        # One fully-utilised tick's instructions at this CPI take one tick.
+        t = execution_time_seconds(s.instructions, s.cpi, spec.cycle_seconds)
+        # the job owns cpu_task_share of the cores; normalise
+        assert t == pytest.approx(
+            TICK_SECONDS * spec.cores * 1.0, rel=1e-6
+        ) or t <= TICK_SECONDS * spec.cores
+
+    def test_execution_time_validation(self):
+        with pytest.raises(ValueError):
+            execution_time_seconds(-1, 1.0, 1e-9)
+        with pytest.raises(ValueError):
+            execution_time_seconds(1e9, 0.0, 1e-9)

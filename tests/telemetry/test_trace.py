@@ -1,0 +1,97 @@
+"""Unit tests for the trace containers."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.trace import TICK_SECONDS, NodeTrace, RunTrace
+
+
+def _node_trace(ticks=20, node_id="slave-1", ip="10.0.0.1"):
+    rng = np.random.default_rng(0)
+    return NodeTrace(
+        node_id=node_id,
+        ip=ip,
+        metrics=rng.uniform(0, 1, size=(ticks, 26)),
+        cpi=rng.uniform(1, 2, size=ticks),
+    )
+
+
+class TestNodeTrace:
+    def test_ticks(self):
+        assert _node_trace(15).ticks == 15
+
+    def test_metric_by_name(self):
+        nt = _node_trace()
+        assert np.allclose(nt.metric("cpu_user_pct"), nt.metrics[:, 0])
+
+    def test_window_bounds(self):
+        nt = _node_trace(20)
+        w = nt.window(5, 15)
+        assert w.ticks == 10
+        assert np.allclose(w.cpi, nt.cpi[5:15])
+        with pytest.raises(ValueError):
+            nt.window(15, 5)
+        with pytest.raises(ValueError):
+            nt.window(0, 25)
+
+    def test_wrong_metric_width_rejected(self):
+        with pytest.raises(ValueError, match="26"):
+            NodeTrace("n", "ip", np.ones((5, 10)), np.ones(5))
+
+    def test_cpi_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            NodeTrace("n", "ip", np.ones((5, 26)), np.ones(6))
+
+
+class TestRunTrace:
+    def test_basic_properties(self):
+        run = RunTrace(
+            workload="wordcount",
+            nodes={"slave-1": _node_trace(30)},
+            execution_ticks=30,
+        )
+        assert run.ticks == 30
+        assert run.execution_seconds == 30 * TICK_SECONDS
+        assert run.node("slave-1").node_id == "slave-1"
+
+    def test_inconsistent_lengths_rejected(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            RunTrace(
+                workload="w",
+                nodes={"a": _node_trace(10), "b": _node_trace(12)},
+                execution_ticks=10,
+            )
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            RunTrace(workload="w", nodes={}, execution_ticks=5)
+
+    def test_fault_slice(self):
+        run = RunTrace(
+            workload="w",
+            nodes={"slave-1": _node_trace(40)},
+            execution_ticks=40,
+            fault="CPU-hog",
+            fault_node="slave-1",
+            fault_window=(10, 30),
+        )
+        s = run.fault_slice("slave-1")
+        assert s.ticks == 20
+
+    def test_fault_slice_clamps_to_trace_end(self):
+        run = RunTrace(
+            workload="w",
+            nodes={"slave-1": _node_trace(25)},
+            execution_ticks=25,
+            fault_window=(10, 40),
+        )
+        assert run.fault_slice("slave-1").ticks == 15
+
+    def test_fault_slice_requires_window(self):
+        run = RunTrace(
+            workload="w",
+            nodes={"slave-1": _node_trace(25)},
+            execution_ticks=25,
+        )
+        with pytest.raises(ValueError, match="fault window"):
+            run.fault_slice("slave-1")

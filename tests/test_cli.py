@@ -1,0 +1,140 @@
+"""Tests for the command-line interface (driving main() directly)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--workload", "terasort", "--out", "x.npz"]
+            )
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                [
+                    "simulate", "--workload", "grep", "--out", "x.npz",
+                    "--fault", "Quantum-hog",
+                ]
+            )
+
+
+class TestSimulate:
+    def test_writes_npz(self, tmp_path, capsys):
+        out = tmp_path / "run.npz"
+        code = main(
+            ["simulate", "--workload", "grep", "--seed", "3",
+             "--out", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "workload=grep" in capsys.readouterr().out
+
+    def test_with_fault_and_csv(self, tmp_path, capsys):
+        out = tmp_path / "run.npz"
+        csv_dir = tmp_path / "csvs"
+        code = main(
+            [
+                "simulate", "--workload", "grep", "--seed", "4",
+                "--fault", "CPU-hog", "--out", str(out),
+                "--csv-dir", str(csv_dir),
+            ]
+        )
+        assert code == 0
+        assert "fault=CPU-hog" in capsys.readouterr().out
+        assert (csv_dir / "slave-1.csv").exists()
+        assert (csv_dir / "master.csv").exists()
+
+
+class TestDiagnose:
+    @pytest.fixture(scope="class")
+    def traces(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("traces")
+        normals = []
+        for i in range(6):
+            p = tmp / f"normal{i}.npz"
+            main(
+                ["simulate", "--workload", "grep", "--seed", str(300 + i),
+                 "--out", str(p)]
+            )
+            normals.append(p)
+        sig = tmp / "hog.npz"
+        main(
+            ["simulate", "--workload", "grep", "--seed", "400",
+             "--fault", "CPU-hog", "--out", str(sig)]
+        )
+        incident = tmp / "incident.npz"
+        main(
+            ["simulate", "--workload", "grep", "--seed", "401",
+             "--fault", "CPU-hog", "--out", str(incident)]
+        )
+        healthy = tmp / "healthy.npz"
+        main(
+            ["simulate", "--workload", "grep", "--seed", "402",
+             "--out", str(healthy)]
+        )
+        return {"normals": normals, "sig": sig,
+                "incident": incident, "healthy": healthy}
+
+    def test_diagnoses_incident(self, traces, capsys):
+        code = main(
+            [
+                "diagnose",
+                "--normal", *[str(p) for p in traces["normals"]],
+                "--signature", f"CPU-hog={traces['sig']}",
+                "--incident", str(traces["incident"]),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "performance problem detected" in out
+        assert "verdict: CPU-hog" in out
+
+    def test_healthy_incident_clean(self, traces, capsys):
+        code = main(
+            [
+                "diagnose",
+                "--normal", *[str(p) for p in traces["normals"]],
+                "--incident", str(traces["healthy"]),
+            ]
+        )
+        assert code == 0
+        assert "no performance problem" in capsys.readouterr().out
+
+    def test_bad_signature_spec(self, traces, capsys):
+        code = main(
+            [
+                "diagnose",
+                "--normal", *[str(p) for p in traces["normals"]],
+                "--signature", "missing-equals",
+                "--incident", str(traces["incident"]),
+            ]
+        )
+        assert code == 2
+        assert "bad --signature" in capsys.readouterr().err
+
+    def test_unknown_node(self, traces, capsys):
+        code = main(
+            [
+                "diagnose",
+                "--normal", *[str(p) for p in traces["normals"]],
+                "--incident", str(traces["incident"]),
+                "--node", "slave-99",
+            ]
+        )
+        assert code == 2
+        assert "not in trace" in capsys.readouterr().err
+
+
+class TestExperiment:
+    def test_fig2(self, capsys):
+        code = main(["experiment", "fig2"])
+        assert code == 0
+        assert "Fig. 2" in capsys.readouterr().out

@@ -1,0 +1,32 @@
+"""Smoke test: the quickstart example must run clean end to end.
+
+The longer examples are exercised implicitly (they call the same
+experiment runners the benchmarks cover); the quickstart is the first
+thing a new user runs, so it gets an explicit gate.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def test_quickstart_runs_and_diagnoses():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "verdict: CPU-hog" in proc.stdout
+    assert "problem detected: False" in proc.stdout  # the healthy run
+
+
+def test_all_examples_compile():
+    """Every example parses (full runs are exercised manually/CI-nightly)."""
+    import py_compile
+
+    for script in sorted(EXAMPLES.glob("*.py")):
+        py_compile.compile(str(script), doraise=True)

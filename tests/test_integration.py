@@ -1,0 +1,107 @@
+"""End-to-end integration tests across the full stack."""
+
+import numpy as np
+import pytest
+
+from repro import HadoopCluster, InvarNetX, OperationContext
+from repro.datagen.campaigns import CampaignConfig, FaultCampaign
+from repro.eval.confusion import DiagnosisOutcome, score_outcomes
+from repro.eval.experiments import run_diagnosis_experiment
+from repro.faults.spec import FaultSpec, build_fault
+
+
+class TestOfflineOnlineCycle:
+    """The full Fig. 3 flow: train offline, diagnose online, learn."""
+
+    def test_small_campaign_accuracy(self, cluster):
+        config = CampaignConfig(
+            workload="wordcount",
+            n_normal=6,
+            train_reps=2,
+            test_reps=3,
+            base_seed=314,
+        )
+        faults = ("CPU-hog", "Mem-hog", "Disk-hog", "Suspend")
+        campaign = FaultCampaign(cluster, config, faults)
+        ctx = OperationContext(
+            "wordcount", "slave-1", cluster.ip_of("slave-1")
+        )
+        result = run_diagnosis_experiment(
+            InvarNetX(), campaign, ctx, "InvarNet-X"
+        )
+        # These four faults are maximally distinct; a healthy pipeline
+        # separates them nearly perfectly.
+        assert result.scores["average"].precision > 0.85
+        assert result.scores["average"].recall > 0.85
+
+    def test_online_learning_loop(self, cluster, wordcount_runs):
+        """A problem diagnosed as unknown is learned and then recognised."""
+        ctx = OperationContext(
+            "wordcount", "slave-1", cluster.ip_of("slave-1")
+        )
+        pipe = InvarNetX()
+        pipe.train_from_runs(ctx, wordcount_runs)
+
+        fault = build_fault("Mem-hog", FaultSpec("slave-1", 30, 30))
+        first = cluster.run("wordcount", faults=[fault], seed=5001)
+        result = pipe.diagnose_run(ctx, first)
+        assert result.detected
+        assert result.root_cause is None  # empty database: unknown problem
+
+        # Operator investigates, resolves, and the signature is stored.
+        pipe.train_signature_from_run(ctx, "Mem-hog", first)
+
+        second = cluster.run("wordcount", faults=[fault], seed=5002)
+        result = pipe.diagnose_run(ctx, second)
+        assert result.root_cause == "Mem-hog"
+
+    def test_per_context_isolation(self, cluster, wordcount_runs):
+        """Models trained for one context do not leak into another."""
+        pipe = InvarNetX()
+        ctx1 = OperationContext("wordcount", "slave-1")
+        pipe.train_from_runs(ctx1, wordcount_runs)
+        ctx2 = OperationContext("wordcount", "slave-2")
+        with pytest.raises(RuntimeError):
+            pipe.detect(ctx2, wordcount_runs[0].node("slave-2").cpi)
+
+    def test_interactive_context_end_to_end(self, cluster):
+        ctx = OperationContext("tpcds", "slave-1", cluster.ip_of("slave-1"))
+        pipe = InvarNetX()
+        normal = [cluster.run("tpcds", seed=6100 + i) for i in range(6)]
+        pipe.train_from_runs(ctx, normal)
+        fault = build_fault("Overload", FaultSpec("slave-1", 30, 30))
+        train_run = cluster.run("tpcds", faults=[fault], seed=6200)
+        pipe.train_signature_from_run(ctx, "Overload", train_run)
+        test_run = cluster.run("tpcds", faults=[fault], seed=6201)
+        result = pipe.diagnose_run(ctx, test_run)
+        assert result.root_cause == "Overload"
+
+
+class TestScoringIntegration:
+    def test_outcomes_flow_into_scores(self):
+        outcomes = [
+            DiagnosisOutcome("CPU-hog", "CPU-hog", True),
+            DiagnosisOutcome("CPU-hog", "Mem-hog", True),
+            DiagnosisOutcome("Mem-hog", "Mem-hog", True),
+            DiagnosisOutcome("Mem-hog", None, False),
+        ]
+        scores = score_outcomes(outcomes)
+        assert scores["CPU-hog"].recall == pytest.approx(0.5)
+        assert scores["Mem-hog"].precision == pytest.approx(0.5)
+
+
+class TestClusterScaling:
+    def test_larger_cluster_still_diagnoses(self):
+        """The local-modelling design scales with node count (paper §1 c)."""
+        big = HadoopCluster(n_slaves=8)
+        ctx = OperationContext("grep", "slave-7", big.ip_of("slave-7"))
+        pipe = InvarNetX()
+        normal = [big.run("grep", seed=7100 + i) for i in range(6)]
+        pipe.train_from_runs(ctx, normal)
+        fault = build_fault("CPU-hog", FaultSpec("slave-7", 20, 30))
+        train_run = big.run("grep", faults=[fault], seed=7200)
+        pipe.train_signature_from_run(ctx, "CPU-hog", train_run)
+        result = pipe.diagnose_run(
+            ctx, big.run("grep", faults=[fault], seed=7201)
+        )
+        assert result.root_cause == "CPU-hog"

@@ -1,0 +1,70 @@
+"""Tests for the PeerWatch-style baseline."""
+
+import pytest
+
+from repro.baselines import PeerWatchDetector
+from repro.faults.spec import FaultSpec, build_fault
+
+
+@pytest.fixture(scope="module")
+def peerwatch(cluster, wordcount_runs):
+    pw = PeerWatchDetector()
+    pw.train(wordcount_runs)
+    return pw
+
+
+class TestTraining:
+    def test_learns_cross_node_pairs(self, peerwatch):
+        assert len(peerwatch._pairs) > 50
+
+    def test_learned_pairs_are_strongly_correlated(self, peerwatch):
+        for stat in peerwatch._pairs:
+            assert abs(stat.correlation) >= peerwatch.min_correlation
+
+    def test_master_excluded(self, peerwatch):
+        for stat in peerwatch._pairs:
+            assert "master" not in (stat.node_a, stat.node_b)
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            PeerWatchDetector().train([])
+
+    def test_detect_requires_training(self, cluster):
+        pw = PeerWatchDetector()
+        with pytest.raises(RuntimeError):
+            pw.detect(cluster.run("wordcount", seed=1))
+
+    def test_flag_fraction_validated(self):
+        with pytest.raises(ValueError):
+            PeerWatchDetector(flag_fraction=0.0)
+
+
+class TestDetection:
+    def test_healthy_run_not_flagged(self, peerwatch, cluster):
+        report = peerwatch.detect(cluster.run("wordcount", seed=5100))
+        assert not report.fault_detected
+        assert max(report.node_scores.values()) < peerwatch.flag_fraction
+
+    def test_localises_single_node_fault(self, peerwatch, cluster):
+        fault = build_fault("CPU-hog", FaultSpec("slave-3", 30, 30))
+        run = cluster.run("wordcount", faults=[fault], seed=5101)
+        report = peerwatch.detect(run)
+        assert report.flagged[:1] == ["slave-3"]
+        assert report.node_scores["slave-3"] == max(
+            report.node_scores.values()
+        )
+
+    def test_faulty_node_scores_above_peers(self, peerwatch, cluster):
+        fault = build_fault("Mem-hog", FaultSpec("slave-1", 30, 30))
+        run = cluster.run("wordcount", faults=[fault], seed=5102)
+        report = peerwatch.detect(run)
+        target = report.node_scores["slave-1"]
+        others = [
+            v for k, v in report.node_scores.items() if k != "slave-1"
+        ]
+        assert target > max(others)
+
+    def test_node_granularity_only(self, peerwatch, cluster):
+        """The §5 criticism: peer methods locate nodes, never causes."""
+        report = peerwatch.detect(cluster.run("wordcount", seed=5103))
+        assert not hasattr(report, "root_cause")
