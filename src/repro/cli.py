@@ -13,6 +13,11 @@ Three subcommands cover the working loop of the system:
 
 ``invarnetx experiment``
     Regenerate one of the paper's figures/tables and print it.
+
+``invarnetx lint``
+    Run the domain linter (:mod:`repro.lint`) over the source tree:
+    RNG discipline, operation-context key discipline, float-equality,
+    the paper's tuned constants, and general hygiene.
 """
 
 from __future__ import annotations
@@ -101,6 +106,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", type=Path, default=None,
         help="also write the report to this file",
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the domain linter over the source tree",
+        description="Static checks for the codebase's numerical and "
+        "operation-context contracts (see repro.lint).",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
     return parser
 
 
@@ -246,6 +261,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_diagnose(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "lint":
+        from repro.lint.cli import run_lint
+
+        return run_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -1,0 +1,52 @@
+"""repro.lint — AST-based domain linter for the InvarNet-X codebase.
+
+The Python type system cannot see the contracts this reproduction leans
+on: per-:class:`~repro.core.context.OperationContext` model scoping
+(paper §2, Figs. 9/10), explicitly threaded ``np.random.Generator``
+reproducibility, and the paper's tuned constants (τ = 0.2, ε = 0.2,
+β = 1.2) living in exactly one place.  This package enforces them
+statically — pure :mod:`ast`, no new runtime dependencies.
+
+Usage::
+
+    invarnetx lint src examples          # CLI subcommand
+    python -m repro.lint --format json   # module entry point
+
+    from repro.lint import LintEngine
+    report = LintEngine().check_source(code, "snippet.py")
+
+Violations can be silenced inline (``# repro: disable=rule-id``) or
+configured repo-wide via ``[tool.repro-lint]`` in ``pyproject.toml``.
+"""
+
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import LintEngine, collect_files
+from repro.lint.model import LintReport, Severity, Violation
+from repro.lint.registry import (
+    FileContext,
+    Rule,
+    all_rules,
+    get_rule,
+    register_rule,
+    rule_ids,
+)
+from repro.lint.reporting import render, render_json, render_text
+
+__all__ = [
+    "FileContext",
+    "LintConfig",
+    "LintEngine",
+    "LintReport",
+    "Rule",
+    "Severity",
+    "Violation",
+    "all_rules",
+    "collect_files",
+    "get_rule",
+    "load_config",
+    "register_rule",
+    "render",
+    "render_json",
+    "render_text",
+    "rule_ids",
+]

@@ -1,0 +1,142 @@
+"""Lint command line: ``invarnetx lint`` / ``python -m repro.lint``.
+
+Exit codes are stable for CI:
+
+- ``0`` — no error-severity violations;
+- ``1`` — at least one error-severity violation (or parse error);
+- ``2`` — usage, path or configuration problem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.config import ConfigError, find_pyproject, load_config
+from repro.lint.engine import LintEngine
+from repro.lint.registry import all_rules, rule_ids
+from repro.lint.reporting import FORMATS, render
+
+__all__ = ["add_lint_arguments", "run_lint", "main"]
+
+EXIT_OK = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to ``parser`` (shared by both entry points)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "examples"],
+        help="files or directories to lint (default: src examples)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="skip this rule (repeatable; adds to pyproject config)",
+    )
+    parser.add_argument(
+        "--config",
+        type=Path,
+        default=None,
+        help="pyproject.toml to read [tool.repro-lint] from "
+        "(default: nearest to the first path)",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore pyproject configuration entirely",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule with its severity and description, then exit",
+    )
+
+
+def _list_rules() -> str:
+    lines = []
+    for cls in all_rules():
+        lines.append(f"{cls.rule_id} [{cls.severity.value}]")
+        lines.append(f"    {cls.description}")
+        lines.append(f"    why: {cls.rationale}")
+    return "\n".join(lines)
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a lint invocation from parsed arguments."""
+    if args.list_rules:
+        print(_list_rules())
+        return EXIT_OK
+
+    if args.no_config:
+        pyproject = None
+    elif args.config is not None:
+        if not args.config.is_file():
+            print(
+                f"error: config file not found: {args.config}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        pyproject = args.config
+    else:
+        pyproject = find_pyproject(args.paths[0]) if args.paths else None
+
+    try:
+        config = load_config(pyproject)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    known = set(rule_ids())
+    for rule in (args.select or []) + args.disable:
+        if rule not in known:
+            print(
+                f"error: unknown rule {rule!r} "
+                f"(known: {', '.join(sorted(known))})",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+
+    engine = LintEngine(
+        config=config,
+        selected=args.select,
+        extra_disabled=args.disable,
+    )
+    try:
+        report = engine.check_paths(args.paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    print(render(report, args.format))
+    return EXIT_OK if report.ok else EXIT_VIOLATIONS
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="Domain linter for the InvarNet-X codebase: enforces "
+        "RNG discipline, operation-context key discipline and the "
+        "paper's numerical contracts.",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))

@@ -1,0 +1,151 @@
+"""Configuration: the ``[tool.repro-lint]`` table of ``pyproject.toml``.
+
+Recognised keys::
+
+    [tool.repro-lint]
+    disable = ["rule-id", ...]        # rules that never run
+    exclude = ["__pycache__", ...]    # path fragments to skip
+
+    [tool.repro-lint.severity]
+    float-equality = "warning"        # per-rule severity override
+
+    [tool.repro-lint.options.float-equality]
+    paths = ["repro/stats/"]          # per-rule options (Rule.configure)
+
+Parsing uses :mod:`tomllib` (stdlib since 3.11).  On interpreters
+without it the config file is ignored — the linter still runs with
+built-in defaults, it just cannot be customised from disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.model import Severity
+
+try:  # pragma: no cover - depends on interpreter version
+    import tomllib
+except ImportError:  # pragma: no cover
+    tomllib = None  # type: ignore[assignment]
+
+__all__ = ["LintConfig", "load_config", "find_pyproject"]
+
+#: Path fragments never worth linting.
+DEFAULT_EXCLUDES = (
+    "__pycache__",
+    ".git/",
+    ".egg-info",
+    ".pytest_cache",
+    ".hypothesis",
+    "build/",
+    "dist/",
+)
+
+
+@dataclass
+class LintConfig:
+    """Resolved linter configuration.
+
+    Attributes:
+        disabled: rule ids that never run.
+        excludes: path fragments that exempt a file from linting.
+        severity_overrides: per-rule severity replacing rule defaults.
+        rule_options: per-rule option dicts (see ``Rule.configure``).
+        source: where the config came from (for diagnostics).
+    """
+
+    disabled: tuple[str, ...] = ()
+    excludes: tuple[str, ...] = DEFAULT_EXCLUDES
+    severity_overrides: dict[str, Severity] = field(default_factory=dict)
+    rule_options: dict[str, dict[str, object]] = field(
+        default_factory=dict
+    )
+    source: str = "<defaults>"
+
+
+class ConfigError(ValueError):
+    """A malformed ``[tool.repro-lint]`` table."""
+
+
+def find_pyproject(start: str | Path) -> Path | None:
+    """Walk up from ``start`` to the nearest ``pyproject.toml``."""
+    node = Path(start).resolve()
+    if node.is_file():
+        node = node.parent
+    for candidate in (node, *node.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def load_config(pyproject: str | Path | None) -> LintConfig:
+    """Read the ``[tool.repro-lint]`` table.
+
+    Args:
+        pyproject: path to a ``pyproject.toml``, or None for defaults.
+
+    Raises:
+        ConfigError: when the table exists but is malformed.
+    """
+    if pyproject is None or tomllib is None:
+        return LintConfig()
+    path = Path(pyproject)
+    try:
+        with open(path, "rb") as fh:
+            data = tomllib.load(fh)
+    except OSError:
+        return LintConfig()
+    except tomllib.TOMLDecodeError as exc:
+        raise ConfigError(f"{path}: invalid TOML: {exc}") from exc
+    table = data.get("tool", {}).get("repro-lint")
+    if table is None:
+        return LintConfig(source=f"{path} (no [tool.repro-lint] table)")
+    if not isinstance(table, dict):
+        raise ConfigError(f"{path}: [tool.repro-lint] must be a table")
+
+    disabled = _string_list(table, "disable", path)
+    excludes = DEFAULT_EXCLUDES + _string_list(table, "exclude", path)
+
+    severity_overrides: dict[str, Severity] = {}
+    raw_sev = table.get("severity", {})
+    if not isinstance(raw_sev, dict):
+        raise ConfigError(f"{path}: [tool.repro-lint.severity] must be a table")
+    for rule_id, value in raw_sev.items():
+        try:
+            severity_overrides[str(rule_id)] = Severity.parse(str(value))
+        except ValueError as exc:
+            raise ConfigError(f"{path}: severity.{rule_id}: {exc}") from exc
+
+    rule_options: dict[str, dict[str, object]] = {}
+    raw_opts = table.get("options", {})
+    if not isinstance(raw_opts, dict):
+        raise ConfigError(f"{path}: [tool.repro-lint.options] must be a table")
+    for rule_id, opts in raw_opts.items():
+        if not isinstance(opts, dict):
+            raise ConfigError(
+                f"{path}: options.{rule_id} must be a table of options"
+            )
+        rule_options[str(rule_id)] = dict(opts)
+
+    return LintConfig(
+        disabled=disabled,
+        excludes=excludes,
+        severity_overrides=severity_overrides,
+        rule_options=rule_options,
+        source=str(path),
+    )
+
+
+def _string_list(
+    table: dict[str, object], key: str, path: Path
+) -> tuple[str, ...]:
+    raw = table.get(key, [])
+    if not isinstance(raw, list) or not all(
+        isinstance(item, str) for item in raw
+    ):
+        raise ConfigError(
+            f"{path}: [tool.repro-lint] {key} must be a list of strings"
+        )
+    return tuple(raw)

@@ -1,0 +1,172 @@
+"""The lint engine: file collection, parsing and rule dispatch.
+
+One :class:`LintEngine` holds a configured rule set.  For each module it
+parses the source once, scans suppression comments once, then walks the
+AST a single time, dispatching every node to each rule that (a) declared
+interest in that node type and (b) applies to the file's path.  Rule
+hits on suppressed lines are counted but not reported.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Sequence, Type
+
+from repro.lint.config import LintConfig
+from repro.lint.model import LintReport, Severity, Violation
+from repro.lint.registry import FileContext, Rule, instantiate
+from repro.lint.suppressions import scan_suppressions
+
+__all__ = ["LintEngine", "collect_files"]
+
+#: Rule id used for files that fail to parse.
+PARSE_ERROR_ID = "parse-error"
+
+
+def collect_files(
+    paths: Sequence[str | Path], excludes: tuple[str, ...] = ()
+) -> list[Path]:
+    """Expand files and directories into a sorted list of ``.py`` files.
+
+    Args:
+        paths: files (any extension) and directories (searched
+            recursively for ``*.py``).
+        excludes: path fragments; any file whose posix path contains one
+            is skipped.
+
+    Raises:
+        FileNotFoundError: when a named path does not exist.
+    """
+    out: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.update(p for p in path.rglob("*.py") if p.is_file())
+        elif path.is_file():
+            out.add(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    kept = [
+        p
+        for p in out
+        if not any(frag in p.as_posix() for frag in excludes)
+    ]
+    return sorted(kept)
+
+
+class LintEngine:
+    """A configured linter ready to check sources.
+
+    Args:
+        config: resolved configuration (defaults when omitted).
+        selected: when given, only these rule ids run (CLI ``--select``).
+        extra_disabled: rule ids to drop on top of the config's.
+    """
+
+    def __init__(
+        self,
+        config: LintConfig | None = None,
+        selected: Iterable[str] | None = None,
+        extra_disabled: Iterable[str] = (),
+    ) -> None:
+        self.config = config or LintConfig()
+        self.rules: list[Rule] = instantiate(
+            selected=selected,
+            disabled=(*self.config.disabled, *extra_disabled),
+            severity_overrides=self.config.severity_overrides,
+            rule_options=self.config.rule_options,
+        )
+        # node type -> rules interested in it, precomputed once.
+        self._dispatch: dict[Type[ast.AST], list[Rule]] = {}
+        for rule in self.rules:
+            for node_type in rule.node_types:
+                self._dispatch.setdefault(node_type, []).append(rule)
+
+    def check_source(self, source: str, path: str) -> LintReport:
+        """Lint one module given as a string.
+
+        Syntax errors are reported as a single ``parse-error`` violation
+        rather than raised: a broken file must fail the run, not crash
+        it.
+        """
+        report = LintReport(files_checked=1)
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            report.violations.append(
+                Violation(
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule_id=PARSE_ERROR_ID,
+                    message=f"syntax error: {exc.msg}",
+                    severity=Severity.ERROR,
+                )
+            )
+            return report
+
+        suppressions = scan_suppressions(source)
+        ctx = FileContext(path=path, tree=tree, source=source)
+        active = [r for r in self.rules if r.applies_to(path)]
+        if not active:
+            return report
+        wanted = {
+            nt: [r for r in rules if r in active]
+            for nt, rules in self._dispatch.items()
+        }
+        for node in ast.walk(tree):
+            rules = wanted.get(type(node))
+            if not rules:
+                continue
+            for rule in rules:
+                for violation in rule.visit(node, ctx):
+                    if suppressions.is_suppressed(
+                        violation.rule_id, violation.line
+                    ):
+                        report.suppressed_count += 1
+                    else:
+                        report.violations.append(violation)
+        report.sort()
+        return report
+
+    def check_file(self, path: str | Path) -> LintReport:
+        """Lint one file from disk.
+
+        Unreadable or undecodable files are reported as ``parse-error``
+        violations.
+        """
+        display = Path(path).as_posix()
+        try:
+            source = Path(path).read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            return LintReport(
+                files_checked=1,
+                violations=[
+                    Violation(
+                        path=display,
+                        line=1,
+                        col=0,
+                        rule_id=PARSE_ERROR_ID,
+                        message=f"cannot read file: {exc}",
+                        severity=Severity.ERROR,
+                    )
+                ],
+            )
+        return self.check_source(source, display)
+
+    def check_paths(self, paths: Sequence[str | Path]) -> LintReport:
+        """Lint files and directories; returns the merged report.
+
+        Raises:
+            FileNotFoundError: when a named path does not exist.
+        """
+        files = collect_files(paths, excludes=self.config.excludes)
+        total = LintReport()
+        for path in files:
+            report = self.check_file(path)
+            total.files_checked += report.files_checked
+            total.suppressed_count += report.suppressed_count
+            total.extend(report.violations)
+        total.sort()
+        return total

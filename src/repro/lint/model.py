@@ -1,0 +1,137 @@
+"""Data model of the lint subsystem.
+
+A lint run produces :class:`Violation` records — one per rule hit — each
+carrying the file, position, rule id, severity and a human-readable
+message.  Severities follow the usual two-level scheme: ``ERROR``
+violations fail the run (non-zero exit code), ``WARNING`` violations are
+reported but do not.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["Severity", "Violation", "LintReport"]
+
+
+class Severity(enum.Enum):
+    """How serious a rule hit is.
+
+    ``ERROR`` fails the lint run; ``WARNING`` is advisory.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        """Parse a severity name (case-insensitive).
+
+        Raises:
+            ValueError: for anything other than ``error`` / ``warning``.
+        """
+        try:
+            return cls(text.strip().lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected 'error' or 'warning'"
+            ) from None
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule hit at one source position.
+
+    Ordering is by (path, line, col, rule) so reports are stable.
+
+    Attributes:
+        path: file the violation was found in.
+        line: 1-based line number.
+        col: 0-based column offset (as reported by :mod:`ast`).
+        rule_id: id of the rule that fired (e.g. ``"float-equality"``).
+        message: human-readable description of the problem.
+        severity: error or warning.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def format(self) -> str:
+        """The canonical one-line ``file:line:col rule-id message`` form."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id}: {self.message} [{self.severity.value}]"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintReport:
+    """Aggregate outcome of linting a set of files.
+
+    Attributes:
+        violations: every rule hit, sorted by position.
+        files_checked: number of Python files parsed and visited.
+        suppressed_count: hits silenced by inline ``# repro: disable=``
+            comments (counted so reporters can surface them).
+    """
+
+    violations: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed_count: int = 0
+
+    @property
+    def error_count(self) -> int:
+        """Number of error-severity violations."""
+        return sum(
+            1 for v in self.violations if v.severity is Severity.ERROR
+        )
+
+    @property
+    def warning_count(self) -> int:
+        """Number of warning-severity violations."""
+        return sum(
+            1 for v in self.violations if v.severity is Severity.WARNING
+        )
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity violation was found."""
+        return self.error_count == 0
+
+    def extend(self, violations: list[Violation]) -> None:
+        """Add violations (re-sorting is the caller's concern)."""
+        self.violations.extend(violations)
+
+    def sort(self) -> None:
+        """Stable-sort violations by (path, line, col, rule)."""
+        self.violations.sort()
+
+
+def path_matches(path: str | Path, fragments: tuple[str, ...]) -> bool:
+    """True when ``path`` (posix-normalised) contains any fragment.
+
+    Used by path-scoped rules (e.g. float-equality applies only under
+    ``repro/stats`` and ``repro/core``).  An empty fragment tuple means
+    "applies everywhere".
+    """
+    if not fragments:
+        return True
+    text = Path(path).as_posix()
+    return any(frag in text for frag in fragments)

@@ -1,0 +1,229 @@
+"""Rule base class and registry.
+
+Every lint rule is a subclass of :class:`Rule` registered with
+:func:`register_rule`.  A rule declares which :mod:`ast` node types it
+wants to see (``node_types``); the engine walks each module once and
+dispatches every node to every interested rule — one traversal per file
+regardless of how many rules are active (pylint's checker-dispatch
+scheme, scaled down).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Type
+
+from repro.lint.model import Severity, Violation, path_matches
+
+__all__ = [
+    "Rule",
+    "FileContext",
+    "register_rule",
+    "all_rules",
+    "get_rule",
+    "rule_ids",
+]
+
+
+class FileContext:
+    """Per-file facts shared by every rule during one traversal.
+
+    Attributes:
+        path: display path of the module being linted.
+        tree: the parsed module.
+        numpy_aliases: names bound to the ``numpy`` module
+            (``import numpy as np`` -> ``{"np"}``).
+        numpy_random_aliases: names bound to ``numpy.random`` itself
+            (``from numpy import random as nr`` -> ``{"nr"}``).
+        stdlib_random_aliases: names bound to the stdlib ``random``
+            module.
+        from_imports: mapping of local name -> dotted source for
+            ``from M import x [as y]`` bindings.
+    """
+
+    def __init__(self, path: str, tree: ast.Module, source: str = "") -> None:
+        self.path = path
+        self.tree = tree
+        self.source = source
+        self.numpy_aliases: set[str] = set()
+        self.numpy_random_aliases: set[str] = set()
+        self.stdlib_random_aliases: set[str] = set()
+        self.from_imports: dict[str, str] = {}
+        self._scan_imports(tree)
+
+    def _scan_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "numpy" or alias.name.startswith(
+                        "numpy."
+                    ):
+                        if alias.name == "numpy.random" and alias.asname:
+                            self.numpy_random_aliases.add(alias.asname)
+                        else:
+                            self.numpy_aliases.add(bound)
+                    elif alias.name == "random":
+                        self.stdlib_random_aliases.add(bound)
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.from_imports[local] = (
+                        f"{module}.{alias.name}" if module else alias.name
+                    )
+                    if module == "numpy" and alias.name == "random":
+                        self.numpy_random_aliases.add(local)
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`visit`.
+
+    Attributes:
+        rule_id: stable kebab-case identifier used in reports, inline
+            suppressions and configuration.
+        severity: default severity (configuration may override).
+        description: one-line summary shown by ``--list-rules``.
+        rationale: why the codebase enforces this contract.
+        node_types: :mod:`ast` node classes this rule wants dispatched.
+        path_scopes: when non-empty, the rule only fires in files whose
+            path contains one of these fragments.
+        allow_path_scopes: files whose path contains one of these
+            fragments are exempt (canonical definition sites).
+    """
+
+    rule_id: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+    rationale: str = ""
+    node_types: tuple[Type[ast.AST], ...] = ()
+    path_scopes: tuple[str, ...] = ()
+    allow_path_scopes: tuple[str, ...] = ()
+
+    def configure(self, options: dict[str, object]) -> None:
+        """Apply per-rule options from configuration.
+
+        Recognised keys: ``paths`` (overrides ``path_scopes``) and
+        ``allow-paths`` (overrides ``allow_path_scopes``).
+        """
+        if "paths" in options:
+            self.path_scopes = tuple(str(p) for p in options["paths"])  # type: ignore[union-attr]
+        if "allow-paths" in options:
+            self.allow_path_scopes = tuple(
+                str(p) for p in options["allow-paths"]  # type: ignore[union-attr]
+            )
+
+    def applies_to(self, path: str) -> bool:
+        """Should this rule run over the module at ``path``?"""
+        if self.allow_path_scopes and path_matches(
+            path, self.allow_path_scopes
+        ):
+            return False
+        return path_matches(path, self.path_scopes)
+
+    def visit(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterator[Violation]:
+        """Yield violations for ``node`` (dispatched per ``node_types``)."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def violation(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Violation:
+        """Construct a violation anchored at ``node``."""
+        return Violation(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+            severity=self.severity,
+        )
+
+
+_REGISTRY: dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a rule to the global registry.
+
+    Raises:
+        ValueError: on a missing or duplicate ``rule_id``.
+    """
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id!r}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> list[Type[Rule]]:
+    """Every registered rule class, sorted by id."""
+    _ensure_loaded()
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Type[Rule]:
+    """Look a rule class up by id.
+
+    Raises:
+        KeyError: for an unknown id (message lists the known ones).
+    """
+    _ensure_loaded()
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown rule {rule_id!r} (known: {known})"
+        ) from None
+
+
+def rule_ids() -> list[str]:
+    """Sorted ids of every registered rule."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def _ensure_loaded() -> None:
+    # Rule modules register on import; pull them in lazily so importing
+    # the registry alone never costs a full rule load.
+    from repro.lint import rules  # noqa: F401
+
+
+def instantiate(
+    selected: Iterable[str] | None = None,
+    disabled: Iterable[str] = (),
+    severity_overrides: dict[str, Severity] | None = None,
+    rule_options: dict[str, dict[str, object]] | None = None,
+) -> list[Rule]:
+    """Build configured rule instances.
+
+    Args:
+        selected: when given, only these rule ids run.
+        disabled: rule ids to drop.
+        severity_overrides: per-rule severity replacing the default.
+        rule_options: per-rule option dicts handed to
+            :meth:`Rule.configure`.
+
+    Raises:
+        KeyError: when ``selected`` names an unknown rule.
+    """
+    _ensure_loaded()
+    ids = list(selected) if selected is not None else rule_ids()
+    drop = set(disabled)
+    instances: list[Rule] = []
+    for rule_id in ids:
+        if rule_id in drop:
+            continue
+        rule = get_rule(rule_id)()
+        if severity_overrides and rule_id in severity_overrides:
+            rule.severity = severity_overrides[rule_id]
+        if rule_options and rule_id in rule_options:
+            rule.configure(rule_options[rule_id])
+        instances.append(rule)
+    return instances

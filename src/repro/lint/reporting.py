@@ -1,0 +1,63 @@
+"""Reporters: render a :class:`~repro.lint.model.LintReport`.
+
+Two formats:
+
+- ``text`` — one ``file:line:col: rule-id: message [severity]`` line per
+  violation plus a summary line; the format greppable reviewers expect.
+- ``json`` — a stable machine-readable document for CI annotation
+  tooling: ``{"violations": [...], "summary": {...}}``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.model import LintReport
+
+__all__ = ["render_text", "render_json", "render", "FORMATS"]
+
+FORMATS = ("text", "json")
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable report."""
+    lines = [v.format() for v in report.violations]
+    summary = (
+        f"checked {report.files_checked} file(s): "
+        f"{report.error_count} error(s), "
+        f"{report.warning_count} warning(s)"
+    )
+    if report.suppressed_count:
+        summary += f", {report.suppressed_count} suppressed"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report (stable key order, 2-space indent)."""
+    doc = {
+        "violations": [v.to_dict() for v in report.violations],
+        "summary": {
+            "files_checked": report.files_checked,
+            "errors": report.error_count,
+            "warnings": report.warning_count,
+            "suppressed": report.suppressed_count,
+            "ok": report.ok,
+        },
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def render(report: LintReport, fmt: str) -> str:
+    """Render in the named format.
+
+    Raises:
+        ValueError: for an unknown format name.
+    """
+    if fmt == "text":
+        return render_text(report)
+    if fmt == "json":
+        return render_json(report)
+    raise ValueError(
+        f"unknown format {fmt!r}; expected one of {', '.join(FORMATS)}"
+    )

@@ -1,0 +1,27 @@
+"""Built-in lint rules.
+
+Importing this package registers every rule with the registry in
+:mod:`repro.lint.registry`.  Rules are grouped by the contract they
+enforce:
+
+- :mod:`repro.lint.rules.randomness` — RNG discipline;
+- :mod:`repro.lint.rules.context_keys` — operation-context key discipline;
+- :mod:`repro.lint.rules.numerics` — float equality and the paper's
+  tuned constants;
+- :mod:`repro.lint.rules.hygiene` — silent exception swallowing and
+  mutable default arguments.
+"""
+
+from repro.lint.rules.context_keys import ContextKeyRule
+from repro.lint.rules.hygiene import MutableDefaultRule, SilentExceptRule
+from repro.lint.rules.numerics import FloatEqualityRule, MagicConstantRule
+from repro.lint.rules.randomness import RngDisciplineRule
+
+__all__ = [
+    "ContextKeyRule",
+    "FloatEqualityRule",
+    "MagicConstantRule",
+    "MutableDefaultRule",
+    "RngDisciplineRule",
+    "SilentExceptRule",
+]

@@ -1,0 +1,90 @@
+"""Operation-context key discipline (rule ``context-key``).
+
+Every model, invariant set and signature database in InvarNet-X is scoped
+per :class:`~repro.core.context.OperationContext` (paper §2, Figs. 9/10).
+The *only* sanctioned dictionary key for that scope is
+``OperationContext.key()`` — it is the single place the
+``use_operation_context=False`` ablation (collapse to ``GLOBAL_CONTEXT``)
+can be implemented, and the single place the key layout can evolve.
+
+Code that indexes a mapping with a hand-rolled ``(workload, node)`` tuple
+bypasses that choke point: the ablation silently stops applying to it and
+any key-layout change corrupts its lookups.  This rule flags subscripts
+and ``get``/``setdefault``/``pop`` calls whose key is a literal tuple
+combining a workload-ish element with a node-ish element.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.model import Violation
+from repro.lint.registry import FileContext, Rule, register_rule
+
+__all__ = ["ContextKeyRule"]
+
+_DICT_KEY_METHODS = frozenset({"get", "setdefault", "pop"})
+
+
+def _terminal_name(node: ast.AST) -> str:
+    """The identifier a tuple element reads from, lowercased.
+
+    ``ctx.workload`` -> ``workload``; ``workload`` -> ``workload``;
+    anything else -> ``""``.
+    """
+    if isinstance(node, ast.Attribute):
+        return node.attr.lower()
+    if isinstance(node, ast.Name):
+        return node.id.lower()
+    return ""
+
+
+def _is_raw_context_tuple(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Tuple) or not 2 <= len(node.elts) <= 3:
+        return False
+    names = [_terminal_name(el) for el in node.elts]
+    has_workload = any("workload" in n for n in names)
+    has_node = any("node" in n for n in names)
+    return has_workload and has_node
+
+
+@register_rule
+class ContextKeyRule(Rule):
+    rule_id = "context-key"
+    description = (
+        "index per-context mappings with OperationContext.key(), not a "
+        "raw (workload, node) tuple"
+    )
+    rationale = (
+        "OperationContext.key() is the one choke point where the "
+        "global-context ablation and any key-layout change apply; raw "
+        "tuples bypass it"
+    )
+    node_types = (ast.Subscript, ast.Call)
+
+    def visit(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterator[Violation]:
+        if isinstance(node, ast.Subscript):
+            if _is_raw_context_tuple(node.slice):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "mapping indexed by a raw (workload, node) tuple; "
+                    "use OperationContext.key()",
+                )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _DICT_KEY_METHODS
+                and node.args
+                and _is_raw_context_tuple(node.args[0])
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f".{func.attr}() keyed by a raw (workload, node) "
+                    "tuple; use OperationContext.key()",
+                )

@@ -1,0 +1,128 @@
+"""General hygiene rules: ``silent-except`` and ``mutable-default``.
+
+``silent-except``
+    A bare ``except:`` (or ``except Exception/BaseException:``) whose
+    body is only ``pass`` / ``...`` swallows every failure on the path —
+    in a diagnosis system that means silently mis-training a model or
+    dropping an anomaly.  Narrow the exception type or handle it
+    visibly.
+
+``mutable-default``
+    A mutable default argument (``def f(x=[])``) is shared across calls;
+    with per-context model dictionaries that aliasing corrupts state
+    across operation contexts.  Use ``None`` plus an in-body default.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.model import Violation
+from repro.lint.registry import FileContext, Rule, register_rule
+
+__all__ = ["SilentExceptRule", "MutableDefaultRule"]
+
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(handler_type: ast.AST | None) -> bool:
+    if handler_type is None:  # bare except:
+        return True
+    if isinstance(handler_type, ast.Name):
+        return handler_type.id in _BROAD_EXCEPTIONS
+    if isinstance(handler_type, ast.Tuple):
+        return any(_is_broad(el) for el in handler_type.elts)
+    return False
+
+
+def _is_noop(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, ast.Pass):
+        return True
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Constant)
+        and stmt.value.value is Ellipsis
+    )
+
+
+@register_rule
+class SilentExceptRule(Rule):
+    rule_id = "silent-except"
+    description = (
+        "bare or broad except with a pass-only body swallows failures"
+    )
+    rationale = (
+        "a swallowed exception here means silently mis-training a model "
+        "or dropping an anomaly; narrow the type or handle it visibly"
+    )
+    node_types = (ast.ExceptHandler,)
+
+    def visit(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterator[Violation]:
+        assert isinstance(node, ast.ExceptHandler)
+        if not _is_broad(node.type):
+            return
+        if all(_is_noop(stmt) for stmt in node.body):
+            what = (
+                "bare except"
+                if node.type is None
+                else "broad except"
+            )
+            yield self.violation(
+                ctx,
+                node,
+                f"{what} with a pass-only body silently swallows "
+                "failures; narrow the exception type or handle it",
+            )
+
+
+_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set"})
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CONSTRUCTORS
+    )
+
+
+@register_rule
+class MutableDefaultRule(Rule):
+    rule_id = "mutable-default"
+    description = "no mutable default arguments (list/dict/set literals)"
+    rationale = (
+        "defaults are evaluated once and shared across calls; mutating "
+        "one leaks state across every caller (and every operation "
+        "context)"
+    )
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    def visit(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterator[Violation]:
+        assert isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        )
+        args = node.args
+        for default in (*args.defaults, *args.kw_defaults):
+            if default is not None and _is_mutable_literal(default):
+                label = (
+                    node.name
+                    if isinstance(
+                        node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    )
+                    else "<lambda>"
+                )
+                yield self.violation(
+                    ctx,
+                    default,
+                    f"mutable default argument in {label}(); use None "
+                    "and create the value in the body",
+                )

@@ -1,0 +1,190 @@
+"""Numerical-contract rules: ``float-equality`` and ``magic-constant``.
+
+``float-equality``
+    ``==`` / ``!=`` between float-typed expressions inside the numerical
+    packages (``repro/stats``, ``repro/core`` by default).  ARIMA
+    residuals, MIC scores and thresholds move with BLAS builds and
+    platform math; exact comparison is either a latent bug or — when an
+    exact degeneracy guard really is meant — worth an explicit
+    ``# repro: disable=float-equality`` with a justification.
+
+``magic-constant``
+    The paper's tuned thresholds — τ = 0.2 (Algorithm 1 stability),
+    ε = 0.2 (violation threshold), β = 1.2 (beta-max fluctuation) — are
+    defined once, in the canonical parameter modules
+    (``core/invariants.py``, ``core/anomaly.py``) and re-exported through
+    the config dataclasses (``core/pipeline.py``, ``arx/pipeline.py``).
+    A literal ``0.2`` / ``1.2`` used as a threshold anywhere else is a
+    drift hazard: retuning the canonical constant silently diverges from
+    the copy.  Flagged positions are comparisons containing the literal
+    and bindings of the literal to a τ/ε/β-named parameter or variable.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.model import Violation
+from repro.lint.registry import FileContext, Rule, register_rule
+
+__all__ = ["FloatEqualityRule", "MagicConstantRule"]
+
+
+def _is_floaty(node: ast.AST) -> bool:
+    """Does this expression plainly evaluate to a float?
+
+    A deliberately shallow, syntactic notion: float literals, ``float()``
+    conversions, true division, and unary/binary arithmetic over any of
+    those.  Names and attribute loads are *not* assumed float — the rule
+    fires only when at least one side is visibly float-typed.
+    """
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.Call):
+        return isinstance(node.func, ast.Name) and node.func.id == "float"
+    if isinstance(node, ast.UnaryOp):
+        return _is_floaty(node.operand)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _is_floaty(node.left) or _is_floaty(node.right)
+    return False
+
+
+@register_rule
+class FloatEqualityRule(Rule):
+    rule_id = "float-equality"
+    description = (
+        "no == / != between float-typed expressions in the numerical "
+        "packages"
+    )
+    rationale = (
+        "residuals, MIC scores and thresholds vary with platform math; "
+        "exact float comparison is a latent bug unless explicitly "
+        "justified"
+    )
+    node_types = (ast.Compare,)
+    path_scopes = ("repro/stats/", "repro/core/")
+
+    def visit(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterator[Violation]:
+        assert isinstance(node, ast.Compare)
+        operands = [node.left, *node.comparators]
+        for op, lhs, rhs in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_floaty(lhs) or _is_floaty(rhs):
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"float {symbol} comparison; use a tolerance "
+                    "(math.isclose / np.isclose) or suppress with a "
+                    "justified '# repro: disable=float-equality'",
+                )
+
+
+#: The paper's tuned thresholds and the symbols they belong to.
+_PAPER_CONSTANTS: dict[float, str] = {
+    0.2: "tau/epsilon (TAU, EPSILON in repro.core.invariants)",
+    1.2: "beta (BETA in repro.core.anomaly)",
+}
+
+_PARAM_NAME = re.compile(r"(^|_)(tau|eps|epsilon|beta)(_|$)", re.IGNORECASE)
+
+
+def _paper_constant(node: ast.AST) -> float | None:
+    if (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, float)
+        and node.value in _PAPER_CONSTANTS
+    ):
+        return node.value
+    return None
+
+
+@register_rule
+class MagicConstantRule(Rule):
+    rule_id = "magic-constant"
+    description = (
+        "paper thresholds 0.2 (tau/epsilon) and 1.2 (beta) must come "
+        "from the canonical constants, not literals"
+    )
+    rationale = (
+        "retuning TAU/EPSILON/BETA must take effect everywhere; literal "
+        "copies silently drift"
+    )
+    node_types = (ast.Compare, ast.Call, ast.Assign, ast.AnnAssign)
+    #: The canonical definition sites (parameter constants/dataclasses).
+    allow_path_scopes = (
+        "repro/core/invariants.py",
+        "repro/core/anomaly.py",
+        "repro/core/pipeline.py",
+        "repro/arx/pipeline.py",
+    )
+
+    def visit(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterator[Violation]:
+        if isinstance(node, ast.Compare):
+            yield from self._check_compare(node, ctx)
+        elif isinstance(node, ast.Call):
+            yield from self._check_call(node, ctx)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            yield from self._check_assign(node, ctx)
+
+    def _check_compare(
+        self, node: ast.Compare, ctx: FileContext
+    ) -> Iterator[Violation]:
+        # Any 0.2 / 1.2 inside a comparison is a threshold in disguise,
+        # including the β·max(R) shape `x > 1.2 * peak`.
+        for sub in ast.walk(node):
+            value = _paper_constant(sub)
+            if value is not None:
+                yield self.violation(
+                    ctx,
+                    sub,
+                    f"literal {value} used as a threshold; use the "
+                    f"canonical constant for {_PAPER_CONSTANTS[value]}",
+                )
+
+    def _check_call(
+        self, node: ast.Call, ctx: FileContext
+    ) -> Iterator[Violation]:
+        for kw in node.keywords:
+            if kw.arg is None or not _PARAM_NAME.search(kw.arg):
+                continue
+            value = _paper_constant(kw.value)
+            if value is not None:
+                yield self.violation(
+                    ctx,
+                    kw.value,
+                    f"literal {value} passed as {kw.arg}=; use the "
+                    f"canonical constant for {_PAPER_CONSTANTS[value]}",
+                )
+
+    def _check_assign(
+        self, node: ast.Assign | ast.AnnAssign, ctx: FileContext
+    ) -> Iterator[Violation]:
+        value = _paper_constant(node.value) if node.value else None
+        if value is None:
+            return
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            name = ""
+            if isinstance(target, ast.Name):
+                name = target.id
+            elif isinstance(target, ast.Attribute):
+                name = target.attr
+            if name and _PARAM_NAME.search(name):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{name} bound to literal {value}; use the canonical "
+                    f"constant for {_PAPER_CONSTANTS[value]}",
+                )

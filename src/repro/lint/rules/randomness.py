@@ -1,0 +1,143 @@
+"""RNG discipline (rule ``rng-discipline``).
+
+Every stochastic path in this codebase threads an explicit
+``np.random.Generator`` (see ``faults/bugs.py``, ``telemetry/perfcounter.py``
+and ``cluster/job.py``): a run's seed fully determines its trace, which is
+what makes experiments, signatures and regression tests reproducible.
+
+Two ways to break that contract are flagged:
+
+- calling through numpy's legacy *global* RNG (``np.random.rand(...)``,
+  ``np.random.seed(...)``, ...) — hidden global state, unseedable per run;
+- using the stdlib :mod:`random` module at all — a second, independently
+  seeded RNG stream that silently decouples from the threaded generator.
+
+Constructing generators is fine: ``np.random.default_rng(seed)`` and the
+``Generator`` / ``SeedSequence`` / bit-generator classes are allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.model import Violation
+from repro.lint.registry import FileContext, Rule, register_rule
+
+__all__ = ["RngDisciplineRule"]
+
+#: numpy.random attributes that are *construction*, not sampling.
+_ALLOWED_NP_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+@register_rule
+class RngDisciplineRule(Rule):
+    rule_id = "rng-discipline"
+    description = (
+        "stochastic code must thread an explicit np.random.Generator; "
+        "no legacy np.random.* global calls, no stdlib random"
+    )
+    rationale = (
+        "a run's seed must fully determine its trace (reproducible "
+        "experiments and signatures); module-level RNG state breaks that"
+    )
+    node_types = (ast.Import, ast.ImportFrom, ast.Call)
+
+    def visit(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterator[Violation]:
+        if isinstance(node, ast.Import):
+            yield from self._check_import(node, ctx)
+        elif isinstance(node, ast.ImportFrom):
+            yield from self._check_import_from(node, ctx)
+        elif isinstance(node, ast.Call):
+            yield from self._check_call(node, ctx)
+
+    def _check_import(
+        self, node: ast.Import, ctx: FileContext
+    ) -> Iterator[Violation]:
+        for alias in node.names:
+            if alias.name == "random":
+                yield self.violation(
+                    ctx,
+                    node,
+                    "stdlib 'random' imported; thread an "
+                    "np.random.Generator parameter instead",
+                )
+
+    def _check_import_from(
+        self, node: ast.ImportFrom, ctx: FileContext
+    ) -> Iterator[Violation]:
+        if node.module == "random":
+            yield self.violation(
+                ctx,
+                node,
+                "import from stdlib 'random'; thread an "
+                "np.random.Generator parameter instead",
+            )
+        elif node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name not in _ALLOWED_NP_RANDOM:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"'from numpy.random import {alias.name}' binds a "
+                        "legacy global-state sampler; thread a Generator",
+                    )
+
+    def _check_call(
+        self, node: ast.Call, ctx: FileContext
+    ) -> Iterator[Violation]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        attr = func.attr
+        target = func.value
+        # np.random.<fn>(...) via a numpy module alias.
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr == "random"
+            and isinstance(target.value, ast.Name)
+            and target.value.id in ctx.numpy_aliases
+        ):
+            if attr not in _ALLOWED_NP_RANDOM:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"legacy global RNG call np.random.{attr}(); pass an "
+                    "np.random.Generator and sample from it",
+                )
+            return
+        if not isinstance(target, ast.Name):
+            return
+        # nr.<fn>(...) via a numpy.random module alias.
+        if target.id in ctx.numpy_random_aliases:
+            if attr not in _ALLOWED_NP_RANDOM:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"legacy global RNG call numpy.random.{attr}(); pass "
+                    "an np.random.Generator and sample from it",
+                )
+        # random.<fn>(...) via the stdlib module (redundant with the
+        # import check but catches modules that dodge it, e.g. via
+        # importlib or a re-export).
+        elif target.id in ctx.stdlib_random_aliases:
+            yield self.violation(
+                ctx,
+                node,
+                f"stdlib random.{attr}() call; thread an "
+                "np.random.Generator parameter instead",
+            )

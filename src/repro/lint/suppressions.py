@@ -1,0 +1,118 @@
+"""Inline suppression comments.
+
+Two forms are honoured:
+
+``# repro: disable=rule-a,rule-b``
+    Silences the named rules on the physical line carrying the comment.
+    When the comment stands on a line of its own, it applies to the next
+    code line instead (so directives can precede long statements).
+    ``disable=all`` silences every rule there.
+
+``# repro: disable-file=rule-a``
+    Anywhere in the file (conventionally at the top): silences the named
+    rules for the whole module.  ``disable-file=all`` exempts the module
+    entirely.
+
+Commentary may follow the directive after whitespace or a dash, e.g.
+``# repro: disable=float-equality — exact degeneracy guard``.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+__all__ = ["Suppressions", "scan_suppressions"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\- ]+)"
+)
+
+_ALL = "all"
+
+
+class Suppressions:
+    """Suppression state for one module."""
+
+    def __init__(self) -> None:
+        self.by_line: dict[int, set[str]] = {}
+        self.file_wide: set[str] = set()
+
+    def add_line(self, line: int, rules: set[str]) -> None:
+        self.by_line.setdefault(line, set()).update(rules)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Is ``rule_id`` silenced at ``line``?"""
+        if _ALL in self.file_wide or rule_id in self.file_wide:
+            return True
+        rules = self.by_line.get(line)
+        if rules is None:
+            return False
+        return _ALL in rules or rule_id in rules
+
+
+def _parse_rules(text: str) -> set[str]:
+    # Stop at the first token that is not a rule list element so trailing
+    # prose ("— exact zero guard") does not leak into rule names.
+    rules: set[str] = set()
+    for raw in text.split(","):
+        name = raw.strip().split()[0] if raw.strip() else ""
+        if name:
+            rules.add(name)
+    return rules
+
+
+def _is_code_line(line: str) -> bool:
+    stripped = line.strip()
+    return bool(stripped) and not stripped.startswith("#")
+
+
+def _effective_line(
+    lines: list[str], comment_line: int, comment_col: int
+) -> int:
+    """The line a directive governs.
+
+    An end-of-line comment governs its own line; a standalone comment
+    governs the next code line (skipping blanks and further comments).
+    """
+    before = lines[comment_line - 1][:comment_col]
+    if before.strip():
+        return comment_line
+    for lineno in range(comment_line + 1, len(lines) + 1):
+        if _is_code_line(lines[lineno - 1]):
+            return lineno
+    return comment_line
+
+
+def scan_suppressions(source: str) -> Suppressions:
+    """Extract every suppression directive from ``source``.
+
+    Tokenises the module so directives inside string literals are never
+    mistaken for comments.  On tokenisation failure (the engine reports
+    the syntax error separately) an empty suppression set is returned.
+    """
+    supp = Suppressions()
+    lines = source.splitlines()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE.search(tok.string)
+            if match is None:
+                continue
+            rules = _parse_rules(match.group("rules"))
+            if not rules:
+                continue
+            if match.group("kind") == "disable-file":
+                supp.file_wide.update(rules)
+            else:
+                supp.add_line(
+                    _effective_line(lines, tok.start[0], tok.start[1]),
+                    rules,
+                )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return supp

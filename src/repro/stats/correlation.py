@@ -40,6 +40,7 @@ def pearson(x: np.ndarray | list[float], y: np.ndarray | list[float]) -> float:
     xa, ya = _paired(x, y)
     sx = xa.std()
     sy = ya.std()
+    # repro: disable=float-equality — exact zero std is the degenerate case
     if sx == 0.0 or sy == 0.0:
         return 0.0
     return float(np.mean((xa - xa.mean()) * (ya - ya.mean())) / (sx * sy))

@@ -289,6 +289,7 @@ def mic(
     n = xa.size
     if n < 4:
         return 0.0
+    # repro: disable=float-equality — exact zero range is the degenerate case
     if np.ptp(xa) == 0.0 or np.ptp(ya) == 0.0:
         return 0.0
     budget = params.budget(n)

@@ -106,6 +106,7 @@ def acf(series: np.ndarray | list[float], nlags: int) -> np.ndarray:
         raise ValueError(f"nlags={nlags} too large for series of length {arr.size}")
     centered = arr - arr.mean()
     denom = float(centered @ centered)
+    # repro: disable=float-equality — exact zero energy is the degenerate case
     if denom == 0.0:
         # A constant series is perfectly "autocorrelated" by convention.
         return np.ones(nlags + 1)
@@ -191,6 +192,7 @@ def is_stationary(series: np.ndarray | list[float], threshold: float = 0.05) -> 
     arr = _as_series(series)
     if arr.size < 8:
         raise ValueError("need at least 8 observations for the stationarity test")
+    # repro: disable=float-equality — exact zero range is the degenerate case
     if np.ptp(arr) == 0.0:
         return True  # a constant series is trivially stationary
     dy = np.diff(arr)

@@ -42,7 +42,10 @@ def save_run_npz(run: RunTrace, path: str | Path) -> None:
         "fault_node": np.array(run.fault_node or ""),
         "fault_window": np.array(run.fault_window or (-1, -1)),
         "all_faults": np.array(list(run.all_faults)),
-        "seed": np.array(-1 if run.seed is None else run.seed),
+        # An explicit presence flag: any integer (including -1) is a
+        # legitimate seed, so no in-band sentinel can encode None.
+        "has_seed": np.array(run.seed is not None),
+        "seed": np.array(0 if run.seed is None else run.seed),
         "node_ids": np.array(list(run.nodes)),
         "node_ips": np.array([t.ip for t in run.nodes.values()]),
     }
@@ -69,7 +72,12 @@ def load_run_npz(path: str | Path) -> RunTrace:
         fault = str(data["fault"]) or None
         fault_node = str(data["fault_node"]) or None
         window = tuple(int(x) for x in data["fault_window"])
-        seed = int(data["seed"])
+        if "has_seed" in data:
+            seed = int(data["seed"]) if bool(data["has_seed"]) else None
+        else:
+            # Legacy files (pre has_seed) used -1 as the None sentinel.
+            legacy = int(data["seed"])
+            seed = None if legacy == -1 else legacy
         return RunTrace(
             workload=str(data["workload"]),
             nodes=nodes,
@@ -79,7 +87,7 @@ def load_run_npz(path: str | Path) -> RunTrace:
             fault_node=fault_node,
             fault_window=None if window == (-1, -1) else window,  # type: ignore[arg-type]
             all_faults=tuple(str(f) for f in data["all_faults"]),
-            seed=None if seed == -1 else seed,
+            seed=seed,
         )
 
 

@@ -1,6 +1,8 @@
 """Unit tests for the operation context."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core.context import GLOBAL_CONTEXT, OperationContext
 
@@ -34,3 +36,64 @@ class TestOperationContext:
 
     def test_global_sentinel(self):
         assert GLOBAL_CONTEXT.key() == ("*", "*")
+
+    def test_key_stable_across_calls_and_instances(self):
+        a = OperationContext("wordcount", "slave-1", "10.0.0.11")
+        b = OperationContext("wordcount", "slave-1", "10.0.0.99")
+        # key() ignores the ip on purpose: the paper scopes models by
+        # (workload type, node), and the address is carried metadata.
+        assert a.key() == a.key() == b.key()
+
+    def test_key_usable_as_dict_key(self):
+        models = {}
+        ctx = OperationContext("sort", "slave-2")
+        models[ctx.key()] = "model"
+        assert models[OperationContext("sort", "slave-2", "ip").key()] == (
+            "model"
+        )
+
+    def test_ordering(self):
+        a = OperationContext("grep", "slave-1")
+        b = OperationContext("grep", "slave-2")
+        c = OperationContext("sort", "slave-1")
+        assert sorted([c, b, a]) == [a, b, c]
+
+    def test_global_context_ablation_path(self):
+        """use_operation_context=False collapses every context onto the
+        GLOBAL_CONTEXT slot (paper Figs. 9/10 ablation)."""
+        from repro.core.pipeline import InvarNetX, InvarNetXConfig
+
+        ablated = InvarNetX(InvarNetXConfig(use_operation_context=False))
+        a = OperationContext("wordcount", "slave-1")
+        b = OperationContext("sort", "slave-4")
+        assert ablated._key(a) == ablated._key(b) == GLOBAL_CONTEXT.key()
+        scoped = InvarNetX()
+        assert scoped._key(a) == a.key()
+        assert scoped._key(a) != scoped._key(b)
+
+
+_context_fields = st.text(
+    alphabet=st.characters(codec="utf-8", exclude_categories=("Cs",)),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestKeyInjectivity:
+    @given(
+        w1=_context_fields,
+        n1=_context_fields,
+        w2=_context_fields,
+        n2=_context_fields,
+    )
+    def test_key_injective_over_distinct_contexts(self, w1, n1, w2, n2):
+        a = OperationContext(w1, n1)
+        b = OperationContext(w2, n2)
+        if (w1, n1) != (w2, n2):
+            assert a.key() != b.key()
+        else:
+            assert a.key() == b.key()
+
+    @given(w=_context_fields, n=_context_fields)
+    def test_key_roundtrips_fields(self, w, n):
+        assert OperationContext(w, n).key() == (w, n)

@@ -1,0 +1,307 @@
+"""Engine, configuration, suppression, reporter and CLI tests."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    LintConfig,
+    LintEngine,
+    Severity,
+    load_config,
+    render_json,
+    render_text,
+    rule_ids,
+)
+from repro.lint.cli import EXIT_OK, EXIT_USAGE, EXIT_VIOLATIONS, main
+from repro.lint.config import ConfigError, find_pyproject
+from repro.lint.engine import collect_files
+
+SIX_RULES = {
+    "context-key",
+    "float-equality",
+    "magic-constant",
+    "mutable-default",
+    "rng-discipline",
+    "silent-except",
+}
+
+VIOLATING = "import random\n\n\ndef f(x=[]):\n    return x\n"
+
+
+class TestRegistry:
+    def test_all_six_domain_rules_registered(self):
+        assert SIX_RULES <= set(rule_ids())
+
+
+class TestEngine:
+    def test_clean_source(self):
+        report = LintEngine().check_source("x = 1\n", "m.py")
+        assert report.ok
+        assert report.files_checked == 1
+        assert not report.violations
+
+    def test_violations_sorted_by_position(self):
+        report = LintEngine().check_source(VIOLATING, "m.py")
+        lines = [v.line for v in report.violations]
+        assert lines == sorted(lines)
+        assert [v.rule_id for v in report.violations] == [
+            "rng-discipline",
+            "mutable-default",
+        ]
+
+    def test_syntax_error_reported_not_raised(self):
+        report = LintEngine().check_source("def f(:\n", "bad.py")
+        (violation,) = report.violations
+        assert violation.rule_id == "parse-error"
+        assert not report.ok
+
+    def test_file_wide_suppression(self):
+        source = "# repro: disable-file=rng-discipline\nimport random\n"
+        report = LintEngine().check_source(source, "m.py")
+        assert report.ok
+        assert report.suppressed_count == 1
+
+    def test_file_wide_all(self):
+        source = "# repro: disable-file=all\n" + VIOLATING
+        report = LintEngine().check_source(source, "m.py")
+        assert report.ok
+        assert report.suppressed_count == 2
+
+    def test_line_suppression_all(self):
+        source = "import random  # repro: disable=all\n"
+        report = LintEngine().check_source(source, "m.py")
+        assert report.ok
+
+    def test_suppression_does_not_leak_to_other_lines(self):
+        source = (
+            "import random  # repro: disable=rng-discipline\n"
+            "import random\n"
+        )
+        report = LintEngine().check_source(source, "m.py")
+        assert len(report.violations) == 1
+        assert report.suppressed_count == 1
+
+    def test_wrong_rule_suppression_does_not_apply(self):
+        source = "import random  # repro: disable=context-key\n"
+        report = LintEngine().check_source(source, "m.py")
+        assert len(report.violations) == 1
+        assert report.suppressed_count == 0
+
+    def test_disabled_rule_skipped(self):
+        config = LintConfig(disabled=("rng-discipline",))
+        report = LintEngine(config=config).check_source(
+            "import random\n", "m.py"
+        )
+        assert report.ok
+
+    def test_selected_rules_only(self):
+        engine = LintEngine(selected=["mutable-default"])
+        report = engine.check_source(VIOLATING, "m.py")
+        assert [v.rule_id for v in report.violations] == [
+            "mutable-default"
+        ]
+
+    def test_severity_override_to_warning(self):
+        config = LintConfig(
+            severity_overrides={"rng-discipline": Severity.WARNING}
+        )
+        report = LintEngine(config=config).check_source(
+            "import random\n", "m.py"
+        )
+        assert report.ok  # warnings do not fail the run
+        assert report.warning_count == 1
+
+    def test_rule_options_override_paths(self):
+        # Widen float-equality to every path via per-rule options.
+        config = LintConfig(
+            rule_options={"float-equality": {"paths": []}}
+        )
+        report = LintEngine(config=config).check_source(
+            "ok = x == 0.5\n", "anywhere.py"
+        )
+        assert [v.rule_id for v in report.violations] == [
+            "float-equality"
+        ]
+
+    def test_check_paths_merges_reports(self, tmp_path):
+        (tmp_path / "a.py").write_text("import random\n")
+        (tmp_path / "b.py").write_text("x = 1\n")
+        report = LintEngine().check_paths([tmp_path])
+        assert report.files_checked == 2
+        assert len(report.violations) == 1
+
+
+class TestCollectFiles:
+    def test_recursive_and_sorted(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "b.py").write_text("")
+        (tmp_path / "a.py").write_text("")
+        (tmp_path / "notes.txt").write_text("")
+        files = collect_files([tmp_path])
+        assert [f.name for f in files] == ["a.py", "b.py"]
+
+    def test_excludes(self, tmp_path):
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "a.py").write_text("")
+        (tmp_path / "b.py").write_text("")
+        files = collect_files([tmp_path], excludes=("__pycache__",))
+        assert [f.name for f in files] == ["b.py"]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            collect_files([tmp_path / "nope"])
+
+    def test_explicit_file_kept(self, tmp_path):
+        target = tmp_path / "x.py"
+        target.write_text("")
+        assert collect_files([target]) == [target]
+
+
+class TestConfig:
+    def test_missing_file_defaults(self, tmp_path):
+        config = load_config(tmp_path / "pyproject.toml")
+        assert config.disabled == ()
+
+    def test_none_defaults(self):
+        config = load_config(None)
+        assert config.source == "<defaults>"
+
+    def test_full_table(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            textwrap.dedent(
+                """
+                [tool.repro-lint]
+                disable = ["context-key"]
+                exclude = ["generated/"]
+
+                [tool.repro-lint.severity]
+                float-equality = "warning"
+
+                [tool.repro-lint.options.float-equality]
+                paths = ["mystats/"]
+                """
+            )
+        )
+        config = load_config(pyproject)
+        assert config.disabled == ("context-key",)
+        assert "generated/" in config.excludes
+        assert config.severity_overrides == {
+            "float-equality": Severity.WARNING
+        }
+        assert config.rule_options["float-equality"]["paths"] == [
+            "mystats/"
+        ]
+
+    def test_bad_severity_rejected(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.repro-lint.severity]\nfloat-equality = 'loud'\n"
+        )
+        with pytest.raises(ConfigError):
+            load_config(pyproject)
+
+    def test_bad_disable_type_rejected(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[tool.repro-lint]\ndisable = 'oops'\n")
+        with pytest.raises(ConfigError):
+            load_config(pyproject)
+
+    def test_find_pyproject_walks_up(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("")
+        nested = tmp_path / "a" / "b"
+        nested.mkdir(parents=True)
+        assert find_pyproject(nested) == tmp_path / "pyproject.toml"
+
+
+class TestReporters:
+    def _report(self):
+        return LintEngine().check_source(VIOLATING, "m.py")
+
+    def test_text_format(self):
+        text = render_text(self._report())
+        assert "m.py:1:0: rng-discipline:" in text
+        assert "checked 1 file(s): 2 error(s)" in text
+
+    def test_json_format_stable(self):
+        doc = json.loads(render_json(self._report()))
+        assert doc["summary"]["errors"] == 2
+        assert doc["summary"]["ok"] is False
+        first = doc["violations"][0]
+        assert first["path"] == "m.py"
+        assert first["rule"] == "rng-discipline"
+        assert set(first) == {
+            "path", "line", "col", "rule", "severity", "message",
+        }
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main([str(tmp_path), "--no-config"]) == EXIT_OK
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_violation_exits_one_with_report(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import random\n")
+        assert main([str(tmp_path), "--no-config"]) == EXIT_VIOLATIONS
+        out = capsys.readouterr().out
+        assert "bad.py:1:0: rng-discipline:" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import random\n")
+        code = main(
+            [str(tmp_path), "--format", "json", "--no-config"]
+        )
+        assert code == EXIT_VIOLATIONS
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["errors"] == 1
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope"), "--no-config"]) == EXIT_USAGE
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        code = main(
+            [str(tmp_path), "--disable", "no-such-rule", "--no-config"]
+        )
+        assert code == EXIT_USAGE
+
+    def test_disable_flag(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import random\n")
+        code = main(
+            [
+                str(tmp_path),
+                "--disable",
+                "rng-discipline",
+                "--no-config",
+            ]
+        )
+        assert code == EXIT_OK
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == EXIT_OK
+        out = capsys.readouterr().out
+        for rule_id in SIX_RULES:
+            assert rule_id in out
+
+    def test_config_file_respected(self, tmp_path, capsys):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.repro-lint]\ndisable = ['rng-discipline']\n"
+        )
+        (tmp_path / "bad.py").write_text("import random\n")
+        code = main([str(tmp_path), "--config", str(pyproject)])
+        assert code == EXIT_OK
+
+    def test_invarnetx_lint_subcommand(self, tmp_path, capsys):
+        from repro.cli import main as invarnetx_main
+
+        (tmp_path / "bad.py").write_text("import random\n")
+        code = invarnetx_main(["lint", str(tmp_path), "--no-config"])
+        assert code == EXIT_VIOLATIONS
+        assert "rng-discipline" in capsys.readouterr().out

@@ -1,0 +1,389 @@
+"""Per-rule fixture tests.
+
+Every rule gets at least one violating snippet, one clean snippet, and
+one suppressed variant of the violation.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint import LintEngine, LintReport
+
+#: Default path used for fixture snippets; inside repro/core so that the
+#: path-scoped rules (float-equality) also apply.
+SNIPPET_PATH = "src/repro/core/snippet.py"
+
+
+def lint(source: str, path: str = SNIPPET_PATH) -> LintReport:
+    return LintEngine().check_source(textwrap.dedent(source), path)
+
+
+def rule_hits(report: LintReport, rule_id: str) -> list:
+    return [v for v in report.violations if v.rule_id == rule_id]
+
+
+class TestRngDiscipline:
+    def test_legacy_np_random_call_flagged(self):
+        report = lint(
+            """
+            import numpy as np
+
+            def jitter(n):
+                return np.random.rand(n)
+            """
+        )
+        (hit,) = rule_hits(report, "rng-discipline")
+        assert "np.random.rand" in hit.message
+        assert hit.line == 5
+
+    def test_np_random_seed_flagged(self):
+        report = lint("import numpy as np\nnp.random.seed(0)\n")
+        assert len(rule_hits(report, "rng-discipline")) == 1
+
+    def test_stdlib_random_import_flagged(self):
+        report = lint("import random\n")
+        (hit,) = rule_hits(report, "rng-discipline")
+        assert "stdlib 'random'" in hit.message
+
+    def test_stdlib_from_import_flagged(self):
+        report = lint("from random import choice\n")
+        assert len(rule_hits(report, "rng-discipline")) == 1
+
+    def test_from_numpy_random_legacy_flagged(self):
+        report = lint("from numpy.random import rand\n")
+        assert len(rule_hits(report, "rng-discipline")) == 1
+
+    def test_numpy_random_module_alias_flagged(self):
+        report = lint(
+            "import numpy.random as nr\nx = nr.uniform(0, 1)\n"
+        )
+        assert len(rule_hits(report, "rng-discipline")) == 1
+
+    def test_default_rng_allowed(self):
+        report = lint(
+            """
+            import numpy as np
+
+            def make(seed):
+                return np.random.default_rng(seed)
+            """
+        )
+        assert not rule_hits(report, "rng-discipline")
+
+    def test_generator_annotation_and_sampling_allowed(self):
+        report = lint(
+            """
+            import numpy as np
+
+            def sample(rng: np.random.Generator) -> float:
+                return float(rng.uniform(0.8, 1.3))
+            """
+        )
+        assert not rule_hits(report, "rng-discipline")
+
+    def test_seed_sequence_allowed(self):
+        report = lint(
+            "import numpy as np\nss = np.random.SeedSequence(7)\n"
+        )
+        assert not rule_hits(report, "rng-discipline")
+
+    def test_suppressed(self):
+        report = lint(
+            "import numpy as np\n"
+            "np.random.seed(0)  # repro: disable=rng-discipline\n"
+        )
+        assert not rule_hits(report, "rng-discipline")
+        assert report.suppressed_count == 1
+
+
+class TestContextKey:
+    def test_raw_tuple_subscript_flagged(self):
+        report = lint(
+            """
+            def lookup(models, ctx):
+                return models[(ctx.workload, ctx.node_id)]
+            """
+        )
+        (hit,) = rule_hits(report, "context-key")
+        assert "OperationContext.key()" in hit.message
+
+    def test_raw_name_tuple_flagged(self):
+        report = lint(
+            """
+            def store(models, workload, node_id, model):
+                models[(workload, node_id)] = model
+            """
+        )
+        assert len(rule_hits(report, "context-key")) == 1
+
+    def test_dict_get_flagged(self):
+        report = lint(
+            """
+            def lookup(models, ctx):
+                return models.get((ctx.workload, ctx.node_id))
+            """
+        )
+        (hit,) = rule_hits(report, "context-key")
+        assert ".get()" in hit.message
+
+    def test_setdefault_flagged(self):
+        report = lint(
+            """
+            def ensure(models, workload, node):
+                return models.setdefault((workload, node), object())
+            """
+        )
+        assert len(rule_hits(report, "context-key")) == 1
+
+    def test_ctx_key_allowed(self):
+        report = lint(
+            """
+            def lookup(models, ctx):
+                return models[ctx.key()]
+            """
+        )
+        assert not rule_hits(report, "context-key")
+
+    def test_unrelated_tuple_key_allowed(self):
+        report = lint(
+            """
+            def cell(grid, row, col):
+                return grid[(row, col)]
+            """
+        )
+        assert not rule_hits(report, "context-key")
+
+    def test_suppressed(self):
+        report = lint(
+            """
+            def lookup(models, ctx):
+                # repro: disable=context-key — migration shim
+                return models[(ctx.workload, ctx.node_id)]
+            """
+        )
+        assert not rule_hits(report, "context-key")
+        assert report.suppressed_count == 1
+
+
+class TestFloatEquality:
+    def test_float_literal_eq_flagged(self):
+        report = lint(
+            """
+            def check(x):
+                return x == 0.5
+            """
+        )
+        (hit,) = rule_hits(report, "float-equality")
+        assert "==" in hit.message
+
+    def test_float_noteq_flagged(self):
+        report = lint("flag = float(1) != 2.0\n")
+        assert rule_hits(report, "float-equality")
+
+    def test_division_result_eq_flagged(self):
+        report = lint("ok = (a / b) == c\n")
+        assert len(rule_hits(report, "float-equality")) == 1
+
+    def test_int_eq_allowed(self):
+        report = lint("ok = n == 3\n")
+        assert not rule_hits(report, "float-equality")
+
+    def test_name_vs_name_allowed(self):
+        # Neither side is visibly float-typed: stay quiet.
+        report = lint("ok = a == b\n")
+        assert not rule_hits(report, "float-equality")
+
+    def test_ordering_comparisons_allowed(self):
+        report = lint("ok = x < 0.5\n")
+        assert not rule_hits(report, "float-equality")
+
+    def test_out_of_scope_path_not_checked(self):
+        report = lint(
+            "ok = x == 0.5\n", path="src/repro/faults/snippet.py"
+        )
+        assert not rule_hits(report, "float-equality")
+
+    def test_suppressed(self):
+        report = lint(
+            "ok = x == 0.5  # repro: disable=float-equality\n"
+        )
+        assert not rule_hits(report, "float-equality")
+        assert report.suppressed_count == 1
+
+    def test_standalone_comment_suppresses_next_line(self):
+        report = lint(
+            """
+            # repro: disable=float-equality — degeneracy guard
+            ok = x == 0.5
+            """
+        )
+        assert not rule_hits(report, "float-equality")
+        assert report.suppressed_count == 1
+
+
+class TestMagicConstant:
+    def test_threshold_comparison_flagged(self):
+        report = lint(
+            """
+            def stable(spread):
+                return spread < 0.2
+            """
+        )
+        (hit,) = rule_hits(report, "magic-constant")
+        assert "0.2" in hit.message
+        assert "TAU" in hit.message
+
+    def test_beta_max_shape_flagged(self):
+        report = lint(
+            """
+            def anomalous(residual, peak):
+                return residual > 1.2 * peak
+            """
+        )
+        (hit,) = rule_hits(report, "magic-constant")
+        assert "BETA" in hit.message
+
+    def test_keyword_argument_flagged(self):
+        report = lint("pipe = Config(tau=0.2)\n")
+        assert len(rule_hits(report, "magic-constant")) == 1
+
+    def test_named_assignment_flagged(self):
+        report = lint("my_beta = 1.2\n")
+        assert len(rule_hits(report, "magic-constant")) == 1
+
+    def test_unrelated_literal_allowed(self):
+        # 0.2 outside a comparison / tau-ish binding is not a threshold.
+        report = lint("x = scale * 0.2\n")
+        assert not rule_hits(report, "magic-constant")
+
+    def test_other_float_comparison_allowed(self):
+        report = lint("ok = spread < 0.3\n")
+        assert not rule_hits(report, "magic-constant")
+
+    def test_canonical_module_exempt(self):
+        report = lint(
+            "TAU = 0.2\nstable = spread < 0.2\n",
+            path="src/repro/core/invariants.py",
+        )
+        assert not rule_hits(report, "magic-constant")
+
+    def test_suppressed(self):
+        report = lint(
+            "ok = spread < 0.2  # repro: disable=magic-constant\n"
+        )
+        assert not rule_hits(report, "magic-constant")
+        assert report.suppressed_count == 1
+
+
+class TestSilentExcept:
+    def test_bare_except_pass_flagged(self):
+        report = lint(
+            """
+            try:
+                work()
+            except:
+                pass
+            """
+        )
+        (hit,) = rule_hits(report, "silent-except")
+        assert "bare except" in hit.message
+
+    def test_broad_except_pass_flagged(self):
+        report = lint(
+            """
+            try:
+                work()
+            except Exception:
+                pass
+            """
+        )
+        (hit,) = rule_hits(report, "silent-except")
+        assert "broad except" in hit.message
+
+    def test_broad_except_ellipsis_flagged(self):
+        report = lint(
+            """
+            try:
+                work()
+            except BaseException:
+                ...
+            """
+        )
+        assert len(rule_hits(report, "silent-except")) == 1
+
+    def test_narrow_except_pass_allowed(self):
+        report = lint(
+            """
+            try:
+                work()
+            except ValueError:
+                pass
+            """
+        )
+        assert not rule_hits(report, "silent-except")
+
+    def test_broad_except_with_handling_allowed(self):
+        report = lint(
+            """
+            try:
+                work()
+            except Exception as exc:
+                log(exc)
+            """
+        )
+        assert not rule_hits(report, "silent-except")
+
+    def test_suppressed(self):
+        report = lint(
+            """
+            try:
+                work()
+            # repro: disable=silent-except
+            except Exception:
+                pass
+            """
+        )
+        assert not rule_hits(report, "silent-except")
+        assert report.suppressed_count == 1
+
+
+class TestMutableDefault:
+    @pytest.mark.parametrize(
+        "default", ["[]", "{}", "{1}", "list()", "dict()", "set()"]
+    )
+    def test_mutable_defaults_flagged(self, default):
+        report = lint(f"def f(x={default}):\n    return x\n")
+        assert len(rule_hits(report, "mutable-default")) == 1
+
+    def test_kwonly_default_flagged(self):
+        report = lint("def f(*, x=[]):\n    return x\n")
+        assert len(rule_hits(report, "mutable-default")) == 1
+
+    def test_lambda_default_flagged(self):
+        report = lint("f = lambda x=[]: x\n")
+        (hit,) = rule_hits(report, "mutable-default")
+        assert "<lambda>" in hit.message
+
+    def test_none_default_allowed(self):
+        report = lint(
+            """
+            def f(x=None):
+                return [] if x is None else x
+            """
+        )
+        assert not rule_hits(report, "mutable-default")
+
+    def test_tuple_default_allowed(self):
+        report = lint("def f(x=()):\n    return x\n")
+        assert not rule_hits(report, "mutable-default")
+
+    def test_suppressed(self):
+        report = lint(
+            "def f(x=[]):  # repro: disable=mutable-default\n"
+            "    return x\n"
+        )
+        assert not rule_hits(report, "mutable-default")
+        assert report.suppressed_count == 1

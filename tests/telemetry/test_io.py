@@ -55,6 +55,43 @@ class TestNpzRoundtrip:
         assert loaded.all_faults == ()
 
 
+class TestSeedRoundtrip:
+    """Regression: -1 used to be an in-band sentinel for seed=None, so a
+    run legitimately seeded with -1 deserialized as None."""
+
+    def _roundtrip(self, cluster, tmp_path, seed):
+        run = cluster.run("grep", seed=16)
+        run.seed = seed
+        path = tmp_path / "run.npz"
+        save_run_npz(run, path)
+        return load_run_npz(path)
+
+    def test_negative_one_seed_survives(self, cluster, tmp_path):
+        loaded = self._roundtrip(cluster, tmp_path, seed=-1)
+        assert loaded.seed == -1
+
+    def test_none_seed_survives(self, cluster, tmp_path):
+        loaded = self._roundtrip(cluster, tmp_path, seed=None)
+        assert loaded.seed is None
+
+    def test_zero_seed_survives(self, cluster, tmp_path):
+        loaded = self._roundtrip(cluster, tmp_path, seed=0)
+        assert loaded.seed == 0
+
+    def test_legacy_file_without_has_seed_flag(self, cluster, tmp_path):
+        # Files written before the has_seed flag used -1 as the None
+        # sentinel; they must still load (as None).
+        run = cluster.run("grep", seed=17)
+        path = tmp_path / "legacy.npz"
+        save_run_npz(run, path)
+        with np.load(path, allow_pickle=False) as data:
+            payload = {k: data[k] for k in data.files}
+        del payload["has_seed"]
+        payload["seed"] = np.array(-1)
+        np.savez_compressed(path, **payload)
+        assert load_run_npz(path).seed is None
+
+
 class TestCsvRoundtrip:
     def test_roundtrip(self, cluster, tmp_path):
         trace = cluster.run("grep", seed=14).node("slave-1")
