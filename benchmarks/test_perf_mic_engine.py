@@ -1,0 +1,101 @@
+"""Performance benchmark: shared-precompute MIC engine vs pre-PR baseline.
+
+Not part of tier-1 (``testpaths = ["tests"]``); run explicitly with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_mic_engine.py -q -s
+
+The baseline is :func:`repro.stats._mic_reference.mic_matrix_reference`, a
+frozen snapshot of the pre-engine implementation (original Python-loop
+equipartition/clumps and log-based entropy gains) that carries only the
+tie-collapse keying fix — so the timing delta isolates the engine work and
+the value delta isolates floating-point reassociation, which must stay
+within 1e-9.
+
+The full benchmark uses the PR's acceptance window — (600, 26), the shape
+of a long collectl trace over the paper's 26-metric vocabulary — and
+asserts the >= 4x speedup.  The ``smoke`` test is a down-scaled version for
+CI: it checks direction (engine no slower than baseline) and equivalence
+without pinning a ratio that load-sensitive runners would flake on.
+"""
+
+import time
+
+import numpy as np
+
+from repro.stats._mic_reference import mic_matrix_reference
+from repro.stats.micfast import mic_matrix_fast
+
+#: Required full-benchmark speedup (PR acceptance criterion).
+REQUIRED_SPEEDUP = 4.0
+#: Engine-vs-reference agreement bound.
+TOLERANCE = 1e-9
+
+
+def _window(n, m, seed=7):
+    """A telemetry-like window: correlated metrics + tie-heavy columns.
+
+    Mixing a low-rank basis produces the coupled-metric structure real
+    collectl windows have; two columns are made tie-heavy (a three-level
+    categorical and a coarse quantisation) so the benchmark also exercises
+    the collapsed-equipartition paths the tie fix touches.
+    """
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=(n, max(4, m // 4)))
+    mix = rng.normal(size=(base.shape[1], m))
+    data = base @ mix + 0.3 * rng.normal(size=(n, m))
+    if m > 5:
+        data[:, 5] = rng.choice([0.0, 1.0, 2.0], size=n, p=[0.7, 0.2, 0.1])
+    if m > 11:
+        data[:, 11] = np.round(data[:, 11])
+    return data
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+class TestMicEngineBenchmark:
+    def test_smoke_engine_not_slower_and_equivalent(self):
+        """CI-sized check: equivalence plus a direction-only timing bound."""
+        data = _window(150, 8)
+        fast, fast_t = _timed(mic_matrix_fast, data)
+        ref, ref_t = _timed(mic_matrix_reference, data)
+        diff = float(np.max(np.abs(fast - ref)))
+        print(
+            f"\n[smoke] engine {fast_t:.3f}s  reference {ref_t:.3f}s  "
+            f"speedup {ref_t / fast_t:.2f}x  max|diff| {diff:.3e}"
+        )
+        assert diff <= TOLERANCE
+        assert fast_t <= ref_t
+
+    def test_full_acceptance_window_speedup(self):
+        """The PR's acceptance bar on the (600, 26) window."""
+        data = _window(600, 26)
+        fast, fast_t = _timed(mic_matrix_fast, data)
+        ref, ref_t = _timed(mic_matrix_reference, data)
+        speedup = ref_t / fast_t
+        diff = float(np.max(np.abs(fast - ref)))
+        print(
+            f"\n[full] (600, 26): engine {fast_t:.2f}s  "
+            f"reference {ref_t:.2f}s  speedup {speedup:.2f}x  "
+            f"max|diff| {diff:.3e}"
+        )
+        assert diff <= TOLERANCE
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"engine speedup {speedup:.2f}x below the required "
+            f"{REQUIRED_SPEEDUP}x on the (600, 26) acceptance window"
+        )
+
+    def test_parallel_knob_equivalent_on_benchmark_window(self):
+        """max_workers changes wall-clock only, never values (the pool may
+        legitimately fall back to serial with a RuntimeWarning here)."""
+        import warnings
+
+        data = _window(200, 8)
+        serial = mic_matrix_fast(data)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            pooled = mic_matrix_fast(data, max_workers=2)
+        assert np.array_equal(serial, pooled)

@@ -28,7 +28,7 @@ from pathlib import Path
 
 from repro.cluster import HadoopCluster
 from repro.cluster.workloads import WORKLOADS
-from repro.core import InvarNetX, OperationContext
+from repro.core import InvarNetX, InvarNetXConfig, OperationContext
 from repro.faults.spec import ALL_FAULTS, FaultSpec, build_fault
 from repro.telemetry.io import load_run_npz, save_node_csv, save_run_npz
 
@@ -85,6 +85,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     diag.add_argument("--node", default="slave-1")
     diag.add_argument("--top-k", type=int, default=3)
+    diag.add_argument(
+        "--mic-workers", type=int, default=None,
+        help="MIC engine parallelism: omit for serial, 0 for one process "
+        "per CPU, k for at most k processes (results are identical)",
+    )
 
     exp = sub.add_parser(
         "experiment", help="regenerate one of the paper's exhibits"
@@ -169,7 +174,7 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
         )
         return 2
     ctx = OperationContext(workload, args.node, first.nodes[args.node].ip)
-    pipe = InvarNetX()
+    pipe = InvarNetX(InvarNetXConfig(mic_workers=args.mic_workers))
     print(f"training {ctx} on {len(normal_runs)} normal runs...")
     pipe.train_from_runs(ctx, normal_runs)
     for spec in args.signature:

@@ -24,7 +24,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.stats.mic import MICParameters, mic_matrix
+from repro.stats.mic import MICParameters
+from repro.stats.micfast import cached_mic_matrix, mic_matrix_fast
 from repro.telemetry.metrics import MetricCatalog
 
 __all__ = [
@@ -32,6 +33,7 @@ __all__ = [
     "EPSILON",
     "AssociationMatrix",
     "InvariantSet",
+    "InvariantTracker",
     "select_invariants",
 ]
 
@@ -66,15 +68,33 @@ class AssociationMatrix:
         samples: np.ndarray,
         catalog: MetricCatalog | None = None,
         params: MICParameters | None = None,
+        max_workers: int | None = None,
+        use_cache: bool = True,
     ) -> "AssociationMatrix":
-        """Compute the matrix from a (ticks, M) sample window."""
+        """Compute the matrix from a (ticks, M) sample window.
+
+        Args:
+            samples: (ticks, M) metric window.
+            catalog: metric vocabulary fixing M.
+            params: MIC tuning constants.
+            max_workers: MIC parallelism knob (None = serial, 0 = all
+                CPUs), forwarded to :mod:`repro.stats.micfast`.
+            use_cache: look the window up in the process-wide
+                content-hash cache before computing (identical windows —
+                e.g. an online monitor re-scoring unchanged samples —
+                then cost one hash instead of a MIC sweep).
+        """
         catalog = catalog or MetricCatalog()
         arr = np.asarray(samples, dtype=float)
         if arr.ndim != 2 or arr.shape[1] != len(catalog):
             raise ValueError(
                 f"expected (ticks, {len(catalog)}) samples, got {arr.shape}"
             )
-        return cls(values=mic_matrix(arr, params), catalog=catalog)
+        if use_cache:
+            values = cached_mic_matrix(arr, params, max_workers=max_workers)
+        else:
+            values = mic_matrix_fast(arr, params, max_workers=max_workers)
+        return cls(values=values, catalog=catalog)
 
     def score(self, metric_a: str, metric_b: str) -> float:
         """MIC score of a named metric pair."""
@@ -228,6 +248,14 @@ def select_invariants(
         else:
             mats.append(np.asarray(item, dtype=float))
     catalog = catalog or MetricCatalog()
+    m = len(catalog)
+    for index, mat in enumerate(mats):
+        if mat.shape != (m, m):
+            raise ValueError(
+                f"association matrix {index} has shape {mat.shape}, "
+                f"expected ({m}, {m}) for the {m}-metric catalog — a "
+                "mismatched matrix would silently mis-align metric pairs"
+            )
     stack = np.stack(mats)  # (N, M, M)
 
     pairs: list[tuple[int, int]] = []

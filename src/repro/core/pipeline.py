@@ -67,6 +67,9 @@ class InvarNetXConfig:
         arima_order: fixed (p, d, q), or None for AIC selection.
         mic_alpha: MIC grid-budget exponent.
         mic_clumps_factor: MIC superclump factor.
+        mic_workers: parallelism of the MIC association-matrix engine
+            (None = serial, 0 = one process per CPU, k = at most k
+            processes); results are identical at any setting.
     """
 
     rule: ThresholdRule = ThresholdRule.BETA_MAX
@@ -79,6 +82,7 @@ class InvarNetXConfig:
     arima_order: tuple[int, int, int] | None = None
     mic_alpha: float = 0.6
     mic_clumps_factor: int = 15
+    mic_workers: int | None = None
 
     def mic_params(self) -> MICParameters:
         """The MIC tuning object implied by this config."""
@@ -190,9 +194,18 @@ class InvarNetX:
 
     def association_matrix(self, samples: np.ndarray) -> AssociationMatrix:
         """Pairwise MIC matrix of one observation window (helper shared by
-        training and diagnosis)."""
+        training and diagnosis).
+
+        Runs on the shared-precompute MIC engine with the config's
+        ``mic_workers`` parallelism, behind the process-wide window cache:
+        re-scoring a byte-identical window (common when training and
+        diagnosis revisit the same run) costs one content hash.
+        """
         return AssociationMatrix.from_samples(
-            samples, catalog=self.catalog, params=self.config.mic_params()
+            samples,
+            catalog=self.catalog,
+            params=self.config.mic_params(),
+            max_workers=self.config.mic_workers,
         )
 
     def build_invariants(

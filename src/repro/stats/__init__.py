@@ -8,6 +8,10 @@ engines the paper relies on:
 - :mod:`repro.stats.mic` — the Maximal Information Coefficient of
   Reshef et al. (Science, 2011), used to build likely invariants
   (paper §3.3).
+- :mod:`repro.stats.micfast` — the shared-precompute MIC engine for
+  whole association matrices: per-column precompute reused across all
+  pairs, optional process-pool parallelism, and a content-hash LRU cache
+  of computed matrices.
 
 Supporting modules supply shared time-series machinery
 (:mod:`repro.stats.timeseries`) and association/regression helpers
@@ -17,6 +21,13 @@ Supporting modules supply shared time-series machinery
 from repro.stats.arima import ARIMAModel, fit_arima, select_order
 from repro.stats.correlation import pearson, polyfit2, spearman
 from repro.stats.mic import mic, mic_matrix
+from repro.stats.micfast import (
+    AssociationCache,
+    association_cache,
+    cached_mic_matrix,
+    clear_association_cache,
+    mic_matrix_fast,
+)
 from repro.stats.timeseries import acf, difference, pacf, undifference
 
 __all__ = [
@@ -25,6 +36,11 @@ __all__ = [
     "select_order",
     "mic",
     "mic_matrix",
+    "mic_matrix_fast",
+    "cached_mic_matrix",
+    "AssociationCache",
+    "association_cache",
+    "clear_association_cache",
     "pearson",
     "spearman",
     "polyfit2",

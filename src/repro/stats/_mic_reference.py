@@ -1,0 +1,237 @@
+"""Reference (pre-engine) MIC implementation — the validation baseline.
+
+This module is a frozen snapshot of the original per-pair MIC
+implementation that :mod:`repro.stats.mic` shipped before the shared
+precompute engine (:mod:`repro.stats.micfast`) replaced it on the hot
+path.  It re-sorts and re-equipartitions every column from scratch for
+every pair, exactly as the original did, and is kept for two reasons:
+
+1. **Numerical ground truth.**  The equivalence suite asserts that the
+   engine agrees with this implementation to within 1e-9 on
+   non-degenerate inputs, so any behavioural drift in the optimised
+   kernels fails loudly.
+2. **Speed baseline.**  ``benchmarks/test_perf_mic_engine.py`` measures
+   the engine's speedup against this implementation — the honest
+   "pre-PR" cost of an association matrix.
+
+The one deliberate difference from the historical code is the
+tie-collapse normalisation fix: characteristic-matrix entries are keyed
+by the *realised* number of rows after ``_equipartition`` merges tied
+values, not by the requested row count, so MIC normalises by
+``log(min(cols, realised_rows))`` per Reshef et al. (Science 2011).
+The fix lands in both this reference and the live kernels so the
+equivalence comparison stays meaningful.
+
+Do not import this module from production code — it exists for tests
+and benchmarks only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats.mic import MICParameters
+
+__all__ = ["mic_reference", "mic_matrix_reference"]
+
+_DEFAULT_PARAMS = MICParameters()
+
+
+def _equipartition(values: np.ndarray, num_bins: int) -> np.ndarray:
+    """Assign sorted values to ``num_bins`` bins of near-equal size."""
+    n = values.size
+    assign = np.empty(n, dtype=np.int64)
+    current_bin = 0
+    placed = 0
+    bin_size = 0
+    i = 0
+    while i < n:
+        j = i + 1
+        while j < n and values[j] == values[i]:
+            j += 1
+        run = j - i
+        remaining_bins = num_bins - current_bin
+        target = (n - placed) / remaining_bins if remaining_bins else n
+        if (
+            bin_size > 0
+            and current_bin < num_bins - 1
+            and abs(bin_size + run - target) >= abs(bin_size - target)
+        ):
+            current_bin += 1
+            placed += bin_size
+            bin_size = 0
+        assign[i:j] = current_bin
+        bin_size += run
+        i = j
+    return assign
+
+
+def _clumps(x_sorted: np.ndarray, q_by_xorder: np.ndarray) -> np.ndarray:
+    """Clump boundaries (cumulative point counts) along the x axis."""
+    n = x_sorted.size
+    labels = q_by_xorder.astype(np.int64).copy()
+    sentinel = int(labels.max(initial=0)) + 1
+    i = 0
+    while i < n:
+        j = i + 1
+        while j < n and x_sorted[j] == x_sorted[i]:
+            j += 1
+        if j - i > 1 and np.unique(labels[i:j]).size > 1:
+            labels[i:j] = sentinel
+            sentinel += 1
+        i = j
+    changes = np.nonzero(labels[1:] != labels[:-1])[0] + 1
+    return np.concatenate(([0], changes, [n])).astype(np.int64)
+
+
+def _superclumps(boundaries: np.ndarray, n: int, k_hat: int) -> np.ndarray:
+    """Coarsen clump boundaries down to at most ``k_hat`` superclumps."""
+    k = boundaries.size - 1
+    if k <= k_hat:
+        return boundaries
+    out = [0]
+    target = n / k_hat
+    filled = 0.0
+    for t in range(1, k + 1):
+        if boundaries[t] >= filled + target or t == k:
+            out.append(int(boundaries[t]))
+            filled = float(boundaries[t])
+            target = (n - filled) / max(k_hat - (len(out) - 1), 1)
+    return np.asarray(out, dtype=np.int64)
+
+
+def _entropy_gains(cum: np.ndarray) -> np.ndarray:
+    """Pairwise column-gain matrix for the x-axis DP."""
+    k_plus_1 = cum.shape[0]
+    counts = cum[None, :, :] - cum[:, None, :]
+    totals = counts.sum(axis=2)
+    safe_counts = np.maximum(counts, 1)
+    safe_totals = np.maximum(totals, 1)
+    logs = np.log(safe_counts) - np.log(safe_totals)[:, :, None]
+    terms = np.where(counts > 0, counts * logs, 0.0)
+    gains = terms.sum(axis=2)
+    invalid = np.tril(np.ones((k_plus_1, k_plus_1), dtype=bool))
+    gains[invalid] = -np.inf
+    gains[totals == 0] = -np.inf
+    return gains
+
+
+def _optimize_axis(
+    q_counts_cum: np.ndarray, n: int, max_cols: int
+) -> np.ndarray:
+    """Maximal ``-n * H(Q|P)`` for each column count ``l = 1 .. max_cols``."""
+    k = q_counts_cum.shape[0] - 1
+    gains = _entropy_gains(q_counts_cum)
+    max_cols = min(max_cols, k)
+    out = np.full(max_cols + 1, -np.inf)
+    g_prev = gains[0, :].copy()
+    out[1] = g_prev[k]
+    for l in range(2, max_cols + 1):
+        stacked = g_prev[:, None] + gains
+        g_curr = stacked.max(axis=0)
+        out[l] = g_curr[k]
+        g_prev = g_curr
+    return out
+
+
+def _half_characteristic(
+    x: np.ndarray, y: np.ndarray, budget: int, params: MICParameters
+) -> dict[tuple[int, int], float]:
+    """Characteristic-matrix entries with the y axis equipartitioned.
+
+    Entries are keyed by the *realised* grid shape: when ties collapse
+    the requested ``rows`` into fewer bins, the key carries the realised
+    row count (the tie-collapse normalisation fix).
+    """
+    n = x.size
+    order_x = np.argsort(x, kind="stable")
+    x_sorted = x[order_x]
+    order_y = np.argsort(y, kind="stable")
+
+    entries: dict[tuple[int, int], float] = {}
+    max_rows = budget // 2
+    for rows in range(2, max_rows + 1):
+        q_sorted = _equipartition(y[order_y], rows)
+        q = np.empty(n, dtype=np.int64)
+        q[order_y] = q_sorted
+        realised_rows = int(q.max()) + 1
+        if realised_rows < 2:
+            continue
+        q_x = q[order_x]
+        max_cols = budget // rows
+        if max_cols < 2:
+            break
+        boundaries = _clumps(x_sorted, q_x)
+        k_hat = max(params.clumps_factor * max_cols, 2)
+        boundaries = _superclumps(boundaries, n, k_hat)
+        k = boundaries.size - 1
+        onehot_cum = np.zeros((n + 1, realised_rows), dtype=np.int64)
+        np.add.at(onehot_cum[1:], (np.arange(n), q_x), 1)
+        onehot_cum = np.cumsum(onehot_cum, axis=0)
+        cum = onehot_cum[boundaries]
+        row_totals = cum[-1].astype(float)
+        probs = row_totals / n
+        h_q = -float(np.sum(probs[probs > 0] * np.log(probs[probs > 0])))
+        g = _optimize_axis(cum, n, max_cols)
+        for cols in range(2, min(max_cols, k) + 1):
+            if not np.isfinite(g[cols]):
+                continue
+            mi = h_q + g[cols] / n
+            key = (cols, realised_rows)
+            if mi > entries.get(key, -np.inf):
+                entries[key] = mi
+    return entries
+
+
+def mic_reference(
+    x: np.ndarray | list[float],
+    y: np.ndarray | list[float],
+    params: MICParameters | None = None,
+) -> float:
+    """MIC via the original per-pair algorithm (plus the tie fix)."""
+    params = params or _DEFAULT_PARAMS
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.shape != ya.shape or xa.ndim != 1:
+        raise ValueError(
+            f"x and y must be 1-D of equal length, got {xa.shape} and {ya.shape}"
+        )
+    mask = np.isfinite(xa) & np.isfinite(ya)
+    xa, ya = xa[mask], ya[mask]
+    n = xa.size
+    if n < 4:
+        return 0.0
+    # repro: disable=float-equality — exact zero range is the degenerate case
+    if np.ptp(xa) == 0.0 or np.ptp(ya) == 0.0:
+        return 0.0
+    budget = params.budget(n)
+
+    best = 0.0
+    for first, second in ((xa, ya), (ya, xa)):
+        entries = _half_characteristic(first, second, budget, params)
+        for (cols, rows), mi in entries.items():
+            denom = np.log(min(cols, rows))
+            if denom <= 0:
+                continue
+            score = mi / denom
+            if score > best:
+                best = score
+    return float(min(max(best, 0.0), 1.0))
+
+
+def mic_matrix_reference(
+    data: np.ndarray,
+    params: MICParameters | None = None,
+) -> np.ndarray:
+    """Pairwise MIC by the pre-engine path: one cold pair at a time."""
+    arr = np.asarray(data, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a 2-D array, got shape {arr.shape}")
+    m = arr.shape[1]
+    out = np.eye(m)
+    for i in range(m):
+        for j in range(i + 1, m):
+            score = mic_reference(arr[:, i], arr[:, j], params)
+            out[i, j] = score
+            out[j, i] = score
+    return out

@@ -13,20 +13,40 @@ approximation algorithm directly:
    optimised by dynamic programming over *clumps* (maximal runs of x-ordered
    points falling into a single row).
 3. The characteristic matrix entry is the maximal MI normalised by
-   ``log2(min(x, y))``; MIC is the largest entry.
+   ``log(min(x, y))`` — where ``x`` and ``y`` are the *realised* grid
+   dimensions: ties can collapse the requested row count into fewer bins,
+   and the normaliser must track what the grid actually is, not what was
+   asked for.  MIC is the largest entry.
 
 Both axis orientations are evaluated and the per-cell maximum taken, as in
-the reference implementation.  The dynamic programme here is vectorised with
-numpy: for each row count ``y`` a dense ``(k+1, k+1)`` partial-entropy gain
-matrix over clump boundaries is built once, after which each additional
-column of the DP is a single broadcast-and-max.
+the reference implementation.
+
+The kernels here are written to be shared across pairs.  Everything that
+depends on a single column only — its sort order, its tie-group structure,
+and the whole family of y-axis equipartitions (one per row count) — is
+computed once by :func:`prepare_column` and reused for every pair the
+column appears in; :mod:`repro.stats.micfast` drives that reuse across a
+full association matrix.  The per-pair work that remains is the clump
+construction and the x-axis dynamic programme, both vectorised: the
+``(k+1, k+1)`` partial-entropy gain matrix over clump boundaries is built
+from a precomputed ``m * log(m)`` lookup table (no transcendental calls in
+the hot loop), after which each additional DP column is a single
+broadcast-add-and-max over reused buffers.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
+
 import numpy as np
 
-__all__ = ["mic", "mic_matrix", "MICParameters"]
+__all__ = [
+    "mic",
+    "mic_matrix",
+    "MICParameters",
+    "ColumnPrep",
+    "prepare_column",
+]
 
 
 class MICParameters:
@@ -53,6 +73,19 @@ class MICParameters:
 
 
 _DEFAULT_PARAMS = MICParameters()
+
+
+def _nlogn_table(n: int) -> np.ndarray:
+    """Lookup table ``t[m] = m * log(m)`` for integer counts ``0 .. n``.
+
+    ``t[0] = 0`` encodes the usual ``0 * log(0) = 0`` convention, so the
+    entropy-gain kernel can gather instead of guarding each log.
+    """
+    table = np.zeros(n + 1)
+    if n >= 1:
+        counts = np.arange(1, n + 1, dtype=float)
+        np.multiply(counts, np.log(counts), out=table[1:])
+    return table
 
 
 def _equipartition(values: np.ndarray, num_bins: int) -> np.ndarray:
@@ -98,12 +131,41 @@ def _equipartition(values: np.ndarray, num_bins: int) -> np.ndarray:
     return assign
 
 
-def _clumps(x_sorted: np.ndarray, q_by_xorder: np.ndarray) -> np.ndarray:
-    """Clump boundaries (cumulative point counts) along the x axis.
+def _tie_group_starts(sorted_values: np.ndarray) -> np.ndarray:
+    """Start index of every maximal run of equal values (sorted input)."""
+    changes = np.flatnonzero(sorted_values[1:] != sorted_values[:-1]) + 1
+    return np.concatenate(([0], changes)).astype(np.int64)
+
+
+def _clumps_from_groups(
+    q_x: np.ndarray, group_starts: np.ndarray, n: int
+) -> np.ndarray:
+    """Clump boundaries given precomputed x tie-group starts.
 
     A clump is a maximal run of x-consecutive points that share a y-row.
-    Groups of points with identical x-values are atomic: if such a group
-    spans several rows it becomes its own (mixed) clump.
+    An x tie group spanning several rows is atomic: it becomes its own
+    (mixed) clump, labelled distinctly so it cannot merge with neighbours.
+    """
+    if group_starts.size == n:
+        labels = q_x
+    else:
+        gmin = np.minimum.reduceat(q_x, group_starts)
+        gmax = np.maximum.reduceat(q_x, group_starts)
+        hetero = gmax > gmin
+        if hetero.any():
+            sizes = np.diff(np.append(group_starts, n))
+            group_of = np.repeat(np.arange(group_starts.size), sizes)
+            # Negative labels are one-per-group, so a mixed group never
+            # merges with anything — including an adjacent mixed group.
+            labels = np.where(hetero[group_of], -group_of - 1, q_x)
+        else:
+            labels = q_x
+    changes = np.flatnonzero(labels[1:] != labels[:-1]) + 1
+    return np.concatenate(([0], changes, [n])).astype(np.int64)
+
+
+def _clumps(x_sorted: np.ndarray, q_by_xorder: np.ndarray) -> np.ndarray:
+    """Clump boundaries (cumulative point counts) along the x axis.
 
     Args:
         x_sorted: x values sorted ascending.
@@ -114,44 +176,96 @@ def _clumps(x_sorted: np.ndarray, q_by_xorder: np.ndarray) -> np.ndarray:
         covers points ``c[t-1]:c[t]``.
     """
     n = x_sorted.size
-    # Resolve x ties: a tie group with heterogeneous rows gets a fresh
-    # sentinel label so it cannot merge with its neighbours.
-    labels = q_by_xorder.astype(np.int64).copy()
-    sentinel = int(labels.max(initial=0)) + 1
-    i = 0
-    while i < n:
-        j = i + 1
-        while j < n and x_sorted[j] == x_sorted[i]:
-            j += 1
-        if j - i > 1 and np.unique(labels[i:j]).size > 1:
-            labels[i:j] = sentinel
-            sentinel += 1
-        i = j
-    changes = np.nonzero(labels[1:] != labels[:-1])[0] + 1
-    return np.concatenate(([0], changes, [n])).astype(np.int64)
+    starts = _tie_group_starts(np.asarray(x_sorted))
+    return _clumps_from_groups(
+        np.asarray(q_by_xorder, dtype=np.int64), starts, n
+    )
 
 
 def _superclumps(boundaries: np.ndarray, n: int, k_hat: int) -> np.ndarray:
     """Coarsen clump boundaries down to at most ``k_hat`` superclumps.
 
     Walks the clumps in order, closing a superclump whenever its size
-    reaches the equipartition target.  Clumps are atomic.
+    reaches the equipartition target.  Clumps are atomic.  The walk jumps
+    straight to each closing clump with a binary search, so the cost scales
+    with the number of superclumps produced, not the number of clumps.
     """
     k = boundaries.size - 1
     if k <= k_hat:
         return boundaries
+    blist = boundaries.tolist()
     out = [0]
-    target = n / k_hat
+    append = out.append
     filled = 0.0
-    for t in range(1, k + 1):
-        if boundaries[t] >= filled + target or t == k:
-            out.append(int(boundaries[t]))
-            filled = float(boundaries[t])
-            target = (n - filled) / max(k_hat - (len(out) - 1), 1)
+    target = n / k_hat
+    closed = 0
+    t = 0
+    while t < k:
+        nxt = bisect_left(blist, filled + target)
+        if nxt > k:
+            nxt = k
+        closing = blist[nxt]
+        append(closing)
+        closed += 1
+        filled = float(closing)
+        remaining = k_hat - closed
+        target = (n - filled) / (remaining if remaining > 0 else 1)
+        t = nxt
     return np.asarray(out, dtype=np.int64)
 
 
-def _entropy_gains(cum: np.ndarray) -> np.ndarray:
+def _cum_counts(
+    q_x: np.ndarray, boundaries: np.ndarray, realised_rows: int
+) -> np.ndarray:
+    """Cumulative per-row counts at each clump boundary, shape (k+1, rows)."""
+    k = boundaries.size - 1
+    seg = np.repeat(np.arange(k), np.diff(boundaries))
+    flat = np.bincount(
+        seg * realised_rows + q_x, minlength=k * realised_rows
+    )
+    cum = np.zeros((k + 1, realised_rows), dtype=np.int64)
+    np.cumsum(flat.reshape(k, realised_rows), axis=0, out=cum[1:])
+    return cum
+
+
+class _Workspace:
+    """Reusable scratch matrices for the per-grid dynamic programme.
+
+    The DP allocates several ``(k+1, k+1)`` temporaries per grid
+    resolution; at realistic window sizes each is large enough that a
+    fresh allocation costs page faults every time.  One workspace amortises
+    them across all grids of a pair — and, via :mod:`repro.stats.micfast`,
+    across the whole association matrix.  Buffers only ever grow.
+    """
+
+    __slots__ = ("cap", "f0", "f1", "f2", "i0", "i1", "b0")
+
+    def __init__(self) -> None:
+        self.cap = 0
+
+    def ensure(self, width: int) -> None:
+        """Guarantee capacity for ``(width, width)`` scratch matrices."""
+        if width > self.cap:
+            self.cap = width
+            sq = width * width
+            self.f0 = np.empty(sq)
+            self.f1 = np.empty(sq)
+            self.f2 = np.empty(sq)
+            self.i0 = np.empty(sq, dtype=np.int64)
+            self.i1 = np.empty(sq, dtype=np.int64)
+            self.b0 = np.empty(sq, dtype=bool)
+
+    @staticmethod
+    def mat(flat: np.ndarray, width: int) -> np.ndarray:
+        """A ``(width, width)`` view over a flat scratch buffer."""
+        return flat[: width * width].reshape(width, width)
+
+
+def _entropy_gains(
+    cum: np.ndarray,
+    nlogn: np.ndarray | None = None,
+    work: _Workspace | None = None,
+) -> np.ndarray:
     """Pairwise column-gain matrix for the x-axis DP.
 
     ``cum[s]`` holds per-row cumulative counts of the first ``s`` clumps.
@@ -159,26 +273,46 @@ def _entropy_gains(cum: np.ndarray) -> np.ndarray:
     column spanning clumps ``s+1 .. t`` to ``-n * H(Q | P)``:
 
         gain(s, t) = sum_rows  m_r * log(m_r / m)
+                   = sum_rows  m_r * log(m_r)  -  m * log(m)
 
-    with ``m_r`` the per-row counts inside the column and ``m`` its total.
+    with ``m_r`` the per-row counts inside the column and ``m`` its total —
+    both integers, so both terms come from the ``nlogn`` lookup table.
     """
+    if nlogn is None:
+        nlogn = _nlogn_table(int(cum[-1].sum()))
+    if work is None:
+        work = _Workspace()
     k_plus_1 = cum.shape[0]
-    counts = cum[None, :, :] - cum[:, None, :]  # (s, t, rows)
-    totals = counts.sum(axis=2)
-    safe_counts = np.maximum(counts, 1)
-    safe_totals = np.maximum(totals, 1)
-    logs = np.log(safe_counts) - np.log(safe_totals)[:, :, None]
-    terms = np.where(counts > 0, counts * logs, 0.0)
-    gains = terms.sum(axis=2)
-    # Invalid (s >= t or empty column) cells must never win a max.
-    invalid = np.tril(np.ones((k_plus_1, k_plus_1), dtype=bool))
+    work.ensure(k_plus_1)
+    totals = _Workspace.mat(work.i0, k_plus_1)
+    diff = _Workspace.mat(work.i1, k_plus_1)
+    gains = _Workspace.mat(work.f0, k_plus_1)
+    gathered = _Workspace.mat(work.f1, k_plus_1)
+    invalid = _Workspace.mat(work.b0, k_plus_1)
+    # Column totals come straight from the boundary positions: the total of
+    # clumps s+1..t is boundary[t] - boundary[s].
+    b = cum.sum(axis=1)
+    np.subtract(b[None, :], b[:, None], out=totals)  # (s, t)
+    # Invalid cells (s >= t) have totals <= 0; their negative differences
+    # clip to the table's 0 entry, and the mask at the end overwrites them.
+    np.take(nlogn, totals, out=gains, mode="clip")
+    np.negative(gains, out=gains)
+    cum_t = np.ascontiguousarray(cum.T)  # (rows, k+1)
+    for row_counts in cum_t:
+        np.subtract(row_counts[None, :], row_counts[:, None], out=diff)
+        np.take(nlogn, diff, out=gathered, mode="clip")
+        gains += gathered
+    np.less_equal(totals, 0, out=invalid)
     gains[invalid] = -np.inf
-    gains[totals == 0] = -np.inf
     return gains
 
 
 def _optimize_axis(
-    q_counts_cum: np.ndarray, n: int, max_cols: int
+    q_counts_cum: np.ndarray,
+    n: int,
+    max_cols: int,
+    nlogn: np.ndarray | None = None,
+    work: _Workspace | None = None,
 ) -> np.ndarray:
     """Maximal ``-n * H(Q|P)`` for each column count ``l = 1 .. max_cols``.
 
@@ -187,76 +321,183 @@ def _optimize_axis(
             clump boundary.
         n: total number of points.
         max_cols: largest number of x-axis columns to evaluate.
+        nlogn: optional precomputed ``m * log(m)`` table covering ``0 .. n``.
 
     Returns:
         Array ``G`` of length ``max_cols + 1``; ``G[l]`` is the optimum for
         ``l`` columns (``G[0]`` unused, ``-inf``).
     """
     k = q_counts_cum.shape[0] - 1
-    gains = _entropy_gains(q_counts_cum)
+    if work is None:
+        work = _Workspace()
+    gains = _entropy_gains(q_counts_cum, nlogn, work)
     max_cols = min(max_cols, k)
     out = np.full(max_cols + 1, -np.inf)
     # G_l[t] = best value partitioning the first t clumps into l columns.
     g_prev = gains[0, :].copy()  # l = 1: single column over clumps 1..t
     out[1] = g_prev[k]
-    for l in range(2, max_cols + 1):
-        # g_curr[t] = max_s g_prev[s] + gains[s, t]
-        stacked = g_prev[:, None] + gains
-        g_curr = stacked.max(axis=0)
-        out[l] = g_curr[k]
-        g_prev = g_curr
+    if max_cols >= 2:
+        buf = _Workspace.mat(work.f2, k + 1)
+        g_curr = np.empty_like(g_prev)
+        for l in range(2, max_cols + 1):
+            # g_curr[t] = max_s g_prev[s] + gains[s, t]
+            np.add(g_prev[:, None], gains, out=buf)
+            buf.max(axis=0, out=g_curr)
+            out[l] = g_curr[k]
+            g_prev, g_curr = g_curr, g_prev
     return out
+
+
+class ColumnPrep:
+    """Pair-independent precompute of one metric column.
+
+    Everything MIC needs from a column alone: its stable argsort order,
+    the tie-group starts of the sorted values (clump construction), and
+    the *plan* — the family of y-axis equipartitions, one entry per
+    distinct ``(row assignment, column budget)`` the grid-budget sweep
+    produces.  Entries whose assignment and budget duplicate an earlier
+    row count are dropped: the downstream computation would be
+    bit-identical, so deduplication is a pure speedup.
+
+    Attributes:
+        order: stable argsort of the column.
+        group_starts: start index of each tie group in sorted order.
+        plan: list of ``(max_cols, q, realised_rows)`` with ``q`` the row
+            assignment in original index order.
+    """
+
+    __slots__ = ("order", "group_starts", "plan")
+
+    def __init__(
+        self,
+        order: np.ndarray,
+        group_starts: np.ndarray,
+        plan: list[tuple[int, np.ndarray, int]],
+    ) -> None:
+        self.order = order
+        self.group_starts = group_starts
+        self.plan = plan
+
+
+def prepare_column(
+    values: np.ndarray,
+    budget: int,
+    params: MICParameters | None = None,
+) -> ColumnPrep:
+    """Precompute the shareable per-column state for :class:`ColumnPrep`.
+
+    Args:
+        values: one finite, non-constant column.
+        budget: grid-size budget ``B(n)`` of the sample count.
+        params: optional tuning constants.
+
+    Returns:
+        The column's :class:`ColumnPrep`.
+    """
+    params = params or _DEFAULT_PARAMS
+    vals = np.ascontiguousarray(values, dtype=float)
+    n = vals.size
+    order = np.argsort(vals, kind="stable")
+    svals = vals[order]
+    group_starts = _tie_group_starts(svals)
+    plan: list[tuple[int, np.ndarray, int]] = []
+    seen: set[tuple[bytes, int]] = set()
+    max_rows = budget // 2
+    for rows in range(2, max_rows + 1):
+        max_cols = budget // rows
+        if max_cols < 2:
+            break
+        q_sorted = _equipartition(svals, rows)
+        realised_rows = int(q_sorted[-1]) + 1
+        if realised_rows < 2:
+            continue  # too many ties to form two rows
+        key = (q_sorted.tobytes(), max_cols)
+        if key in seen:
+            continue
+        seen.add(key)
+        q = np.empty(n, dtype=np.int64)
+        q[order] = q_sorted
+        plan.append((max_cols, q, realised_rows))
+    return ColumnPrep(order, group_starts, plan)
+
+
+def _half_characteristic_prepared(
+    prep_x: ColumnPrep,
+    prep_y: ColumnPrep,
+    n: int,
+    params: MICParameters,
+    nlogn: np.ndarray,
+    work: _Workspace | None = None,
+) -> dict[tuple[int, int], float]:
+    """Characteristic-matrix entries with the y axis equipartitioned.
+
+    Returns a map from realised grid shape ``(cols, realised_rows)`` to
+    mutual information in nats (unnormalised).  Keying by the *realised*
+    row count is what makes heavily tied columns normalise correctly: a
+    requested 8-row grid that ties collapse to 2 rows is a 2-row grid.
+    """
+    entries: dict[tuple[int, int], float] = {}
+    if work is None:
+        work = _Workspace()
+    order_x = prep_x.order
+    for max_cols, q, realised_rows in prep_y.plan:
+        q_x = q[order_x]
+        boundaries = _clumps_from_groups(q_x, prep_x.group_starts, n)
+        k_hat = max(params.clumps_factor * max_cols, 2)
+        boundaries = _superclumps(boundaries, n, k_hat)
+        k = boundaries.size - 1
+        cum = _cum_counts(q_x, boundaries, realised_rows)
+        # H(Q) over all points, in nats.
+        row_totals = cum[-1].astype(float)
+        probs = row_totals / n
+        h_q = -float(np.sum(probs[probs > 0] * np.log(probs[probs > 0])))
+        g = _optimize_axis(cum, n, max_cols, nlogn, work)
+        for cols in range(2, min(max_cols, k) + 1):
+            if not np.isfinite(g[cols]):
+                continue
+            mi = h_q + g[cols] / n
+            key = (cols, realised_rows)
+            if mi > entries.get(key, -np.inf):
+                entries[key] = mi
+    return entries
 
 
 def _half_characteristic(
     x: np.ndarray, y: np.ndarray, budget: int, params: MICParameters
 ) -> dict[tuple[int, int], float]:
-    """Characteristic-matrix entries with the y axis equipartitioned.
-
-    Returns a map from grid shape ``(cols, rows)`` to mutual information in
-    nats (unnormalised).
-    """
+    """One-shot form of :func:`_half_characteristic_prepared`."""
     n = x.size
-    order_x = np.argsort(x, kind="stable")
-    x_sorted = x[order_x]
-    order_y = np.argsort(y, kind="stable")
+    prep_x = prepare_column(x, budget, params)
+    prep_y = prepare_column(y, budget, params)
+    return _half_characteristic_prepared(
+        prep_x, prep_y, n, params, _nlogn_table(n)
+    )
 
-    entries: dict[tuple[int, int], float] = {}
-    max_rows = budget // 2
-    for rows in range(2, max_rows + 1):
-        q_sorted = _equipartition(y[order_y], rows)
-        q = np.empty(n, dtype=np.int64)
-        q[order_y] = q_sorted
-        realised_rows = int(q.max()) + 1
-        if realised_rows < 2:
-            continue  # too many ties to form two rows
-        q_x = q[order_x]
-        max_cols = budget // rows
-        if max_cols < 2:
-            break
-        boundaries = _clumps(x_sorted, q_x)
-        k_hat = max(params.clumps_factor * max_cols, 2)
-        boundaries = _superclumps(boundaries, n, k_hat)
-        # Cumulative per-row counts at each boundary.
-        k = boundaries.size - 1
-        cum = np.zeros((k + 1, realised_rows), dtype=np.int64)
-        onehot_cum = np.zeros((n + 1, realised_rows), dtype=np.int64)
-        np.add.at(onehot_cum[1:], (np.arange(n), q_x), 1)
-        onehot_cum = np.cumsum(onehot_cum, axis=0)
-        cum = onehot_cum[boundaries]
-        # H(Q) over all points, in nats.
-        row_totals = cum[-1].astype(float)
-        probs = row_totals / n
-        h_q = -float(np.sum(probs[probs > 0] * np.log(probs[probs > 0])))
-        g = _optimize_axis(cum, n, max_cols)
-        for cols in range(2, min(max_cols, k) + 1):
-            if not np.isfinite(g[cols]):
+
+def _mic_prepared(
+    prep_x: ColumnPrep,
+    prep_y: ColumnPrep,
+    n: int,
+    params: MICParameters,
+    nlogn: np.ndarray,
+    work: _Workspace | None = None,
+) -> float:
+    """MIC of two prepared columns (both all-finite and non-constant)."""
+    if work is None:
+        work = _Workspace()
+    best = 0.0
+    for first, second in ((prep_x, prep_y), (prep_y, prep_x)):
+        entries = _half_characteristic_prepared(
+            first, second, n, params, nlogn, work
+        )
+        for (cols, rows), mi in entries.items():
+            denom = np.log(min(cols, rows))
+            if denom <= 0:
                 continue
-            mi = h_q + g[cols] / n
-            key = (cols, rows)
-            if mi > entries.get(key, -np.inf):
-                entries[key] = mi
-    return entries
+            score = mi / denom
+            if score > best:
+                best = score
+    return float(min(max(best, 0.0), 1.0))
 
 
 def mic(
@@ -293,41 +534,31 @@ def mic(
     if np.ptp(xa) == 0.0 or np.ptp(ya) == 0.0:
         return 0.0
     budget = params.budget(n)
-
-    best = 0.0
-    for first, second in ((xa, ya), (ya, xa)):
-        entries = _half_characteristic(first, second, budget, params)
-        for (cols, rows), mi in entries.items():
-            denom = np.log(min(cols, rows))
-            if denom <= 0:
-                continue
-            score = mi / denom
-            if score > best:
-                best = score
-    return float(min(max(best, 0.0), 1.0))
+    prep_x = prepare_column(xa, budget, params)
+    prep_y = prepare_column(ya, budget, params)
+    return _mic_prepared(prep_x, prep_y, n, params, _nlogn_table(n))
 
 
 def mic_matrix(
     data: np.ndarray,
     params: MICParameters | None = None,
+    max_workers: int | None = None,
 ) -> np.ndarray:
     """Pairwise MIC over the columns of a samples-by-metrics array.
+
+    Delegates to the shared-precompute engine in
+    :mod:`repro.stats.micfast`, which computes each column's sort order
+    and equipartition family once and reuses them across all pairs.
 
     Args:
         data: array of shape ``(n_samples, n_metrics)``.
         params: optional tuning constants.
+        max_workers: parallelism knob — ``None`` runs serial, ``0`` uses
+            all CPUs, a positive value caps the process pool size.
 
     Returns:
         Symmetric ``(n_metrics, n_metrics)`` matrix with unit diagonal.
     """
-    arr = np.asarray(data, dtype=float)
-    if arr.ndim != 2:
-        raise ValueError(f"expected a 2-D array, got shape {arr.shape}")
-    m = arr.shape[1]
-    out = np.eye(m)
-    for i in range(m):
-        for j in range(i + 1, m):
-            score = mic(arr[:, i], arr[:, j], params)
-            out[i, j] = score
-            out[j, i] = score
-    return out
+    from repro.stats.micfast import mic_matrix_fast
+
+    return mic_matrix_fast(data, params=params, max_workers=max_workers)

@@ -2,12 +2,15 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.invariants import (
     EPSILON,
     TAU,
     AssociationMatrix,
     InvariantSet,
+    InvariantTracker,
     select_invariants,
 )
 from repro.telemetry.metrics import MetricCatalog
@@ -99,6 +102,71 @@ class TestAlgorithm1:
     def test_accepts_raw_arrays(self):
         inv = select_invariants([np.eye(3)], catalog=CAT3)
         assert len(inv) == 3
+
+
+class TestShapeValidation:
+    """A matrix whose shape disagrees with the catalog must be rejected —
+    stacking it silently would mis-align every metric pair."""
+
+    def test_too_large_raw_array_rejected(self):
+        with pytest.raises(ValueError, match="association matrix 1"):
+            select_invariants([np.eye(3), np.eye(4)], catalog=CAT3)
+
+    def test_too_small_raw_array_rejected(self):
+        with pytest.raises(ValueError, match=r"expected \(3, 3\)"):
+            select_invariants([np.eye(2)], catalog=CAT3)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            select_invariants([np.zeros((3, 4))], catalog=CAT3)
+
+    def test_mismatched_against_inferred_catalog(self):
+        """Catalog inferred from the first AssociationMatrix still guards
+        the raw arrays that follow it."""
+        with pytest.raises(ValueError):
+            select_invariants([_matrix(np.eye(3)), np.eye(4)])
+
+    def test_matching_raw_arrays_accepted(self):
+        inv = select_invariants([np.eye(3), np.eye(3)], catalog=CAT3)
+        assert len(inv) == 3
+
+
+_SCORE = st.floats(0.0, 1.0, width=32, allow_nan=False)
+
+
+def _runs_strategy():
+    """1-5 runs of symmetric 3x3 association matrices."""
+    triple = st.tuples(_SCORE, _SCORE, _SCORE)
+    return st.lists(triple, min_size=1, max_size=5)
+
+
+class TestTrackerMatchesBatch:
+    @given(_runs_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_incremental_equals_batch(self, triples):
+        runs = []
+        for ab, ac, bc in triples:
+            runs.append(
+                np.array(
+                    [[1.0, ab, ac], [ab, 1.0, bc], [ac, bc, 1.0]]
+                )
+            )
+        batch = select_invariants(runs, catalog=CAT3)
+        tracker = InvariantTracker(catalog=CAT3)
+        for run in runs:
+            tracker.add_run(run)
+        incremental = tracker.current()
+        assert incremental.pairs == batch.pairs
+        assert np.array_equal(incremental.baseline, batch.baseline)
+
+    def test_tracker_rejects_mismatched_shape(self):
+        tracker = InvariantTracker(catalog=CAT3)
+        with pytest.raises(ValueError):
+            tracker.add_run(np.eye(4))
+
+    def test_tracker_requires_runs(self):
+        with pytest.raises(RuntimeError):
+            InvariantTracker(catalog=CAT3).current()
 
 
 class TestViolations:

@@ -1,11 +1,16 @@
 """Unit and property tests for the from-scratch MIC implementation."""
 
+import importlib
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.stats._mic_reference import mic_reference
 from repro.stats.mic import MICParameters, mic, mic_matrix
+
+_MIC_MOD = importlib.import_module("repro.stats.mic")
 
 
 class TestFunctionalRelationships:
@@ -155,6 +160,152 @@ class TestParameters:
         large = MICParameters(alpha=0.8)
         for n in (20, 100, 1000):
             assert small.budget(n) <= large.budget(n)
+
+
+def _half_characteristic_requested_keying(x, y, budget, params):
+    """The pre-fix half-characteristic: entries keyed by the *requested*
+    row count even when ties collapse the equipartition to fewer rows.
+
+    Reimplemented from the module's own kernels so the regression test can
+    compare the shipped (realised-keyed) score against what the buggy
+    normalisation would have produced on the same data.  No equipartition
+    deduplication here: under requested keying, two row counts with the
+    same collapsed assignment land in *different* characteristic cells.
+    """
+    n = x.size
+    order_x = np.argsort(x, kind="stable")
+    order_y = np.argsort(y, kind="stable")
+    x_sorted = x[order_x]
+    y_sorted = y[order_y]
+    nlogn = _MIC_MOD._nlogn_table(n)
+    entries = {}
+    for rows in range(2, budget // 2 + 1):
+        max_cols = budget // rows
+        if max_cols < 2:
+            break
+        q_sorted = _MIC_MOD._equipartition(y_sorted, rows)
+        realised = int(q_sorted[-1]) + 1
+        if realised < 2:
+            continue
+        q = np.empty(n, dtype=np.int64)
+        q[order_y] = q_sorted
+        q_x = q[order_x]
+        boundaries = _MIC_MOD._clumps(x_sorted, q_x)
+        k_hat = max(params.clumps_factor * max_cols, 2)
+        boundaries = _MIC_MOD._superclumps(boundaries, n, k_hat)
+        k = boundaries.size - 1
+        cum = _MIC_MOD._cum_counts(q_x, boundaries, realised)
+        probs = cum[-1].astype(float) / n
+        h_q = -float(np.sum(probs[probs > 0] * np.log(probs[probs > 0])))
+        g = _MIC_MOD._optimize_axis(cum, n, max_cols, nlogn)
+        for cols in range(2, min(max_cols, k) + 1):
+            if not np.isfinite(g[cols]):
+                continue
+            mi = h_q + g[cols] / n
+            key = (cols, rows)  # the bug: requested rows, not realised
+            if mi > entries.get(key, -np.inf):
+                entries[key] = mi
+    return entries
+
+
+def _mic_requested_keying(x, y, params=None):
+    """MIC as the pre-fix code computed it (requested-row normalisation)."""
+    params = params or MICParameters()
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    budget = params.budget(x.size)
+    best = 0.0
+    for a, b in ((x, y), (y, x)):
+        for (cols, rows), mi in _half_characteristic_requested_keying(
+            a, b, budget, params
+        ).items():
+            denom = np.log(min(cols, rows))
+            if denom > 0:
+                best = max(best, mi / denom)
+    return float(min(max(best, 0.0), 1.0))
+
+
+def _tie_sandwich(n, overlap, jitter, rng):
+    """Tied three-level y against a four-cluster x.
+
+    y has levels {0, 1, 2} with the third level holding 60% of the mass, so
+    equipartitions requested at higher row counts collapse.  The middle
+    level's x positions interleave with the outer levels' clusters, which
+    makes the collapsed grids carry real information — exactly the shape
+    the requested-row normalisation deflates.
+    """
+    s = n // 5
+    n_a = n_b = s
+    n_c = n - 2 * s
+    y = np.concatenate([np.zeros(n_a), np.ones(n_b), np.full(n_c, 2.0)])
+    n_on_a = int(round(overlap * n_c / 2))
+    n_on_b = int(round(overlap * n_c / 2))
+    n_p1 = (n_c - n_on_a - n_on_b) // 2
+    n_p2 = n_c - n_on_a - n_on_b - n_p1
+    x = np.concatenate([
+        0.0 + rng.normal(0, jitter, n_a),
+        2.0 + rng.normal(0, jitter, n_b),
+        0.0 + rng.normal(0, jitter, n_on_a),
+        1.0 + rng.normal(0, jitter, n_p1),
+        2.0 + rng.normal(0, jitter, n_on_b),
+        3.0 + rng.normal(0, jitter, n_p2),
+    ])
+    return x, y
+
+
+class TestTieCollapseNormalisation:
+    """Regression tests for the tie-collapse normalisation fix.
+
+    ``_equipartition`` keeps tied values together, so the realised row
+    count can be smaller than requested.  The characteristic matrix must
+    key (and normalise) entries by what the grid actually is: keying by
+    the requested count divides a coarse grid's MI by a too-large
+    ``log(min(cols, rows))`` and deflates the score.
+    """
+
+    def test_fixed_score_beats_requested_keying_on_tied_data(self):
+        x, y = _tie_sandwich(200, overlap=0.5, jitter=0.05,
+                             rng=np.random.default_rng(4))
+        buggy = _mic_requested_keying(x, y)
+        fixed = mic(x, y)
+        # The fix can only raise scores (same MI, never-larger normaliser),
+        # and on this construction the deflation is material.
+        assert fixed > buggy + 0.02
+        assert fixed == pytest.approx(0.4747, abs=5e-3)
+
+    def test_fix_never_lowers_scores(self, rng):
+        for _ in range(10):
+            x = rng.choice([0.0, 1.0, 2.0, 3.0], size=120)
+            y = rng.choice([0.0, 5.0, 9.0], size=120)
+            assert mic(x, y) >= _mic_requested_keying(x, y) - 1e-12
+
+    def test_matches_independent_reference(self):
+        x, y = _tie_sandwich(200, overlap=0.5, jitter=0.05,
+                             rng=np.random.default_rng(4))
+        assert mic(x, y) == pytest.approx(mic_reference(x, y), abs=1e-9)
+
+    def test_binary_y_entries_keyed_by_realised_rows(self, rng):
+        """A binary column can only ever realise 2 rows, whatever was
+        requested — every characteristic entry must say so."""
+        x = rng.uniform(0, 1, 150)
+        y = (x > 0.4).astype(float)
+        params = MICParameters()
+        entries = _MIC_MOD._half_characteristic(
+            x, y, params.budget(x.size), params
+        )
+        assert entries  # the sweep requested row counts well above 2
+        assert all(rows == 2 for (_cols, rows) in entries)
+
+    def test_sparse_binary_normalised_by_realised_grid(self):
+        """90%-zeros metric perfectly associated with its own indicator:
+        the only realisable grid is 2x2, so MIC is exactly H(0.9, 0.1) /
+        log 2 — the buggy keying divided by log of the requested rows."""
+        x = np.repeat([0.0, 1.0], [180, 20])
+        y = 5.0 * x
+        expected = (
+            -(0.9 * np.log(0.9) + 0.1 * np.log(0.1)) / np.log(2.0)
+        )
+        assert mic(x, y) == pytest.approx(expected, abs=1e-9)
 
 
 class TestMicMatrix:

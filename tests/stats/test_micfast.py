@@ -1,0 +1,222 @@
+"""Tests for the shared-precompute MIC engine and its cache."""
+
+import numpy as np
+import pytest
+
+from repro.stats.mic import MICParameters, mic
+from repro.stats.micfast import (
+    AssociationCache,
+    _PrepTable,
+    association_cache,
+    cached_mic_matrix,
+    clear_association_cache,
+    mic_matrix_fast,
+    resolve_workers,
+)
+
+
+def _mixed_window(rng, n=60):
+    """A window exercising every engine path: coupled, noisy, tied,
+    constant, and NaN-bearing columns."""
+    base = rng.uniform(0, 1, n)
+    tied = rng.choice([0.0, 1.0, 2.0], size=n)
+    const = np.full(n, 3.5)
+    nanny = base * 2.0
+    nanny[::7] = np.nan
+    noise = rng.normal(size=n)
+    return np.column_stack([base, base * 3 - 1, tied, const, nanny, noise])
+
+
+def _scalar_matrix(data, params=None):
+    m = data.shape[1]
+    out = np.eye(m)
+    for i in range(m):
+        for j in range(i + 1, m):
+            out[i, j] = out[j, i] = mic(data[:, i], data[:, j], params)
+    return out
+
+
+class TestEngineEquivalence:
+    def test_matches_scalar_mic_exactly(self, rng):
+        data = _mixed_window(rng)
+        fast = mic_matrix_fast(data)
+        assert np.array_equal(fast, _scalar_matrix(data))
+
+    def test_matches_scalar_under_custom_params(self, rng):
+        data = _mixed_window(rng, n=50)
+        params = MICParameters(alpha=0.5, clumps_factor=5)
+        assert np.array_equal(
+            mic_matrix_fast(data, params), _scalar_matrix(data, params)
+        )
+
+    def test_shape_symmetry_diagonal(self, rng):
+        m = mic_matrix_fast(rng.normal(size=(40, 5)))
+        assert m.shape == (5, 5)
+        assert np.array_equal(m, m.T)
+        assert np.all(np.diag(m) == 1.0)
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(ValueError):
+            mic_matrix_fast(rng.normal(size=30))
+
+    def test_single_column(self, rng):
+        assert np.array_equal(
+            mic_matrix_fast(rng.normal(size=(30, 1))), np.eye(1)
+        )
+
+    def test_tiny_window_falls_back_to_scalar(self, rng):
+        # n < 4: no column is sharable; every pair scores 0 via mic().
+        data = rng.normal(size=(3, 4))
+        assert np.array_equal(mic_matrix_fast(data), np.eye(4))
+
+
+class TestPrepTable:
+    def test_sharable_mask(self, rng):
+        data = _mixed_window(rng)
+        table = _PrepTable(data, MICParameters())
+        # base, coupled, tied, noise are sharable; constant and NaN not.
+        assert table.sharable.tolist() == [
+            True, True, True, False, False, True,
+        ]
+
+    def test_nothing_sharable_when_too_short(self, rng):
+        table = _PrepTable(rng.normal(size=(3, 4)), MICParameters())
+        assert not table.sharable.any()
+        assert table.nlogn is None
+
+    def test_preps_built_lazily_and_reused(self, rng):
+        data = rng.uniform(0, 1, size=(40, 3))
+        table = _PrepTable(data, MICParameters())
+        assert not table._preps
+        table.pair_score(0, 1)
+        assert set(table._preps) == {0, 1}
+        first = table._preps[0]
+        table.pair_score(0, 2)
+        assert table._preps[0] is first
+
+
+class TestWorkersKnob:
+    def test_resolve_semantics(self):
+        import os
+
+        assert resolve_workers(None) == 1
+        assert resolve_workers(1) == 1
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+        with pytest.raises(ValueError):
+            mic_matrix_fast(np.zeros((10, 2)), max_workers=-2)
+
+    def test_parallel_equals_serial(self, rng):
+        # 6 columns = 15 pairs < _MIN_PARALLEL_PAIRS, so force more.
+        data = rng.normal(size=(40, 7))
+        serial = mic_matrix_fast(data)
+        # Whether the pool starts or the fallback fires, the result is
+        # contractually identical to serial.
+        with np.errstate(all="ignore"):
+            import warnings as _w
+
+            with _w.catch_warnings():
+                _w.simplefilter("ignore", RuntimeWarning)
+                parallel = mic_matrix_fast(data, max_workers=2)
+        assert np.array_equal(parallel, serial)
+
+    def test_small_pair_counts_stay_serial(self, rng, monkeypatch):
+        import repro.stats.micfast as micfast
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("pool attempted for a tiny pair list")
+
+        monkeypatch.setattr(micfast, "_parallel_scores", boom)
+        data = rng.normal(size=(30, 3))  # 3 pairs < threshold
+        micfast.mic_matrix_fast(data, max_workers=4)
+
+
+class TestAssociationCache:
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            AssociationCache(maxsize=0)
+
+    def test_hit_miss_accounting(self, rng):
+        cache = AssociationCache()
+        data = rng.normal(size=(20, 3))
+        first = cached_mic_matrix(data, cache=cache)
+        second = cached_mic_matrix(data, cache=cache)
+        assert np.array_equal(first, second)
+        assert cache.stats() == {"size": 1, "hits": 1, "misses": 1}
+
+    def test_key_depends_on_content_and_params(self, rng):
+        data = rng.normal(size=(20, 3))
+        params = MICParameters()
+        k1 = AssociationCache.key_for(data, params)
+        assert AssociationCache.key_for(data, params) == k1
+        bumped = data.copy()
+        bumped[0, 0] += 1e-9
+        assert AssociationCache.key_for(bumped, params) != k1
+        assert (
+            AssociationCache.key_for(data, MICParameters(alpha=0.5)) != k1
+        )
+
+    def test_lru_eviction(self, rng):
+        cache = AssociationCache(maxsize=2)
+        windows = [rng.normal(size=(12, 2)) for _ in range(3)]
+        for w in windows:
+            cached_mic_matrix(w, cache=cache)
+        assert len(cache) == 2
+        # windows[0] was least recently used and must be gone.
+        params = MICParameters()
+        assert cache.get(AssociationCache.key_for(windows[0], params)) is None
+        assert (
+            cache.get(AssociationCache.key_for(windows[2], params))
+            is not None
+        )
+
+    def test_get_refreshes_recency(self, rng):
+        cache = AssociationCache(maxsize=2)
+        params = MICParameters()
+        a, b, c = (rng.normal(size=(12, 2)) for _ in range(3))
+        cached_mic_matrix(a, cache=cache)
+        cached_mic_matrix(b, cache=cache)
+        cache.get(AssociationCache.key_for(a, params))  # touch a
+        cached_mic_matrix(c, cache=cache)  # evicts b, not a
+        assert cache.get(AssociationCache.key_for(a, params)) is not None
+        assert cache.get(AssociationCache.key_for(b, params)) is None
+
+    def test_results_are_isolated_copies(self, rng):
+        cache = AssociationCache()
+        data = rng.normal(size=(20, 3))
+        first = cached_mic_matrix(data, cache=cache)
+        first[0, 1] = 99.0
+        second = cached_mic_matrix(data, cache=cache)
+        assert second[0, 1] != 99.0
+
+    def test_clear(self, rng):
+        cache = AssociationCache()
+        cached_mic_matrix(rng.normal(size=(12, 2)), cache=cache)
+        cache.clear()
+        assert cache.stats() == {"size": 0, "hits": 0, "misses": 0}
+
+    def test_global_cache_helpers(self, rng):
+        clear_association_cache()
+        try:
+            data = rng.normal(size=(15, 3))
+            cached_mic_matrix(data)
+            cached_mic_matrix(data)
+            stats = association_cache().stats()
+            assert stats["hits"] >= 1
+        finally:
+            clear_association_cache()
+
+    def test_cached_matches_uncached(self, rng):
+        cache = AssociationCache()
+        data = _mixed_window(rng, n=40)
+        assert np.array_equal(
+            cached_mic_matrix(data, cache=cache), mic_matrix_fast(data)
+        )
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(ValueError):
+            cached_mic_matrix(rng.normal(size=20), cache=AssociationCache())
