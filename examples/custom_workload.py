@@ -84,7 +84,7 @@ def main() -> None:
     print("== training the custom pagerank@slave-1 context")
     normal = [cluster.run(PAGERANK, seed=20 + i) for i in range(8)]
     pipeline.train_from_runs(context, normal)
-    invariants = pipeline._slot(context).invariants
+    invariants = pipeline.context_models(context).invariants
     assert invariants is not None
     print(f"   invariants discovered for the new workload: {len(invariants)}")
 

@@ -53,7 +53,7 @@ def main() -> None:
         elif isinstance(event, DiagnosisEvent):
             print(f"   tick {event.tick}: abnormal window collected; "
                   f"diagnosis = {event.root_cause}")
-    detector = pipeline._slot(context).detector
+    detector = pipeline.context_models(context).detector
     assert detector is not None
 
     print("== same stream under each threshold rule")

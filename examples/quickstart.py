@@ -30,7 +30,7 @@ def main() -> None:
     print("== offline: training on 8 normal Wordcount runs")
     normal_runs = [cluster.run("wordcount", seed=100 + i) for i in range(8)]
     pipeline.train_from_runs(context, normal_runs)
-    invariants = pipeline._slot(context).invariants
+    invariants = pipeline.context_models(context).invariants
     assert invariants is not None
     print(f"   likely invariants discovered: {len(invariants)} "
           f"(of {invariants.catalog.pair_count()} metric pairs)")
@@ -46,7 +46,7 @@ def main() -> None:
             )
             pipeline.train_signature_from_run(context, problem, run)
     print(f"   signature database size: "
-          f"{len(pipeline._slot(context).database)}")
+          f"{len(pipeline.context_models(context).database)}")
 
     # -------------------------------------------------------------- online
     print("== online: a healthy run first")

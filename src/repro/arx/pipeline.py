@@ -77,6 +77,16 @@ class ARXInvarNet:
         )
         return self._models.setdefault(key, _ContextModels())
 
+    def is_trained(self, context: OperationContext) -> bool:
+        """Shared-interface parity with :class:`InvarNetX`: can the online
+        part run for this context?"""
+        slot = self._slot(context)
+        return slot.detector is not None and slot.network is not None
+
+    def known_problems(self, context: OperationContext) -> list[str]:
+        """Problems the context's signature base can already name."""
+        return self._slot(context).database.problems
+
     # ------------------------------------------------------------------
     def train_from_runs(
         self, context: OperationContext, normal_runs: list[RunTrace]

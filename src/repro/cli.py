@@ -14,6 +14,11 @@ Three subcommands cover the working loop of the system:
 ``invarnetx experiment``
     Regenerate one of the paper's figures/tables and print it.
 
+``invarnetx store``
+    List or inspect the contexts of an on-disk model registry
+    (:class:`repro.store.DirectoryStore`) without loading runs or
+    retraining anything.
+
 ``invarnetx lint``
     Run the domain linter (:mod:`repro.lint`) over the source tree:
     RNG discipline, operation-context key discipline, float-equality,
@@ -30,6 +35,7 @@ from repro.cluster import HadoopCluster
 from repro.cluster.workloads import WORKLOADS
 from repro.core import InvarNetX, InvarNetXConfig, OperationContext
 from repro.faults.spec import ALL_FAULTS, FaultSpec, build_fault
+from repro.store import DirectoryStore
 from repro.telemetry.io import load_run_npz, save_node_csv, save_run_npz
 
 __all__ = ["main", "build_parser"]
@@ -90,6 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="MIC engine parallelism: omit for serial, 0 for one process "
         "per CPU, k for at most k processes (results are identical)",
     )
+    diag.add_argument(
+        "--store", type=Path, default=None, metavar="DIR",
+        help="durable model registry: trained models persist here, and a "
+        "context already in the registry is loaded instead of retrained "
+        "(warm restart)",
+    )
 
     exp = sub.add_parser(
         "experiment", help="regenerate one of the paper's exhibits"
@@ -111,6 +123,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", type=Path, default=None,
         help="also write the report to this file",
     )
+    exp.add_argument(
+        "--store", type=Path, default=None, metavar="DIR",
+        help="durable model registry for the diagnosis exhibits (fig7, "
+        "fig8): trained contexts persist here and are reused on the next "
+        "invocation instead of retraining",
+    )
+
+    store = sub.add_parser(
+        "store",
+        help="list or inspect an on-disk model registry",
+        description="Read-only views over a DirectoryStore registry: the "
+        "manifest index (list) and one context's rehydrated models "
+        "(inspect).",
+    )
+    store_sub = store.add_subparsers(dest="store_action", required=True)
+    store_list = store_sub.add_parser(
+        "list", help="list every context in the registry"
+    )
+    store_list.add_argument("dir", type=Path, help="registry directory")
+    store_inspect = store_sub.add_parser(
+        "inspect", help="show one context's persisted models in detail"
+    )
+    store_inspect.add_argument("dir", type=Path, help="registry directory")
+    store_inspect.add_argument("--workload", required=True)
+    store_inspect.add_argument("--node", required=True)
 
     lint = sub.add_parser(
         "lint",
@@ -174,9 +211,23 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
         )
         return 2
     ctx = OperationContext(workload, args.node, first.nodes[args.node].ip)
-    pipe = InvarNetX(InvarNetXConfig(mic_workers=args.mic_workers))
-    print(f"training {ctx} on {len(normal_runs)} normal runs...")
-    pipe.train_from_runs(ctx, normal_runs)
+    config = InvarNetXConfig(mic_workers=args.mic_workers)
+    if args.store is not None:
+        registry = DirectoryStore(args.store)
+        pipe = InvarNetX.attached_to(registry, config=config)
+    else:
+        registry = None
+        pipe = InvarNetX(config)
+    if pipe.is_trained(ctx):
+        assert registry is not None  # only a store can pre-train a context
+        print(
+            f"warm start: {ctx} loaded from {args.store} "
+            f"(revision {registry.revision(ctx.key())})"
+        )
+    else:
+        print(f"training {ctx} on {len(normal_runs)} normal runs...")
+        pipe.train_from_runs(ctx, normal_runs)
+    known = set(pipe.known_problems(ctx))
     for spec in args.signature:
         problem, _, trace_path = spec.partition("=")
         if not trace_path:
@@ -186,6 +237,9 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+        if problem in known:
+            print(f"signature for {problem!r} already in the store")
+            continue
         run = load_run_npz(trace_path)
         pipe.train_signature_from_run(ctx, problem, run)
         print(f"learned signature for {problem!r} from {trace_path}")
@@ -218,6 +272,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.eval import reporting as rp
 
     cluster = HadoopCluster()
+    store = DirectoryStore(args.store) if args.store is not None else None
     producers = {
         "fig2": lambda: rp.format_fig2(ex.run_fig2_cpi_disturbance(cluster)),
         "fig4": lambda: rp.format_fig4(
@@ -226,11 +281,15 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         "fig5": lambda: rp.format_fig5(ex.run_fig5_residuals(cluster)),
         "fig6": lambda: rp.format_fig6(ex.run_fig6_threshold_rules(cluster)),
         "fig7": lambda: rp.format_diagnosis(
-            ex.run_fig7_tpcds_diagnosis(cluster, test_reps=args.reps),
+            ex.run_fig7_tpcds_diagnosis(
+                cluster, test_reps=args.reps, store=store
+            ),
             "Fig. 7 — TPC-DS",
         ),
         "fig8": lambda: rp.format_diagnosis(
-            ex.run_fig8_wordcount_diagnosis(cluster, test_reps=args.reps),
+            ex.run_fig8_wordcount_diagnosis(
+                cluster, test_reps=args.reps, store=store
+            ),
             "Fig. 8 — Wordcount",
         ),
         "fig9-10": lambda: rp.format_comparison(
@@ -257,6 +316,69 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    if not (args.dir / "manifest.json").exists():
+        print(f"error: no model registry at {args.dir}", file=sys.stderr)
+        return 2
+    registry = DirectoryStore(args.dir)
+    if args.store_action == "list":
+        entries = registry.entries()
+        if not entries:
+            print("registry is empty")
+            return 0
+        print(f"{'workload':<16s} {'node':<10s} {'ip':<14s} rev  artifacts")
+        for key in sorted(entries):
+            entry = entries[key]
+            artifacts = ", ".join(entry.get("artifacts", [])) or "-"
+            print(
+                f"{key[0]:<16s} {key[1]:<10s} "
+                f"{entry.get('ip', '') or '-':<14s} "
+                f"{entry.get('revision', 0):<4d} {artifacts}"
+            )
+        return 0
+    # inspect
+    key = (args.workload, args.node)
+    models = registry.peek(key)
+    if models is None:
+        print(
+            f"error: context {args.workload}@{args.node} not in the "
+            f"registry (try: invarnetx store list {args.dir})",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"context: {args.workload}@{args.node}")
+    print(f"revision: {registry.revision(key)}")
+    detector = models.detector
+    if detector is not None and detector.model is not None:
+        model = detector.model
+        assert detector.threshold is not None
+        print(
+            f"performance model: ARIMA{tuple(model.order)} "
+            f"intercept={model.intercept:.6g} sigma2={model.sigma2:.6g}"
+        )
+        print(
+            f"threshold: {detector.threshold.rule.value} "
+            f"upper={detector.threshold.upper:.6g} "
+            f"lower={detector.threshold.lower:.6g}"
+        )
+    else:
+        print("performance model: (none)")
+    if models.invariants is not None:
+        print(f"invariants: {len(models.invariants.pairs)} pairs")
+    else:
+        print("invariants: (none)")
+    if len(models.database):
+        print(f"signatures: {len(models.database)}")
+        for problem in models.database.problems:
+            count = sum(
+                1 for s in models.database.signatures if s.problem == problem
+            )
+            print(f"  {problem} x{count}")
+    else:
+        print("signatures: (none)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -266,6 +388,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_diagnose(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "store":
+        return _cmd_store(args)
     if args.command == "lint":
         from repro.lint.cli import run_lint
 

@@ -19,7 +19,9 @@ online part
 shared
     - :mod:`repro.core.context` — the operation context (workload, node);
     - :mod:`repro.core.kpi` — CPI as the key performance indicator;
-    - :mod:`repro.core.persistence` — the XML stores of §3.2/§3.3;
+    - :mod:`repro.core.persistence` — the XML codecs of §3.2/§3.3;
+    - :mod:`repro.store` — the model registry the pipeline keeps its
+      per-context slots in (memory or durable on-disk backends);
     - :mod:`repro.core.pipeline` — the :class:`InvarNetX` facade wiring
       everything together.
 """

@@ -123,6 +123,31 @@ class AnomalyDetector:
         self.threshold: DriftThreshold | None = None
         self._train_residuals: np.ndarray | None = None
 
+    @classmethod
+    def from_artifacts(
+        cls,
+        model: ARIMAModel,
+        threshold: DriftThreshold,
+        beta: float = BETA,
+    ) -> "AnomalyDetector":
+        """Rehydrate a detector from persisted artifacts (§3.2 store).
+
+        The returned detector serves the whole online part — :meth:`detect`
+        and :meth:`check_next` behave exactly as on the detector that was
+        saved.  Only :meth:`calibrate` is unavailable (the training
+        residuals are not persisted); re-train to change the rule.
+
+        Args:
+            model: the fitted ARIMA model (order + coefficients).
+            threshold: the calibrated drift threshold.
+            beta: fluctuation factor to record (informational after
+                loading; the threshold is already calibrated).
+        """
+        detector = cls(rule=threshold.rule, beta=beta, order=model.order)
+        detector.model = model
+        detector.threshold = threshold
+        return detector
+
     # ------------------------------------------------------------------
     def train(self, traces: list[np.ndarray]) -> "AnomalyDetector":
         """Fit the ARIMA model and calibrate the threshold.

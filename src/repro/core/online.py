@@ -72,6 +72,9 @@ class OnlineMonitor:
     Args:
         pipeline: a trained :class:`InvarNetX` (performance model and
             invariants for ``context`` must exist; signatures optional).
+            A pipeline attached to a populated model store qualifies: the
+            context's artifacts are rehydrated on construction, so a
+            monitor can start warm in a process that never trained.
         context: the operation context being monitored.
         window_ticks: abnormal-window length for cause inference.
         warmup_ticks: samples to buffer before drift checks begin (the
@@ -97,8 +100,8 @@ class OnlineMonitor:
             raise ValueError("window_ticks must be >= 8")
         if max_history < warmup_ticks + 4:
             raise ValueError("max_history too small for the warm-up")
-        slot = pipeline._slot(context)
-        if slot.detector is None or slot.invariants is None:
+        models = pipeline.context_models(context)
+        if not models.trained:
             raise RuntimeError(
                 f"pipeline is not trained for {context} "
                 "(performance model and invariants required)"
@@ -138,7 +141,7 @@ class OnlineMonitor:
         """
         self._tick += 1
         row = np.asarray(metrics_row, dtype=float)
-        detector = self.pipeline._slot(self.context).detector
+        detector = self.pipeline.context_models(self.context).detector
         assert detector is not None
 
         if self.state is MonitorState.COLLECTING:

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.core.context import OperationContext
 from repro.core.pipeline import DiagnosisResult, InvarNetX, InvarNetXConfig
+from repro.store import ModelStore
 from repro.telemetry.trace import RunTrace
 
 __all__ = ["NodeDiagnosis", "ClusterDiagnosis", "ClusterDiagnoser"]
@@ -99,6 +100,11 @@ class ClusterDiagnoser:
         node_ids: nodes to monitor; defaults to every node present in the
             first training run except the master (the JobTracker host runs
             no monitored tasks).
+        store: model registry for the default pipeline — attach a
+            :class:`~repro.store.DirectoryStore` and every node's trained
+            context persists as training runs, so a restarted diagnoser
+            resumes warm.  Ignored when ``pipeline`` is given (the
+            pipeline already owns a store).
     """
 
     MASTER_ID = "master"
@@ -107,8 +113,14 @@ class ClusterDiagnoser:
         self,
         pipeline: InvarNetX | None = None,
         node_ids: list[str] | None = None,
+        store: ModelStore | None = None,
     ) -> None:
-        self.pipeline = pipeline or InvarNetX(InvarNetXConfig())
+        if pipeline is not None and store is not None:
+            raise ValueError(
+                "pass either a pipeline or a store, not both; the "
+                "pipeline already owns its model store"
+            )
+        self.pipeline = pipeline or InvarNetX(InvarNetXConfig(), store=store)
         self._node_ids = list(node_ids) if node_ids else None
 
     def _nodes_of(self, run: RunTrace) -> list[str]:
@@ -122,11 +134,19 @@ class ClusterDiagnoser:
         )
 
     # ------------------------------------------------------------------
-    def train(self, normal_runs: list[RunTrace]) -> list[OperationContext]:
+    def train(
+        self, normal_runs: list[RunTrace], skip_trained: bool = False
+    ) -> list[OperationContext]:
         """Train every monitored node's context from the same normal runs.
 
+        Args:
+            normal_runs: the training corpus (one workload).
+            skip_trained: leave contexts the pipeline's store already
+                holds models for untouched — the warm-restart path when
+                the diagnoser is attached to a populated registry.
+
         Returns:
-            The contexts trained (one per monitored node).
+            The contexts covered (one per monitored node).
         """
         if not normal_runs:
             raise ValueError("need at least one normal run")
@@ -139,7 +159,8 @@ class ClusterDiagnoser:
         contexts = []
         for node_id in self._nodes_of(normal_runs[0]):
             ctx = self._context(workload, normal_runs[0], node_id)
-            self.pipeline.train_from_runs(ctx, normal_runs)
+            if not (skip_trained and self.pipeline.is_trained(ctx)):
+                self.pipeline.train_from_runs(ctx, normal_runs)
             contexts.append(ctx)
         return contexts
 

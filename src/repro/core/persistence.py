@@ -15,6 +15,8 @@ The paper stores each artifact in XML with fixed tuple schemas:
 
 from __future__ import annotations
 
+import os
+import tempfile
 import xml.etree.ElementTree as ET
 from pathlib import Path
 
@@ -28,6 +30,7 @@ from repro.stats.arima import ARIMAModel, ARIMAOrder
 from repro.telemetry.metrics import MetricCatalog
 
 __all__ = [
+    "atomic_write_text",
     "save_performance_model",
     "load_performance_model",
     "save_invariants",
@@ -47,10 +50,38 @@ def _parse_floats(text: str | None) -> np.ndarray:
     return np.asarray([float(tok) for tok in text.split()], dtype=float)
 
 
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Crash-safe text write: temp file in the target directory, fsync,
+    then ``os.replace``.
+
+    A killed process can never leave a torn artifact at ``path``: readers
+    see either the previous complete file or the new one.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent or Path("."), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 def _write(root: ET.Element, path: str | Path) -> None:
     tree = ET.ElementTree(root)
     ET.indent(tree)
-    tree.write(path, encoding="unicode", xml_declaration=True)
+    atomic_write_text(
+        path,
+        ET.tostring(root, encoding="unicode", xml_declaration=True) + "\n",
+    )
 
 
 # ----------------------------------------------------------------------
@@ -180,9 +211,30 @@ def load_invariants(
     catalog = MetricCatalog(names=tuple(metrics_el.text.split()))
     m = int(mat_el.get("size", "0"))
     matrix = np.full((m, m), np.nan)
+    seen: set[int] = set()
     for row in mat_el.findall("row"):
-        i = int(row.get("index", "-1"))
-        matrix[i] = _parse_floats(row.text)
+        index_attr = row.get("index")
+        if index_attr is None:
+            raise ValueError(f"{path}: <row> is missing its index attribute")
+        try:
+            i = int(index_attr)
+        except ValueError:
+            raise ValueError(
+                f"{path}: <row> has non-integer index {index_attr!r}"
+            ) from None
+        if not 0 <= i < m:
+            raise ValueError(
+                f"{path}: <row> index {i} outside matrix of size {m}"
+            )
+        if i in seen:
+            raise ValueError(f"{path}: duplicate <row> index {i}")
+        seen.add(i)
+        values = _parse_floats(row.text)
+        if values.size != m:
+            raise ValueError(
+                f"{path}: <row> {i} has {values.size} values, expected {m}"
+            )
+        matrix[i] = values
     pairs: list[tuple[int, int]] = []
     baseline: list[float] = []
     for i in range(m):

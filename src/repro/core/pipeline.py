@@ -22,7 +22,7 @@ The ``use_operation_context=False`` switch reproduces the paper's ablation
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
@@ -38,12 +38,15 @@ from repro.core.invariants import (
     select_invariants,
 )
 from repro.core.persistence import (
+    load_invariants,
+    load_performance_model,
+    load_signatures,
     save_invariants,
     save_performance_model,
     save_signatures,
 )
-from repro.core.signatures import SignatureDatabase
 from repro.stats.mic import MICParameters
+from repro.store import ContextModels, MemoryStore, ModelStore
 from repro.telemetry.metrics import MetricCatalog
 from repro.telemetry.trace import RunTrace
 
@@ -131,31 +134,50 @@ class DiagnosisResult:
         return [c.problem for c in self.inference.causes[:k]]
 
 
-@dataclass
-class _ContextModels:
-    """Everything trained for one operation context."""
-
-    detector: AnomalyDetector | None = None
-    invariants: InvariantSet | None = None
-    database: SignatureDatabase = field(default_factory=SignatureDatabase)
-
-
 class InvarNetX:
     """The full diagnosis system.
+
+    Per-context model slots live in a pluggable :class:`ModelStore`: the
+    default :class:`MemoryStore` reproduces the historical resident-dict
+    behaviour, while a :class:`~repro.store.DirectoryStore` turns the
+    pipeline into a durable registry — training publishes each context's
+    XML artifacts as it goes, and a fresh pipeline attached to the same
+    store rehydrates them lazily instead of retraining (see
+    :meth:`attached_to`).
 
     Args:
         config: pipeline tunables (paper defaults when omitted).
         catalog: metric vocabulary (the canonical 26 metrics by default).
+        store: the model registry backend (fresh unbounded
+            :class:`MemoryStore` when omitted).
     """
 
     def __init__(
         self,
         config: InvarNetXConfig | None = None,
         catalog: MetricCatalog | None = None,
+        store: ModelStore | None = None,
     ) -> None:
         self.config = config or InvarNetXConfig()
         self.catalog = catalog or MetricCatalog()
-        self._models: dict[tuple[str, str], _ContextModels] = {}
+        self.store = store if store is not None else MemoryStore()
+
+    @classmethod
+    def attached_to(
+        cls,
+        store: ModelStore,
+        config: InvarNetXConfig | None = None,
+        catalog: MetricCatalog | None = None,
+    ) -> "InvarNetX":
+        """A pipeline over an existing model registry (warm restart).
+
+        Every context the store already holds is served without
+        retraining: the first :meth:`detect`/:meth:`infer` against it
+        loads the persisted ARIMA order, coefficients and threshold into
+        a working :class:`AnomalyDetector`, plus the invariant set and
+        signature base.
+        """
+        return cls(config=config, catalog=catalog, store=store)
 
     # ------------------------------------------------------------------
     def _key(self, context: OperationContext) -> tuple[str, str]:
@@ -163,12 +185,34 @@ class InvarNetX:
             return context.key()
         return GLOBAL_CONTEXT.key()
 
-    def _slot(self, context: OperationContext) -> _ContextModels:
-        return self._models.setdefault(self._key(context), _ContextModels())
+    def _resolved(self, context: OperationContext) -> OperationContext:
+        return context if self.config.use_operation_context else GLOBAL_CONTEXT
+
+    def _slot(self, context: OperationContext) -> ContextModels:
+        return self.store.slot(self._key(context), self._resolved(context))
+
+    def _persist(self, context: OperationContext) -> list[Path]:
+        return self.store.persist(self._key(context))
+
+    def context_models(self, context: OperationContext) -> ContextModels:
+        """The model slot of a context (loaded on demand from durable
+        backends); the public accessor for detector/invariants/database."""
+        return self._slot(context)
+
+    def is_trained(self, context: OperationContext) -> bool:
+        """Can the online part run for this context (performance model
+        and invariants available, in memory or in the store)?"""
+        models = self.store.peek(self._key(context))
+        return models is not None and models.trained
+
+    def known_problems(self, context: OperationContext) -> list[str]:
+        """Problems the context's signature base can already name."""
+        models = self.store.peek(self._key(context))
+        return models.database.problems if models is not None else []
 
     def contexts(self) -> list[tuple[str, str]]:
-        """Keys of all trained contexts."""
-        return sorted(self._models)
+        """Keys of all known contexts (resident and persisted)."""
+        return self.store.keys()
 
     # ------------------------------------------------------------------
     # offline part
@@ -190,6 +234,7 @@ class InvarNetX:
         )
         detector.train(cpi_traces)
         slot.detector = detector
+        self._persist(context)
         return detector
 
     def association_matrix(self, samples: np.ndarray) -> AssociationMatrix:
@@ -222,6 +267,7 @@ class InvarNetX:
         slot.invariants = select_invariants(
             matrices, tau=self.config.tau, catalog=self.catalog
         )
+        self._persist(context)
         return slot.invariants
 
     def train_signature(
@@ -251,6 +297,7 @@ class InvarNetX:
         slot.database.add(
             violations, problem, ip=context.ip, workload=context.workload
         )
+        self._persist(context)
         return violations
 
     @staticmethod
@@ -322,6 +369,7 @@ class InvarNetX:
         slot.invariants = select_invariants(
             matrices, tau=self.config.tau, catalog=self.catalog
         )
+        self._persist(context)
 
     def extract_abnormal_window(
         self,
@@ -465,3 +513,42 @@ class InvarNetX:
             save_signatures(slot.database, path)
             written.append(path)
         return written
+
+    def load_context(
+        self, context: OperationContext, directory: str | Path
+    ) -> ContextModels:
+        """Rehydrate a context from :meth:`save_context` artifacts.
+
+        The inverse the XML stores always promised: the loaded slot's
+        detector is a working :class:`AnomalyDetector` rebuilt from the
+        persisted order, coefficients and threshold, so detection and
+        inference resume without retraining.  Missing files leave the
+        corresponding artifact unset; a context with no artifact files at
+        all raises :class:`FileNotFoundError`.
+
+        Returns:
+            The rehydrated slot, adopted into the pipeline's store.
+        """
+        directory = Path(directory)
+        stem = f"{context.workload}_{context.node_id}"
+        models = ContextModels(context=self._resolved(context))
+        found = False
+        model_path = directory / f"model_{stem}.xml"
+        if model_path.exists():
+            arima, threshold, _ = load_performance_model(model_path)
+            models.detector = AnomalyDetector.from_artifacts(arima, threshold)
+            found = True
+        invariants_path = directory / f"invariants_{stem}.xml"
+        if invariants_path.exists():
+            models.invariants, _ = load_invariants(invariants_path)
+            found = True
+        signatures_path = directory / f"signatures_{stem}.xml"
+        if signatures_path.exists():
+            models.database = load_signatures(signatures_path)
+            found = True
+        if not found:
+            raise FileNotFoundError(
+                f"no artifacts for {context} under {directory}"
+            )
+        self.store.adopt(self._key(context), models)
+        return models

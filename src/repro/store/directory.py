@@ -1,0 +1,290 @@
+"""The durable on-disk model registry.
+
+One subdirectory per operation context under ``<root>/contexts/``, holding
+the context's artifacts in the paper's §3.2/§3.3 XML tuple formats (the
+codecs of :mod:`repro.core.persistence` verbatim), indexed by a
+``manifest.json`` at the root:
+
+.. code-block:: text
+
+    <root>/
+      manifest.json                  # format version + per-context index
+      contexts/
+        wordcount@slave-1/
+          model.xml                  # (p,d,q,ip,type) + coefficients
+          invariants.xml             # (I,ip,type), matrix form
+          signatures.xml             # (tuple, problem, ip, type) rows
+
+Publishing is crash-safe: every artifact is written to a temp file and
+``os.replace``-d into place, and the manifest — rewritten last, the same
+way — is the commit point, carrying a per-context ``revision`` counter
+that bumps on every publish.  Loading is lazy: attaching a pipeline to a
+registry of thousands of contexts reads only the manifest; each context's
+XML is parsed the first time :meth:`DirectoryStore.slot` needs it, and an
+optional ``max_resident`` bound persists-and-drops the least-recently-used
+slot so the resident set stays small.
+
+Directory names quote the workload and node with ``urllib.parse.quote``
+(``safe=""``), so any context key — including the ``*`` global-ablation
+sentinel — maps to a portable path, and the literal ``@`` separator can
+never collide with quoted content.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from collections import OrderedDict
+from pathlib import Path
+from urllib.parse import quote, unquote
+
+from repro.core.anomaly import AnomalyDetector
+from repro.core.context import OperationContext
+from repro.core.persistence import (
+    atomic_write_text,
+    load_invariants,
+    load_performance_model,
+    load_signatures,
+    save_invariants,
+    save_performance_model,
+    save_signatures,
+)
+from repro.store.base import ContextKey, ContextModels, ModelStore, StoreError
+
+__all__ = ["DirectoryStore", "MANIFEST_NAME", "MANIFEST_FORMAT"]
+
+MANIFEST_NAME = "manifest.json"
+
+#: On-disk manifest schema version; bump on incompatible layout changes.
+MANIFEST_FORMAT = 1
+
+_ARTIFACT_FILES = {
+    "model": "model.xml",
+    "invariants": "invariants.xml",
+    "signatures": "signatures.xml",
+}
+
+
+def context_dirname(key: ContextKey) -> str:
+    """Portable directory name for a context key."""
+    workload, node_id = key
+    return f"{quote(workload, safe='')}@{quote(node_id, safe='')}"
+
+
+def parse_dirname(name: str) -> ContextKey:
+    """Inverse of :func:`context_dirname`."""
+    workload, sep, node_id = name.partition("@")
+    if not sep:
+        raise StoreError(f"malformed context directory name {name!r}")
+    return (unquote(workload), unquote(node_id))
+
+
+class DirectoryStore(ModelStore):
+    """Versioned on-disk model registry with lazy loading.
+
+    Args:
+        root: registry directory (created on first publish).
+        max_resident: bound on slots held in RAM; the least-recently-used
+            slot is persisted and dropped when exceeded.  None keeps every
+            loaded slot resident.
+    """
+
+    def __init__(
+        self, root: str | Path, max_resident: int | None = None
+    ) -> None:
+        if max_resident is not None and max_resident < 1:
+            raise ValueError(
+                f"max_resident must be >= 1, got {max_resident}"
+            )
+        self.root = Path(root)
+        self.max_resident = max_resident
+        self._resident: OrderedDict[ContextKey, ContextModels] = OrderedDict()
+        self._manifest = self._read_manifest()
+
+    # ------------------------------------------------------------------
+    # manifest
+    # ------------------------------------------------------------------
+    def _read_manifest(self) -> dict:
+        path = self.root / MANIFEST_NAME
+        if not path.exists():
+            return {"format": MANIFEST_FORMAT, "contexts": {}}
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreError(f"unreadable manifest {path}: {exc}") from exc
+        fmt = manifest.get("format")
+        if fmt != MANIFEST_FORMAT:
+            raise StoreError(
+                f"{path} has manifest format {fmt!r}; this build reads "
+                f"format {MANIFEST_FORMAT}"
+            )
+        if not isinstance(manifest.get("contexts"), dict):
+            raise StoreError(f"{path} is missing its context index")
+        return manifest
+
+    def _write_manifest(self) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            self.root / MANIFEST_NAME,
+            json.dumps(self._manifest, indent=2, sort_keys=True) + "\n",
+        )
+
+    def entries(self) -> dict[ContextKey, dict]:
+        """The manifest index: per-context metadata without loading XML."""
+        out: dict[ContextKey, dict] = {}
+        for name, entry in self._manifest["contexts"].items():
+            out[parse_dirname(name)] = dict(entry)
+        return out
+
+    def revision(self, key: ContextKey) -> int:
+        """Publish counter of the context (0 when never persisted)."""
+        entry = self._manifest["contexts"].get(context_dirname(key))
+        return int(entry["revision"]) if entry else 0
+
+    # ------------------------------------------------------------------
+    # resident-set management
+    # ------------------------------------------------------------------
+    def _context_dir(self, key: ContextKey) -> Path:
+        return self.root / "contexts" / context_dirname(key)
+
+    def _insert(self, key: ContextKey, models: ContextModels) -> None:
+        self._resident[key] = models
+        self._resident.move_to_end(key)
+        while (
+            self.max_resident is not None
+            and len(self._resident) > self.max_resident
+        ):
+            victim = next(iter(self._resident))
+            self.persist(victim)
+            del self._resident[victim]
+
+    def resident_keys(self) -> list[ContextKey]:
+        """Keys currently held in RAM (LRU order, oldest first)."""
+        return list(self._resident)
+
+    def evict(self, key: ContextKey) -> None:
+        """Persist the slot and drop its resident copy (explicit version
+        of what ``max_resident`` does automatically)."""
+        if key in self._resident:
+            self.persist(key)
+            del self._resident[key]
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def _load(self, key: ContextKey) -> ContextModels | None:
+        entry = self._manifest["contexts"].get(context_dirname(key))
+        if entry is None:
+            return None
+        directory = self._context_dir(key)
+        context = OperationContext(
+            workload=key[0], node_id=key[1], ip=str(entry.get("ip", ""))
+        )
+        models = ContextModels(context=context)
+        artifacts = entry.get("artifacts", [])
+        if "model" in artifacts:
+            arima, threshold, _ = load_performance_model(
+                directory / _ARTIFACT_FILES["model"]
+            )
+            models.detector = AnomalyDetector.from_artifacts(arima, threshold)
+        if "invariants" in artifacts:
+            models.invariants, _ = load_invariants(
+                directory / _ARTIFACT_FILES["invariants"]
+            )
+        if "signatures" in artifacts:
+            models.database = load_signatures(
+                directory / _ARTIFACT_FILES["signatures"]
+            )
+        return models
+
+    # ------------------------------------------------------------------
+    # ModelStore contract
+    # ------------------------------------------------------------------
+    def slot(
+        self, key: ContextKey, context: OperationContext | None = None
+    ) -> ContextModels:
+        models = self._resident.get(key)
+        if models is not None:
+            self._resident.move_to_end(key)
+            if models.context is None:
+                models.context = context
+            return models
+        models = self._load(key)
+        if models is None:
+            models = ContextModels(context=context)
+        self._insert(key, models)
+        return models
+
+    def peek(self, key: ContextKey) -> ContextModels | None:
+        models = self._resident.get(key)
+        if models is not None:
+            self._resident.move_to_end(key)
+            return models
+        models = self._load(key)
+        if models is not None:
+            self._insert(key, models)
+        return models
+
+    def keys(self) -> list[ContextKey]:
+        known = {
+            parse_dirname(name) for name in self._manifest["contexts"]
+        }
+        known.update(self._resident)
+        return sorted(known)
+
+    def persist(self, key: ContextKey) -> list[Path]:
+        models = self._resident.get(key)
+        if models is None:
+            raise StoreError(
+                f"no resident slot for {key!r}; nothing to persist"
+            )
+        context = models.context or OperationContext(
+            workload=key[0], node_id=key[1]
+        )
+        directory = self._context_dir(key)
+        directory.mkdir(parents=True, exist_ok=True)
+        written: list[Path] = []
+        present = models.artifacts()
+        if "model" in present:
+            detector = models.detector
+            assert detector is not None and detector.model is not None
+            assert detector.threshold is not None
+            path = directory / _ARTIFACT_FILES["model"]
+            save_performance_model(
+                detector.model, detector.threshold, context, path
+            )
+            written.append(path)
+        if "invariants" in present:
+            assert models.invariants is not None
+            path = directory / _ARTIFACT_FILES["invariants"]
+            save_invariants(models.invariants, context, path)
+            written.append(path)
+        if "signatures" in present:
+            path = directory / _ARTIFACT_FILES["signatures"]
+            save_signatures(models.database, path)
+            written.append(path)
+        for name, filename in _ARTIFACT_FILES.items():
+            if name not in present:
+                (directory / filename).unlink(missing_ok=True)
+        dirname = context_dirname(key)
+        previous = self._manifest["contexts"].get(dirname, {})
+        self._manifest["contexts"][dirname] = {
+            "workload": key[0],
+            "node": key[1],
+            "ip": context.ip,
+            "revision": int(previous.get("revision", 0)) + 1,
+            "artifacts": present,
+        }
+        self._write_manifest()
+        return written
+
+    def adopt(self, key: ContextKey, models: ContextModels) -> None:
+        self._insert(key, models)
+
+    def discard(self, key: ContextKey) -> None:
+        self._resident.pop(key, None)
+        dirname = context_dirname(key)
+        if dirname in self._manifest["contexts"]:
+            del self._manifest["contexts"][dirname]
+            self._write_manifest()
+        shutil.rmtree(self._context_dir(key), ignore_errors=True)

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.core import InvarNetX, OperationContext
-from repro.core.invariants import InvariantTracker, select_invariants
+from repro.core.anomaly import (
+    AnomalyDetector,
+    DriftThreshold,
+    ThresholdRule,
+)
+from repro.core.inference import InferenceResult
+from repro.core.invariants import InvariantSet, InvariantTracker, select_invariants
 from repro.core.online import (
     AlarmEvent,
     DiagnosisEvent,
@@ -12,6 +18,9 @@ from repro.core.online import (
     OnlineMonitor,
 )
 from repro.faults.spec import FaultSpec, build_fault
+from repro.stats.arima import ARIMAModel, ARIMAOrder
+from repro.store import ContextModels
+from repro.telemetry.metrics import MetricCatalog
 
 
 @pytest.fixture()
@@ -79,6 +88,168 @@ class TestOnlineMonitor:
             OnlineMonitor(
                 trained_pipeline, wordcount_context, window_ticks=4
             )
+
+
+class TestMonitorStateMachine:
+    """Deterministic state-machine coverage with a synthetic detector.
+
+    ARIMA(0, 1, 0) with intercept 0 predicts "same as last tick", so with
+    threshold 0.5 a sample is anomalous exactly when it moves more than
+    0.5 from its predecessor — every transition below is hand-checkable.
+    """
+
+    WARMUP = 12
+    WINDOW = 8  # the monitor's minimum
+    COOLDOWN = 4
+    LEAD_IN = OnlineMonitor.CONSECUTIVE + 2  # ring-buffered pre-alarm rows
+
+    def _pipeline(self, context):
+        model = ARIMAModel(
+            order=ARIMAOrder(0, 1, 0),
+            ar=np.empty(0),
+            ma=np.empty(0),
+            intercept=0.0,
+            sigma2=1.0,
+        )
+        detector = AnomalyDetector.from_artifacts(
+            model, DriftThreshold(ThresholdRule.BETA_MAX, upper=0.5)
+        )
+        catalog = MetricCatalog(names=("m0", "m1", "m2", "m3"))
+        invariants = InvariantSet(
+            pairs=[(0, 1)], baseline=np.array([0.9]), catalog=catalog
+        )
+        pipe = InvarNetX(catalog=catalog)
+        pipe.store.adopt(
+            context.key(),
+            ContextModels(
+                context=context, detector=detector, invariants=invariants
+            ),
+        )
+        return pipe
+
+    def _monitor(self, captured=None):
+        context = OperationContext("wordcount", "slave-1")
+        pipe = self._pipeline(context)
+        if captured is not None:
+            def fake_infer(ctx, window, top_k=3):
+                captured.append(np.asarray(window))
+                return InferenceResult(
+                    causes=[], violations=np.zeros(1, dtype=bool)
+                )
+
+            pipe.infer = fake_infer
+        return OnlineMonitor(
+            pipe,
+            context,
+            window_ticks=self.WINDOW,
+            warmup_ticks=self.WARMUP,
+            cooldown_ticks=self.COOLDOWN,
+        )
+
+    @staticmethod
+    def _feed_flat(monitor, value, ticks):
+        """Feed ``ticks`` constant CPI samples (a constant series never
+        alarms); each metrics row encodes its tick for window checks."""
+        events = []
+        for _ in range(ticks):
+            row = np.full(4, float(monitor._tick + 1))
+            event = monitor.observe(row, value)
+            if event is not None:
+                events.append(event)
+        return events
+
+    def _incident(self, monitor, start_value, captured_tick=None):
+        """Feed a +1/tick ramp until the alarm fires; returns the event."""
+        value = start_value
+        for _ in range(OnlineMonitor.CONSECUTIVE):
+            value += 1.0
+            row = np.full(4, float(monitor._tick + 1))
+            event = monitor.observe(row, value)
+        assert isinstance(event, AlarmEvent)
+        return event, value
+
+    # -- warmup boundary ------------------------------------------------
+    def test_warmup_completes_at_exact_tick(self):
+        monitor = self._monitor()
+        self._feed_flat(monitor, 1.0, self.WARMUP - 1)
+        assert monitor.state is MonitorState.WARMUP
+        self._feed_flat(monitor, 1.0, 1)
+        assert monitor.state is MonitorState.MONITORING
+
+    def test_anomalies_inside_warmup_are_not_checked(self):
+        monitor = self._monitor()
+        # a wild jump at tick 6 — far beyond the 0.5 threshold, but the
+        # drift check is not armed yet
+        self._feed_flat(monitor, 1.0, 6)
+        assert monitor.observe(np.zeros(4), 11.0) is None
+        events = self._feed_flat(monitor, 11.0, self.WARMUP)
+        assert events == []
+        assert monitor.state is MonitorState.MONITORING
+
+    def test_streak_resets_below_three_consecutive(self):
+        monitor = self._monitor()
+        self._feed_flat(monitor, 1.0, self.WARMUP)
+        # two anomalous moves, then a calm tick, then two more: no alarm
+        for value in (2.0, 3.0, 3.0, 4.0, 5.0):
+            assert monitor.observe(np.zeros(4), value) is None
+        assert monitor.state is MonitorState.MONITORING
+
+    # -- alarm + ring-buffer lead-in ------------------------------------
+    def test_alarm_on_third_consecutive_anomaly(self):
+        monitor = self._monitor()
+        self._feed_flat(monitor, 1.0, self.WARMUP)
+        alarm, _ = self._incident(monitor, 1.0)
+        assert alarm.tick == self.WARMUP + OnlineMonitor.CONSECUTIVE - 1
+
+    def test_window_includes_ring_buffered_lead_in(self):
+        captured: list[np.ndarray] = []
+        monitor = self._monitor(captured)
+        self._feed_flat(monitor, 1.0, self.WARMUP)
+        alarm, value = self._incident(monitor, 1.0)
+        # collect the remainder of the abnormal window
+        remaining = self.WINDOW - self.LEAD_IN
+        events = self._feed_flat(monitor, value, remaining)
+        assert len(events) == 1 and isinstance(events[0], DiagnosisEvent)
+        assert events[0].tick == alarm.tick + remaining
+        (window,) = captured
+        assert window.shape == (self.WINDOW, 4)
+        # rows encode their tick: the window must start CONSECUTIVE + 2
+        # ticks before the alarm (the lead-in the ring buffer preserved)
+        expected_ticks = np.arange(
+            alarm.tick - self.LEAD_IN + 1, alarm.tick + remaining + 1
+        )
+        assert np.array_equal(window[:, 0], expected_ticks)
+
+    # -- cooldown -------------------------------------------------------
+    def _diagnosed_monitor(self):
+        monitor = self._monitor(captured=[])
+        self._feed_flat(monitor, 1.0, self.WARMUP)
+        _, value = self._incident(monitor, 1.0)
+        self._feed_flat(monitor, value, self.WINDOW - self.LEAD_IN)
+        assert monitor.state is MonitorState.COOLDOWN
+        return monitor, value
+
+    def test_cooldown_suppresses_new_alarms(self):
+        monitor, value = self._diagnosed_monitor()
+        # a fresh ramp during the cool-down is swallowed silently
+        for _ in range(self.COOLDOWN):
+            value += 1.0
+            assert monitor.observe(np.zeros(4), value) is None
+
+    def test_cooldown_rearms_after_exact_ticks(self):
+        monitor, value = self._diagnosed_monitor()
+        self._feed_flat(monitor, value, self.COOLDOWN - 1)
+        assert monitor.state is MonitorState.COOLDOWN
+        self._feed_flat(monitor, value, 1)
+        assert monitor.state is MonitorState.MONITORING
+
+    def test_second_incident_after_rearm_is_reported(self):
+        monitor, value = self._diagnosed_monitor()
+        self._feed_flat(monitor, value, self.COOLDOWN)
+        alarm, value = self._incident(monitor, value)
+        events = self._feed_flat(monitor, value, self.WINDOW - self.LEAD_IN)
+        assert len(events) == 1 and isinstance(events[0], DiagnosisEvent)
+        assert events[0].alarm_tick == alarm.tick
 
 
 class TestInvariantTracker:

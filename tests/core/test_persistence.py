@@ -9,6 +9,7 @@ from repro.core.anomaly import DriftThreshold, ThresholdRule
 from repro.core.context import OperationContext
 from repro.core.invariants import InvariantSet
 from repro.core.persistence import (
+    atomic_write_text,
     load_invariants,
     load_performance_model,
     load_signatures,
@@ -120,6 +121,120 @@ class TestInvariantStore:
         save_invariants(inv, CTX, path)
         loaded, _ = load_invariants(path)
         assert loaded.pairs == pairs
+
+
+class TestInvariantFileValidation:
+    """Malformed <row> elements must fail loudly, never corrupt a matrix."""
+
+    def _valid_file(self, tmp_path):
+        inv = InvariantSet(
+            pairs=[(0, 1), (1, 2)],
+            baseline=np.array([0.8, 0.6]),
+            catalog=MetricCatalog(names=("a", "b", "c")),
+        )
+        path = tmp_path / "inv.xml"
+        save_invariants(inv, CTX, path)
+        return path
+
+    def _mutate(self, path, old, new, count=1):
+        text = path.read_text()
+        assert old in text
+        path.write_text(text.replace(old, new, count))
+
+    def test_missing_index_rejected(self, tmp_path):
+        path = self._valid_file(tmp_path)
+        self._mutate(path, '<row index="1">', "<row>")
+        with pytest.raises(ValueError, match="missing its index"):
+            load_invariants(path)
+
+    def test_non_integer_index_rejected(self, tmp_path):
+        path = self._valid_file(tmp_path)
+        self._mutate(path, 'index="1"', 'index="one"')
+        with pytest.raises(ValueError, match="non-integer index"):
+            load_invariants(path)
+
+    def test_out_of_range_index_rejected(self, tmp_path):
+        path = self._valid_file(tmp_path)
+        self._mutate(path, 'index="2"', 'index="3"')
+        with pytest.raises(ValueError, match="outside matrix"):
+            load_invariants(path)
+
+    def test_negative_index_rejected(self, tmp_path):
+        path = self._valid_file(tmp_path)
+        self._mutate(path, 'index="2"', 'index="-1"')
+        with pytest.raises(ValueError, match="outside matrix"):
+            load_invariants(path)
+
+    def test_duplicate_index_rejected(self, tmp_path):
+        """The historical failure mode: a duplicated index silently
+        overwrote the other row instead of raising."""
+        path = self._valid_file(tmp_path)
+        self._mutate(path, 'index="1"', 'index="0"')
+        with pytest.raises(ValueError, match="duplicate"):
+            load_invariants(path)
+
+    def test_short_row_rejected(self, tmp_path):
+        path = self._valid_file(tmp_path)
+        root = ET.parse(path).getroot()
+        row = root.find("matrix").findall("row")[1]
+        row.text = "0.5"
+        ET.ElementTree(root).write(path)
+        with pytest.raises(ValueError, match="values, expected"):
+            load_invariants(path)
+
+
+class TestAtomicWrites:
+    """All three writers publish via temp-file + os.replace."""
+
+    def test_no_temp_files_left_behind(self, tmp_path, model):
+        save_performance_model(
+            model, DriftThreshold(ThresholdRule.BETA_MAX, 0.1), CTX,
+            tmp_path / "model.xml",
+        )
+        inv = InvariantSet(
+            pairs=[(0, 1)], baseline=np.array([0.5]),
+            catalog=MetricCatalog(names=("a", "b")),
+        )
+        save_invariants(inv, CTX, tmp_path / "inv.xml")
+        db = SignatureDatabase()
+        db.add(np.array([True]), "CPU-hog")
+        save_signatures(db, tmp_path / "sigs.xml")
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["inv.xml", "model.xml", "sigs.xml"]
+
+    def test_failed_publish_preserves_previous_artifact(
+        self, tmp_path, model, monkeypatch
+    ):
+        """A crash between serialisation and publish leaves the old file
+        complete and readable — never a torn half-write."""
+        import os as os_module
+
+        path = tmp_path / "model.xml"
+        threshold = DriftThreshold(ThresholdRule.BETA_MAX, 0.1)
+        save_performance_model(model, threshold, CTX, path)
+        before = path.read_text()
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash at the publish point")
+
+        monkeypatch.setattr(
+            "repro.core.persistence.os.replace", exploding_replace
+        )
+        with pytest.raises(OSError, match="simulated crash"):
+            save_performance_model(model, threshold, CTX, path)
+        monkeypatch.undo()
+        assert path.read_text() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["model.xml"]
+        loaded, thr, _ = load_performance_model(path)
+        assert thr == threshold
+        assert os_module.path.exists(path)
+
+    def test_atomic_write_text_roundtrip(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        atomic_write_text(path, "first")
+        atomic_write_text(path, "second")
+        assert path.read_text() == "second"
+        assert [p.name for p in tmp_path.iterdir()] == ["manifest.json"]
 
 
 class TestSignatureStore:
