@@ -1,0 +1,128 @@
+"""Observability overhead — the off switch must actually be free.
+
+Two contracts from DESIGN.md §10:
+
+- **disabled path is allocation-free** — a disabled tracer hands back the
+  ``NOOP_SPAN`` singleton and a disabled registry bails on one attribute
+  check, so instrumented hot loops allocate nothing inside ``repro.obs``;
+- **infer() overhead is within noise** — turning the full layer on
+  (spans, counters, histograms) must not move online inference latency
+  beyond run-to-run measurement noise.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+import tracemalloc
+
+import pytest
+
+import repro.obs as obs
+from repro.core import InvarNetX, OperationContext
+from repro.faults.spec import FaultSpec, build_fault
+
+
+@pytest.fixture(autouse=True)
+def obs_off():
+    obs.configure(enabled=False)
+    obs.reset()
+    yield
+    obs.configure(enabled=False)
+    obs.reset()
+
+
+class TestDisabledPathAllocationFree:
+    def test_disabled_span_and_metric_writes_allocate_nothing(self):
+        tracer = obs.tracer()
+        registry = obs.metrics_registry()
+        counter = registry.counter("bench_total", "", ("k",))
+        series = counter.series(k="v")  # pre-bound hot-path handle
+        with tracer.span("warmup") as sp:
+            if sp:
+                sp.set(x=1)
+        series.inc()
+
+        tracemalloc.start()
+        for _ in range(2000):
+            with tracer.span("hot") as sp:
+                if sp:
+                    sp.set(x=1)
+            if obs.enabled():
+                counter.inc(k="v")
+            series.inc()
+        snapshot = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+
+        obs_bytes = sum(
+            trace.size
+            for trace in snapshot.traces
+            if any("repro/obs" in f.filename for f in trace.traceback)
+        )
+        assert obs_bytes == 0
+
+    def test_disabled_span_peak_within_loop_noise(self):
+        tracer = obs.tracer()
+
+        def measure(body) -> int:
+            tracemalloc.start()
+            for _ in range(5000):
+                body()
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            return peak
+
+        def empty() -> None:
+            pass
+
+        def spanned() -> None:
+            with tracer.span("hot"):
+                pass
+
+        baseline = measure(empty)
+        instrumented = measure(spanned)
+        assert instrumented <= baseline + 512
+
+
+class TestInferOverhead:
+    @pytest.fixture(scope="class")
+    def infer_setup(self, cluster):
+        runs = [cluster.run("wordcount", seed=9000 + i) for i in range(3)]
+        ctx = OperationContext(
+            "wordcount", "slave-1", cluster.ip_of("slave-1")
+        )
+        pipe = InvarNetX()
+        pipe.train_from_runs(ctx, runs)
+        signature = cluster.run(
+            "wordcount",
+            faults=[build_fault("CPU-hog", FaultSpec("slave-1", 40, 30))],
+            seed=9050,
+        )
+        pipe.train_signature_from_run(ctx, "CPU-hog", signature)
+        incident = cluster.run(
+            "wordcount",
+            faults=[build_fault("CPU-hog", FaultSpec("slave-1", 40, 30))],
+            seed=9051,
+        )
+        window = incident.node("slave-1").metrics[40:64]
+        return pipe, ctx, window
+
+    @staticmethod
+    def _median_seconds(pipe, ctx, window, reps: int = 9) -> float:
+        times = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            pipe.infer(ctx, window)
+            times.append(time.perf_counter() - t0)
+        return statistics.median(times)
+
+    def test_enabled_infer_within_noise_of_disabled(self, infer_setup):
+        pipe, ctx, window = infer_setup
+        pipe.infer(ctx, window)  # warm the MIC cache for both passes
+        disabled = self._median_seconds(pipe, ctx, window)
+        obs.configure(enabled=True)
+        enabled = self._median_seconds(pipe, ctx, window)
+        obs.configure(enabled=False)
+        # full instrumentation stays within run-to-run noise (generous
+        # bound: 1.5x + 5 ms absolute slack for tiny baselines)
+        assert enabled <= disabled * 1.5 + 0.005

@@ -11,6 +11,12 @@ Three subcommands cover the working loop of the system:
     Train from normal-run NPZ traces and per-problem signature traces,
     then diagnose an incident trace; prints the ranked causes.
 
+``invarnetx explain``
+    Like ``diagnose``, but print the full incident-explanation report:
+    per-cause similarity breakdowns, every violated invariant pair with
+    its delta against ε, and the CPI residuals around the alarm tick
+    (``--json`` for the machine-readable form).
+
 ``invarnetx experiment``
     Regenerate one of the paper's figures/tables and print it.
 
@@ -23,14 +29,21 @@ Three subcommands cover the working loop of the system:
     Run the domain linter (:mod:`repro.lint`) over the source tree:
     RNG discipline, operation-context key discipline, float-equality,
     the paper's tuned constants, and general hygiene.
+
+Two global flags (before the subcommand) switch on the observability
+layer of :mod:`repro.obs`: ``--log-level LEVEL`` streams structured
+``event key=value`` logs to stderr, and ``--trace`` prints the span tree
+of the run to stderr after the command finishes.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
+import repro.obs as obs
 from repro.cluster import HadoopCluster
 from repro.cluster.workloads import WORKLOADS
 from repro.core import InvarNetX, InvarNetXConfig, OperationContext
@@ -47,6 +60,19 @@ def build_parser() -> argparse.ArgumentParser:
         prog="invarnetx",
         description="InvarNet-X: invariant-based performance diagnosis "
         "(BPOE/VLDB 2014 reproduction)",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="enable observability and stream structured logs to stderr "
+        "at this level",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable observability and print the span trace to stderr "
+        "after the command finishes",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -73,34 +99,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="also dump per-node collectl-style CSVs here",
     )
 
+    def add_diagnosis_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--normal", type=Path, nargs="+", required=True,
+            help="normal-run NPZ traces (training corpus)",
+        )
+        p.add_argument(
+            "--signature", action="append", default=[],
+            metavar="PROBLEM=TRACE.npz",
+            help="labelled faulty trace to store as a signature "
+            "(repeatable)",
+        )
+        p.add_argument(
+            "--incident", type=Path, required=True,
+            help="the NPZ trace to diagnose",
+        )
+        p.add_argument("--node", default="slave-1")
+        p.add_argument("--top-k", type=int, default=3)
+        p.add_argument(
+            "--mic-workers", type=int, default=None,
+            help="MIC engine parallelism: omit for serial, 0 for one "
+            "process per CPU, k for at most k processes (results are "
+            "identical)",
+        )
+        p.add_argument(
+            "--store", type=Path, default=None, metavar="DIR",
+            help="durable model registry: trained models persist here, "
+            "and a context already in the registry is loaded instead of "
+            "retrained (warm restart)",
+        )
+
     diag = sub.add_parser(
         "diagnose", help="train from traces and diagnose an incident"
     )
-    diag.add_argument(
-        "--normal", type=Path, nargs="+", required=True,
-        help="normal-run NPZ traces (training corpus)",
+    add_diagnosis_arguments(diag)
+
+    explain = sub.add_parser(
+        "explain",
+        help="diagnose an incident and print the full evidence report",
+        description="Train (or warm-load) exactly as `diagnose` does, "
+        "then print the incident explanation: per-cause similarity "
+        "breakdowns, violated invariant pairs with deltas vs epsilon, "
+        "and CPI residuals around the alarm tick.  The report goes to "
+        "stdout; progress messages go to stderr.",
     )
-    diag.add_argument(
-        "--signature", action="append", default=[],
-        metavar="PROBLEM=TRACE.npz",
-        help="labelled faulty trace to store as a signature (repeatable)",
-    )
-    diag.add_argument(
-        "--incident", type=Path, required=True,
-        help="the NPZ trace to diagnose",
-    )
-    diag.add_argument("--node", default="slave-1")
-    diag.add_argument("--top-k", type=int, default=3)
-    diag.add_argument(
-        "--mic-workers", type=int, default=None,
-        help="MIC engine parallelism: omit for serial, 0 for one process "
-        "per CPU, k for at most k processes (results are identical)",
-    )
-    diag.add_argument(
-        "--store", type=Path, default=None, metavar="DIR",
-        help="durable model registry: trained models persist here, and a "
-        "context already in the registry is loaded instead of retrained "
-        "(warm restart)",
+    add_diagnosis_arguments(explain)
+    explain.add_argument(
+        "--json", action="store_true",
+        help="emit the report as JSON instead of text",
     )
 
     exp = sub.add_parser(
@@ -191,7 +237,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_diagnose(args: argparse.Namespace) -> int:
+def _trained_pipeline(
+    args: argparse.Namespace, progress: object
+) -> tuple[InvarNetX, OperationContext] | int:
+    """Shared train-or-warm-load path of ``diagnose`` and ``explain``.
+
+    Progress messages go to ``progress`` (stdout for ``diagnose``, stderr
+    for ``explain`` so stdout stays a pure report); errors always go to
+    stderr.  Returns the exit code instead of the pair on bad arguments.
+    """
     normal_runs = [load_run_npz(p) for p in args.normal]
     workloads = {r.workload for r in normal_runs}
     if len(workloads) != 1:
@@ -222,10 +276,14 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
         assert registry is not None  # only a store can pre-train a context
         print(
             f"warm start: {ctx} loaded from {args.store} "
-            f"(revision {registry.revision(ctx.key())})"
+            f"(revision {registry.revision(ctx.key())})",
+            file=progress,
         )
     else:
-        print(f"training {ctx} on {len(normal_runs)} normal runs...")
+        print(
+            f"training {ctx} on {len(normal_runs)} normal runs...",
+            file=progress,
+        )
         pipe.train_from_runs(ctx, normal_runs)
     known = set(pipe.known_problems(ctx))
     for spec in args.signature:
@@ -238,12 +296,25 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
             )
             return 2
         if problem in known:
-            print(f"signature for {problem!r} already in the store")
+            print(
+                f"signature for {problem!r} already in the store",
+                file=progress,
+            )
             continue
         run = load_run_npz(trace_path)
         pipe.train_signature_from_run(ctx, problem, run)
-        print(f"learned signature for {problem!r} from {trace_path}")
+        print(
+            f"learned signature for {problem!r} from {trace_path}",
+            file=progress,
+        )
+    return pipe, ctx
 
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    trained = _trained_pipeline(args, progress=sys.stdout)
+    if isinstance(trained, int):
+        return trained
+    pipe, ctx = trained
     incident = load_run_npz(args.incident)
     result = pipe.diagnose_run(ctx, incident, top_k=args.top_k)
     if not result.detected:
@@ -264,6 +335,26 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
             print(f"  {a} ~ {b}")
     else:
         print(f"verdict: {result.root_cause}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs.explain import explain_run
+
+    trained = _trained_pipeline(args, progress=sys.stderr)
+    if isinstance(trained, int):
+        return trained
+    pipe, ctx = trained
+    incident = load_run_npz(args.incident)
+    explanation = explain_run(pipe, ctx, incident, top_k=args.top_k)
+    if explanation is None:
+        print("no performance problem detected")
+        return 0
+    if args.json:
+        json.dump(explanation.to_json(), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        print(explanation.render_text())
     return 0
 
 
@@ -382,19 +473,29 @@ def _cmd_store(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command == "simulate":
-        return _cmd_simulate(args)
-    if args.command == "diagnose":
-        return _cmd_diagnose(args)
-    if args.command == "experiment":
-        return _cmd_experiment(args)
-    if args.command == "store":
-        return _cmd_store(args)
-    if args.command == "lint":
-        from repro.lint.cli import run_lint
+    if args.trace or args.log_level is not None:
+        obs.configure(enabled=True, log_level=args.log_level)
+    try:
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+        if args.command == "diagnose":
+            return _cmd_diagnose(args)
+        if args.command == "explain":
+            return _cmd_explain(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "store":
+            return _cmd_store(args)
+        if args.command == "lint":
+            from repro.lint.cli import run_lint
 
-        return run_lint(args)
-    raise AssertionError(f"unhandled command {args.command!r}")
+            return run_lint(args)
+        raise AssertionError(f"unhandled command {args.command!r}")
+    finally:
+        if args.trace:
+            rendered = obs.render_trace()
+            if rendered:
+                print(rendered, file=sys.stderr)
 
 
 if __name__ == "__main__":

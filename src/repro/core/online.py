@@ -24,16 +24,20 @@ watching mirrored telemetry — the MIC sweep is not repeated.
 from __future__ import annotations
 
 import enum
+import logging
 from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.context import OperationContext
 from repro.core.inference import InferenceResult
 from repro.core.pipeline import ABNORMAL_WINDOW_TICKS, InvarNetX
 
 __all__ = ["MonitorState", "AlarmEvent", "DiagnosisEvent", "OnlineMonitor"]
+
+_log = obs.get_logger("core.online")
 
 
 class MonitorState(enum.Enum):
@@ -123,6 +127,32 @@ class OnlineMonitor:
         self._alarm_tick: int | None = None
         self._cooldown_left = 0
         self.state = MonitorState.WARMUP
+        self._label = str(context)
+
+    # ------------------------------------------------------------------
+    def _transition(self, new: MonitorState) -> None:
+        """Move to ``new``, counting and logging the state change."""
+        old = self.state
+        if old is new:
+            return
+        self.state = new
+        if obs.enabled():
+            obs.metrics_registry().counter(
+                "invarnetx_monitor_transitions_total",
+                "Monitor state-machine transitions",
+                ("context", "from", "to"),
+            ).inc(
+                **{"context": self._label, "from": old.value, "to": new.value}
+            )
+            obs.log_event(
+                _log,
+                logging.DEBUG,
+                "monitor-transition",
+                context=self._label,
+                tick=self._tick,
+                src=old.value,
+                dst=new.value,
+            )
 
     # ------------------------------------------------------------------
     def observe(
@@ -143,6 +173,12 @@ class OnlineMonitor:
         row = np.asarray(metrics_row, dtype=float)
         detector = self.pipeline.context_models(self.context).detector
         assert detector is not None
+        if obs.enabled():
+            obs.metrics_registry().counter(
+                "invarnetx_monitor_state_ticks_total",
+                "Ticks the monitor spent in each state",
+                ("context", "state"),
+            ).inc(context=self._label, state=self.state.value)
 
         if self.state is MonitorState.COLLECTING:
             self._collected.append(row)
@@ -160,7 +196,22 @@ class OnlineMonitor:
                 self._alarm_tick = None
                 self._streak = 0
                 self._cooldown_left = self.cooldown_ticks
-                self.state = MonitorState.COOLDOWN
+                self._transition(MonitorState.COOLDOWN)
+                if obs.enabled():
+                    obs.metrics_registry().counter(
+                        "invarnetx_diagnoses_total",
+                        "Diagnosis events emitted by online monitors",
+                        ("context",),
+                    ).inc(context=self._label)
+                    obs.log_event(
+                        _log,
+                        logging.INFO,
+                        "diagnosis",
+                        context=self._label,
+                        tick=self._tick,
+                        alarm_tick=event.alarm_tick,
+                        cause=event.root_cause or "-",
+                    )
                 return event
             return None
 
@@ -176,12 +227,12 @@ class OnlineMonitor:
 
         if self.state is MonitorState.WARMUP:
             if len(self._cpi) >= self.warmup_ticks:
-                self.state = MonitorState.MONITORING
+                self._transition(MonitorState.MONITORING)
             return None
         if self.state is MonitorState.COOLDOWN:
             self._cooldown_left -= 1
             if self._cooldown_left <= 0:
-                self.state = MonitorState.MONITORING
+                self._transition(MonitorState.MONITORING)
             return None
 
         # MONITORING
@@ -190,7 +241,20 @@ class OnlineMonitor:
             self._alarm_tick = self._tick
             # seed the window with the lead-in samples already buffered
             self._collected = list(self._recent_metrics)
-            self.state = MonitorState.COLLECTING
+            self._transition(MonitorState.COLLECTING)
+            if obs.enabled():
+                obs.metrics_registry().counter(
+                    "invarnetx_alarms_total",
+                    "Alarms raised by online monitors",
+                    ("context",),
+                ).inc(context=self._label)
+                obs.log_event(
+                    _log,
+                    logging.WARNING,
+                    "alarm",
+                    context=self._label,
+                    tick=self._tick,
+                )
             return AlarmEvent(tick=self._tick)
         return None
 

@@ -15,14 +15,18 @@ the nodes, and localises the problem to the node(s) whose detector fired.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
+import repro.obs as obs
 from repro.core.context import OperationContext
 from repro.core.pipeline import DiagnosisResult, InvarNetX, InvarNetXConfig
 from repro.store import ModelStore
 from repro.telemetry.trace import RunTrace
 
 __all__ = ["NodeDiagnosis", "ClusterDiagnosis", "ClusterDiagnoser"]
+
+_log = obs.get_logger("core.orchestrator")
 
 
 @dataclass(frozen=True)
@@ -157,11 +161,18 @@ class ClusterDiagnoser:
             )
         workload = workloads.pop()
         contexts = []
-        for node_id in self._nodes_of(normal_runs[0]):
-            ctx = self._context(workload, normal_runs[0], node_id)
-            if not (skip_trained and self.pipeline.is_trained(ctx)):
-                self.pipeline.train_from_runs(ctx, normal_runs)
-            contexts.append(ctx)
+        with obs.span("cluster.train") as sp:
+            for node_id in self._nodes_of(normal_runs[0]):
+                ctx = self._context(workload, normal_runs[0], node_id)
+                if not (skip_trained and self.pipeline.is_trained(ctx)):
+                    self.pipeline.train_from_runs(ctx, normal_runs)
+                contexts.append(ctx)
+            if sp:
+                sp.set(
+                    workload=workload,
+                    nodes=len(contexts),
+                    runs=len(normal_runs),
+                )
         return contexts
 
     def train_signature(
@@ -179,21 +190,38 @@ class ClusterDiagnoser:
             top_k: cause-list length per node.
         """
         out = ClusterDiagnosis(workload=run.workload)
-        for node_id in self._nodes_of(run):
-            ctx = self._context(run.workload, run, node_id)
-            result: DiagnosisResult = self.pipeline.diagnose_run(
-                ctx, run, top_k=top_k
-            )
-            top_score = 0.0
-            if result.inference is not None and result.inference.causes:
-                top_score = result.inference.causes[0].score
-            out.nodes.append(
-                NodeDiagnosis(
-                    node_id=node_id,
-                    detected=result.detected,
-                    root_cause=result.root_cause,
-                    first_problem_tick=result.anomaly.first_problem_tick(),
-                    top_score=top_score,
+        with obs.span("cluster.diagnose") as sp:
+            for node_id in self._nodes_of(run):
+                ctx = self._context(run.workload, run, node_id)
+                result: DiagnosisResult = self.pipeline.diagnose_run(
+                    ctx, run, top_k=top_k
                 )
+                top_score = 0.0
+                if result.inference is not None and result.inference.causes:
+                    top_score = result.inference.causes[0].score
+                out.nodes.append(
+                    NodeDiagnosis(
+                        node_id=node_id,
+                        detected=result.detected,
+                        root_cause=result.root_cause,
+                        first_problem_tick=result.anomaly.first_problem_tick(),
+                        top_score=top_score,
+                    )
+                )
+            if sp:
+                sp.set(
+                    workload=run.workload,
+                    nodes=len(out.nodes),
+                    faulty=len(out.faulty_nodes),
+                )
+        if obs.enabled():
+            verdict = out.verdict()
+            obs.log_event(
+                _log,
+                logging.INFO,
+                "cluster-diagnosis",
+                workload=run.workload,
+                faulty=",".join(out.faulty_nodes) or "-",
+                verdict=f"{verdict[0]}:{verdict[1]}" if verdict else "-",
             )
         return out

@@ -22,11 +22,13 @@ The ``use_operation_context=False`` switch reproduces the paper's ablation
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.anomaly import AnomalyDetector, AnomalyReport, ThresholdRule
 from repro.core.context import GLOBAL_CONTEXT, OperationContext
 from repro.core.inference import CauseInferenceEngine, InferenceResult
@@ -54,6 +56,8 @@ __all__ = ["InvarNetXConfig", "DiagnosisResult", "InvarNetX"]
 
 #: Length (ticks) of the abnormal window handed to cause inference.
 ABNORMAL_WINDOW_TICKS = 30
+
+_log = obs.get_logger("core.pipeline")
 
 
 @dataclass(frozen=True)
@@ -226,15 +230,18 @@ class InvarNetX:
             context: operation context the traces belong to.
             cpi_traces: N normal-state CPI series.
         """
-        slot = self._slot(context)
-        detector = AnomalyDetector(
-            rule=self.config.rule,
-            beta=self.config.beta,
-            order=self.config.arima_order,
-        )
-        detector.train(cpi_traces)
-        slot.detector = detector
-        self._persist(context)
+        with obs.span("pipeline.train_performance_model") as sp:
+            slot = self._slot(context)
+            detector = AnomalyDetector(
+                rule=self.config.rule,
+                beta=self.config.beta,
+                order=self.config.arima_order,
+            )
+            detector.train(cpi_traces)
+            slot.detector = detector
+            self._persist(context)
+            if sp:
+                sp.set(context=str(context), traces=len(cpi_traces))
         return detector
 
     def association_matrix(self, samples: np.ndarray) -> AssociationMatrix:
@@ -262,12 +269,19 @@ class InvarNetX:
             context: operation context.
             normal_windows: per-run (ticks, 26) metric arrays.
         """
-        slot = self._slot(context)
-        matrices = [self.association_matrix(w) for w in normal_windows]
-        slot.invariants = select_invariants(
-            matrices, tau=self.config.tau, catalog=self.catalog
-        )
-        self._persist(context)
+        with obs.span("pipeline.build_invariants") as sp:
+            slot = self._slot(context)
+            matrices = [self.association_matrix(w) for w in normal_windows]
+            slot.invariants = select_invariants(
+                matrices, tau=self.config.tau, catalog=self.catalog
+            )
+            self._persist(context)
+            if sp:
+                sp.set(
+                    context=str(context),
+                    windows=len(normal_windows),
+                    invariants=len(slot.invariants),
+                )
         return slot.invariants
 
     def train_signature(
@@ -287,17 +301,26 @@ class InvarNetX:
         Returns:
             The stored binary violation tuple.
         """
-        slot = self._slot(context)
-        if slot.invariants is None:
-            raise RuntimeError(
-                f"invariants for {context} must be built before signatures"
+        with obs.span("pipeline.train_signature") as sp:
+            slot = self._slot(context)
+            if slot.invariants is None:
+                raise RuntimeError(
+                    f"invariants for {context} must be built before signatures"
+                )
+            abnormal = self.association_matrix(abnormal_window)
+            violations = slot.invariants.violations(
+                abnormal, self.config.epsilon
             )
-        abnormal = self.association_matrix(abnormal_window)
-        violations = slot.invariants.violations(abnormal, self.config.epsilon)
-        slot.database.add(
-            violations, problem, ip=context.ip, workload=context.workload
-        )
-        self._persist(context)
+            slot.database.add(
+                violations, problem, ip=context.ip, workload=context.workload
+            )
+            self._persist(context)
+            if sp:
+                sp.set(
+                    context=str(context),
+                    problem=problem,
+                    violated=int(violations.sum()),
+                )
         return violations
 
     @staticmethod
@@ -357,19 +380,34 @@ class InvarNetX:
         receives one association matrix per run, each computed by
         :meth:`run_association_matrix`.
         """
-        traces = [run.node(context.node_id).cpi for run in normal_runs]
-        matrices = [
-            self.run_association_matrix(
-                run.node(context.node_id).metrics, window_ticks
+        with obs.span("pipeline.train_from_runs") as sp:
+            traces = [run.node(context.node_id).cpi for run in normal_runs]
+            matrices = [
+                self.run_association_matrix(
+                    run.node(context.node_id).metrics, window_ticks
+                )
+                for run in normal_runs
+            ]
+            self.train_performance_model(context, traces)
+            slot = self._slot(context)
+            slot.invariants = select_invariants(
+                matrices, tau=self.config.tau, catalog=self.catalog
             )
-            for run in normal_runs
-        ]
-        self.train_performance_model(context, traces)
-        slot = self._slot(context)
-        slot.invariants = select_invariants(
-            matrices, tau=self.config.tau, catalog=self.catalog
-        )
-        self._persist(context)
+            self._persist(context)
+            if sp:
+                sp.set(
+                    context=str(context),
+                    runs=len(normal_runs),
+                    invariants=len(slot.invariants),
+                )
+            obs.log_event(
+                _log,
+                logging.INFO,
+                "trained",
+                context=str(context),
+                runs=len(normal_runs),
+                invariants=len(slot.invariants),
+            )
 
     def extract_abnormal_window(
         self,
@@ -427,28 +465,83 @@ class InvarNetX:
         self, context: OperationContext, cpi: np.ndarray
     ) -> AnomalyReport:
         """Module 4: scan a CPI series for performance problems."""
-        slot = self._slot(context)
-        if slot.detector is None:
-            raise RuntimeError(f"no performance model trained for {context}")
-        return slot.detector.detect(cpi)
+        with obs.span("pipeline.detect") as sp:
+            slot = self._slot(context)
+            if slot.detector is None:
+                raise RuntimeError(
+                    f"no performance model trained for {context}"
+                )
+            report = slot.detector.detect(cpi)
+            if sp:
+                sp.set(
+                    context=str(context),
+                    ticks=int(report.anomalous.size),
+                    problems=len(report.problem_ticks),
+                )
+        if obs.enabled():
+            registry = obs.metrics_registry()
+            label = str(self._resolved(context))
+            registry.counter(
+                "invarnetx_anomaly_ticks_total",
+                "CPI ticks flagged anomalous by the drift detector",
+                ("context",),
+            ).inc(int(report.anomalous.sum()), context=label)
+            if report.problem_detected:
+                registry.counter(
+                    "invarnetx_problems_detected_total",
+                    "Performance problems reported (3-consecutive rule)",
+                    ("context",),
+                ).inc(context=label)
+            if sp and sp.duration is not None:
+                registry.histogram(
+                    "invarnetx_detect_seconds",
+                    "Wall time of one detection scan",
+                    ("context",),
+                ).observe(sp.duration, context=label)
+        return report
 
     def infer(
         self, context: OperationContext, abnormal_window: np.ndarray,
         top_k: int = 3,
     ) -> InferenceResult:
         """Module 5: rank root causes for an abnormal metric window."""
-        slot = self._slot(context)
-        if slot.invariants is None:
-            raise RuntimeError(f"no invariants built for {context}")
-        engine = CauseInferenceEngine(
-            slot.invariants,
-            slot.database,
-            epsilon=self.config.epsilon,
-            min_similarity=self.config.min_similarity,
-            measure=self.config.similarity,
-        )
-        abnormal = self.association_matrix(abnormal_window)
-        return engine.infer(abnormal, top_k=top_k)
+        with obs.span("pipeline.infer") as sp:
+            slot = self._slot(context)
+            if slot.invariants is None:
+                raise RuntimeError(f"no invariants built for {context}")
+            engine = CauseInferenceEngine(
+                slot.invariants,
+                slot.database,
+                epsilon=self.config.epsilon,
+                min_similarity=self.config.min_similarity,
+                measure=self.config.similarity,
+            )
+            abnormal = self.association_matrix(abnormal_window)
+            result = engine.infer(abnormal, top_k=top_k)
+            if sp:
+                sp.set(
+                    context=str(context),
+                    matched=result.matched,
+                    violated=int(result.violations.sum()),
+                    top=result.top_cause or "-",
+                )
+        if obs.enabled():
+            label = str(self._resolved(context))
+            if sp and sp.duration is not None:
+                obs.metrics_registry().histogram(
+                    "invarnetx_inference_seconds",
+                    "Wall time of one cause-inference pass",
+                    ("context",),
+                ).observe(sp.duration, context=label)
+            obs.log_event(
+                _log,
+                logging.INFO,
+                "inference",
+                context=label,
+                matched=result.matched,
+                top=result.top_cause or "-",
+            )
+        return result
 
     def diagnose_run(
         self,

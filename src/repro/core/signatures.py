@@ -209,6 +209,49 @@ class SignatureDatabase:
         out.sort(key=lambda t: (-t[2], t[0], t[1]))
         return out
 
+    def best_per_problem(
+        self, violations: np.ndarray, measure: str = "matching"
+    ) -> list[tuple[str, float, int, Signature]]:
+        """Each problem's best-matching signature, ranked best first.
+
+        The single ranking implementation behind :meth:`rank` and the
+        incident-explanation report (:mod:`repro.obs.explain`): each
+        problem scores as its best signature under ``measure``, ties
+        break toward the signature sharing more violated positions with
+        the query, then alphabetically for full determinism.
+
+        Args:
+            violations: the query tuple.
+            measure: similarity measure name.
+
+        Returns:
+            ``(problem, score, shared_violations, signature)`` tuples,
+            best first.
+        """
+        try:
+            similarity = SIMILARITY_MEASURES[measure]
+        except KeyError:
+            known = ", ".join(sorted(SIMILARITY_MEASURES))
+            raise ValueError(
+                f"unknown similarity measure {measure!r}; known: {known}"
+            ) from None
+        query = np.asarray(violations, dtype=bool)
+        best: dict[str, tuple[float, int, Signature]] = {}
+        for sig in self.signatures:
+            arr = sig.as_array()
+            score = similarity(query, arr)
+            shared = int(np.logical_and(query, arr).sum())
+            prev = best.get(sig.problem)
+            if prev is None or (score, shared) > (prev[0], prev[1]):
+                best[sig.problem] = (score, shared, sig)
+        ordered = sorted(
+            best.items(), key=lambda kv: (-kv[1][0], -kv[1][1], kv[0])
+        )
+        return [
+            (problem, score, shared, sig)
+            for problem, (score, shared, sig) in ordered
+        ]
+
     def rank(
         self, violations: np.ndarray, measure: str = "matching"
     ) -> list[tuple[str, float]]:
@@ -226,23 +269,9 @@ class SignatureDatabase:
         Returns:
             ``(problem, score)`` pairs, best first.
         """
-        try:
-            similarity = SIMILARITY_MEASURES[measure]
-        except KeyError:
-            known = ", ".join(sorted(SIMILARITY_MEASURES))
-            raise ValueError(
-                f"unknown similarity measure {measure!r}; known: {known}"
-            ) from None
-        query = np.asarray(violations, dtype=bool)
-        best: dict[str, tuple[float, int]] = {}
-        for sig in self.signatures:
-            arr = sig.as_array()
-            score = similarity(query, arr)
-            shared = int(np.logical_and(query, arr).sum())
-            prev = best.get(sig.problem)
-            if prev is None or (score, shared) > prev:
-                best[sig.problem] = (score, shared)
-        ordered = sorted(
-            best.items(), key=lambda kv: (-kv[1][0], -kv[1][1], kv[0])
-        )
-        return [(problem, score) for problem, (score, _) in ordered]
+        return [
+            (problem, score)
+            for problem, score, _, _ in self.best_per_problem(
+                violations, measure
+            )
+        ]

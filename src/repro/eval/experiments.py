@@ -10,7 +10,6 @@ is stable across scales).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -929,8 +928,17 @@ def run_table1_overhead(
     """Regenerate Table 1: wall-clock cost of each InvarNet-X stage and of
     the ARX equivalents.  Absolute numbers depend on the host; the paper's
     shape is about ratios — Invar-C(ARX) an order of magnitude above
-    Invar-C, online stages far below the offline ones."""
+    Invar-C, online stages far below the offline ones.
+
+    Stage timings come from a dedicated (always-enabled) span tracer
+    rather than ad-hoc ``time.perf_counter()`` pairs, so the table's
+    numbers are exactly what the observability layer would report; the
+    tracer is local to this call and leaves the process-wide one alone.
+    """
+    from repro.obs import Tracer
+
     cluster = cluster or HadoopCluster()
+    tracer = Tracer(enabled=True)
     rows: list[OverheadRow] = []
     for workload in workloads:
         ctx = _context_for(cluster, workload, node)
@@ -940,60 +948,54 @@ def run_table1_overhead(
         cpi_traces = [r.node(node).cpi for r in normal]
         pipe = InvarNetX()
 
-        t0 = time.perf_counter()
-        pipe.train_performance_model(ctx, cpi_traces)
-        perf_model = time.perf_counter() - t0
+        with tracer.span("perf_model") as sp_perf_model:
+            pipe.train_performance_model(ctx, cpi_traces)
 
-        t0 = time.perf_counter()
-        matrices = [
-            pipe.run_association_matrix(r.node(node).metrics) for r in normal
-        ]
-        from repro.core.invariants import select_invariants
+        with tracer.span("invariant_mic") as sp_invariant_mic:
+            matrices = [
+                pipe.run_association_matrix(r.node(node).metrics)
+                for r in normal
+            ]
+            from repro.core.invariants import select_invariants
 
-        invariants = select_invariants(matrices, catalog=pipe.catalog)
-        invariant_mic = time.perf_counter() - t0
+            invariants = select_invariants(matrices, catalog=pipe.catalog)
         pipe._slot(ctx).invariants = invariants
 
-        t0 = time.perf_counter()
-        arx_network = build_arx_network(
-            [r.node(node).metrics for r in normal], catalog=pipe.catalog
-        )
-        invariant_arx = time.perf_counter() - t0
+        with tracer.span("invariant_arx") as sp_invariant_arx:
+            arx_network = build_arx_network(
+                [r.node(node).metrics for r in normal], catalog=pipe.catalog
+            )
 
         fault = build_fault("CPU-hog", FaultSpec(node, 30, 30))
         abnormal_run = cluster.run(
             workload, faults=[fault], seed=base_seed + 500
         )
-        t0 = time.perf_counter()
-        pipe.train_signature_from_run(ctx, "CPU-hog", abnormal_run)
-        signature_build = time.perf_counter() - t0
+        with tracer.span("signature_build") as sp_signature_build:
+            pipe.train_signature_from_run(ctx, "CPU-hog", abnormal_run)
 
         cpi = abnormal_run.node(node).cpi
-        t0 = time.perf_counter()
-        pipe.detect(ctx, cpi)
-        detect = time.perf_counter() - t0
+        with tracer.span("detect") as sp_detect:
+            pipe.detect(ctx, cpi)
 
         window = pipe.extract_abnormal_window(ctx, abnormal_run)
         if window is None:
             window = abnormal_run.fault_slice(node).metrics
-        t0 = time.perf_counter()
-        pipe.infer(ctx, window)
-        cause_infer = time.perf_counter() - t0
+        with tracer.span("cause_infer") as sp_cause_infer:
+            pipe.infer(ctx, window)
 
-        t0 = time.perf_counter()
-        arx_network.violations(window)
-        cause_infer_arx = time.perf_counter() - t0
+        with tracer.span("cause_infer_arx") as sp_cause_infer_arx:
+            arx_network.violations(window)
 
         rows.append(
             OverheadRow(
                 workload="interactive" if workload == "tpcds" else workload,
-                perf_model=perf_model,
-                invariant_mic=invariant_mic,
-                invariant_arx=invariant_arx,
-                signature_build=signature_build,
-                detect=detect,
-                cause_infer=cause_infer,
-                cause_infer_arx=cause_infer_arx,
+                perf_model=sp_perf_model.duration,
+                invariant_mic=sp_invariant_mic.duration,
+                invariant_arx=sp_invariant_arx.duration,
+                signature_build=sp_signature_build.duration,
+                detect=sp_detect.duration,
+                cause_infer=sp_cause_infer.duration,
+                cause_infer_arx=sp_cause_infer_arx.duration,
             )
         )
     return rows

@@ -1,0 +1,149 @@
+"""``repro.obs`` — observability for the reproduction itself.
+
+The rest of :mod:`repro` models a *monitored* Hadoop cluster
+(:mod:`repro.telemetry` is the cluster's collectl/perf data).  This
+package watches the *diagnoser*: structured spans over every pipeline
+stage, a runtime-metrics registry with JSON and Prometheus exports, a
+stdlib-``logging`` bridge, and incident explainability — the report an
+operator reads to see *why* a cause ranked first.
+
+Everything is off by default and free when off: the tracer returns a
+no-op singleton span, metric writes bail on one attribute check, and no
+logging handler is installed.  One call turns it on::
+
+    import repro.obs as obs
+
+    obs.configure(enabled=True, log_level="info")
+    ...                      # train / diagnose as usual
+    print(obs.metrics_registry().render_prometheus())
+    print(obs.render_trace())
+
+Layout:
+
+- :mod:`repro.obs.tracing` — spans, :class:`Tracer`, injectable clock;
+- :mod:`repro.obs.metrics` — counters/gauges/histograms + exports;
+- :mod:`repro.obs.bridge` — loggers, ``log_event``, ``warn_once``;
+- :mod:`repro.obs.explain` — incident explanation reports (imported
+  lazily: it depends on :mod:`repro.core`, which itself emits into this
+  package — eager import would be a cycle).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, TextIO
+
+from repro.obs.bridge import (
+    get_logger,
+    install_handler,
+    log_event,
+    remove_handler,
+    warn_once,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NOOP_SPAN, Span, Tracer, render_spans
+
+__all__ = [
+    "configure",
+    "enabled",
+    "span",
+    "tracer",
+    "metrics_registry",
+    "render_trace",
+    "reset",
+    "get_logger",
+    "log_event",
+    "warn_once",
+    "install_handler",
+    "remove_handler",
+    "Tracer",
+    "Span",
+    "NOOP_SPAN",
+    "MetricsRegistry",
+    # lazy (repro.obs.explain):
+    "explain_run",
+    "explain_window",
+    "IncidentExplanation",
+]
+
+#: Process-wide singletons.  They are mutated in place and never replaced,
+#: so instrument sites and pre-bound metric series stay valid across
+#: :func:`configure` calls.
+_TRACER = Tracer()
+_REGISTRY = MetricsRegistry()
+
+
+def tracer() -> Tracer:
+    """The process-wide tracer."""
+    return _TRACER
+
+
+def metrics_registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _REGISTRY
+
+
+def enabled() -> bool:
+    """Is observability collection on?  Hot paths check this once and
+    skip all metric/span work when False."""
+    return _REGISTRY.enabled
+
+
+def span(name: str):
+    """A span on the process tracer; :data:`NOOP_SPAN` when disabled.
+
+    Name-only by design — see :meth:`Tracer.span` for why attributes are
+    attached behind an ``if sp:`` guard instead.
+    """
+    return _TRACER.span(name)
+
+
+def configure(
+    enabled: bool | None = None,
+    log_level: int | str | None = None,
+    trace: bool | None = None,
+    clock: Callable[[], float] | None = None,
+    stream: TextIO | None = None,
+) -> None:
+    """Configure process-wide observability.
+
+    Args:
+        enabled: master switch for spans *and* metrics (None = leave).
+        log_level: install the logging bridge's stream handler on the
+            ``repro`` hierarchy at this level (None = leave handlers).
+        trace: override just the tracer (``--trace`` without metrics, or
+            metrics without span retention).  Applied after ``enabled``.
+        clock: replace the tracer's monotonic clock (tests inject fakes).
+        stream: destination for the log handler (default stderr).
+    """
+    if enabled is not None:
+        _REGISTRY.enabled = enabled
+        _TRACER.enabled = enabled
+    if trace is not None:
+        _TRACER.enabled = trace
+    if clock is not None:
+        _TRACER.clock = clock
+    if log_level is not None:
+        install_handler(log_level, stream=stream)
+
+
+def render_trace() -> str:
+    """Text rendering of every completed root span (oldest first)."""
+    return render_spans(_TRACER.roots())
+
+
+def reset() -> None:
+    """Drop collected spans and metric families (enabled flags, clock
+    and logging handlers are left as configured)."""
+    _TRACER.reset()
+    _REGISTRY.reset()
+
+
+_LAZY = {"explain_run", "explain_window", "IncidentExplanation"}
+
+
+def __getattr__(name: str) -> Any:
+    if name in _LAZY:
+        from repro.obs import explain as _explain
+
+        return getattr(_explain, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

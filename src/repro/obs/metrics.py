@@ -1,0 +1,425 @@
+"""Runtime metrics: counters, gauges and histograms with two exports.
+
+A :class:`MetricsRegistry` owns named metric *families*; a family plus a
+set of label values is one *series*.  The catalogue the instrumented
+layers emit (see DESIGN.md §10 for the full table):
+
+========================================  =========  ====================
+name                                      type       labels
+========================================  =========  ====================
+``invarnetx_mic_cache_hits_total``        counter    —
+``invarnetx_mic_cache_misses_total``      counter    —
+``invarnetx_mic_pairs_scored_total``      counter    —
+``invarnetx_anomaly_ticks_total``         counter    ``context``
+``invarnetx_problems_detected_total``     counter    ``context``
+``invarnetx_alarms_total``                counter    ``context``
+``invarnetx_diagnoses_total``             counter    ``context``
+``invarnetx_inference_seconds``           histogram  ``context``
+``invarnetx_detect_seconds``              histogram  ``context``
+``invarnetx_monitor_state_ticks_total``   counter    ``context``, ``state``
+``invarnetx_monitor_transitions_total``   counter    ``context``, ``from``, ``to``
+``invarnetx_store_publishes_total``       counter    ``backend``
+``invarnetx_store_loads_total``           counter    ``backend``
+========================================  =========  ====================
+
+Exports:
+
+- :meth:`MetricsRegistry.to_json` — a plain dict (families, series,
+  histogram buckets) that round-trips through ``json.dumps``;
+- :meth:`MetricsRegistry.render_prometheus` — the Prometheus text
+  exposition format (``# HELP`` / ``# TYPE`` headers, ``_bucket`` /
+  ``_sum`` / ``_count`` histogram series with cumulative ``le`` labels).
+
+A disabled registry (the default) makes every write a no-op after a
+single attribute check, and the pre-bound series handles returned by
+``family.series(...)`` write with *zero allocations* on the disabled
+path — the same contract the tracer's no-op span keeps.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds (seconds-flavoured; +Inf is
+#: implicit).  Chosen to straddle the pipeline's observed latencies:
+#: detection ~1 ms, inference 10 ms – 1 s depending on window size.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+)
+
+_LabelKey = tuple[str, ...]
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number: integers bare, floats as repr."""
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labelnames: tuple[str, ...], key: _LabelKey) -> str:
+    if not labelnames:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(labelnames, key)
+    )
+    return "{" + pairs + "}"
+
+
+class _Family:
+    """Common machinery of one named metric family."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...],
+    ) -> None:
+        self._registry = registry
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self._series: dict[_LabelKey, Any] = {}
+        self._lock = threading.Lock()
+
+    def _key(self, labels: dict[str, str]) -> _LabelKey:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def series(self, **labels: str):
+        """The pre-bound series handle for one label-value assignment.
+
+        Handles are cached per label key, so hot paths bind once (e.g. at
+        monitor construction) and write through an allocation-free call.
+        """
+        key = self._key(labels)
+        with self._lock:
+            handle = self._series.get(key)
+            if handle is None:
+                handle = self._new_series(key)
+                self._series[key] = handle
+        return handle
+
+    def _new_series(self, key: _LabelKey):
+        raise NotImplementedError
+
+    def _snapshot(self) -> list[tuple[_LabelKey, Any]]:
+        with self._lock:
+            return sorted(self._series.items())
+
+    # rendering hooks ---------------------------------------------------
+    def to_json(self) -> dict[str, Any]:
+        raise NotImplementedError
+
+    def render(self) -> list[str]:
+        raise NotImplementedError
+
+
+class _CounterSeries:
+    __slots__ = ("_registry", "_lock", "value")
+
+    def __init__(self, registry: "MetricsRegistry") -> None:
+        self._registry = registry
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self.value += amount
+
+
+class Counter(_Family):
+    """Monotonically increasing count (``*_total`` by convention)."""
+
+    kind = "counter"
+
+    def _new_series(self, key: _LabelKey) -> _CounterSeries:
+        return _CounterSeries(self._registry)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Convenience: increment the series for ``labels`` by ``amount``."""
+        if not self._registry.enabled:
+            return
+        self.series(**labels).inc(amount)
+
+    def value(self, **labels: str) -> float:
+        """Current value of one series (0.0 if never written)."""
+        return float(self.series(**labels).value)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "labels": list(self.labelnames),
+            "series": [
+                {"labels": dict(zip(self.labelnames, key)), "value": s.value}
+                for key, s in self._snapshot()
+            ],
+        }
+
+    def render(self) -> list[str]:
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        for key, s in self._snapshot():
+            labels = _render_labels(self.labelnames, key)
+            lines.append(f"{self.name}{labels} {_format_value(s.value)}")
+        return lines
+
+
+class _GaugeSeries:
+    __slots__ = ("_registry", "_lock", "value")
+
+    def __init__(self, registry: "MetricsRegistry") -> None:
+        self._registry = registry
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class Gauge(Counter):
+    """A value that can go up and down (resident slots, queue depth)."""
+
+    kind = "gauge"
+
+    def _new_series(self, key: _LabelKey) -> _GaugeSeries:
+        return _GaugeSeries(self._registry)
+
+    def set(self, value: float, **labels: str) -> None:
+        """Convenience: set the series for ``labels`` to ``value``."""
+        if not self._registry.enabled:
+            return
+        self.series(**labels).set(value)
+
+
+class _HistogramSeries:
+    __slots__ = ("_registry", "_lock", "buckets", "counts", "sum", "count")
+
+    def __init__(
+        self, registry: "MetricsRegistry", buckets: tuple[float, ...]
+    ) -> None:
+        self._registry = registry
+        self._lock = threading.Lock()
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # +1 for +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[i] += 1
+                    return
+            self.counts[-1] += 1
+
+
+class Histogram(_Family):
+    """Distribution of observations over fixed cumulative buckets."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...],
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(registry, name, help, labelnames)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets = bounds
+
+    def _new_series(self, key: _LabelKey) -> _HistogramSeries:
+        return _HistogramSeries(self._registry, self.buckets)
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Convenience: record one observation on the series for
+        ``labels``."""
+        if not self._registry.enabled:
+            return
+        self.series(**labels).observe(value)
+
+    def to_json(self) -> dict[str, Any]:
+        series = []
+        for key, s in self._snapshot():
+            cumulative = 0
+            buckets = []
+            for bound, n in zip(self.buckets, s.counts):
+                cumulative += n
+                buckets.append({"le": bound, "count": cumulative})
+            buckets.append({"le": "+Inf", "count": s.count})
+            series.append(
+                {
+                    "labels": dict(zip(self.labelnames, key)),
+                    "sum": s.sum,
+                    "count": s.count,
+                    "buckets": buckets,
+                }
+            )
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "labels": list(self.labelnames),
+            "series": series,
+        }
+
+    def render(self) -> list[str]:
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        bucket_names = self.labelnames + ("le",)
+        for key, s in self._snapshot():
+            cumulative = 0
+            for bound, n in zip(self.buckets, s.counts):
+                cumulative += n
+                labels = _render_labels(
+                    bucket_names, key + (_format_value(bound),)
+                )
+                lines.append(f"{self.name}_bucket{labels} {cumulative}")
+            labels = _render_labels(bucket_names, key + ("+Inf",))
+            lines.append(f"{self.name}_bucket{labels} {s.count}")
+            plain = _render_labels(self.labelnames, key)
+            lines.append(f"{self.name}_sum{plain} {_format_value(s.sum)}")
+            lines.append(f"{self.name}_count{plain} {s.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Named metric families with get-or-create semantics.
+
+    Re-requesting a name returns the existing family; requesting it with
+    a different kind or label set is an error (two call sites silently
+    writing incompatible series is exactly the confusion a registry
+    exists to prevent).
+
+    Args:
+        enabled: collect immediately (default off; every write is then a
+            cheap no-op).
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._families: dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _get_or_create(
+        self, cls: type, name: str, help: str, labelnames: tuple[str, ...],
+        **kwargs: Any,
+    ) -> Any:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = cls(self, name, help, labelnames, **kwargs)
+                self._families[name] = family
+                return family
+        if type(family) is not cls:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}"
+            )
+        if family.labelnames != labelnames:
+            raise ValueError(
+                f"metric {name!r} already registered with labels "
+                f"{family.labelnames}, requested {labelnames}"
+            )
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
+    ) -> Counter:
+        """Get or create the counter family ``name``."""
+        return self._get_or_create(Counter, name, help, tuple(labelnames))
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
+    ) -> Gauge:
+        """Get or create the gauge family ``name``."""
+        return self._get_or_create(Gauge, name, help, tuple(labelnames))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: tuple[str, ...] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create the histogram family ``name``."""
+        return self._get_or_create(
+            Histogram, name, help, tuple(labelnames), buckets=buckets
+        )
+
+    # ------------------------------------------------------------------
+    def families(self) -> list[_Family]:
+        """Registered families, sorted by name."""
+        with self._lock:
+            return [self._families[k] for k in sorted(self._families)]
+
+    def to_json(self) -> dict[str, Any]:
+        """All families and series as a JSON-ready dict."""
+        return {f.name: f.to_json() for f in self.families()}
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition of every family."""
+        lines: list[str] = []
+        for family in self.families():
+            lines.extend(family.render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        """Drop every family (tests; a fresh process worth of metrics)."""
+        with self._lock:
+            self._families.clear()

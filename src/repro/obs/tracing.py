@@ -1,0 +1,258 @@
+"""Process-local span tracer with an injectable monotonic clock.
+
+The reproduction's own behaviour — how long the MIC sweep took, how much
+of an ``infer`` call was spent ranking signatures — was invisible: the
+only timings in the codebase were ad-hoc ``time.perf_counter()`` pairs in
+the Table 1 runner.  :class:`Tracer` replaces them with a structured
+source of truth: ``with tracer.span("pipeline.infer"):`` records one node
+of a process-local trace tree, nested spans attach to their parent, and
+completed root spans accumulate on :attr:`Tracer.finished` for
+inspection, logging, or benchmark reporting.
+
+Two properties are load-bearing:
+
+- **no-op fast path** — a disabled tracer returns the :data:`NOOP_SPAN`
+  singleton from :meth:`Tracer.span`, so instrumenting a hot call costs
+  one attribute check and *zero allocations* (verified by
+  ``benchmarks/test_perf_obs_overhead.py``); attribute attachment is
+  guarded by the span's truthiness (``if sp: sp.set(...)``), which the
+  no-op span makes False;
+- **injectable clock** — the tracer reads time exclusively through its
+  ``clock`` callable (``time.perf_counter`` by default), so tests drive
+  state machines under a fake clock and assert span durations exactly.
+
+Thread safety: each thread gets its own span stack (spans never span
+threads), while ``finished`` is shared under a lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Iterator
+
+__all__ = ["Span", "NoopSpan", "NOOP_SPAN", "Tracer", "render_spans"]
+
+
+class Span:
+    """One timed node of the trace tree.
+
+    Created by :meth:`Tracer.span` and used as a context manager; reading
+    :attr:`duration` after the ``with`` block gives the wall time between
+    entry and exit as measured by the tracer's clock.
+    """
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "start_time",
+        "end_time",
+        "children",
+        "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self.name = name
+        self.attributes: dict[str, Any] = {}
+        self.start_time: float | None = None
+        self.end_time: float | None = None
+        self.children: list[Span] = []
+        self._tracer = tracer
+
+    def __bool__(self) -> bool:
+        return True
+
+    @property
+    def duration(self) -> float | None:
+        """Seconds between entry and exit, or None while still open."""
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach key/value attributes; returns self for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self.start_time = self._tracer.clock()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        self.end_time = self._tracer.clock()
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self)
+        return False
+
+    # ------------------------------------------------------------------
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation of the subtree."""
+        return {
+            "name": self.name,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+class NoopSpan:
+    """The do-nothing span returned by a disabled tracer.
+
+    Falsy (so ``if sp:`` guards attribute work), reusable, and free of
+    any per-call allocation: every disabled ``tracer.span(...)`` call
+    returns the same :data:`NOOP_SPAN` instance.
+    """
+
+    __slots__ = ()
+
+    name = "noop"
+    attributes: dict[str, Any] = {}
+    children: tuple = ()
+    start_time = None
+    end_time = None
+    duration = None
+
+    def __bool__(self) -> bool:
+        return False
+
+    def set(self, **attributes: Any) -> "NoopSpan":
+        return self
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        return False
+
+
+#: The process-wide no-op span singleton.
+NOOP_SPAN = NoopSpan()
+
+
+class Tracer:
+    """Span factory and trace-tree collector.
+
+    Args:
+        enabled: start collecting immediately (default off — the tracer
+            is free until someone turns it on).
+        clock: monotonic time source; injected by tests and by
+            :func:`repro.obs.configure`.
+        max_finished: bound on retained completed root spans (oldest are
+            dropped), so a long-lived monitor cannot grow without limit.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        clock: Callable[[], float] = time.perf_counter,
+        max_finished: int = 256,
+    ) -> None:
+        if max_finished < 1:
+            raise ValueError(f"max_finished must be >= 1, got {max_finished}")
+        self.enabled = enabled
+        self.clock = clock
+        self.finished: deque[Span] = deque(maxlen=max_finished)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    def span(self, name: str):
+        """A new span named ``name``, or :data:`NOOP_SPAN` when disabled.
+
+        The signature deliberately takes *only* the name: keyword
+        attributes would force a dict allocation on the disabled path.
+        Attach attributes inside an ``if sp:`` guard via :meth:`Span.set`.
+        """
+        if not self.enabled:
+            return NOOP_SPAN
+        return Span(self, name)
+
+    def traced(self, name: str) -> Callable:
+        """Decorator form: time every call of the wrapped function."""
+
+        def decorate(fn: Callable) -> Callable:
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                if not self.enabled:
+                    return fn(*args, **kwargs)
+                with Span(self, name):
+                    return fn(*args, **kwargs)
+
+            wrapper.__name__ = getattr(fn, "__name__", name)
+            wrapper.__doc__ = fn.__doc__
+            wrapper.__wrapped__ = fn
+            return wrapper
+
+        return decorate
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        # Tolerate a foreign exit order (a span closed out of turn) by
+        # popping down to the span; nesting bugs must not lose data.
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self.finished.append(span)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop all finished spans (open spans are left alone)."""
+        with self._lock:
+            self.finished.clear()
+
+    def roots(self) -> list[Span]:
+        """Completed root spans, oldest first."""
+        with self._lock:
+            return list(self.finished)
+
+    def find(self, name: str) -> list[Span]:
+        """Every completed span named ``name``, anywhere in the trees."""
+        return [s for root in self.roots() for s in root.walk() if s.name == name]
+
+    def total(self, name: str) -> float:
+        """Summed duration of every completed span named ``name``."""
+        return sum(s.duration or 0.0 for s in self.find(name))
+
+
+def _render_one(span: Span, depth: int, lines: list[str]) -> None:
+    duration = span.duration
+    stamp = f"{duration * 1000.0:10.3f} ms" if duration is not None else "      open"
+    attrs = ""
+    if span.attributes:
+        parts = [f"{k}={span.attributes[k]}" for k in sorted(span.attributes)]
+        attrs = "  [" + " ".join(parts) + "]"
+    lines.append(f"{stamp}  {'  ' * depth}{span.name}{attrs}")
+    for child in span.children:
+        _render_one(child, depth + 1, lines)
+
+
+def render_spans(spans: list[Span]) -> str:
+    """Text rendering of completed trace trees (CLI ``--trace`` output)."""
+    lines: list[str] = []
+    for span in spans:
+        _render_one(span, 0, lines)
+    return "\n".join(lines)

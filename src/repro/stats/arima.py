@@ -26,6 +26,7 @@ from typing import NamedTuple
 import numpy as np
 from scipy import optimize
 
+import repro.obs as obs
 from repro.stats.timeseries import aic as _aic
 from repro.stats.timeseries import difference, is_stationary
 
@@ -359,7 +360,20 @@ def fit_arima(
     Returns:
         A fitted :class:`ARIMAModel`.
     """
-    order = ARIMAOrder(*order)
+    with obs.span("arima.fit") as sp:
+        model = _fit_arima(series, ARIMAOrder(*order), refine)
+    if sp:
+        sp.set(
+            order=f"({model.order.p},{model.order.d},{model.order.q})",
+            nobs=model.train_nobs,
+            refine=refine,
+        )
+    return model
+
+
+def _fit_arima(
+    series: np.ndarray | list[float], order: ARIMAOrder, refine: bool
+) -> ARIMAModel:
     order.validate()
     arr = np.asarray(series, dtype=float)
     if arr.ndim != 1:

@@ -28,12 +28,12 @@ from __future__ import annotations
 import hashlib
 import os
 import threading
-import warnings
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+import repro.obs as obs
 from repro.stats.mic import (
     MICParameters,
     _DEFAULT_PARAMS,
@@ -55,6 +55,8 @@ __all__ = [
 
 #: Below this many pairs the pool's start-up cost dwarfs the work.
 _MIN_PARALLEL_PAIRS = 16
+
+_log = obs.get_logger("stats.micfast")
 
 
 def resolve_workers(max_workers: int | None) -> int:
@@ -163,11 +165,15 @@ def _parallel_scores(
         ) as pool:
             chunk_results = list(pool.map(_pool_chunk, chunks))
     except (OSError, RuntimeError) as exc:
-        warnings.warn(
+        # Once per process: a monitor scoring thousands of windows on a
+        # pool-less host must not emit thousands of identical warnings.
+        obs.warn_once(
+            "micfast.serial-fallback",
             f"MIC process pool unavailable ({exc!r}); "
             "falling back to serial execution",
-            RuntimeWarning,
-            stacklevel=3,
+            category=RuntimeWarning,
+            logger=_log,
+            stacklevel=3,  # point at mic_matrix_fast's caller, as before
         )
         return None
     return [item for chunk in chunk_results for item in chunk]
@@ -201,12 +207,26 @@ def mic_matrix_fast(
     if not pairs:
         return out
     workers = resolve_workers(max_workers)
-    scores: list[tuple[int, int, float]] | None = None
-    if workers > 1 and len(pairs) >= _MIN_PARALLEL_PAIRS:
-        scores = _parallel_scores(arr, params, pairs, workers)
-    if scores is None:
-        table = _PrepTable(arr, params)
-        scores = [(i, j, table.pair_score(i, j)) for i, j in pairs]
+    with obs.span("mic.sweep") as sp:
+        scores: list[tuple[int, int, float]] | None = None
+        if workers > 1 and len(pairs) >= _MIN_PARALLEL_PAIRS:
+            scores = _parallel_scores(arr, params, pairs, workers)
+        parallel = scores is not None
+        if scores is None:
+            table = _PrepTable(arr, params)
+            scores = [(i, j, table.pair_score(i, j)) for i, j in pairs]
+        if sp:
+            sp.set(
+                pairs=len(pairs),
+                samples=arr.shape[0],
+                workers=workers,
+                parallel=parallel,
+            )
+    if obs.enabled():
+        obs.metrics_registry().counter(
+            "invarnetx_mic_pairs_scored_total",
+            "Metric pairs scored by the MIC engine",
+        ).inc(len(pairs))
     for i, j, score in scores:
         out[i, j] = score
         out[j, i] = score
@@ -324,7 +344,17 @@ def cached_mic_matrix(
     key = AssociationCache.key_for(arr, params)
     cached = cache.get(key)
     if cached is not None:
+        if obs.enabled():
+            obs.metrics_registry().counter(
+                "invarnetx_mic_cache_hits_total",
+                "Association-matrix cache hits",
+            ).inc()
         return cached
+    if obs.enabled():
+        obs.metrics_registry().counter(
+            "invarnetx_mic_cache_misses_total",
+            "Association-matrix cache misses",
+        ).inc()
     matrix = mic_matrix_fast(arr, params=params, max_workers=max_workers)
     cache.put(key, matrix)
     return matrix

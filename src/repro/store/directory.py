@@ -33,11 +33,13 @@ never collide with quoted content.
 from __future__ import annotations
 
 import json
+import logging
 import shutil
 from collections import OrderedDict
 from pathlib import Path
 from urllib.parse import quote, unquote
 
+import repro.obs as obs
 from repro.core.anomaly import AnomalyDetector
 from repro.core.context import OperationContext
 from repro.core.persistence import (
@@ -54,6 +56,8 @@ from repro.store.base import ContextKey, ContextModels, ModelStore, StoreError
 __all__ = ["DirectoryStore", "MANIFEST_NAME", "MANIFEST_FORMAT"]
 
 MANIFEST_NAME = "manifest.json"
+
+_log = obs.get_logger("store.directory")
 
 #: On-disk manifest schema version; bump on incompatible layout changes.
 MANIFEST_FORMAT = 1
@@ -176,24 +180,42 @@ class DirectoryStore(ModelStore):
         entry = self._manifest["contexts"].get(context_dirname(key))
         if entry is None:
             return None
-        directory = self._context_dir(key)
-        context = OperationContext(
-            workload=key[0], node_id=key[1], ip=str(entry.get("ip", ""))
-        )
-        models = ContextModels(context=context)
-        artifacts = entry.get("artifacts", [])
-        if "model" in artifacts:
-            arima, threshold, _ = load_performance_model(
-                directory / _ARTIFACT_FILES["model"]
+        with obs.span("store.load") as sp:
+            directory = self._context_dir(key)
+            context = OperationContext(
+                workload=key[0], node_id=key[1], ip=str(entry.get("ip", ""))
             )
-            models.detector = AnomalyDetector.from_artifacts(arima, threshold)
-        if "invariants" in artifacts:
-            models.invariants, _ = load_invariants(
-                directory / _ARTIFACT_FILES["invariants"]
-            )
-        if "signatures" in artifacts:
-            models.database = load_signatures(
-                directory / _ARTIFACT_FILES["signatures"]
+            models = ContextModels(context=context)
+            artifacts = entry.get("artifacts", [])
+            if "model" in artifacts:
+                arima, threshold, _ = load_performance_model(
+                    directory / _ARTIFACT_FILES["model"]
+                )
+                models.detector = AnomalyDetector.from_artifacts(
+                    arima, threshold
+                )
+            if "invariants" in artifacts:
+                models.invariants, _ = load_invariants(
+                    directory / _ARTIFACT_FILES["invariants"]
+                )
+            if "signatures" in artifacts:
+                models.database = load_signatures(
+                    directory / _ARTIFACT_FILES["signatures"]
+                )
+            if sp:
+                sp.set(context=str(context), artifacts=len(artifacts))
+        if obs.enabled():
+            obs.metrics_registry().counter(
+                "invarnetx_store_loads_total",
+                "Context slots rehydrated from a model store",
+                ("backend",),
+            ).inc(backend="directory")
+            obs.log_event(
+                _log,
+                logging.DEBUG,
+                "store-load",
+                context=str(context),
+                artifacts=",".join(artifacts) or "-",
             )
         return models
 
@@ -238,44 +260,66 @@ class DirectoryStore(ModelStore):
             raise StoreError(
                 f"no resident slot for {key!r}; nothing to persist"
             )
-        context = models.context or OperationContext(
-            workload=key[0], node_id=key[1]
-        )
-        directory = self._context_dir(key)
-        directory.mkdir(parents=True, exist_ok=True)
-        written: list[Path] = []
-        present = models.artifacts()
-        if "model" in present:
-            detector = models.detector
-            assert detector is not None and detector.model is not None
-            assert detector.threshold is not None
-            path = directory / _ARTIFACT_FILES["model"]
-            save_performance_model(
-                detector.model, detector.threshold, context, path
+        with obs.span("store.persist") as sp:
+            context = models.context or OperationContext(
+                workload=key[0], node_id=key[1]
             )
-            written.append(path)
-        if "invariants" in present:
-            assert models.invariants is not None
-            path = directory / _ARTIFACT_FILES["invariants"]
-            save_invariants(models.invariants, context, path)
-            written.append(path)
-        if "signatures" in present:
-            path = directory / _ARTIFACT_FILES["signatures"]
-            save_signatures(models.database, path)
-            written.append(path)
-        for name, filename in _ARTIFACT_FILES.items():
-            if name not in present:
-                (directory / filename).unlink(missing_ok=True)
-        dirname = context_dirname(key)
-        previous = self._manifest["contexts"].get(dirname, {})
-        self._manifest["contexts"][dirname] = {
-            "workload": key[0],
-            "node": key[1],
-            "ip": context.ip,
-            "revision": int(previous.get("revision", 0)) + 1,
-            "artifacts": present,
-        }
-        self._write_manifest()
+            directory = self._context_dir(key)
+            directory.mkdir(parents=True, exist_ok=True)
+            written: list[Path] = []
+            present = models.artifacts()
+            if "model" in present:
+                detector = models.detector
+                assert detector is not None and detector.model is not None
+                assert detector.threshold is not None
+                path = directory / _ARTIFACT_FILES["model"]
+                save_performance_model(
+                    detector.model, detector.threshold, context, path
+                )
+                written.append(path)
+            if "invariants" in present:
+                assert models.invariants is not None
+                path = directory / _ARTIFACT_FILES["invariants"]
+                save_invariants(models.invariants, context, path)
+                written.append(path)
+            if "signatures" in present:
+                path = directory / _ARTIFACT_FILES["signatures"]
+                save_signatures(models.database, path)
+                written.append(path)
+            for name, filename in _ARTIFACT_FILES.items():
+                if name not in present:
+                    (directory / filename).unlink(missing_ok=True)
+            dirname = context_dirname(key)
+            previous = self._manifest["contexts"].get(dirname, {})
+            revision = int(previous.get("revision", 0)) + 1
+            self._manifest["contexts"][dirname] = {
+                "workload": key[0],
+                "node": key[1],
+                "ip": context.ip,
+                "revision": revision,
+                "artifacts": present,
+            }
+            self._write_manifest()
+            if sp:
+                sp.set(
+                    context=str(context),
+                    revision=revision,
+                    files=len(written),
+                )
+        if obs.enabled():
+            obs.metrics_registry().counter(
+                "invarnetx_store_publishes_total",
+                "Context revisions published to a model store",
+                ("backend",),
+            ).inc(backend="directory")
+            obs.log_event(
+                _log,
+                logging.DEBUG,
+                "store-publish",
+                context=str(context),
+                revision=revision,
+                files=len(written),
+            )
         return written
 
     def adopt(self, key: ContextKey, models: ContextModels) -> None:

@@ -1,0 +1,25 @@
+"""Observability-test isolation.
+
+The obs layer is process-global state (one tracer, one registry, one
+logging handler slot).  Every test in this directory starts and ends
+with observability off, empty, and on the real clock, no matter what it
+toggled.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    saved_clock = obs.tracer().clock
+    obs.configure(enabled=False)
+    obs.reset()
+    yield
+    obs.configure(enabled=False)
+    obs.tracer().clock = saved_clock
+    obs.remove_handler()
+    obs.reset()

@@ -1,0 +1,210 @@
+"""Tests for the incident-explanation report.
+
+Determinism is the headline contract: under the shared session fixtures
+(fixed simulator seeds) the text report must be byte-identical run to
+run, and it is held to a checked-in golden file.  The JSON form must
+carry the same data.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import InvarNetX
+from repro.faults.spec import FaultSpec, build_fault
+from repro.obs.explain import (
+    RESIDUAL_MARGIN,
+    explain_run,
+    explain_window,
+)
+
+GOLDEN = Path(__file__).parent / "golden_explain.txt"
+
+#: The incident every test here explains (fresh seed, CPU-hog on the
+#: trained node inside the usual injection window).
+FAULT = ("CPU-hog", 7100)
+
+
+@pytest.fixture(scope="module")
+def explain_pipeline(cluster, wordcount_runs, wordcount_context):
+    """A private pipeline trained with the exact session recipe.
+
+    The golden-file contract pins the report bytes, so this module cannot
+    share the session-scoped ``trained_pipeline`` — other tests may
+    legitimately add signatures to it, which would make the ranked-causes
+    section depend on test ordering.  (The MIC cache is warm from the
+    session fixture, so retraining here is cheap.)
+    """
+    pipe = InvarNetX()
+    pipe.train_from_runs(wordcount_context, wordcount_runs)
+    for fault_name, seed in (
+        ("CPU-hog", 2001),
+        ("Mem-hog", 2002),
+        ("Disk-hog", 2003),
+        ("Suspend", 2004),
+    ):
+        fault = build_fault(fault_name, FaultSpec("slave-1", 30, 30))
+        run = cluster.run("wordcount", faults=[fault], seed=seed)
+        pipe.train_signature_from_run(wordcount_context, fault_name, run)
+    return pipe
+
+
+@pytest.fixture(scope="module")
+def incident_run(cluster):
+    name, seed = FAULT
+    fault = build_fault(name, FaultSpec("slave-1", 40, 30))
+    return cluster.run("wordcount", faults=[fault], seed=seed)
+
+
+@pytest.fixture(scope="module")
+def explanation(explain_pipeline, wordcount_context, incident_run):
+    return explain_run(explain_pipeline, wordcount_context, incident_run)
+
+
+class TestExplainRun:
+    def test_healthy_run_has_nothing_to_explain(
+        self, explain_pipeline, wordcount_context, cluster
+    ):
+        healthy = cluster.run("wordcount", seed=7101)
+        assert (
+            explain_run(explain_pipeline, wordcount_context, healthy)
+            is None
+        )
+
+    def test_incident_is_matched(self, explanation):
+        assert explanation is not None
+        assert explanation.matched
+        assert explanation.top_cause == FAULT[0]
+        assert explanation.causes[0].problem == FAULT[0]
+        assert explanation.causes[0].score >= explanation.min_similarity
+
+    def test_every_violated_pair_carries_its_delta(self, explanation):
+        violated = explanation.violated_pairs
+        assert violated
+        for pair in violated:
+            assert pair.delta == pytest.approx(
+                abs(pair.baseline - pair.observed)
+            )
+            assert pair.delta >= explanation.epsilon
+        for pair in explanation.pairs:
+            if not pair.violated:
+                assert pair.delta < explanation.epsilon
+
+    def test_residuals_bracket_the_alarm_tick(self, explanation):
+        assert explanation.alarm_tick is not None
+        assert explanation.threshold_upper is not None
+        assert explanation.threshold_rule == "beta-max"
+        ticks = [r.tick for r in explanation.residuals]
+        assert explanation.alarm_tick in ticks
+        assert len(ticks) <= 2 * RESIDUAL_MARGIN + 1
+        assert ticks == sorted(ticks)
+        alarm = next(
+            r
+            for r in explanation.residuals
+            if r.tick == explanation.alarm_tick
+        )
+        assert alarm.anomalous
+
+    def test_explains_exactly_the_infer_ranking(
+        self, explain_pipeline, wordcount_context, incident_run, explanation
+    ):
+        window = explain_pipeline.extract_abnormal_window(
+            wordcount_context, incident_run
+        )
+        result = explain_pipeline.infer(wordcount_context, window)
+        assert [c.problem for c in explanation.causes] == [
+            c.problem for c in result.causes[: len(explanation.causes)]
+        ]
+        for mine, theirs in zip(explanation.causes, result.causes):
+            assert mine.score == pytest.approx(theirs.score)
+
+    def test_breakdown_counts_are_consistent(self, explanation):
+        for cause in explanation.causes:
+            assert (
+                cause.agreeing
+                + cause.query_only
+                + cause.signature_only
+                == cause.tuple_length
+            )
+            assert cause.shared_violations <= cause.agreeing
+            assert cause.tuple_length == len(explanation.pairs)
+
+
+class TestRenderText:
+    def test_byte_identical_across_calls(self, explanation):
+        assert explanation.render_text() == explanation.render_text()
+
+    def test_matches_the_golden_file(self, explanation):
+        assert explanation.render_text() == GOLDEN.read_text()
+
+    def test_report_sections(self, explanation):
+        text = explanation.render_text()
+        assert text.startswith(
+            "InvarNet-X incident explanation: wordcount@slave-1"
+        )
+        assert f"verdict: {FAULT[0]}" in text
+        assert "ranked causes" in text
+        assert "violated invariants" in text
+        assert "CPI residuals around alarm tick" in text
+        # every violated pair is listed with its delta against epsilon
+        for pair in explanation.violated_pairs:
+            assert f"{pair.metric_a} ~ {pair.metric_b}:" in text
+        assert ">= 0.2000" in text
+
+
+class TestJson:
+    def test_round_trips_and_carries_the_text_data(self, explanation):
+        data = json.loads(json.dumps(explanation.to_json()))
+        assert data["context"] == {
+            "workload": "wordcount",
+            "node_id": "slave-1",
+            "ip": explanation.context.ip,
+        }
+        assert data["matched"] is True
+        assert data["top_cause"] == FAULT[0]
+        assert len(data["causes"]) == len(explanation.causes)
+        assert len(data["pairs"]) == len(explanation.pairs)
+        assert len(data["residuals"]) == len(explanation.residuals)
+        assert data["alarm_tick"] == explanation.alarm_tick
+        assert sum(p["violated"] for p in data["pairs"]) == len(
+            explanation.violated_pairs
+        )
+        assert data["epsilon"] == pytest.approx(explanation.epsilon)
+
+
+class TestExplainWindow:
+    def test_top_k_validated(
+        self, explain_pipeline, wordcount_context, incident_run
+    ):
+        window = explain_pipeline.extract_abnormal_window(
+            wordcount_context, incident_run
+        )
+        with pytest.raises(ValueError, match="top_k"):
+            explain_window(
+                explain_pipeline, wordcount_context, window, top_k=0
+            )
+
+    def test_untrained_context_rejected(
+        self, explain_pipeline, incident_run
+    ):
+        from repro.core import OperationContext
+
+        stranger = OperationContext("wordcount", "slave-4")
+        window = incident_run.node("slave-4").metrics[40:64]
+        with pytest.raises(RuntimeError, match="no invariants"):
+            explain_window(explain_pipeline, stranger, window)
+
+    def test_window_without_anomaly_report_skips_residuals(
+        self, explain_pipeline, wordcount_context, incident_run
+    ):
+        window = explain_pipeline.extract_abnormal_window(
+            wordcount_context, incident_run
+        )
+        explanation = explain_window(
+            explain_pipeline, wordcount_context, window
+        )
+        assert explanation.alarm_tick is None
+        assert explanation.residuals == []
+        assert "CPI residuals" not in explanation.render_text()

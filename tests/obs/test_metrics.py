@@ -1,0 +1,143 @@
+"""Tests for the metrics registry and its JSON / Prometheus exports."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        c = registry.counter("jobs_total", "Jobs", ("kind",))
+        c.inc(kind="a")
+        c.inc(2.0, kind="a")
+        c.inc(kind="b")
+        assert c.value(kind="a") == 3.0
+        assert c.value(kind="b") == 1.0
+
+    def test_unlabelled_series(self, registry):
+        c = registry.counter("hits_total", "Hits")
+        c.inc()
+        assert c.value() == 1.0
+
+    def test_wrong_labels_rejected(self, registry):
+        c = registry.counter("x_total", "", ("kind",))
+        with pytest.raises(ValueError, match="takes labels"):
+            c.inc(other="a")
+
+    def test_disabled_writes_are_noops(self):
+        registry = MetricsRegistry()
+        c = registry.counter("x_total", "")
+        c.inc()
+        c.series().inc(5.0)
+        assert c.value() == 0.0
+
+    def test_series_handle_is_cached(self, registry):
+        c = registry.counter("x_total", "", ("k",))
+        assert c.series(k="v") is c.series(k="v")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("depth", "")
+        g.set(5.0)
+        series = g.series()
+        series.inc(2.0)
+        series.dec()
+        assert g.value() == 6.0
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self, registry):
+        h = registry.histogram("lat", "", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(3.0)
+        series = h.series()
+        assert series.counts == [1, 1, 1]
+        assert series.count == 3
+        assert series.sum == pytest.approx(3.55)
+
+    def test_needs_at_least_one_bucket(self, registry):
+        with pytest.raises(ValueError, match="bucket"):
+            registry.histogram("h", "", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self, registry):
+        assert registry.counter("x_total", "") is registry.counter("x_total", "")
+
+    def test_kind_conflict_rejected(self, registry):
+        registry.counter("x_total", "")
+        with pytest.raises(ValueError, match="already registered as"):
+            registry.histogram("x_total", "")
+
+    def test_label_conflict_rejected(self, registry):
+        registry.counter("x_total", "", ("a",))
+        with pytest.raises(ValueError, match="labels"):
+            registry.counter("x_total", "", ("b",))
+
+    def test_reset_drops_families(self, registry):
+        registry.counter("x_total", "").inc()
+        registry.reset()
+        assert registry.families() == []
+        assert registry.render_prometheus() == ""
+
+
+class TestExports:
+    def test_json_round_trips(self, registry):
+        registry.counter("jobs_total", "Jobs", ("kind",)).inc(kind="a")
+        h = registry.histogram("lat_seconds", "Latency", buckets=(0.5,))
+        h.observe(0.1)
+        data = json.loads(json.dumps(registry.to_json()))
+        assert data["jobs_total"]["type"] == "counter"
+        assert data["jobs_total"]["series"] == [
+            {"labels": {"kind": "a"}, "value": 1.0}
+        ]
+        hist = data["lat_seconds"]["series"][0]
+        assert hist["count"] == 1
+        assert hist["sum"] == pytest.approx(0.1)
+        assert hist["buckets"] == [
+            {"le": 0.5, "count": 1},
+            {"le": "+Inf", "count": 1},
+        ]
+
+    def test_prometheus_snapshot(self, registry):
+        registry.counter(
+            "invarnetx_alarms_total", "Alarms raised", ("context",)
+        ).inc(context="wordcount@slave-1")
+        h = registry.histogram(
+            "invarnetx_inference_seconds",
+            "Inference latency",
+            ("context",),
+            buckets=(0.1, 1.0),
+        )
+        h.observe(0.05, context="wordcount@slave-1")
+        h.observe(2.0, context="wordcount@slave-1")
+        expected = "\n".join(
+            [
+                "# HELP invarnetx_alarms_total Alarms raised",
+                "# TYPE invarnetx_alarms_total counter",
+                'invarnetx_alarms_total{context="wordcount@slave-1"} 1',
+                "# HELP invarnetx_inference_seconds Inference latency",
+                "# TYPE invarnetx_inference_seconds histogram",
+                'invarnetx_inference_seconds_bucket{context="wordcount@slave-1",le="0.1"} 1',
+                'invarnetx_inference_seconds_bucket{context="wordcount@slave-1",le="1"} 1',
+                'invarnetx_inference_seconds_bucket{context="wordcount@slave-1",le="+Inf"} 2',
+                'invarnetx_inference_seconds_sum{context="wordcount@slave-1"} 2.05',
+                'invarnetx_inference_seconds_count{context="wordcount@slave-1"} 2',
+                "",
+            ]
+        )
+        assert registry.render_prometheus() == expected
+
+    def test_label_values_escaped(self, registry):
+        c = registry.counter("x_total", "", ("k",))
+        c.inc(k='a"b\\c\nd')
+        assert 'k="a\\"b\\\\c\\nd"' in registry.render_prometheus()

@@ -1,0 +1,184 @@
+"""Deterministic observability tests for the streaming monitor.
+
+The same hand-built ARIMA(0,1,0) harness as ``tests/core/test_online.py``
+("anomalous exactly when CPI moves more than 0.5 from its predecessor")
+drives an :class:`OnlineMonitor` through one complete incident —
+warm-up, 3-tick ramp alarm, window collection, diagnosis, cool-down —
+under a fake span clock.  Every counter the monitor emits is then
+exactly predictable, so the Prometheus exposition is snapshot-tested
+byte for byte.
+"""
+
+import numpy as np
+
+import repro.obs as obs
+from repro.core import InvarNetX, OperationContext
+from repro.core.anomaly import (
+    AnomalyDetector,
+    DriftThreshold,
+    ThresholdRule,
+)
+from repro.core.inference import InferenceResult
+from repro.core.invariants import InvariantSet
+from repro.core.online import (
+    AlarmEvent,
+    DiagnosisEvent,
+    MonitorState,
+    OnlineMonitor,
+)
+from repro.stats.arima import ARIMAModel, ARIMAOrder
+from repro.store import ContextModels
+from repro.telemetry.metrics import MetricCatalog
+
+WARMUP = 12
+WINDOW = 8
+COOLDOWN = 4
+LEAD_IN = OnlineMonitor.CONSECUTIVE + 2  # ring-buffered pre-alarm rows
+LABEL = "wordcount@slave-1"
+
+
+class FakeClock:
+    """Monotonic fake: every read advances one millisecond."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += 0.001
+        return self.now
+
+
+def _monitor() -> OnlineMonitor:
+    context = OperationContext("wordcount", "slave-1")
+    model = ARIMAModel(
+        order=ARIMAOrder(0, 1, 0),
+        ar=np.empty(0),
+        ma=np.empty(0),
+        intercept=0.0,
+        sigma2=1.0,
+    )
+    detector = AnomalyDetector.from_artifacts(
+        model, DriftThreshold(ThresholdRule.BETA_MAX, upper=0.5)
+    )
+    catalog = MetricCatalog(names=("m0", "m1", "m2", "m3"))
+    invariants = InvariantSet(
+        pairs=[(0, 1)], baseline=np.array([0.9]), catalog=catalog
+    )
+    pipe = InvarNetX(catalog=catalog)
+    pipe.store.adopt(
+        context.key(),
+        ContextModels(
+            context=context, detector=detector, invariants=invariants
+        ),
+    )
+    # inference itself is covered elsewhere; a stub keeps this harness
+    # free of MIC work so the emitted counters are the monitor's alone
+    pipe.infer = lambda ctx, window, top_k=3: InferenceResult(
+        causes=[], violations=np.zeros(1, dtype=bool)
+    )
+    return OnlineMonitor(
+        pipe,
+        context,
+        window_ticks=WINDOW,
+        warmup_ticks=WARMUP,
+        cooldown_ticks=COOLDOWN,
+    )
+
+
+def _run_incident(monitor: OnlineMonitor) -> list:
+    """Drive one full incident; the exact per-state tick budget is
+    12 warm-up, 3+1 monitoring, 3 collecting, 4 cool-down."""
+    events = []
+
+    def feed(value: float, ticks: int) -> None:
+        for _ in range(ticks):
+            event = monitor.observe(np.zeros(4), value)
+            if event is not None:
+                events.append(event)
+
+    feed(1.0, WARMUP)  # constant CPI: warm-up completes, nothing fires
+    for step in range(1, OnlineMonitor.CONSECUTIVE + 1):
+        feed(1.0 + step, 1)  # +1/tick ramp: alarm on the third tick
+    feed(4.0, WINDOW - LEAD_IN)  # fill the abnormal window -> diagnosis
+    feed(4.0, COOLDOWN)  # drain the cool-down
+    feed(4.0, 1)  # first re-armed monitoring tick
+    return events
+
+
+class TestMonitorMetrics:
+    def test_counters_exact(self):
+        obs.configure(enabled=True, clock=FakeClock())
+        monitor = _monitor()
+        events = _run_incident(monitor)
+        assert [type(e) for e in events] == [AlarmEvent, DiagnosisEvent]
+        assert monitor.state is MonitorState.MONITORING
+
+        registry = obs.metrics_registry()
+        ticks = registry.counter(
+            "invarnetx_monitor_state_ticks_total",
+            labelnames=("context", "state"),
+        )
+        assert ticks.value(context=LABEL, state="warmup") == WARMUP
+        assert ticks.value(context=LABEL, state="monitoring") == 4
+        assert ticks.value(context=LABEL, state="collecting") == 3
+        assert ticks.value(context=LABEL, state="cooldown") == COOLDOWN
+
+        transitions = registry.counter(
+            "invarnetx_monitor_transitions_total",
+            labelnames=("context", "from", "to"),
+        )
+        for src, dst in (
+            ("warmup", "monitoring"),
+            ("monitoring", "collecting"),
+            ("collecting", "cooldown"),
+            ("cooldown", "monitoring"),
+        ):
+            assert (
+                transitions.value(
+                    **{"context": LABEL, "from": src, "to": dst}
+                )
+                == 1
+            ), (src, dst)
+
+        alarms = registry.counter(
+            "invarnetx_alarms_total", labelnames=("context",)
+        )
+        diagnoses = registry.counter(
+            "invarnetx_diagnoses_total", labelnames=("context",)
+        )
+        assert alarms.value(context=LABEL) == 1
+        assert diagnoses.value(context=LABEL) == 1
+
+    def test_disabled_monitor_emits_nothing(self):
+        monitor = _monitor()
+        events = _run_incident(monitor)
+        assert len(events) == 2  # behaviour is identical, telemetry absent
+        assert obs.metrics_registry().families() == []
+
+    def test_prometheus_snapshot(self):
+        obs.configure(enabled=True, clock=FakeClock())
+        _run_incident(_monitor())
+        expected = "\n".join(
+            [
+                "# HELP invarnetx_alarms_total Alarms raised by online monitors",
+                "# TYPE invarnetx_alarms_total counter",
+                f'invarnetx_alarms_total{{context="{LABEL}"}} 1',
+                "# HELP invarnetx_diagnoses_total Diagnosis events emitted by online monitors",
+                "# TYPE invarnetx_diagnoses_total counter",
+                f'invarnetx_diagnoses_total{{context="{LABEL}"}} 1',
+                "# HELP invarnetx_monitor_state_ticks_total Ticks the monitor spent in each state",
+                "# TYPE invarnetx_monitor_state_ticks_total counter",
+                f'invarnetx_monitor_state_ticks_total{{context="{LABEL}",state="collecting"}} 3',
+                f'invarnetx_monitor_state_ticks_total{{context="{LABEL}",state="cooldown"}} 4',
+                f'invarnetx_monitor_state_ticks_total{{context="{LABEL}",state="monitoring"}} 4',
+                f'invarnetx_monitor_state_ticks_total{{context="{LABEL}",state="warmup"}} 12',
+                "# HELP invarnetx_monitor_transitions_total Monitor state-machine transitions",
+                "# TYPE invarnetx_monitor_transitions_total counter",
+                f'invarnetx_monitor_transitions_total{{context="{LABEL}",from="collecting",to="cooldown"}} 1',
+                f'invarnetx_monitor_transitions_total{{context="{LABEL}",from="cooldown",to="monitoring"}} 1',
+                f'invarnetx_monitor_transitions_total{{context="{LABEL}",from="monitoring",to="collecting"}} 1',
+                f'invarnetx_monitor_transitions_total{{context="{LABEL}",from="warmup",to="monitoring"}} 1',
+                "",
+            ]
+        )
+        assert obs.metrics_registry().render_prometheus() == expected

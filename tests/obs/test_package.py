@@ -1,0 +1,67 @@
+"""Tests for the package-level surface: configure, reset, lazy explain."""
+
+import pytest
+
+import repro.obs as obs
+
+
+class TestConfigure:
+    def test_disabled_by_default_and_free(self):
+        assert not obs.enabled()
+        assert obs.span("x") is obs.NOOP_SPAN
+
+    def test_enable_turns_on_spans_and_metrics(self):
+        obs.configure(enabled=True)
+        assert obs.enabled()
+        with obs.span("x") as sp:
+            assert sp
+        assert obs.tracer().find("x")
+        obs.metrics_registry().counter("c_total", "").inc()
+        assert obs.metrics_registry().counter("c_total", "").value() == 1.0
+
+    def test_trace_overrides_just_the_tracer(self):
+        obs.configure(enabled=True, trace=False)
+        assert obs.enabled()
+        assert obs.span("x") is obs.NOOP_SPAN
+
+    def test_clock_injection(self):
+        ticks = iter(range(100))
+        obs.configure(enabled=True, clock=lambda: float(next(ticks)))
+        with obs.span("x") as sp:
+            pass
+        assert sp.duration == 1.0
+
+    def test_reset_keeps_flags_drops_data(self):
+        obs.configure(enabled=True)
+        with obs.span("x"):
+            pass
+        obs.metrics_registry().counter("c_total", "").inc()
+        obs.reset()
+        assert obs.enabled()
+        assert obs.tracer().roots() == []
+        assert obs.metrics_registry().families() == []
+
+    def test_render_trace(self):
+        obs.configure(enabled=True)
+        with obs.span("stage"):
+            pass
+        assert "stage" in obs.render_trace()
+
+    def test_singletons_are_stable_across_configure(self):
+        tracer = obs.tracer()
+        registry = obs.metrics_registry()
+        obs.configure(enabled=True)
+        assert obs.tracer() is tracer
+        assert obs.metrics_registry() is registry
+
+
+class TestLazyExplain:
+    def test_lazy_names_resolve_to_the_module(self):
+        from repro.obs.explain import IncidentExplanation, explain_run
+
+        assert obs.explain_run is explain_run
+        assert obs.IncidentExplanation is IncidentExplanation
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            obs.nonexistent_name

@@ -1,0 +1,153 @@
+"""Tests for the span tracer: fake clock, nesting, no-op fast path."""
+
+import time
+
+import pytest
+
+from repro.obs.tracing import NOOP_SPAN, Tracer, render_spans
+
+
+class FakeClock:
+    """Deterministic monotonic clock: every read advances by ``step``."""
+
+    def __init__(self, start: float = 0.0, step: float = 1.0) -> None:
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestNoopPath:
+    def test_disabled_returns_the_singleton(self):
+        tracer = Tracer()
+        assert tracer.span("x") is NOOP_SPAN
+        assert tracer.span("y") is NOOP_SPAN
+
+    def test_noop_span_is_falsy_and_inert(self):
+        with NOOP_SPAN as sp:
+            assert not sp
+            assert sp.set(a=1) is sp
+        assert NOOP_SPAN.duration is None
+        assert NOOP_SPAN.attributes == {}
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        assert tracer.roots() == []
+
+    def test_max_finished_validated(self):
+        with pytest.raises(ValueError, match="max_finished"):
+            Tracer(max_finished=0)
+
+
+class TestSpans:
+    def test_duration_from_injected_clock(self):
+        tracer = Tracer(enabled=True, clock=FakeClock(step=1.0))
+        with tracer.span("work") as sp:
+            pass
+        assert sp.duration == 1.0
+
+    def test_open_span_has_no_duration(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        sp = tracer.span("open")
+        sp.__enter__()
+        assert sp.duration is None
+        sp.__exit__(None, None, None)
+        assert sp.duration is not None
+
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("inner") as inner:
+                inner.set(k=1)
+        (root,) = tracer.roots()
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner"]
+        assert root.children[0].attributes == {"k": 1}
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        (root,) = tracer.roots()
+        assert root.attributes["error"] == "ValueError"
+        assert root.duration is not None
+
+    def test_find_and_total(self):
+        tracer = Tracer(enabled=True, clock=FakeClock(step=1.0))
+        for _ in range(3):
+            with tracer.span("stage"):
+                pass
+        assert len(tracer.find("stage")) == 3
+        assert tracer.total("stage") == 3.0
+
+    def test_max_finished_bounds_memory(self):
+        tracer = Tracer(enabled=True, clock=FakeClock(), max_finished=2)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [s.name for s in tracer.roots()] == ["s3", "s4"]
+
+    def test_walk_and_to_dict(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        (root,) = tracer.roots()
+        assert [s.name for s in root.walk()] == ["a", "b"]
+        d = root.to_dict()
+        assert d["name"] == "a"
+        assert d["children"][0]["name"] == "b"
+
+    def test_reset_drops_finished(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert tracer.roots() == []
+
+    def test_traced_decorator(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+
+        @tracer.traced("fn")
+        def double(x):
+            return 2 * x
+
+        assert double(3) == 6
+        assert len(tracer.find("fn")) == 1
+        tracer.enabled = False
+        assert double(4) == 8
+        assert len(tracer.find("fn")) == 1
+
+
+class TestRender:
+    def test_indents_and_sorts_attributes(self):
+        tracer = Tracer(enabled=True, clock=FakeClock(step=0.001))
+        with tracer.span("outer") as sp:
+            sp.set(b=2, a=1)
+            with tracer.span("inner"):
+                pass
+        lines = render_spans(tracer.roots()).splitlines()
+        assert lines[0] == "     3.000 ms  outer  [a=1 b=2]"
+        assert lines[1] == "     1.000 ms    inner"
+
+
+class TestWallClockAgreement:
+    def test_span_matches_perf_counter_within_5_percent(self):
+        """Table 1 stage timings moved from ad-hoc ``perf_counter`` pairs
+        to spans; the two sources must agree (acceptance: within 5%)."""
+        tracer = Tracer(enabled=True)
+        t0 = time.perf_counter()
+        with tracer.span("stage") as sp:
+            deadline = time.perf_counter() + 0.02
+            while time.perf_counter() < deadline:
+                pass
+        elapsed = time.perf_counter() - t0
+        assert sp.duration is not None
+        assert sp.duration <= elapsed
+        assert sp.duration >= 0.95 * elapsed

@@ -1,7 +1,10 @@
 """Tests for the command-line interface (driving main() directly)."""
 
+import json
+
 import pytest
 
+import repro.obs as obs
 from repro.cli import build_parser, main
 
 
@@ -131,6 +134,108 @@ class TestDiagnose:
         )
         assert code == 2
         assert "not in trace" in capsys.readouterr().err
+
+
+class TestExplain:
+    @pytest.fixture(scope="class")
+    def traces(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("explain-traces")
+        normals = []
+        for i in range(6):
+            p = tmp / f"normal{i}.npz"
+            main(
+                ["simulate", "--workload", "grep", "--seed", str(500 + i),
+                 "--out", str(p)]
+            )
+            normals.append(p)
+        sig = tmp / "hog.npz"
+        main(
+            ["simulate", "--workload", "grep", "--seed", "510",
+             "--fault", "CPU-hog", "--out", str(sig)]
+        )
+        incident = tmp / "incident.npz"
+        main(
+            ["simulate", "--workload", "grep", "--seed", "511",
+             "--fault", "CPU-hog", "--out", str(incident)]
+        )
+        healthy = tmp / "healthy.npz"
+        main(
+            ["simulate", "--workload", "grep", "--seed", "512",
+             "--out", str(healthy)]
+        )
+        return {"normals": normals, "sig": sig,
+                "incident": incident, "healthy": healthy}
+
+    @staticmethod
+    def _argv(traces, *extra):
+        return [
+            "explain",
+            "--normal", *[str(p) for p in traces["normals"]],
+            "--signature", f"CPU-hog={traces['sig']}",
+            "--incident", str(traces["incident"]),
+            *extra,
+        ]
+
+    def test_text_report_on_clean_stdout(self, traces, capsys):
+        code = main(self._argv(traces))
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "InvarNet-X incident explanation: grep@slave-1" in captured.out
+        assert "verdict: CPU-hog" in captured.out
+        assert "violated invariants" in captured.out
+        assert "CPI residuals around alarm tick" in captured.out
+        # progress goes to stderr so stdout is exactly the report
+        assert "training" in captured.err
+        assert "training" not in captured.out
+
+    def test_stdout_is_byte_deterministic(self, traces, capsys):
+        main(self._argv(traces))
+        first = capsys.readouterr().out
+        main(self._argv(traces))
+        assert capsys.readouterr().out == first
+
+    def test_json_mode(self, traces, capsys):
+        code = main(self._argv(traces, "--json"))
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["matched"] is True
+        assert data["top_cause"] == "CPU-hog"
+        assert data["context"]["workload"] == "grep"
+        assert data["causes"] and data["pairs"] and data["residuals"]
+
+    def test_healthy_incident_clean(self, traces, capsys):
+        code = main(
+            [
+                "explain",
+                "--normal", *[str(p) for p in traces["normals"]],
+                "--incident", str(traces["healthy"]),
+            ]
+        )
+        assert code == 0
+        assert "no performance problem" in capsys.readouterr().out
+
+    def test_trace_flag_prints_spans_to_stderr(self, traces, capsys):
+        try:
+            code = main(["--trace", *self._argv(traces)])
+        finally:
+            obs.configure(enabled=False)
+            obs.remove_handler()
+            obs.reset()
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "pipeline.train_from_runs" in err
+        assert "arima.fit" in err
+        assert "pipeline.detect" in err
+
+    def test_log_level_flag_streams_events(self, traces, capsys):
+        try:
+            code = main(["--log-level", "info", *self._argv(traces)])
+        finally:
+            obs.configure(enabled=False)
+            obs.remove_handler()
+            obs.reset()
+        assert code == 0
+        assert "event=trained" in capsys.readouterr().err
 
 
 class TestExperiment:
