@@ -12,7 +12,9 @@ benchmarks that report on them.
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
@@ -25,6 +27,50 @@ from repro.eval.experiments import (
 
 #: Held-out diagnosis runs per fault (paper: 38).
 TEST_REPS = int(os.environ.get("REPRO_TEST_REPS", "6"))
+
+#: Repository root — ``BENCH_*.json`` result files land here so CI can
+#: upload them as artifacts next to the sources they describe.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def record_bench(name: str, key: str, **fields) -> Path:
+    """Persist one benchmark measurement into ``BENCH_<name>.json``.
+
+    Each file holds one benchmark's results keyed by measurement name;
+    re-recording a key overwrites just that key, so a partial run updates
+    what it measured and leaves the rest of the file intact.
+
+    Args:
+        name: benchmark family (file suffix), e.g. ``mic_engine``.
+        key: measurement within the family, e.g. ``full_600x26``.
+        **fields: the measured values (JSON-serialisable).
+
+    Returns:
+        The path written.
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    doc = {"benchmark": name, "results": {}}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError:
+            existing = None  # unreadable file: rewrite from scratch
+        if isinstance(existing, dict) and isinstance(
+            existing.get("results"), dict
+        ):
+            doc = existing
+            doc["benchmark"] = name
+    doc["results"][key] = fields
+    path.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+@pytest.fixture()
+def bench_record():
+    """The shared benchmark recorder as a fixture (import-free tests)."""
+    return record_bench
 
 
 @pytest.fixture(scope="session")

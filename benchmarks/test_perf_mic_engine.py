@@ -57,7 +57,7 @@ def _timed(fn, *args, **kwargs):
 
 
 class TestMicEngineBenchmark:
-    def test_smoke_engine_not_slower_and_equivalent(self):
+    def test_smoke_engine_not_slower_and_equivalent(self, bench_record):
         """CI-sized check: equivalence plus a direction-only timing bound."""
         data = _window(150, 8)
         fast, fast_t = _timed(mic_matrix_fast, data)
@@ -67,10 +67,18 @@ class TestMicEngineBenchmark:
             f"\n[smoke] engine {fast_t:.3f}s  reference {ref_t:.3f}s  "
             f"speedup {ref_t / fast_t:.2f}x  max|diff| {diff:.3e}"
         )
+        bench_record(
+            "mic_engine",
+            "smoke_150x8",
+            engine_seconds=round(fast_t, 6),
+            reference_seconds=round(ref_t, 6),
+            speedup=round(ref_t / fast_t, 3),
+            max_abs_diff=diff,
+        )
         assert diff <= TOLERANCE
         assert fast_t <= ref_t
 
-    def test_full_acceptance_window_speedup(self):
+    def test_full_acceptance_window_speedup(self, bench_record):
         """The PR's acceptance bar on the (600, 26) window."""
         data = _window(600, 26)
         fast, fast_t = _timed(mic_matrix_fast, data)
@@ -81,6 +89,15 @@ class TestMicEngineBenchmark:
             f"\n[full] (600, 26): engine {fast_t:.2f}s  "
             f"reference {ref_t:.2f}s  speedup {speedup:.2f}x  "
             f"max|diff| {diff:.3e}"
+        )
+        bench_record(
+            "mic_engine",
+            "full_600x26",
+            engine_seconds=round(fast_t, 6),
+            reference_seconds=round(ref_t, 6),
+            speedup=round(speedup, 3),
+            max_abs_diff=diff,
+            required_speedup=REQUIRED_SPEEDUP,
         )
         assert diff <= TOLERANCE
         assert speedup >= REQUIRED_SPEEDUP, (

@@ -61,6 +61,35 @@ class TestDisabledPathAllocationFree:
         )
         assert obs_bytes == 0
 
+    def test_record_disabled_path_bytes(self, bench_record):
+        """Persist the zero-allocation measurement for the CI artifact."""
+        tracer = obs.tracer()
+        registry = obs.metrics_registry()
+        series = registry.counter("bench_rec_total", "", ("k",)).series(k="v")
+        with tracer.span("warmup"):
+            pass
+        series.inc()
+        tracemalloc.start()
+        for _ in range(2000):
+            with tracer.span("hot") as sp:
+                if sp:
+                    sp.set(x=1)
+            series.inc()
+        snapshot = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        obs_bytes = sum(
+            trace.size
+            for trace in snapshot.traces
+            if any("repro/obs" in f.filename for f in trace.traceback)
+        )
+        bench_record(
+            "obs_overhead",
+            "disabled_path_2000_iterations",
+            obs_bytes=obs_bytes,
+            iterations=2000,
+        )
+        assert obs_bytes == 0
+
     def test_disabled_span_peak_within_loop_noise(self):
         tracer = obs.tracer()
 
@@ -116,13 +145,22 @@ class TestInferOverhead:
             times.append(time.perf_counter() - t0)
         return statistics.median(times)
 
-    def test_enabled_infer_within_noise_of_disabled(self, infer_setup):
+    def test_enabled_infer_within_noise_of_disabled(
+        self, infer_setup, bench_record
+    ):
         pipe, ctx, window = infer_setup
         pipe.infer(ctx, window)  # warm the MIC cache for both passes
         disabled = self._median_seconds(pipe, ctx, window)
         obs.configure(enabled=True)
         enabled = self._median_seconds(pipe, ctx, window)
         obs.configure(enabled=False)
+        bench_record(
+            "obs_overhead",
+            "infer_enabled_vs_disabled",
+            disabled_median_seconds=round(disabled, 6),
+            enabled_median_seconds=round(enabled, 6),
+            overhead_ratio=round(enabled / disabled, 3) if disabled else None,
+        )
         # full instrumentation stays within run-to-run noise (generous
         # bound: 1.5x + 5 ms absolute slack for tiny baselines)
         assert enabled <= disabled * 1.5 + 0.005

@@ -25,15 +25,26 @@ Three subcommands cover the working loop of the system:
     (:class:`repro.store.DirectoryStore`) without loading runs or
     retraining anything.
 
+``invarnetx health``
+    Run the model drift watchdog (:mod:`repro.obs.health`) over a
+    registry: residual drift, fragile invariants, ambiguous signatures,
+    staleness and stage-timing regressions, per stored context.
+
+``invarnetx ledger``
+    Read the registry's run ledger: ``list`` tabulates every recorded
+    run, ``show`` prints one entry's full JSON.
+
 ``invarnetx lint``
     Run the domain linter (:mod:`repro.lint`) over the source tree:
     RNG discipline, operation-context key discipline, float-equality,
     the paper's tuned constants, and general hygiene.
 
-Two global flags (before the subcommand) switch on the observability
+Three global flags (before the subcommand) switch on the observability
 layer of :mod:`repro.obs`: ``--log-level LEVEL`` streams structured
-``event key=value`` logs to stderr, and ``--trace`` prints the span tree
-of the run to stderr after the command finishes.
+``event key=value`` logs to stderr, ``--trace`` prints the span tree of
+the run to stderr after the command finishes, and ``--trace-out PATH``
+writes the same spans as a Chrome ``trace_event`` JSON file for
+``chrome://tracing`` / Perfetto.
 """
 
 from __future__ import annotations
@@ -73,6 +84,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="enable observability and print the span trace to stderr "
         "after the command finishes",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="enable observability and write the span trace as Chrome "
+        "trace_event JSON (chrome://tracing, Perfetto) when the command "
+        "finishes",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -194,6 +214,60 @@ def build_parser() -> argparse.ArgumentParser:
     store_inspect.add_argument("dir", type=Path, help="registry directory")
     store_inspect.add_argument("--workload", required=True)
     store_inspect.add_argument("--node", required=True)
+
+    health = sub.add_parser(
+        "health",
+        help="score every stored context with the drift watchdog",
+        description="Read-only longitudinal checks over a DirectoryStore "
+        "registry and its colocated run ledger: residual drift vs the "
+        "training distribution, invariants near the tau boundary, "
+        "ambiguous signatures, staleness, and stage-timing regressions.",
+    )
+    health.add_argument("dir", type=Path, help="registry directory")
+    health.add_argument(
+        "--json", action="store_true",
+        help="emit the report as JSON instead of text",
+    )
+    health.add_argument(
+        "--fragility-margin", type=float, default=None,
+        help="MIC spread within this margin of tau counts as fragile",
+    )
+    health.add_argument(
+        "--ambiguity-floor", type=float, default=None,
+        help="cross-problem signature distance below this is ambiguous",
+    )
+    health.add_argument(
+        "--stale-runs", type=int, default=None,
+        help="diagnoses since the last retrain before a context is stale",
+    )
+    health.add_argument(
+        "--drift-ratio", type=float, default=None,
+        help="recent/training residual p90 ratio that counts as drift",
+    )
+
+    ledger = sub.add_parser(
+        "ledger",
+        help="read a registry's run ledger",
+        description="Read-only views over the append-only run ledger "
+        "colocated with a DirectoryStore registry (ledger.jsonl).",
+    )
+    ledger_sub = ledger.add_subparsers(dest="ledger_action", required=True)
+    ledger_list = ledger_sub.add_parser(
+        "list", help="tabulate every recorded run"
+    )
+    ledger_list.add_argument("dir", type=Path, help="registry directory")
+    ledger_list.add_argument(
+        "--kind", default=None,
+        help="only entries of this kind (train, signature, diagnose, ...)",
+    )
+    ledger_show = ledger_sub.add_parser(
+        "show", help="print one ledger entry as JSON"
+    )
+    ledger_show.add_argument("dir", type=Path, help="registry directory")
+    ledger_show.add_argument(
+        "--seq", type=int, default=None,
+        help="sequence number of the entry (default: the latest entry)",
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -467,13 +541,121 @@ def _cmd_store(args: argparse.Namespace) -> int:
             print(f"  {problem} x{count}")
     else:
         print("signatures: (none)")
+    if registry.ledger_path.exists():
+        from repro.obs.health import score_context
+
+        ledger = registry.ledger()
+        ctx_health = score_context(key, models, ledger)
+        warns = [c.name for c in ctx_health.checks if c.status == "warn"]
+        print(
+            f"health: {ctx_health.status} score={ctx_health.score:.2f}"
+            + (f" warn: {', '.join(warns)}" if warns else "")
+        )
+        last = ledger.last(context=key)
+        if last is not None:
+            print(
+                f"last ledger entry: seq={last.get('seq', 0)} "
+                f"kind={last['kind']} {_describe_entry(last)}"
+            )
+    return 0
+
+
+_LEDGER_DETAIL_FIELDS = (
+    "runs", "invariants", "problem", "violated", "detected", "top_cause",
+    "top_score", "precision", "recall", "verdict", "faulty_nodes",
+)
+
+
+def _describe_entry(entry: dict) -> str:
+    """One-line ``key=value`` summary of a ledger entry's salient fields."""
+    parts = []
+    for name in _LEDGER_DETAIL_FIELDS:
+        if name in entry and entry[name] is not None:
+            value = entry[name]
+            if isinstance(value, float):
+                value = f"{value:.3f}"
+            elif isinstance(value, list):
+                value = ",".join(str(v) for v in value) or "-"
+            parts.append(f"{name}={value}")
+    return " ".join(parts)
+
+
+def _registry_ledger(directory: Path):
+    """The (registry, ledger) pair for a CLI path, or an exit code."""
+    if not (directory / "manifest.json").exists():
+        print(f"error: no model registry at {directory}", file=sys.stderr)
+        return 2
+    registry = DirectoryStore(directory)
+    return registry, registry.ledger()
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    from repro.obs.health import HealthThresholds, score_store
+
+    pair = _registry_ledger(args.dir)
+    if isinstance(pair, int):
+        return pair
+    registry, ledger = pair
+    thresholds = HealthThresholds().overridden(
+        fragility_margin=args.fragility_margin,
+        ambiguity_floor=args.ambiguity_floor,
+        stale_runs=args.stale_runs,
+        drift_ratio=args.drift_ratio,
+    )
+    report = score_store(registry, ledger=ledger, thresholds=thresholds)
+    if args.json:
+        json.dump(report.to_json(), sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(report.render_text())
+    return 0
+
+
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    pair = _registry_ledger(args.dir)
+    if isinstance(pair, int):
+        return pair
+    _, ledger = pair
+    entries = ledger.entries(kind=getattr(args, "kind", None))
+    if args.ledger_action == "list":
+        if not entries:
+            print("ledger is empty")
+            return 0
+        print(f"{'seq':>5s} {'kind':<17s} {'context':<26s} detail")
+        for entry in entries:
+            context = entry.get("context")
+            label = f"{context[0]}@{context[1]}" if context else "-"
+            print(
+                f"{entry.get('seq', 0):>5d} {entry['kind']:<17s} "
+                f"{label:<26s} {_describe_entry(entry)}"
+            )
+        if ledger.skipped:
+            print(
+                f"({ledger.skipped} unparseable line(s) skipped)",
+                file=sys.stderr,
+            )
+        return 0
+    # show
+    if not entries:
+        print("error: ledger is empty", file=sys.stderr)
+        return 2
+    if args.seq is None:
+        entry = entries[-1]
+    else:
+        matching = [e for e in entries if e.get("seq") == args.seq]
+        if not matching:
+            print(f"error: no entry with seq={args.seq}", file=sys.stderr)
+            return 2
+        entry = matching[-1]
+    json.dump(entry, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    if args.trace or args.log_level is not None:
+    if args.trace or args.trace_out is not None or args.log_level is not None:
         obs.configure(enabled=True, log_level=args.log_level)
     try:
         if args.command == "simulate":
@@ -486,6 +668,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_experiment(args)
         if args.command == "store":
             return _cmd_store(args)
+        if args.command == "health":
+            return _cmd_health(args)
+        if args.command == "ledger":
+            return _cmd_ledger(args)
         if args.command == "lint":
             from repro.lint.cli import run_lint
 
@@ -496,6 +682,9 @@ def main(argv: list[str] | None = None) -> int:
             rendered = obs.render_trace()
             if rendered:
                 print(rendered, file=sys.stderr)
+        if args.trace_out is not None:
+            written = obs.export_chrome_trace(args.trace_out)
+            print(f"wrote trace to {written}", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -148,6 +148,13 @@ class AnomalyDetector:
         detector.threshold = threshold
         return detector
 
+    @property
+    def training_residuals(self) -> np.ndarray | None:
+        """Pooled absolute training residuals, or None when the detector
+        was rehydrated from artifacts (they are not persisted — the run
+        ledger records their summary at training time instead)."""
+        return self._train_residuals
+
     # ------------------------------------------------------------------
     def train(self, traces: list[np.ndarray]) -> "AnomalyDetector":
         """Fit the ARIMA model and calibrate the threshold.

@@ -224,4 +224,18 @@ class ClusterDiagnoser:
                 faulty=",".join(out.faulty_nodes) or "-",
                 verdict=f"{verdict[0]}:{verdict[1]}" if verdict else "-",
             )
+        ledger = self.pipeline.ledger
+        if ledger is not None:
+            # Per-node "diagnose" entries were already written by
+            # diagnose_run; this one records the cluster-level verdict
+            # that localisation produced from them.
+            verdict = out.verdict()
+            ledger.append(
+                "cluster-diagnose",
+                fingerprint=self.pipeline.fingerprint,
+                workload=run.workload,
+                nodes=len(out.nodes),
+                faulty_nodes=out.faulty_nodes,
+                verdict=list(verdict) if verdict else None,
+            )
         return out

@@ -23,6 +23,7 @@ The ``use_operation_context=False`` switch reproduces the paper's ablation
 from __future__ import annotations
 
 import logging
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -47,6 +48,12 @@ from repro.core.persistence import (
     save_performance_model,
     save_signatures,
 )
+from repro.obs.ledger import (
+    RunLedger,
+    config_fingerprint,
+    stage_timings,
+    summarize_residuals,
+)
 from repro.stats.mic import MICParameters
 from repro.store import ContextModels, MemoryStore, ModelStore
 from repro.telemetry.metrics import MetricCatalog
@@ -58,6 +65,46 @@ __all__ = ["InvarNetXConfig", "DiagnosisResult", "InvarNetX"]
 ABNORMAL_WINDOW_TICKS = 30
 
 _log = obs.get_logger("core.pipeline")
+
+
+@contextmanager
+def _ledger_span(name: str, active: bool):
+    """A root span for ledger stage timings, borrowing the tracer.
+
+    When a ledger is recording but the tracer is off, the tracer is
+    enabled just for this block and the borrowed root span is discarded
+    afterwards, so ``--trace``-visible output stays exactly what the user
+    configured; an already-enabled tracer keeps the span.  Yields the
+    span (:data:`~repro.obs.NOOP_SPAN` when neither ledger nor tracer is
+    on) — the object stays readable after the block, which is how the
+    caller extracts stage timings.
+    """
+    tracer = obs.tracer()
+    borrowed = active and not tracer.enabled
+    if borrowed:
+        tracer.enabled = True
+    root = tracer.span(name)
+    try:
+        with root:
+            yield root
+    finally:
+        if borrowed:
+            tracer.enabled = False
+            if isinstance(root, obs.Span):
+                tracer.discard(root)
+
+
+def _invariant_spreads(matrices: list, invariants: InvariantSet) -> list[float]:
+    """Per-invariant MIC spread (max − min over the training matrices) —
+    the quantity Algorithm 1 compared against τ, recorded in the ledger so
+    the health watchdog can flag pairs that landed near the boundary."""
+    stack = np.stack(
+        [np.asarray(getattr(m, "values", m), dtype=float) for m in matrices]
+    )
+    return [
+        round(float(stack[:, i, j].max() - stack[:, i, j].min()), 6)
+        for i, j in invariants.pairs
+    ]
 
 
 @dataclass(frozen=True)
@@ -149,11 +196,22 @@ class InvarNetX:
     store rehydrates them lazily instead of retraining (see
     :meth:`attached_to`).
 
+    Training and diagnosis leave a durable trail in a
+    :class:`~repro.obs.ledger.RunLedger` when one is active: by default a
+    pipeline over a store with a colocated ledger (``DirectoryStore``)
+    records into it automatically, a :class:`MemoryStore` pipeline
+    records nothing, and both defaults can be overridden via ``ledger``.
+
     Args:
         config: pipeline tunables (paper defaults when omitted).
         catalog: metric vocabulary (the canonical 26 metrics by default).
         store: the model registry backend (fresh unbounded
             :class:`MemoryStore` when omitted).
+        ledger: run-ledger policy — an explicit :class:`RunLedger` to
+            record into, ``True`` to require the store's colocated ledger
+            (raises when the backend has none), ``False`` to disable
+            recording, or None (default) to use the store's colocated
+            ledger when the backend provides one.
     """
 
     def __init__(
@@ -161,10 +219,38 @@ class InvarNetX:
         config: InvarNetXConfig | None = None,
         catalog: MetricCatalog | None = None,
         store: ModelStore | None = None,
+        ledger: RunLedger | bool | None = None,
     ) -> None:
         self.config = config or InvarNetXConfig()
         self.catalog = catalog or MetricCatalog()
         self.store = store if store is not None else MemoryStore()
+        self.ledger = self._resolve_ledger(ledger)
+        self._fingerprint: str | None = None
+
+    def _resolve_ledger(
+        self, ledger: RunLedger | bool | None
+    ) -> RunLedger | None:
+        if isinstance(ledger, RunLedger):
+            return ledger
+        maker = getattr(self.store, "ledger", None)
+        if ledger is True:
+            if not callable(maker):
+                raise ValueError(
+                    "ledger=True requires a store with a colocated ledger "
+                    "(e.g. DirectoryStore) or an explicit RunLedger"
+                )
+            return maker()
+        if ledger is None and callable(maker):
+            return maker()
+        return None
+
+    @property
+    def fingerprint(self) -> str:
+        """Short stable fingerprint of this pipeline's configuration,
+        stamped on every ledger entry."""
+        if self._fingerprint is None:
+            self._fingerprint = config_fingerprint(self.config)
+        return self._fingerprint
 
     @classmethod
     def attached_to(
@@ -172,6 +258,7 @@ class InvarNetX:
         store: ModelStore,
         config: InvarNetXConfig | None = None,
         catalog: MetricCatalog | None = None,
+        ledger: RunLedger | bool | None = None,
     ) -> "InvarNetX":
         """A pipeline over an existing model registry (warm restart).
 
@@ -179,9 +266,10 @@ class InvarNetX:
         retraining: the first :meth:`detect`/:meth:`infer` against it
         loads the persisted ARIMA order, coefficients and threshold into
         a working :class:`AnomalyDetector`, plus the invariant set and
-        signature base.
+        signature base.  A colocated run ledger is picked up too, so the
+        run history continues where the previous process left off.
         """
-        return cls(config=config, catalog=catalog, store=store)
+        return cls(config=config, catalog=catalog, store=store, ledger=ledger)
 
     # ------------------------------------------------------------------
     def _key(self, context: OperationContext) -> tuple[str, str]:
@@ -197,6 +285,34 @@ class InvarNetX:
 
     def _persist(self, context: OperationContext) -> list[Path]:
         return self.store.persist(self._key(context))
+
+    def _record(
+        self,
+        kind: str,
+        context: OperationContext,
+        span: object = None,
+        **fields: object,
+    ) -> None:
+        """Append one run-ledger entry (no-op without an active ledger).
+
+        A finished real span contributes per-stage wall times; the
+        metrics registry contributes a snapshot when metrics are enabled.
+        """
+        if self.ledger is None:
+            return
+        if isinstance(span, obs.Span) and span.end_time is not None:
+            fields["stage_timings"] = {
+                name: round(seconds, 6)
+                for name, seconds in stage_timings([span]).items()
+            }
+        if obs.enabled():
+            fields["metrics"] = obs.metrics_registry().to_json()
+        self.ledger.append(
+            kind,
+            context=self._key(context),
+            fingerprint=self.fingerprint,
+            **fields,
+        )
 
     def context_models(self, context: OperationContext) -> ContextModels:
         """The model slot of a context (loaded on demand from durable
@@ -301,7 +417,9 @@ class InvarNetX:
         Returns:
             The stored binary violation tuple.
         """
-        with obs.span("pipeline.train_signature") as sp:
+        with _ledger_span(
+            "pipeline.train_signature", self.ledger is not None
+        ) as sp:
             slot = self._slot(context)
             if slot.invariants is None:
                 raise RuntimeError(
@@ -321,6 +439,14 @@ class InvarNetX:
                     problem=problem,
                     violated=int(violations.sum()),
                 )
+        self._record(
+            "signature",
+            context,
+            span=sp,
+            problem=problem,
+            violated=int(violations.sum()),
+            tuple_length=int(violations.size),
+        )
         return violations
 
     @staticmethod
@@ -380,7 +506,9 @@ class InvarNetX:
         receives one association matrix per run, each computed by
         :meth:`run_association_matrix`.
         """
-        with obs.span("pipeline.train_from_runs") as sp:
+        with _ledger_span(
+            "pipeline.train_from_runs", self.ledger is not None
+        ) as sp:
             traces = [run.node(context.node_id).cpi for run in normal_runs]
             matrices = [
                 self.run_association_matrix(
@@ -407,6 +535,27 @@ class InvarNetX:
                 context=str(context),
                 runs=len(normal_runs),
                 invariants=len(slot.invariants),
+            )
+        if self.ledger is not None:
+            residuals = (
+                slot.detector.training_residuals
+                if slot.detector is not None
+                else None
+            )
+            self._record(
+                "train",
+                context,
+                span=sp,
+                runs=len(normal_runs),
+                invariants=len(slot.invariants),
+                residual_summary=(
+                    summarize_residuals(residuals)
+                    if residuals is not None
+                    else {"count": 0}
+                ),
+                invariant_spread=_invariant_spreads(
+                    matrices, slot.invariants
+                ),
             )
 
     def extract_abnormal_window(
@@ -563,16 +712,44 @@ class InvarNetX:
             window_ticks: abnormal-window length for cause inference.
             top_k: length of the cause list.
         """
-        node = run.node(context.node_id)
-        report = self.detect(context, node.cpi)
-        if not report.problem_detected:
-            return DiagnosisResult(context=context, anomaly=report)
-        window = self.extract_abnormal_window(context, run, window_ticks)
-        assert window is not None  # problem_detected implies a window
-        inference = self.infer(context, window, top_k=top_k)
-        return DiagnosisResult(
+        with _ledger_span(
+            "pipeline.diagnose_run", self.ledger is not None
+        ) as sp:
+            node = run.node(context.node_id)
+            report = self.detect(context, node.cpi)
+            inference = None
+            if report.problem_detected:
+                window = self.extract_abnormal_window(
+                    context, run, window_ticks
+                )
+                assert window is not None  # detection implies a window
+                inference = self.infer(context, window, top_k=top_k)
+        result = DiagnosisResult(
             context=context, anomaly=report, inference=inference
         )
+        if self.ledger is not None:
+            # The normal-regime residual summary (valid, non-anomalous
+            # ticks) is what the drift watchdog compares against the
+            # training residuals — anomalous ticks would conflate fault
+            # magnitude with model drift.
+            valid = ~np.isnan(report.residuals) & ~report.anomalous
+            fields: dict[str, object] = {
+                "detected": result.detected,
+                "first_problem_tick": report.first_problem_tick(),
+                "ticks": int(report.anomalous.size),
+                "residual_summary": summarize_residuals(
+                    report.residuals[valid]
+                ),
+            }
+            if inference is not None:
+                fields["matched"] = inference.matched
+                if inference.causes:
+                    fields["top_cause"] = inference.causes[0].problem
+                    fields["top_score"] = round(
+                        inference.causes[0].score, 6
+                    )
+            self._record("diagnose", context, span=sp, **fields)
+        return result
 
     # ------------------------------------------------------------------
     # persistence

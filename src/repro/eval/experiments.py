@@ -147,12 +147,26 @@ def run_diagnosis_experiment(
                     detected=result.detected,
                 )
             )
-    return DiagnosisExperimentResult(
+    result = DiagnosisExperimentResult(
         workload=campaign.config.workload,
         system=system_label,
         scores=score_outcomes(outcomes),
         outcomes=outcomes,
     )
+    ledger = getattr(system, "ledger", None)
+    if ledger is not None:
+        average = result.scores["average"]
+        ledger.append(
+            "experiment",
+            context=(context.workload, context.node_id),
+            fingerprint=getattr(system, "fingerprint", None),
+            system=system_label,
+            runs=len(outcomes),
+            detected=sum(1 for o in outcomes if o.detected),
+            precision=round(average.precision, 6),
+            recall=round(average.recall, 6),
+        )
+    return result
 
 
 def _context_for(cluster: HadoopCluster, workload: str, node: str) -> OperationContext:

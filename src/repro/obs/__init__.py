@@ -23,13 +23,18 @@ Layout:
 - :mod:`repro.obs.tracing` — spans, :class:`Tracer`, injectable clock;
 - :mod:`repro.obs.metrics` — counters/gauges/histograms + exports;
 - :mod:`repro.obs.bridge` — loggers, ``log_event``, ``warn_once``;
+- :mod:`repro.obs.ledger` — the append-only JSONL run ledger;
+- :mod:`repro.obs.traceexport` — Chrome ``trace_event`` span export;
 - :mod:`repro.obs.explain` — incident explanation reports (imported
   lazily: it depends on :mod:`repro.core`, which itself emits into this
-  package — eager import would be a cycle).
+  package — eager import would be a cycle);
+- :mod:`repro.obs.health` — the model drift watchdog (lazy for the same
+  reason as explain).
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Any, Callable, TextIO
 
 from repro.obs.bridge import (
@@ -39,7 +44,15 @@ from repro.obs.bridge import (
     remove_handler,
     warn_once,
 )
+from repro.obs.ledger import (
+    LEDGER_NAME,
+    RunLedger,
+    config_fingerprint,
+    stage_timings,
+    summarize_residuals,
+)
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.traceexport import chrome_trace, write_chrome_trace
 from repro.obs.tracing import NOOP_SPAN, Span, Tracer, render_spans
 
 __all__ = [
@@ -59,10 +72,23 @@ __all__ = [
     "Span",
     "NOOP_SPAN",
     "MetricsRegistry",
+    "RunLedger",
+    "LEDGER_NAME",
+    "config_fingerprint",
+    "stage_timings",
+    "summarize_residuals",
+    "chrome_trace",
+    "write_chrome_trace",
+    "export_chrome_trace",
     # lazy (repro.obs.explain):
     "explain_run",
     "explain_window",
     "IncidentExplanation",
+    # lazy (repro.obs.health):
+    "HealthThresholds",
+    "HealthReport",
+    "score_store",
+    "score_context",
 ]
 
 #: Process-wide singletons.  They are mutated in place and never replaced,
@@ -131,6 +157,18 @@ def render_trace() -> str:
     return render_spans(_TRACER.roots())
 
 
+def export_chrome_trace(path: str | Path) -> Path:
+    """Write the process tracer's finished spans as a Chrome trace file.
+
+    Args:
+        path: destination; parent directories are created.
+
+    Returns:
+        The path written.
+    """
+    return write_chrome_trace(path, _TRACER.roots())
+
+
 def reset() -> None:
     """Drop collected spans and metric families (enabled flags, clock
     and logging handlers are left as configured)."""
@@ -138,12 +176,24 @@ def reset() -> None:
     _REGISTRY.reset()
 
 
-_LAZY = {"explain_run", "explain_window", "IncidentExplanation"}
+#: Symbols resolved on first access from modules that import
+#: :mod:`repro.core` (which emits into this package — eager import would
+#: be a cycle).
+_LAZY = {
+    "explain_run": "repro.obs.explain",
+    "explain_window": "repro.obs.explain",
+    "IncidentExplanation": "repro.obs.explain",
+    "HealthThresholds": "repro.obs.health",
+    "HealthReport": "repro.obs.health",
+    "score_store": "repro.obs.health",
+    "score_context": "repro.obs.health",
+}
 
 
 def __getattr__(name: str) -> Any:
-    if name in _LAZY:
-        from repro.obs import explain as _explain
+    module_name = _LAZY.get(name)
+    if module_name is not None:
+        import importlib
 
-        return getattr(_explain, name)
+        return getattr(importlib.import_module(module_name), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,275 @@
+"""The run ledger: an append-only JSONL record of every pipeline run.
+
+:mod:`repro.obs` so far watches one process *while it runs* (spans,
+metrics) and explains one incident *after it fired* (explain).  What it
+could not do is answer longitudinal questions: how many runs has this
+context served since it was last retrained, are detection latencies
+creeping up, did last week's training leave fragile invariants behind?
+:class:`RunLedger` is the durable substrate for those questions — one
+line of JSON per recorded event (training, signature learning, diagnosis,
+cluster sweeps, experiment campaigns), appended atomically and read back
+tolerantly.
+
+Durability contract:
+
+- **atomic appends** — each entry is one ``json.dumps`` line written with
+  a single ``os.write`` on an ``O_APPEND`` descriptor, so concurrent
+  appenders in one process interleave whole lines, never characters;
+- **torn-write tolerance** — a crash mid-append can leave at most one
+  partial trailing line.  :meth:`RunLedger.entries` skips any line that
+  does not parse (counting it in :attr:`RunLedger.skipped`), and the next
+  append heals the file by prefixing a newline when the final byte is not
+  one, so the torn fragment can never corrupt a later entry;
+- **append-only** — the ledger never rewrites history; ``seq`` numbers
+  are assigned from the highest valid entry on first touch and increase
+  monotonically per process.
+
+The ledger is *colocated* with a :class:`~repro.store.DirectoryStore`
+registry (``<root>/ledger.jsonl``): attaching a fresh pipeline to the
+store restores the models **and** the run history behind them, which is
+what lets :mod:`repro.obs.health` score staleness and timing regressions
+across restarts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterable
+
+import numpy as np
+
+__all__ = [
+    "LEDGER_NAME",
+    "LEDGER_FORMAT",
+    "RunLedger",
+    "config_fingerprint",
+    "stage_timings",
+    "summarize_residuals",
+]
+
+#: Conventional ledger filename inside a model-registry directory.
+LEDGER_NAME = "ledger.jsonl"
+
+#: Entry schema version; bump on incompatible field changes.
+LEDGER_FORMAT = 1
+
+
+def config_fingerprint(config: Any) -> str:
+    """A short stable fingerprint of a configuration object.
+
+    Dataclasses are rendered through :func:`dataclasses.asdict` with
+    sorted keys (enums and tuples via ``repr``), so the fingerprint is
+    identical across processes and platforms for equal configs and
+    changes whenever any tunable changes — the ledger records it on every
+    entry so drift in *configuration* is distinguishable from drift in
+    *models*.
+    """
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        payload = dataclasses.asdict(config)
+    else:
+        payload = config
+    text = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:12]
+
+
+def stage_timings(roots: Iterable[Any]) -> dict[str, float]:
+    """Per-stage wall time summed by span name over finished trace trees.
+
+    Args:
+        roots: completed root :class:`~repro.obs.tracing.Span` objects.
+
+    Returns:
+        Mapping of span name to total seconds, covering every span in
+        every tree (a stage entered twice contributes both durations).
+    """
+    totals: dict[str, float] = {}
+    for root in roots:
+        for span in root.walk():
+            duration = span.duration
+            if duration is None:
+                continue
+            totals[span.name] = totals.get(span.name, 0.0) + duration
+    return totals
+
+
+def summarize_residuals(residuals: np.ndarray) -> dict[str, float]:
+    """The ledger's compact view of a residual distribution.
+
+    Quantiles rather than raw arrays: enough for
+    :mod:`repro.obs.health` to compare a run's residual regime against
+    the training regime, small enough to store on every entry.
+    """
+    arr = np.asarray(residuals, dtype=float)
+    arr = arr[~np.isnan(arr)]
+    if arr.size == 0:
+        return {"count": 0}
+    return {
+        "count": int(arr.size),
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50.0)),
+        "p90": float(np.percentile(arr, 90.0)),
+        "max": float(arr.max()),
+    }
+
+
+class RunLedger:
+    """Append-only JSONL run history, atomically appended.
+
+    Args:
+        path: the ledger file (created on first append; a missing file
+            reads as an empty ledger).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._next_seq: int | None = None
+        #: Lines the last :meth:`entries` call could not parse (torn or
+        #: corrupt); 0 until the first read.
+        self.skipped = 0
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def entries(
+        self,
+        kind: str | None = None,
+        context: tuple[str, str] | None = None,
+    ) -> list[dict]:
+        """All valid entries, file order, optionally filtered.
+
+        Lines that fail to parse (a torn trailing write, external
+        corruption) are skipped and counted on :attr:`skipped` — a
+        damaged ledger degrades to the runs it can still prove, it never
+        raises.
+
+        Args:
+            kind: keep only entries of this kind (``"train"``,
+                ``"diagnose"``, ...).
+            context: keep only entries recorded for this context key.
+        """
+        out: list[dict] = []
+        skipped = 0
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            self.skipped = 0
+            return out
+        for line in raw.split("\n"):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(entry, dict):
+                skipped += 1
+                continue
+            out.append(entry)
+        self.skipped = skipped
+        if kind is not None:
+            out = [e for e in out if e.get("kind") == kind]
+        if context is not None:
+            wanted = list(context)
+            out = [e for e in out if e.get("context") == wanted]
+        return out
+
+    def last(
+        self,
+        kind: str | None = None,
+        context: tuple[str, str] | None = None,
+    ) -> dict | None:
+        """The most recent matching entry, or None."""
+        matching = self.entries(kind=kind, context=context)
+        return matching[-1] if matching else None
+
+    def tail(self, n: int) -> list[dict]:
+        """The last ``n`` valid entries, file order."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        return self.entries()[-n:] if n else []
+
+    def contexts(self) -> list[tuple[str, str]]:
+        """Distinct context keys that appear in the ledger, sorted."""
+        seen = {
+            tuple(e["context"])
+            for e in self.entries()
+            if isinstance(e.get("context"), list) and len(e["context"]) == 2
+        }
+        return sorted(seen)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def _seed_seq(self) -> int:
+        highest = 0
+        for entry in self.entries():
+            seq = entry.get("seq")
+            if isinstance(seq, int) and seq > highest:
+                highest = seq
+        return highest + 1
+
+    def append(
+        self,
+        kind: str,
+        context: tuple[str, str] | None = None,
+        **fields: Any,
+    ) -> dict:
+        """Record one entry; returns it with ``seq``/``ts`` filled in.
+
+        The write is a single ``os.write`` on an ``O_APPEND`` descriptor
+        — whole-line atomic against concurrent appenders — preceded, when
+        the file's last byte is not a newline (a previous torn write), by
+        a healing ``\\n`` so the fragment is isolated on its own line.
+
+        Args:
+            kind: entry kind (``train``, ``signature``, ``diagnose``,
+                ``cluster-diagnose``, ``experiment``, or any caller tag).
+            context: the operation-context key the entry concerns.
+            **fields: arbitrary JSON-serialisable payload.
+        """
+        if not kind:
+            raise ValueError("entry kind must be non-empty")
+        entry: dict[str, Any] = dict(fields)
+        entry["kind"] = kind
+        if context is not None:
+            entry["context"] = list(context)
+        entry["format"] = LEDGER_FORMAT
+        entry["ts"] = round(time.time(), 6)
+        with self._lock:
+            if self._next_seq is None:
+                self._next_seq = self._seed_seq()
+            entry["seq"] = self._next_seq
+            self._next_seq += 1
+            line = json.dumps(
+                entry, sort_keys=True, separators=(",", ":"), default=repr
+            )
+            data = (line + "\n").encode("utf-8")
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(
+                self.path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            try:
+                if self._missing_trailing_newline(fd):
+                    data = b"\n" + data
+                os.write(fd, data)
+            finally:
+                os.close(fd)
+        return entry
+
+    @staticmethod
+    def _missing_trailing_newline(fd: int) -> bool:
+        size = os.fstat(fd).st_size
+        if size == 0:
+            return False
+        return os.pread(fd, 1, size - 1) != b"\n"

@@ -1,0 +1,109 @@
+"""Chrome ``trace_event`` / Perfetto export of finished spans.
+
+:func:`repro.obs.render_trace` gives a terminal view of the span tree;
+this module gives the same data to the tools operators actually inspect
+traces with: ``chrome://tracing``, Perfetto UI, ``speedscope`` — anything
+that reads the Trace Event Format's JSON-object flavour.
+
+Every finished span becomes one complete event (``"ph": "X"``) with
+microsecond ``ts``/``dur``; timestamps are shifted so the earliest span
+starts at 0 (the tracer's monotonic clock has an arbitrary origin, and
+viewers only care about relative placement).  Nesting is conveyed the way
+the format intends — children's intervals lie inside their parents' on
+the same track — so the viewer reconstructs the exact tree
+:func:`~repro.obs.tracing.render_spans` prints.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.obs.tracing import Span
+
+__all__ = [
+    "to_trace_events",
+    "chrome_trace",
+    "write_chrome_trace",
+    "TRACE_PID",
+    "TRACE_TID",
+]
+
+#: Synthetic process/thread ids: spans carry no thread identity (each
+#: thread has its own stack), so all events share one track.
+TRACE_PID = 1
+TRACE_TID = 1
+
+_SECONDS_TO_MICROS = 1e6
+
+
+def _arg_value(value: Any) -> Any:
+    """Span attributes as JSON-safe ``args`` values."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def to_trace_events(spans: Iterable[Span]) -> list[dict[str, Any]]:
+    """Flatten finished span trees into ``trace_event`` dicts.
+
+    Open spans (no end time yet) are omitted — the complete-event phase
+    requires a duration.  Event order is depth-first per tree, which
+    keeps parents before children as the format recommends.
+    """
+    roots = list(spans)
+    starts = [
+        s.start_time
+        for root in roots
+        for s in root.walk()
+        if s.start_time is not None
+    ]
+    origin = min(starts) if starts else 0.0
+    events: list[dict[str, Any]] = []
+    for root in roots:
+        for span in root.walk():
+            if span.start_time is None or span.end_time is None:
+                continue
+            event: dict[str, Any] = {
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": (span.start_time - origin) * _SECONDS_TO_MICROS,
+                "dur": (span.end_time - span.start_time)
+                * _SECONDS_TO_MICROS,
+                "pid": TRACE_PID,
+                "tid": TRACE_TID,
+            }
+            if span.attributes:
+                event["args"] = {
+                    key: _arg_value(span.attributes[key])
+                    for key in sorted(span.attributes)
+                }
+            events.append(event)
+    return events
+
+
+def chrome_trace(spans: Iterable[Span]) -> dict[str, Any]:
+    """The full JSON-object document Chrome/Perfetto load directly."""
+    return {
+        "traceEvents": to_trace_events(spans),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+
+
+def write_chrome_trace(path: str | Path, spans: Iterable[Span]) -> Path:
+    """Write the trace document for ``spans`` to ``path``.
+
+    Returns:
+        The path written, for chaining into log messages.
+    """
+    path = Path(path)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(chrome_trace(spans), sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path

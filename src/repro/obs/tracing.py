@@ -27,6 +27,7 @@ threads), while ``finished`` is shared under a lock.
 
 from __future__ import annotations
 
+import functools
 import threading
 import time
 from collections import deque
@@ -180,15 +181,13 @@ class Tracer:
         """Decorator form: time every call of the wrapped function."""
 
         def decorate(fn: Callable) -> Callable:
+            @functools.wraps(fn)
             def wrapper(*args: Any, **kwargs: Any) -> Any:
                 if not self.enabled:
                     return fn(*args, **kwargs)
                 with Span(self, name):
                     return fn(*args, **kwargs)
 
-            wrapper.__name__ = getattr(fn, "__name__", name)
-            wrapper.__doc__ = fn.__doc__
-            wrapper.__wrapped__ = fn
             return wrapper
 
         return decorate
@@ -223,6 +222,17 @@ class Tracer:
         """Drop all finished spans (open spans are left alone)."""
         with self._lock:
             self.finished.clear()
+
+    def discard(self, span: Span) -> None:
+        """Remove one finished root span, if retained.
+
+        Used by callers that *borrow* the tracer — temporarily enabling
+        it to measure stage timings for the run ledger — so the borrowed
+        root does not pollute the user-visible ``--trace`` output.
+        """
+        with self._lock:
+            if span in self.finished:
+                self.finished.remove(span)
 
     def roots(self) -> list[Span]:
         """Completed root spans, oldest first."""

@@ -42,6 +42,7 @@ from urllib.parse import quote, unquote
 import repro.obs as obs
 from repro.core.anomaly import AnomalyDetector
 from repro.core.context import OperationContext
+from repro.obs.ledger import LEDGER_NAME, RunLedger
 from repro.core.persistence import (
     atomic_write_text,
     load_invariants,
@@ -104,6 +105,28 @@ class DirectoryStore(ModelStore):
         self.max_resident = max_resident
         self._resident: OrderedDict[ContextKey, ContextModels] = OrderedDict()
         self._manifest = self._read_manifest()
+        self._ledger: RunLedger | None = None
+
+    # ------------------------------------------------------------------
+    # run ledger
+    # ------------------------------------------------------------------
+    @property
+    def ledger_path(self) -> Path:
+        """Where this registry's run ledger lives (may not exist yet)."""
+        return self.root / LEDGER_NAME
+
+    def ledger(self) -> RunLedger:
+        """The run ledger colocated with this registry.
+
+        The ledger is lazy — no file is created until the first append —
+        and cached so every pipeline attached to this store shares one
+        sequence counter.  Attaching a fresh pipeline to an existing
+        registry therefore restores the models *and* the run history
+        behind them.
+        """
+        if self._ledger is None:
+            self._ledger = RunLedger(self.ledger_path)
+        return self._ledger
 
     # ------------------------------------------------------------------
     # manifest

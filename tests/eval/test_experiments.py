@@ -3,14 +3,18 @@
 import numpy as np
 import pytest
 
+from repro.core import InvarNetX, OperationContext
+from repro.datagen.campaigns import CampaignConfig, FaultCampaign
 from repro.eval.experiments import (
     BATCH_FAULT_NAMES,
     INTERACTIVE_FAULT_NAMES,
+    run_diagnosis_experiment,
     run_fig2_cpi_disturbance,
     run_fig4_cpi_kpi,
     run_fig5_residuals,
     run_fig6_threshold_rules,
 )
+from repro.store import DirectoryStore
 
 
 class TestFaultLists:
@@ -86,3 +90,40 @@ class TestFig6:
         for rows in scores.values():
             for r in rows:
                 assert r.problem_detected
+
+
+class TestExperimentLedger:
+    def test_experiment_appends_a_summary_entry(self, cluster, tmp_path):
+        """A system over a DirectoryStore leaves one ``experiment`` ledger
+        entry per campaign, carrying the scored averages."""
+        config = CampaignConfig(
+            workload="grep", n_normal=3, train_reps=1, test_reps=2,
+            base_seed=77,
+        )
+        campaign = FaultCampaign(cluster, config, ("CPU-hog",))
+        system = InvarNetX(store=DirectoryStore(tmp_path))
+        ctx = OperationContext("grep", "slave-1", cluster.ip_of("slave-1"))
+        result = run_diagnosis_experiment(system, campaign, ctx, "InvarNet-X")
+        entry = system.ledger.last(kind="experiment")
+        assert entry is not None
+        assert entry["system"] == "InvarNet-X"
+        assert entry["context"] == ["grep", "slave-1"]
+        assert entry["runs"] == len(result.outcomes)
+        assert entry["detected"] == sum(
+            1 for o in result.outcomes if o.detected
+        )
+        average = result.scores["average"]
+        assert entry["precision"] == pytest.approx(average.precision)
+        assert entry["recall"] == pytest.approx(average.recall)
+        assert entry["fingerprint"] == system.fingerprint
+
+    def test_memory_store_system_records_nothing(self, cluster):
+        config = CampaignConfig(
+            workload="grep", n_normal=2, train_reps=1, test_reps=1,
+            base_seed=78,
+        )
+        campaign = FaultCampaign(cluster, config, ("CPU-hog",))
+        system = InvarNetX()
+        ctx = OperationContext("grep", "slave-1", cluster.ip_of("slave-1"))
+        run_diagnosis_experiment(system, campaign, ctx, "InvarNet-X")
+        assert system.ledger is None

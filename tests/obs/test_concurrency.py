@@ -1,0 +1,243 @@
+"""Concurrency stress tests for the tracer and metrics registry.
+
+The diagnoser runs one pipeline per cluster node from worker threads
+(:mod:`repro.core.orchestrator`), so both observability singletons must
+tolerate concurrent writers: spans nest per-thread (thread-local
+stacks), counters must not lose increments, and the Prometheus export
+must be byte-stable once the writers quiesce.
+"""
+
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+THREADS = 8
+ITERATIONS = 200
+
+
+def _run_in_threads(work):
+    """Run ``work(thread_index)`` in THREADS threads; re-raise failures."""
+    errors = []
+
+    def wrapped(tid):
+        try:
+            work(tid)
+        except BaseException as exc:  # surfaced in the main thread below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(t,)) for t in range(THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+class TestConcurrentCounters:
+    def test_no_lost_updates_on_shared_series(self):
+        registry = MetricsRegistry(enabled=True)
+        counter = registry.counter(
+            "stress_total", "stress counter", labelnames=("context",)
+        )
+        # Pre-bind one handle per thread label plus one shared series that
+        # every thread hammers — the shared series is where lost updates
+        # would show.
+        shared = counter.series(context="all")
+
+        def work(tid):
+            mine = counter.series(context=f"t{tid}")
+            for _ in range(ITERATIONS):
+                mine.inc()
+                shared.inc()
+
+        _run_in_threads(work)
+        assert shared.value == THREADS * ITERATIONS
+        for tid in range(THREADS):
+            assert counter.value(context=f"t{tid}") == ITERATIONS
+
+    def test_histogram_counts_are_exact(self):
+        registry = MetricsRegistry(enabled=True)
+        hist = registry.histogram(
+            "stress_seconds", "stress histogram", labelnames=("context",)
+        )
+
+        def work(tid):
+            series = hist.series(context="all")
+            for i in range(ITERATIONS):
+                series.observe(0.0001 * (i % 7 + 1))
+
+        _run_in_threads(work)
+        series = hist.series(context="all")
+        assert series.count == THREADS * ITERATIONS
+        assert sum(series.counts) == THREADS * ITERATIONS
+
+    def test_series_creation_race_yields_one_handle(self):
+        registry = MetricsRegistry(enabled=True)
+        counter = registry.counter(
+            "race_total", "race", labelnames=("context",)
+        )
+        handles = [None] * THREADS
+        barrier = threading.Barrier(THREADS)
+
+        def work(tid):
+            barrier.wait()
+            handles[tid] = counter.series(context="same")
+            handles[tid].inc()
+
+        _run_in_threads(work)
+        assert len({id(h) for h in handles}) == 1
+        assert counter.value(context="same") == THREADS
+
+
+class TestConcurrentSpans:
+    def test_nested_spans_stay_on_their_thread(self):
+        tracer = Tracer(enabled=True, max_finished=THREADS * ITERATIONS + 8)
+
+        def work(tid):
+            for i in range(50):
+                with tracer.span(f"outer-{tid}") as outer:
+                    outer.set(i=i)
+                    with tracer.span("inner") as inner:
+                        inner.set(tid=tid)
+
+        _run_in_threads(work)
+        roots = tracer.roots()
+        assert len(roots) == THREADS * 50
+        for root in roots:
+            # Thread-local stacks: each root owns exactly its own child,
+            # never a span opened by another thread.
+            assert root.name.startswith("outer-")
+            tid = int(root.name.split("-")[1])
+            assert [c.name for c in root.children] == ["inner"]
+            assert root.children[0].attributes["tid"] == tid
+
+    def test_span_counts_per_thread_exact(self):
+        tracer = Tracer(enabled=True, max_finished=THREADS * 60)
+
+        def work(tid):
+            for _ in range(40):
+                with tracer.span(f"stage-{tid}"):
+                    pass
+
+        _run_in_threads(work)
+        for tid in range(THREADS):
+            assert len(tracer.find(f"stage-{tid}")) == 40
+
+
+class TestMixedStress:
+    def test_spans_and_counters_together_then_stable_export(self):
+        """The satellite's acceptance shape: N threads open nested spans
+        and bump labelled counters concurrently; afterwards no update is
+        lost and ``render_prometheus()`` is byte-stable."""
+        registry = MetricsRegistry(enabled=True)
+        tracer = Tracer(enabled=True, max_finished=THREADS * ITERATIONS + 8)
+        counter = registry.counter(
+            "invarnetx_stress_ops_total", "ops", labelnames=("context",)
+        )
+        hist = registry.histogram(
+            "invarnetx_stress_seconds", "durations", labelnames=("context",)
+        )
+        barrier = threading.Barrier(THREADS)
+
+        def work(tid):
+            label = f"wc@node-{tid}"
+            ops = counter.series(context=label)
+            durations = hist.series(context=label)
+            barrier.wait()
+            for i in range(ITERATIONS):
+                with tracer.span("diagnose") as outer:
+                    outer.set(i=i)
+                    with tracer.span("detect"):
+                        pass
+                ops.inc()
+                counter.inc(context="all")
+                durations.observe(outer.duration or 0.0)
+
+        _run_in_threads(work)
+
+        # No lost updates anywhere.
+        assert counter.value(context="all") == THREADS * ITERATIONS
+        for tid in range(THREADS):
+            label = f"wc@node-{tid}"
+            assert counter.value(context=label) == ITERATIONS
+            assert hist.series(context=label).count == ITERATIONS
+
+        # Byte-stable export once writers quiesce.
+        first = registry.render_prometheus()
+        second = registry.render_prometheus()
+        assert first == second
+        assert isinstance(first, str) and first.encode() == second.encode()
+        assert 'invarnetx_stress_ops_total{context="all"} %d' % (
+            THREADS * ITERATIONS
+        ) in first
+
+    def test_enabled_flip_mid_stress_never_corrupts(self):
+        """Toggling the registry off mid-run may drop increments (that is
+        the point of the switch) but must never corrupt series state."""
+        registry = MetricsRegistry(enabled=True)
+        counter = registry.counter("flip_total", "flip")
+        series = counter.series()
+        stop = threading.Event()
+
+        def toggler():
+            while not stop.is_set():
+                registry.enabled = not registry.enabled
+            registry.enabled = True
+
+        def work(tid):
+            for _ in range(ITERATIONS):
+                series.inc()
+
+        flipper = threading.Thread(target=toggler)
+        flipper.start()
+        try:
+            _run_in_threads(work)
+        finally:
+            stop.set()
+            flipper.join()
+        value = series.value
+        assert 0 <= value <= THREADS * ITERATIONS
+        assert value == int(value)  # integral: no torn read-modify-write
+        # The export still renders and parses cleanly.
+        text = registry.render_prometheus()
+        assert text == registry.render_prometheus()
+
+
+class TestConcurrentLedgerAndTrace:
+    def test_trace_export_during_span_churn(self, tmp_path):
+        """Exporting while other threads finish spans must not crash or
+        emit malformed events (snapshot semantics on the deque)."""
+        import json
+
+        from repro.obs.traceexport import write_chrome_trace
+
+        tracer = Tracer(enabled=True, max_finished=4096)
+        stop = threading.Event()
+
+        def churn(tid):
+            while not stop.is_set():
+                with tracer.span(f"churn-{tid}"):
+                    pass
+
+        threads = [
+            threading.Thread(target=churn, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            for i in range(10):
+                path = write_chrome_trace(
+                    tmp_path / f"trace-{i}.json", tracer.roots()
+                )
+                doc = json.loads(path.read_text(encoding="utf-8"))
+                for event in doc["traceEvents"]:
+                    assert event["ph"] == "X"
+                    assert event["dur"] >= 0
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()

@@ -1,0 +1,320 @@
+"""Tests for the drift watchdog: each check, ok→warn flips, determinism."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.signatures import SignatureDatabase
+from repro.obs.health import (
+    OK,
+    SKIP,
+    WARN,
+    CHECK_NAMES,
+    HealthThresholds,
+    score_context,
+    score_store,
+)
+from repro.obs.ledger import RunLedger
+from repro.store import ContextModels, MemoryStore
+
+KEY = ("wordcount", "slave-1")
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    return RunLedger(tmp_path / "ledger.jsonl")
+
+
+def train_entry(
+    ledger,
+    p90=0.10,
+    spreads=(0.05, 0.10),
+    timings=None,
+    key=KEY,
+):
+    ledger.append(
+        "train",
+        context=key,
+        runs=8,
+        invariants=len(spreads),
+        residual_summary={
+            "count": 100, "mean": p90 * 0.5, "p50": p90 * 0.5,
+            "p90": p90, "max": p90 * 1.4,
+        },
+        invariant_spread=list(spreads),
+        stage_timings=timings or {"pipeline.train_from_runs": 1.0},
+    )
+
+
+def diagnose_entry(ledger, p90=0.10, timings=None, key=KEY):
+    ledger.append(
+        "diagnose",
+        context=key,
+        detected=False,
+        residual_summary={
+            "count": 60, "mean": p90 * 0.5, "p50": p90 * 0.5,
+            "p90": p90, "max": p90 * 1.3,
+        },
+        stage_timings=timings or {"pipeline.diagnose_run": 0.05},
+    )
+
+
+def models_with_signatures(*tuples_by_problem):
+    database = SignatureDatabase()
+    for problem, violations in tuples_by_problem:
+        database.add(np.asarray(violations, dtype=bool), problem)
+    return ContextModels(database=database)
+
+
+class TestResidualDrift:
+    def check(self, ledger, models=None):
+        return score_context(KEY, models, ledger).check("residual-drift")
+
+    def test_steady_residuals_ok(self, ledger):
+        train_entry(ledger, p90=0.10)
+        for _ in range(3):
+            diagnose_entry(ledger, p90=0.11)
+        result = self.check(ledger)
+        assert result.status == OK
+        assert result.value == pytest.approx(1.1)
+
+    def test_drifted_residuals_flip_to_warn(self, ledger):
+        train_entry(ledger, p90=0.10)
+        result_before = self.check(ledger)
+        for _ in range(3):
+            diagnose_entry(ledger, p90=0.20)  # 2x the training level
+        result_after = self.check(ledger)
+        assert result_before.status == SKIP  # no diagnosed runs yet
+        assert result_after.status == WARN
+        assert result_after.value == pytest.approx(2.0)
+
+    def test_median_over_window_resists_one_outlier(self, ledger):
+        train_entry(ledger, p90=0.10)
+        for _ in range(4):
+            diagnose_entry(ledger, p90=0.10)
+        diagnose_entry(ledger, p90=0.50)  # one faulty run, not drift
+        assert self.check(ledger).status == OK
+
+    def test_skips_without_training_summary(self, ledger):
+        diagnose_entry(ledger, p90=0.2)
+        assert self.check(ledger).status == SKIP
+
+
+class TestFragileInvariants:
+    def check(self, ledger):
+        return score_context(KEY, None, ledger).check("fragile-invariants")
+
+    def test_comfortable_spreads_ok(self, ledger):
+        train_entry(ledger, spreads=(0.05, 0.10, 0.15))
+        result = self.check(ledger)
+        assert result.status == OK
+        assert result.value == 0.0
+
+    def test_spread_near_tau_flips_to_warn(self, ledger):
+        # tau=0.2, margin=0.02: a pair at 0.19 is one noisy run from
+        # flipping out of the invariant set.
+        train_entry(ledger, spreads=(0.05, 0.19))
+        result = self.check(ledger)
+        assert result.status == WARN
+        assert result.value == 1.0
+
+    def test_margin_is_configurable(self, ledger):
+        train_entry(ledger, spreads=(0.15,))
+        t = HealthThresholds(fragility_margin=0.06)
+        result = score_context(KEY, None, ledger, t).check(
+            "fragile-invariants"
+        )
+        assert result.status == WARN
+
+    def test_skips_without_spreads(self, ledger):
+        ledger.append("train", context=KEY, runs=8)
+        assert self.check(ledger).status == SKIP
+
+
+class TestAmbiguousSignatures:
+    def check(self, models, thresholds=None):
+        return score_context(KEY, models, None, thresholds).check(
+            "ambiguous-signatures"
+        )
+
+    def test_distinct_signatures_ok(self):
+        models = models_with_signatures(
+            ("CPU-hog", [1, 1, 0, 0, 0, 0, 0, 0]),
+            ("Mem-hog", [0, 0, 0, 0, 0, 0, 1, 1]),
+        )
+        result = self.check(models)
+        assert result.status == OK
+        assert result.value == pytest.approx(0.5)
+
+    def test_near_duplicate_flips_to_warn(self):
+        # The paper's Net-drop/Net-delay conflict: tuples differing in
+        # nothing at all are indistinguishable to the ranker.
+        models = models_with_signatures(
+            ("Net-drop", [1, 1, 1, 0, 0, 0, 0, 0]),
+            ("Net-delay", [1, 1, 1, 0, 0, 0, 0, 0]),
+        )
+        result = self.check(models)
+        assert result.status == WARN
+        assert result.value == 0.0
+        assert "Net-delay" in result.detail and "Net-drop" in result.detail
+
+    def test_same_problem_pairs_do_not_conflict(self):
+        models = models_with_signatures(
+            ("CPU-hog", [1, 1, 0, 0]),
+            ("CPU-hog", [1, 1, 0, 1]),  # a second CPU-hog signature
+            ("Mem-hog", [0, 0, 1, 1]),
+        )
+        assert self.check(models).status == OK
+
+    def test_skips_with_fewer_than_two_problems(self):
+        assert self.check(models_with_signatures()).status == SKIP
+        one = models_with_signatures(("CPU-hog", [1, 0]))
+        assert self.check(one).status == SKIP
+        assert self.check(None).status == SKIP
+
+
+class TestStaleness:
+    def check(self, ledger, thresholds=None):
+        return score_context(KEY, None, ledger, thresholds).check("staleness")
+
+    def test_fresh_context_ok(self, ledger):
+        train_entry(ledger)
+        diagnose_entry(ledger)
+        result = self.check(ledger)
+        assert result.status == OK
+        assert result.value == 1.0
+
+    def test_many_runs_since_retrain_flip_to_warn(self, ledger):
+        train_entry(ledger)
+        t = HealthThresholds(stale_runs=3)
+        for _ in range(4):
+            diagnose_entry(ledger)
+        assert self.check(ledger, t).status == WARN
+
+    def test_retrain_resets_the_count(self, ledger):
+        train_entry(ledger)
+        t = HealthThresholds(stale_runs=3)
+        for _ in range(4):
+            diagnose_entry(ledger)
+        train_entry(ledger)  # retrained: diagnoses before it do not count
+        result = self.check(ledger, t)
+        assert result.status == OK
+        assert result.value == 0.0
+
+    def test_skips_without_history(self, ledger):
+        assert self.check(ledger).status == SKIP
+
+
+class TestTimingRegression:
+    def check(self, ledger, thresholds=None):
+        return score_context(KEY, None, ledger, thresholds).check(
+            "timing-regression"
+        )
+
+    def test_steady_timings_ok(self, ledger):
+        for _ in range(5):
+            diagnose_entry(ledger, timings={"pipeline.diagnose_run": 0.05})
+        result = self.check(ledger)
+        assert result.status == OK
+        assert result.value == pytest.approx(1.0)
+
+    def test_regressed_stage_flips_to_warn(self, ledger):
+        for _ in range(5):
+            diagnose_entry(ledger, timings={"pipeline.diagnose_run": 0.05})
+        diagnose_entry(ledger, timings={"pipeline.diagnose_run": 0.50})
+        result = self.check(ledger)
+        assert result.status == WARN
+        assert "pipeline.diagnose_run" in result.detail
+
+    def test_min_delta_guards_microsecond_stages(self, ledger):
+        # 10x regression but only 0.9 ms absolute: below timing_min_delta,
+        # so the check must not flap.
+        for _ in range(5):
+            diagnose_entry(ledger, timings={"store.load": 0.0001})
+        diagnose_entry(ledger, timings={"store.load": 0.001})
+        assert self.check(ledger).status == OK
+
+    def test_skips_with_short_history(self, ledger):
+        for _ in range(3):
+            diagnose_entry(ledger)
+        assert self.check(ledger).status == SKIP
+
+    def test_new_stage_without_baseline_ignored(self, ledger):
+        for _ in range(4):
+            diagnose_entry(ledger, timings={"pipeline.diagnose_run": 0.05})
+        diagnose_entry(
+            ledger,
+            timings={"pipeline.diagnose_run": 0.05, "pipeline.infer": 9.0},
+        )
+        assert self.check(ledger).status == OK
+
+
+class TestScoring:
+    def test_every_check_present_in_fixed_order(self, ledger):
+        health = score_context(KEY, None, ledger)
+        assert tuple(c.name for c in health.checks) == CHECK_NAMES
+
+    def test_all_skip_context(self, ledger):
+        health = score_context(KEY, None, ledger)
+        assert health.status == SKIP
+        assert health.score == 1.0
+
+    def test_score_is_fraction_of_decidable_checks(self, ledger):
+        train_entry(ledger, p90=0.10, spreads=(0.19,))  # fragile
+        for _ in range(3):
+            diagnose_entry(ledger, p90=0.10)
+        health = score_context(KEY, None, ledger)
+        # drift ok, fragile warn, ambiguity skip (no models), staleness
+        # ok, timing ok (no stage has a 3-run baseline yet, so nothing
+        # regressed) → 3 ok of 4 decidable.
+        assert health.status == WARN
+        assert health.score == pytest.approx(3 / 4)
+
+    def test_score_store_unions_store_and_ledger_contexts(self, ledger):
+        store = MemoryStore()
+        store.adopt(("wc", "n1"), models_with_signatures())
+        train_entry(ledger, key=("wc", "n2"))  # history but no models
+        report = score_store(store, ledger=ledger)
+        assert [tuple(c.key) for c in report.contexts] == [
+            ("wc", "n1"), ("wc", "n2"),
+        ]
+        assert report.ledger_entries == 1
+
+    def test_report_json_and_text_deterministic(self, ledger):
+        store = MemoryStore()
+        store.adopt(
+            KEY,
+            models_with_signatures(
+                ("CPU-hog", [1, 1, 0, 0]), ("Mem-hog", [0, 0, 1, 1])
+            ),
+        )
+        train_entry(ledger, spreads=(0.19, 0.05))
+        for _ in range(3):
+            diagnose_entry(ledger, p90=0.25)
+
+        def render():
+            report = score_store(store, ledger=ledger)
+            return (
+                json.dumps(report.to_json(), sort_keys=True),
+                report.render_text(),
+            )
+
+        assert render() == render()
+        as_json, as_text = render()
+        parsed = json.loads(as_json)
+        assert parsed["warnings"] == 2  # drift + fragility
+        assert "residual-drift" in as_text
+        assert "thresholds" in parsed
+
+    def test_worst_of_status(self):
+        health = score_context(
+            KEY,
+            models_with_signatures(
+                ("A", [1, 0, 0, 0]), ("B", [1, 0, 0, 1])
+            ),
+            None,
+        )
+        # ambiguity decidable (distance 0.25 > floor → ok), rest skip.
+        assert health.status == OK
+        assert health.score == 1.0

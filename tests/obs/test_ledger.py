@@ -1,0 +1,222 @@
+"""Tests for the append-only run ledger: round-trips, atomicity, healing."""
+
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs.ledger import (
+    LEDGER_FORMAT,
+    RunLedger,
+    config_fingerprint,
+    stage_timings,
+    summarize_residuals,
+)
+from repro.obs.tracing import Tracer
+
+from .test_tracing import FakeClock
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    return RunLedger(tmp_path / "ledger.jsonl")
+
+
+class TestAppendAndRead:
+    def test_missing_file_reads_empty(self, ledger):
+        assert ledger.entries() == []
+        assert len(ledger) == 0
+        assert ledger.last() is None
+        assert not ledger.path.exists()
+
+    def test_round_trip_preserves_fields(self, ledger):
+        entry = ledger.append(
+            "train", context=("wordcount", "slave-1"), runs=8, nested={"a": 1}
+        )
+        (read,) = ledger.entries()
+        assert read == entry
+        assert read["kind"] == "train"
+        assert read["context"] == ["wordcount", "slave-1"]
+        assert read["runs"] == 8
+        assert read["nested"] == {"a": 1}
+        assert read["format"] == LEDGER_FORMAT
+        assert isinstance(read["ts"], float)
+
+    def test_seq_is_monotonic_and_survives_reopen(self, ledger):
+        for i in range(3):
+            ledger.append("diagnose", run=i)
+        assert [e["seq"] for e in ledger.entries()] == [1, 2, 3]
+        reopened = RunLedger(ledger.path)
+        reopened.append("diagnose", run=3)
+        assert [e["seq"] for e in reopened.entries()] == [1, 2, 3, 4]
+
+    def test_kind_and_context_filters(self, ledger):
+        ledger.append("train", context=("wc", "n1"))
+        ledger.append("diagnose", context=("wc", "n1"))
+        ledger.append("diagnose", context=("wc", "n2"))
+        assert len(ledger.entries(kind="diagnose")) == 2
+        assert len(ledger.entries(context=("wc", "n1"))) == 2
+        assert len(ledger.entries(kind="diagnose", context=("wc", "n2"))) == 1
+        assert ledger.last(kind="train")["context"] == ["wc", "n1"]
+
+    def test_contexts_sorted_and_distinct(self, ledger):
+        ledger.append("train", context=("b", "2"))
+        ledger.append("train", context=("a", "1"))
+        ledger.append("diagnose", context=("b", "2"))
+        ledger.append("note")  # context-free entry ignored
+        assert ledger.contexts() == [("a", "1"), ("b", "2")]
+
+    def test_tail(self, ledger):
+        for i in range(5):
+            ledger.append("diagnose", run=i)
+        assert [e["run"] for e in ledger.tail(2)] == [3, 4]
+        assert ledger.tail(0) == []
+        with pytest.raises(ValueError):
+            ledger.tail(-1)
+
+    def test_empty_kind_rejected(self, ledger):
+        with pytest.raises(ValueError, match="kind"):
+            ledger.append("")
+
+    def test_non_serialisable_payload_falls_back_to_repr(self, ledger):
+        ledger.append("train", weird=object())
+        (read,) = ledger.entries()
+        assert "object object" in read["weird"]
+
+
+class TestTornWriteTolerance:
+    def test_torn_trailing_line_is_skipped(self, ledger):
+        ledger.append("train", runs=8)
+        ledger.append("diagnose", detected=True)
+        with open(ledger.path, "ab") as fh:
+            fh.write(b'{"kind": "diagnose", "dete')  # crash mid-append
+        damaged = RunLedger(ledger.path)
+        assert [e["kind"] for e in damaged.entries()] == ["train", "diagnose"]
+        assert damaged.skipped == 1
+
+    def test_append_heals_a_torn_tail(self, ledger):
+        ledger.append("train", runs=8)
+        with open(ledger.path, "ab") as fh:
+            fh.write(b'{"torn": tru')
+        healed = RunLedger(ledger.path)
+        entry = healed.append("diagnose", detected=False)
+        # The torn fragment is isolated on its own line; the new entry
+        # parses cleanly and the fragment stays the only casualty.
+        entries = healed.entries()
+        assert [e["kind"] for e in entries] == ["train", "diagnose"]
+        assert healed.skipped == 1
+        assert entries[-1] == entry
+        raw_lines = ledger.path.read_bytes().split(b"\n")
+        assert raw_lines[1] == b'{"torn": tru'
+
+    def test_non_dict_lines_are_skipped(self, ledger):
+        ledger.append("train")
+        with open(ledger.path, "ab") as fh:
+            fh.write(b'[1, 2, 3]\n"just a string"\n')
+        assert [e["kind"] for e in ledger.entries()] == ["train"]
+        assert ledger.skipped == 2
+
+    def test_seq_reseeds_past_damage(self, ledger):
+        ledger.append("train")
+        ledger.append("diagnose")
+        with open(ledger.path, "ab") as fh:
+            fh.write(b"garbage")
+        reopened = RunLedger(ledger.path)
+        entry = reopened.append("diagnose")
+        assert entry["seq"] == 3
+
+
+class TestConcurrentAppends:
+    def test_parallel_appends_lose_nothing(self, ledger):
+        threads_n, per_thread = 8, 25
+
+        def work(tid):
+            for i in range(per_thread):
+                ledger.append("diagnose", thread=tid, i=i)
+
+        threads = [
+            threading.Thread(target=work, args=(t,)) for t in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        entries = ledger.entries()
+        assert len(entries) == threads_n * per_thread
+        assert ledger.skipped == 0  # whole-line atomicity: nothing torn
+        seqs = sorted(e["seq"] for e in entries)
+        assert seqs == list(range(1, threads_n * per_thread + 1))
+        seen = {(e["thread"], e["i"]) for e in entries}
+        assert len(seen) == threads_n * per_thread
+
+    def test_two_handles_interleave_whole_lines(self, ledger):
+        other = RunLedger(ledger.path)
+        for i in range(20):
+            (ledger if i % 2 == 0 else other).append("diagnose", i=i)
+        entries = RunLedger(ledger.path).entries()
+        assert sorted(e["i"] for e in entries) == list(range(20))
+        assert all(
+            json.loads(line)  # every line parses on its own
+            for line in ledger.path.read_text().splitlines()
+        )
+
+
+class TestHelpers:
+    def test_config_fingerprint_stable_and_sensitive(self):
+        from repro.core.pipeline import InvarNetXConfig
+
+        base = config_fingerprint(InvarNetXConfig())
+        assert base == config_fingerprint(InvarNetXConfig())
+        assert base != config_fingerprint(InvarNetXConfig(beta=1.3))
+        assert len(base) == 12
+
+    def test_config_fingerprint_plain_mapping(self):
+        a = config_fingerprint({"b": 2, "a": 1})
+        b = config_fingerprint({"a": 1, "b": 2})
+        assert a == b  # key order does not matter
+
+    def test_stage_timings_sums_by_name(self):
+        tracer = Tracer(enabled=True, clock=FakeClock(step=1.0))
+        with tracer.span("outer"):
+            with tracer.span("stage"):
+                pass
+            with tracer.span("stage"):
+                pass
+        (root,) = tracer.roots()
+        timings = stage_timings([root])
+        assert timings["stage"] == 2.0  # two 1-tick spans
+        assert timings["outer"] == 5.0
+
+    def test_summarize_residuals_drops_nan(self):
+        summary = summarize_residuals(
+            np.array([np.nan, 1.0, 2.0, 3.0, np.nan])
+        )
+        assert summary["count"] == 3
+        assert summary["mean"] == 2.0
+        assert summary["p50"] == 2.0
+        assert summary["max"] == 3.0
+        assert summary["p90"] == pytest.approx(2.8)
+
+    def test_summarize_residuals_empty(self):
+        assert summarize_residuals(np.array([])) == {"count": 0}
+        assert summarize_residuals(np.array([np.nan])) == {"count": 0}
+
+
+class TestAtomicWriteShape:
+    def test_single_write_per_entry(self, ledger, monkeypatch):
+        """Each append must issue exactly one os.write — the property the
+        whole-line atomicity argument rests on."""
+        calls = []
+        real_write = os.write
+
+        def counting_write(fd, data):
+            calls.append(bytes(data))
+            return real_write(fd, data)
+
+        monkeypatch.setattr(os, "write", counting_write)
+        ledger.append("train", runs=8)
+        assert len(calls) == 1
+        assert calls[0].endswith(b"\n")
+        json.loads(calls[0])

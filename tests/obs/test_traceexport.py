@@ -1,0 +1,92 @@
+"""Tests for the Chrome trace_event export of finished spans."""
+
+import json
+
+import repro.obs as obs
+from repro.obs.traceexport import (
+    TRACE_PID,
+    TRACE_TID,
+    chrome_trace,
+    to_trace_events,
+    write_chrome_trace,
+)
+from repro.obs.tracing import Tracer
+
+from .test_tracing import FakeClock
+
+
+def _tree(clock_start=100.0):
+    """One two-level finished tree on a deterministic clock."""
+    tracer = Tracer(enabled=True, clock=FakeClock(start=clock_start, step=1.0))
+    with tracer.span("outer") as outer:
+        outer.set(runs=6, label="wc", ok=True)
+        with tracer.span("inner"):
+            pass
+    return tracer.roots()
+
+
+class TestEventShape:
+    def test_complete_events_with_micro_units(self):
+        events = to_trace_events(_tree())
+        assert [e["name"] for e in events] == ["outer", "inner"]
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["cat"] == "repro"
+            assert event["pid"] == TRACE_PID
+            assert event["tid"] == TRACE_TID
+        outer, inner = events
+        # clock ticks are 1 s; outer spans 3 ticks (enter, child, exit),
+        # inner 1 tick, offset 1 tick into outer.
+        assert outer["dur"] == 3_000_000.0
+        assert inner["dur"] == 1_000_000.0
+
+    def test_timestamps_shift_to_zero_origin(self):
+        events = to_trace_events(_tree(clock_start=5000.0))
+        assert events[0]["ts"] == 0.0
+        assert events[1]["ts"] == 1_000_000.0
+
+    def test_child_interval_nested_in_parent(self):
+        outer, inner = to_trace_events(_tree())
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"]
+
+    def test_attributes_become_sorted_args(self):
+        outer = to_trace_events(_tree())[0]
+        assert list(outer["args"]) == sorted(outer["args"])
+        assert outer["args"] == {"label": "wc", "ok": True, "runs": 6}
+
+    def test_non_primitive_attribute_stringified(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        with tracer.span("s") as sp:
+            sp.set(path=("a", "b"))
+        (event,) = to_trace_events(tracer.roots())
+        assert event["args"]["path"] == "('a', 'b')"
+
+    def test_open_spans_omitted(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        open_span = tracer.span("open")
+        open_span.__enter__()
+        assert to_trace_events([open_span]) == []
+
+    def test_empty_input(self):
+        doc = chrome_trace([])
+        assert doc["traceEvents"] == []
+        assert doc["displayTimeUnit"] == "ms"
+
+
+class TestFileRoundTrip:
+    def test_written_file_is_valid_trace_json(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "sub" / "trace.json", _tree())
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert isinstance(doc["traceEvents"], list)
+        assert len(doc["traceEvents"]) == 2
+        assert {e["ph"] for e in doc["traceEvents"]} == {"X"}
+        assert doc["otherData"]["producer"] == "repro.obs"
+
+    def test_export_helper_uses_process_tracer(self, tmp_path):
+        obs.configure(enabled=True, clock=FakeClock())
+        with obs.span("root"):
+            pass
+        path = obs.export_chrome_trace(tmp_path / "trace.json")
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert [e["name"] for e in doc["traceEvents"]] == ["root"]

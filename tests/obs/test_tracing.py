@@ -124,6 +124,37 @@ class TestSpans:
         assert double(4) == 8
         assert len(tracer.find("fn")) == 1
 
+    def test_traced_preserves_function_metadata(self):
+        """Regression: the hand-rolled attribute copy dropped
+        ``__qualname__``, ``__module__`` and ``__dict__``; ``traced`` must
+        behave like ``functools.wraps``."""
+        tracer = Tracer()
+
+        def original(x):
+            """Docs survive wrapping."""
+            return x
+
+        original.marker = "kept"
+        wrapped = tracer.traced("fn")(original)
+        assert wrapped.__name__ == "original"
+        assert wrapped.__qualname__ == original.__qualname__
+        assert "test_traced_preserves_function_metadata" in wrapped.__qualname__
+        assert wrapped.__module__ == original.__module__
+        assert wrapped.__doc__ == "Docs survive wrapping."
+        assert wrapped.__wrapped__ is original
+        assert wrapped.marker == "kept"
+
+    def test_discard_removes_one_root(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        with tracer.span("keep"):
+            pass
+        with tracer.span("drop") as dropped:
+            pass
+        tracer.discard(dropped)
+        assert [s.name for s in tracer.roots()] == ["keep"]
+        tracer.discard(dropped)  # absent span: no-op, no error
+        assert [s.name for s in tracer.roots()] == ["keep"]
+
 
 class TestRender:
     def test_indents_and_sorts_attributes(self):

@@ -243,3 +243,156 @@ class TestExperiment:
         code = main(["experiment", "fig2"])
         assert code == 0
         assert "Fig. 2" in capsys.readouterr().out
+
+
+class TestHealthAndLedger:
+    @pytest.fixture(scope="class")
+    def registry(self, tmp_path_factory):
+        """A DirectoryStore registry populated through the CLI: one
+        training pass, one signature, one diagnosed incident — the
+        colocated ledger records all three."""
+        tmp = tmp_path_factory.mktemp("health-cli")
+        normals = []
+        for i in range(6):
+            p = tmp / f"normal{i}.npz"
+            main(
+                ["simulate", "--workload", "grep", "--seed", str(600 + i),
+                 "--out", str(p)]
+            )
+            normals.append(p)
+        sig = tmp / "hog.npz"
+        main(
+            ["simulate", "--workload", "grep", "--seed", "610",
+             "--fault", "CPU-hog", "--out", str(sig)]
+        )
+        incident = tmp / "incident.npz"
+        main(
+            ["simulate", "--workload", "grep", "--seed", "611",
+             "--fault", "CPU-hog", "--out", str(incident)]
+        )
+        reg = tmp / "reg"
+        code = main(
+            [
+                "diagnose",
+                "--normal", *[str(p) for p in normals],
+                "--signature", f"CPU-hog={sig}",
+                "--incident", str(incident),
+                "--store", str(reg),
+            ]
+        )
+        assert code == 0
+        return {"reg": reg, "normals": normals, "incident": incident}
+
+    def test_health_text_report(self, registry, capsys):
+        code = main(["health", str(registry["reg"])])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "grep@slave-1" in out
+        for check in (
+            "residual-drift", "fragile-invariants", "ambiguous-signatures",
+            "staleness", "timing-regression",
+        ):
+            assert check in out
+        assert "status=" in out and "score=" in out
+
+    def test_health_json_byte_deterministic(self, registry, capsys):
+        """Acceptance: two invocations over the same registry produce
+        byte-identical JSON."""
+        assert main(["health", str(registry["reg"]), "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["health", str(registry["reg"]), "--json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        report = json.loads(first)
+        assert report["contexts"][0]["context"] == ["grep", "slave-1"]
+        assert report["thresholds"]["stale_runs"] == 50
+
+    def test_health_threshold_flags_reach_the_report(self, registry, capsys):
+        code = main(
+            ["health", str(registry["reg"]), "--json", "--stale-runs", "1"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["thresholds"]["stale_runs"] == 1
+
+    def test_health_requires_a_registry(self, tmp_path, capsys):
+        code = main(["health", str(tmp_path)])
+        assert code == 2
+        assert "no model registry" in capsys.readouterr().err
+
+    def test_ledger_list_round_trips_every_run(self, registry, capsys):
+        from repro.obs.ledger import RunLedger
+
+        recorded = RunLedger(registry["reg"] / "ledger.jsonl").entries()
+        assert recorded  # the diagnose invocation left a trail
+        code = main(["ledger", "list", str(registry["reg"])])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        rows = lines[1:]  # header first
+        assert len(rows) == len(recorded)
+        for entry, row in zip(recorded, rows):
+            assert row.split()[0] == str(entry["seq"])
+            assert entry["kind"] in row
+        kinds = {e["kind"] for e in recorded}
+        assert {"train", "signature", "diagnose"} <= kinds
+
+    def test_ledger_list_kind_filter(self, registry, capsys):
+        code = main(
+            ["ledger", "list", str(registry["reg"]), "--kind", "train"]
+        )
+        assert code == 0
+        rows = capsys.readouterr().out.strip().splitlines()[1:]
+        assert rows and all("train" in r for r in rows)
+
+    def test_ledger_show_latest_and_by_seq(self, registry, capsys):
+        assert main(["ledger", "show", str(registry["reg"])]) == 0
+        latest = json.loads(capsys.readouterr().out)
+        assert latest["kind"] == "diagnose"
+        assert main(
+            ["ledger", "show", str(registry["reg"]), "--seq", "1"]
+        ) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["seq"] == 1
+        assert first["kind"] == "train"
+
+    def test_ledger_show_unknown_seq(self, registry, capsys):
+        code = main(["ledger", "show", str(registry["reg"]), "--seq", "999"])
+        assert code == 2
+        assert "no entry with seq=999" in capsys.readouterr().err
+
+    def test_store_inspect_reports_health_and_last_entry(
+        self, registry, capsys
+    ):
+        code = main(
+            ["store", "inspect", str(registry["reg"]),
+             "--workload", "grep", "--node", "slave-1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "health:" in out and "score=" in out
+        assert "last ledger entry:" in out
+        assert "kind=diagnose" in out
+
+    def test_trace_out_writes_chrome_trace(self, registry, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        try:
+            code = main(
+                [
+                    "--trace-out", str(trace_path),
+                    "diagnose",
+                    "--normal", *[str(p) for p in registry["normals"]],
+                    "--incident", str(registry["incident"]),
+                    "--store", str(registry["reg"]),
+                ]
+            )
+        finally:
+            obs.configure(enabled=False)
+            obs.remove_handler()
+            obs.reset()
+        assert code == 0
+        assert "wrote trace to" in capsys.readouterr().err
+        doc = json.loads(trace_path.read_text(encoding="utf-8"))
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "pipeline.detect" in names
+        assert all(e["ph"] == "X" for e in doc["traceEvents"])
+        assert doc["otherData"]["producer"] == "repro.obs"
