@@ -87,6 +87,7 @@ def _write(root: ET.Element, path: str | Path) -> None:
 # ----------------------------------------------------------------------
 # performance model: (p, d, q, ip, type)
 # ----------------------------------------------------------------------
+# repro: deterministic
 def save_performance_model(
     model: ARIMAModel,
     threshold: DriftThreshold,
@@ -169,6 +170,7 @@ def load_performance_model(
 # ----------------------------------------------------------------------
 # invariants: (I, ip, type)
 # ----------------------------------------------------------------------
+# repro: deterministic
 def save_invariants(
     invariants: InvariantSet,
     context: OperationContext,
@@ -256,6 +258,7 @@ def load_invariants(
 # ----------------------------------------------------------------------
 # signatures: (binary tuple, problem name, ip, workload type)
 # ----------------------------------------------------------------------
+# repro: deterministic
 def save_signatures(db: SignatureDatabase, path: str | Path) -> None:
     """Persist a signature database."""
     root = ET.Element("signature-database")

@@ -15,6 +15,13 @@ Usage::
     from repro.lint import LintEngine
     report = LintEngine().check_source(code, "snippet.py")
 
+    invarnetx lint --deep src            # + whole-program passes
+
+``--deep`` adds the cross-module analyses of :mod:`repro.lint.project`:
+determinism taint tracking from ``# repro: deterministic`` roots and
+lock-discipline race detection over ``# repro: guarded-by=`` state, with
+a committed baseline so CI fails on new findings only.
+
 Violations can be silenced inline (``# repro: disable=rule-id``) or
 configured repo-wide via ``[tool.repro-lint]`` in ``pyproject.toml``.
 """
@@ -30,6 +37,7 @@ from repro.lint.registry import (
     register_rule,
     rule_ids,
 )
+from repro.lint.project import ProjectAnalyzer, deep_rule_ids
 from repro.lint.reporting import render, render_json, render_text
 
 __all__ = [
@@ -37,11 +45,13 @@ __all__ = [
     "LintConfig",
     "LintEngine",
     "LintReport",
+    "ProjectAnalyzer",
     "Rule",
     "Severity",
     "Violation",
     "all_rules",
     "collect_files",
+    "deep_rule_ids",
     "get_rule",
     "load_config",
     "register_rule",

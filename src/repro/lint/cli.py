@@ -2,9 +2,17 @@
 
 Exit codes are stable for CI:
 
-- ``0`` — no error-severity violations;
-- ``1`` — at least one error-severity violation (or parse error);
-- ``2`` — usage, path or configuration problem.
+- ``0`` — no error-severity violations; under ``--deep`` this includes
+  runs where every deep finding is grandfathered by the baseline file
+  (they are counted as *baselined*, not errors).  ``--write-baseline``
+  always exits ``0`` after (re)writing the baseline.
+- ``1`` — at least one error-severity violation (per-file or deep) not
+  covered by the baseline, or a parse error.
+- ``2`` — usage, path, configuration or malformed-baseline problem.
+
+``--deep`` runs the whole-program passes (determinism taint tracking and
+lock-discipline race detection, see :mod:`repro.lint.project`) on top of
+the per-file rules; without it the behaviour is unchanged.
 """
 
 from __future__ import annotations
@@ -23,6 +31,10 @@ __all__ = ["add_lint_arguments", "run_lint", "main"]
 EXIT_OK = 0
 EXIT_VIOLATIONS = 1
 EXIT_USAGE = 2
+
+#: Baseline file used when neither ``--baseline`` nor the
+#: ``[tool.repro-lint.project]`` table names one.
+DEFAULT_BASELINE = "lint-baseline.json"
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -66,6 +78,27 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="ignore pyproject configuration entirely",
     )
     parser.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the whole-program passes: determinism taint "
+        "tracking and lock-discipline race detection",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="baseline file grandfathering known deep findings "
+        "(default: [tool.repro-lint.project] baseline, then "
+        f"{DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current deep findings to the baseline file and "
+        "exit 0 (implies --deep)",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print every rule with its severity and description, then exit",
@@ -75,7 +108,11 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
 def _list_rules() -> str:
     lines = []
     for cls in all_rules():
-        lines.append(f"{cls.rule_id} [{cls.severity.value}]")
+        scope = " (--deep)" if cls.project_pass else ""
+        lines.append(
+            f"{cls.rule_id} [{cls.severity.value}] "
+            f"<{cls.category}>{scope}"
+        )
         lines.append(f"    {cls.description}")
         lines.append(f"    why: {cls.rationale}")
     return "\n".join(lines)
@@ -116,6 +153,8 @@ def run_lint(args: argparse.Namespace) -> int:
             )
             return EXIT_USAGE
 
+    deep = args.deep or args.write_baseline
+
     engine = LintEngine(
         config=config,
         selected=args.select,
@@ -126,6 +165,60 @@ def run_lint(args: argparse.Namespace) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
+
+    if deep:
+        # Imported lazily so plain per-file runs never pay for the
+        # whole-program machinery.
+        from repro.lint.project import (
+            BaselineError,
+            ProjectAnalyzer,
+            apply_baseline,
+            load_baseline,
+            write_baseline,
+        )
+
+        analyzer = ProjectAnalyzer(
+            config=config,
+            selected=args.select,
+            extra_disabled=args.disable,
+        )
+        try:
+            deep_report = analyzer.analyze_paths(args.paths)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+
+        baseline_path = (
+            args.baseline
+            if args.baseline is not None
+            else Path(config.baseline)
+            if config.baseline is not None
+            else Path(DEFAULT_BASELINE)
+        )
+        if args.write_baseline:
+            count = write_baseline(baseline_path, deep_report.violations)
+            print(
+                f"wrote {count} baseline entr"
+                f"{'y' if count == 1 else 'ies'} to {baseline_path}"
+            )
+            return EXIT_OK
+        try:
+            baseline = load_baseline(baseline_path)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        apply_baseline(deep_report, baseline)
+        for stale in baseline.stale:
+            print(
+                "warning: stale baseline entry (no matching finding): "
+                f"{stale[0]}: {stale[1]}: {stale[2]}",
+                file=sys.stderr,
+            )
+        report.extend(deep_report.violations)
+        report.suppressed_count += deep_report.suppressed_count
+        report.baselined_count += deep_report.baselined_count
+        report.sort()
+
     print(render(report, args.format))
     return EXIT_OK if report.ok else EXIT_VIOLATIONS
 
@@ -136,7 +229,8 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro.lint",
         description="Domain linter for the InvarNet-X codebase: enforces "
         "RNG discipline, operation-context key discipline and the "
-        "paper's numerical contracts.",
+        "paper's numerical contracts; --deep adds whole-program "
+        "determinism taint tracking and race detection.",
     )
     add_lint_arguments(parser)
     return run_lint(parser.parse_args(argv))

@@ -12,6 +12,10 @@ Recognised keys::
     [tool.repro-lint.options.float-equality]
     paths = ["repro/stats/"]          # per-rule options (Rule.configure)
 
+    [tool.repro-lint.project]         # whole-program analysis (--deep)
+    deterministic-roots = ["repro.core.persistence.save_invariants"]
+    baseline = "lint-baseline.json"   # relative to this pyproject.toml
+
 Parsing uses :mod:`tomllib` (stdlib since 3.11).  On interpreters
 without it the config file is ignored — the linter still runs with
 built-in defaults, it just cannot be customised from disk.
@@ -52,6 +56,11 @@ class LintConfig:
         excludes: path fragments that exempt a file from linting.
         severity_overrides: per-rule severity replacing rule defaults.
         rule_options: per-rule option dicts (see ``Rule.configure``).
+        project_roots: qualified names declared deterministic roots for
+            the ``--deep`` taint pass, on top of inline
+            ``# repro: deterministic`` markers.
+        baseline: path of the deep-analysis baseline file, resolved
+            relative to the pyproject it was read from.
         source: where the config came from (for diagnostics).
     """
 
@@ -61,6 +70,8 @@ class LintConfig:
     rule_options: dict[str, dict[str, object]] = field(
         default_factory=dict
     )
+    project_roots: tuple[str, ...] = ()
+    baseline: str | None = None
     source: str = "<defaults>"
 
 
@@ -129,11 +140,34 @@ def load_config(pyproject: str | Path | None) -> LintConfig:
             )
         rule_options[str(rule_id)] = dict(opts)
 
+    project_roots: tuple[str, ...] = ()
+    baseline: str | None = None
+    raw_project = table.get("project", {})
+    if not isinstance(raw_project, dict):
+        raise ConfigError(
+            f"{path}: [tool.repro-lint.project] must be a table"
+        )
+    if raw_project:
+        project_roots = _string_list(
+            raw_project, "deterministic-roots", path
+        )
+        raw_baseline = raw_project.get("baseline")
+        if raw_baseline is not None:
+            if not isinstance(raw_baseline, str):
+                raise ConfigError(
+                    f"{path}: [tool.repro-lint.project] baseline "
+                    "must be a string"
+                )
+            # Relative to the pyproject, so runs from any cwd agree.
+            baseline = str((path.parent / raw_baseline).resolve())
+
     return LintConfig(
         disabled=disabled,
         excludes=excludes,
         severity_overrides=severity_overrides,
         rule_options=rule_options,
+        project_roots=project_roots,
+        baseline=baseline,
         source=str(path),
     )
 

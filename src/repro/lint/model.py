@@ -90,11 +90,14 @@ class LintReport:
         files_checked: number of Python files parsed and visited.
         suppressed_count: hits silenced by inline ``# repro: disable=``
             comments (counted so reporters can surface them).
+        baselined_count: deep-analysis hits grandfathered by the
+            committed baseline file (``--deep`` runs only).
     """
 
     violations: list[Violation] = field(default_factory=list)
     files_checked: int = 0
     suppressed_count: int = 0
+    baselined_count: int = 0
 
     @property
     def error_count(self) -> int:

@@ -1,0 +1,60 @@
+"""``repro.lint.project`` — whole-program analysis over the source tree.
+
+The per-file rules in :mod:`repro.lint.rules` see one module at a time;
+they cannot see a ``time.time()`` call three frames below a report
+renderer, or an attribute mutated both under and outside a lock.  This
+package adds the missing cross-module view — a two-pass engine behind
+``invarnetx lint --deep``:
+
+1. :mod:`~repro.lint.project.symbols` parses every module once into a
+   project-wide symbol table (modules, classes, functions, imports,
+   ``# repro:`` directive markers);
+2. :mod:`~repro.lint.project.callgraph` layers an *approximate* call
+   graph on top (direct calls, ``self.``/``cls.`` methods with base-class
+   resolution, aliased imports, annotation-typed receivers, decorators);
+3. :mod:`~repro.lint.project.taint` walks the graph from declared
+   deterministic roots (``# repro: deterministic`` markers or the
+   ``deterministic-roots`` config list) and reports every path to a
+   nondeterminism source, full call chain included;
+4. :mod:`~repro.lint.project.races` infers lock-guarded attributes from
+   ``with self._lock:`` bodies (plus ``# repro: guarded-by=`` ground
+   truth) and flags unguarded mutations, including module-level mutable
+   state in threaded modules;
+5. :mod:`~repro.lint.project.baseline` grandfathers known findings so CI
+   fails on *new* violations only.
+
+Everything funnels into the existing :class:`~repro.lint.model.Violation`
+/ suppression / severity machinery, so ``# repro: disable=deep-determinism``
+and ``[tool.repro-lint.severity]`` behave exactly as they do for the
+per-file rules.
+"""
+
+from repro.lint.project.analyzer import (
+    ProjectAnalyzer,
+    apply_baseline,
+    deep_rule_ids,
+)
+from repro.lint.project.baseline import (
+    Baseline,
+    BaselineError,
+    baseline_key,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.project.callgraph import CallGraph, build_call_graph
+from repro.lint.project.symbols import ProjectIndex, build_index
+
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "CallGraph",
+    "ProjectAnalyzer",
+    "ProjectIndex",
+    "apply_baseline",
+    "baseline_key",
+    "build_call_graph",
+    "build_index",
+    "deep_rule_ids",
+    "load_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,156 @@
+"""Orchestration of the whole-program passes (``invarnetx lint --deep``).
+
+A :class:`ProjectAnalyzer` is the deep-analysis twin of
+:class:`~repro.lint.engine.LintEngine`: it takes the same
+:class:`~repro.lint.config.LintConfig`, the same ``--select`` /
+``--disable`` narrowing, honours the same inline suppressions and
+returns the same :class:`~repro.lint.model.LintReport` — but where the
+engine walks one file at a time, the analyzer parses every collected
+file into one :class:`~repro.lint.project.symbols.ProjectIndex`, layers
+the approximate call graph on top, and runs the cross-module passes:
+
+- determinism taint (:mod:`~repro.lint.project.taint`),
+- lock discipline and module-state races
+  (:mod:`~repro.lint.project.races`).
+
+Baseline filtering (:func:`apply_baseline`) happens after suppression
+filtering, so an inline ``# repro: disable=`` never consumes a baseline
+entry.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import collect_files
+from repro.lint.model import LintReport, Severity, Violation
+from repro.lint.project.baseline import Baseline
+from repro.lint.project.callgraph import build_call_graph
+from repro.lint.project.symbols import build_index
+from repro.lint.project.taint import RULE_ID as TAINT_RULE_ID
+from repro.lint.project.taint import run_taint_pass
+from repro.lint.project.races import (
+    LOCK_RULE_ID,
+    MODULE_RULE_ID,
+    run_race_pass,
+)
+from repro.lint.registry import all_rules
+
+__all__ = ["ProjectAnalyzer", "apply_baseline", "deep_rule_ids"]
+
+
+def deep_rule_ids() -> list[str]:
+    """Sorted ids of every registered whole-program rule."""
+    return sorted(
+        cls.rule_id for cls in all_rules() if cls.project_pass
+    )
+
+
+class ProjectAnalyzer:
+    """A configured whole-program analyzer ready to check a tree.
+
+    Args:
+        config: resolved configuration (defaults when omitted).
+        selected: when given, only these rule ids run (CLI ``--select``);
+            per-file ids in the list are simply not deep rules and are
+            ignored here.
+        extra_disabled: rule ids to drop on top of the config's.
+    """
+
+    def __init__(
+        self,
+        config: LintConfig | None = None,
+        selected: Iterable[str] | None = None,
+        extra_disabled: Iterable[str] = (),
+    ) -> None:
+        self.config = config or LintConfig()
+        drop = {*self.config.disabled, *extra_disabled}
+        wanted = set(selected) if selected is not None else None
+        #: Active deep rule id -> effective severity.
+        self.active: dict[str, Severity] = {}
+        for cls in all_rules():
+            if not cls.project_pass or cls.rule_id in drop:
+                continue
+            if wanted is not None and cls.rule_id not in wanted:
+                continue
+            self.active[cls.rule_id] = self.config.severity_overrides.get(
+                cls.rule_id, cls.severity
+            )
+
+    def analyze_paths(self, paths: Sequence[str | Path]) -> LintReport:
+        """Run every active pass over files and directories.
+
+        Raises:
+            FileNotFoundError: when a named path does not exist.
+        """
+        return self.analyze_files(
+            collect_files(paths, excludes=self.config.excludes)
+        )
+
+    def analyze_files(self, files: list[Path]) -> LintReport:
+        """Run every active pass over an explicit file list."""
+        report = LintReport(files_checked=len(files))
+        if not self.active:
+            return report
+        index = build_index(files)
+        graph = build_call_graph(index)
+
+        violations: list[Violation] = []
+        if TAINT_RULE_ID in self.active:
+            violations.extend(
+                run_taint_pass(
+                    index,
+                    graph,
+                    config_roots=self.config.project_roots,
+                    severity=self.active[TAINT_RULE_ID],
+                )
+            )
+        check_locks = LOCK_RULE_ID in self.active
+        check_module = MODULE_RULE_ID in self.active
+        if check_locks or check_module:
+            violations.extend(
+                run_race_pass(
+                    index,
+                    lock_severity=self.active.get(
+                        LOCK_RULE_ID, Severity.ERROR
+                    ),
+                    module_severity=self.active.get(
+                        MODULE_RULE_ID, Severity.ERROR
+                    ),
+                    check_locks=check_locks,
+                    check_module_state=check_module,
+                )
+            )
+
+        suppressions = {
+            mod.path: mod.suppressions for mod in index.modules.values()
+        }
+        for violation in violations:
+            table = suppressions.get(violation.path)
+            if table is not None and table.is_suppressed(
+                violation.rule_id, violation.line
+            ):
+                report.suppressed_count += 1
+            else:
+                report.violations.append(violation)
+        report.sort()
+        return report
+
+
+def apply_baseline(report: LintReport, baseline: Baseline) -> LintReport:
+    """Filter grandfathered findings out of ``report`` (in place).
+
+    Matched findings are removed from ``report.violations`` and counted
+    in ``report.baselined_count``; ``baseline.stale`` afterwards lists
+    entries no current finding matched.
+    """
+    kept: list[Violation] = []
+    for violation in report.violations:
+        if baseline.accepts(violation):
+            report.baselined_count += 1
+        else:
+            kept.append(violation)
+    report.violations = kept
+    return report

@@ -1,0 +1,315 @@
+"""Pass 0.5: an approximate project call graph.
+
+One walk per function body collects every call site and resolves as many
+as static information allows:
+
+- plain names through the module's functions and ``from`` imports
+  (aliased or not), including constructor calls (``Cls()`` edges to
+  ``Cls.__init__`` when one exists);
+- ``self.m(...)`` / ``cls.m(...)`` through the enclosing class, then
+  linearly up project base classes;
+- dotted chains through module imports (``obs.warn_once`` →
+  ``repro.obs.warn_once`` when ``import repro.obs as obs``), one
+  re-export hop included (``repro.obs.warn_once`` resolves to
+  ``repro.obs.bridge.warn_once`` via the package's ``from`` import);
+- calls on *typed* receivers: parameter annotations, ``x: T`` local
+  annotations, ``x = Cls(...)`` constructor inference, module-level
+  variables bound to project classes, and ``self.attr`` attributes
+  constructed in ``__init__``;
+- decorator edges: a function decorated with ``@d`` (or ``@obj.d(...)``)
+  gets an edge to the resolved decorator, modelling that calling the
+  function executes the wrapper (``Tracer.traced`` is the canonical
+  case).
+
+Unresolvable receivers (untyped parameters, dynamic dispatch) simply
+produce no edge — the graph is deliberately *under*-approximate for
+project calls, while taint checking sees the raw dotted name of every
+external call regardless (so ``time.time()`` is caught even though
+``time`` is not a project module).  DESIGN.md §12 spells out the
+soundness trade-offs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.lint.project.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+    _dotted_name,
+)
+
+__all__ = ["CallSite", "CallGraph", "build_call_graph"]
+
+
+@dataclass
+class CallSite:
+    """One call expression inside one function."""
+
+    node: ast.Call
+    line: int
+    #: Import-expanded dotted name of the callee (``time.time``,
+    #: ``numpy.random.shuffle``), when the callee is a pure name chain.
+    dotted: str | None
+    #: Qualified name of the project function the call resolves to.
+    callee: str | None
+    #: Terminal attribute name (``clock`` in ``self._clock()``), used by
+    #: the taint pass for injected-clock exemptions.
+    attr: str | None
+
+
+class CallGraph:
+    """Edges between project functions plus per-function call sites."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self.edges: dict[str, set[str]] = {}
+        self.sites: dict[str, list[CallSite]] = {}
+        #: First line each (caller, callee) edge was seen at, for
+        #: chain-naming diagnostics.
+        self.edge_lines: dict[tuple[str, str], int] = {}
+
+    def add_edge(self, caller: str, callee: str, line: int) -> None:
+        self.edges.setdefault(caller, set()).add(callee)
+        self.edge_lines.setdefault((caller, callee), line)
+
+    def callees(self, qualname: str) -> set[str]:
+        return self.edges.get(qualname, set())
+
+
+# ----------------------------------------------------------------------
+def _annotation_name(annotation: ast.expr | None) -> str | None:
+    """The raw dotted name of an annotation, unwrapping ``"Cls"`` strings
+    and ``Optional``-style ``X | None`` unions."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(
+        annotation.value, str
+    ):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(annotation, ast.BinOp) and isinstance(
+        annotation.op, ast.BitOr
+    ):
+        for side in (annotation.left, annotation.right):
+            name = _annotation_name(side)
+            if name is not None and name != "None":
+                return name
+        return None
+    return _dotted_name(annotation)
+
+
+def _local_types(
+    fn: FunctionInfo, mod: ModuleInfo, index: ProjectIndex
+) -> dict[str, ClassInfo]:
+    """Names with statically evident project-class types inside ``fn``."""
+    types: dict[str, ClassInfo] = {}
+    args = fn.node.args
+    for arg in (
+        *args.posonlyargs,
+        *args.args,
+        *args.kwonlyargs,
+        *( [args.vararg] if args.vararg else [] ),
+        *( [args.kwarg] if args.kwarg else [] ),
+    ):
+        name = _annotation_name(arg.annotation)
+        if name is not None:
+            resolved = index.resolve_class(mod, name)
+            if resolved is not None:
+                types[arg.arg] = resolved
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            name = _annotation_name(node.annotation)
+            if name is not None:
+                resolved = index.resolve_class(mod, name)
+                if resolved is not None:
+                    types[node.target.id] = resolved
+        elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            ctor = _dotted_name(node.value.func)
+            if ctor is None:
+                continue
+            resolved = index.resolve_class(mod, ctor)
+            if resolved is None:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    types[target.id] = resolved
+    # module-level variables holding project-class instances.
+    for name, ctor in mod.var_types.items():
+        if name not in types:
+            resolved = index.resolve_class(mod, ctor)
+            if resolved is not None:
+                types[name] = resolved
+    return types
+
+
+def _resolve_reexport(index: ProjectIndex, dotted: str) -> FunctionInfo | None:
+    """One hop through a package re-export: ``repro.obs.warn_once`` →
+    the ``repro.obs.bridge.warn_once`` definition."""
+    module, _, leaf = dotted.rpartition(".")
+    mod = index.modules.get(module)
+    if mod is None or not leaf:
+        return None
+    target = mod.from_imports.get(leaf)
+    if target is not None:
+        return index.functions.get(target)
+    return None
+
+
+def _resolve_call(
+    func: ast.expr,
+    fn: FunctionInfo,
+    mod: ModuleInfo,
+    index: ProjectIndex,
+    local_types: dict[str, ClassInfo],
+) -> tuple[str | None, str | None, str | None]:
+    """(dotted, callee qualname, terminal attr) for one callee expression."""
+    attr = func.attr if isinstance(func, ast.Attribute) else None
+    dotted = _dotted_name(func)
+
+    # self.m(...) / cls.m(...) inside a method.
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("self", "cls")
+        and fn.cls is not None
+    ):
+        cls = mod.classes.get(fn.cls)
+        if cls is not None:
+            method = index.resolve_method(cls, func.attr)
+            if method is not None:
+                return None, method.qualname, attr
+            # self.attr(...) where attr was constructed in __init__.
+            ctor = cls.attr_types.get(func.attr)
+            return None, None, attr if ctor is None else attr
+        return None, None, attr
+
+    # receiver.m(...) on a receiver with a known project-class type; the
+    # receiver may itself be self.attr with an inferred attribute type.
+    if isinstance(func, ast.Attribute):
+        receiver = func.value
+        cls: ClassInfo | None = None
+        if isinstance(receiver, ast.Name):
+            cls = local_types.get(receiver.id)
+        elif (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id in ("self", "cls")
+            and fn.cls is not None
+        ):
+            own = mod.classes.get(fn.cls)
+            if own is not None:
+                ctor = own.attr_types.get(receiver.attr)
+                if ctor is not None:
+                    cls = index.resolve_class(mod, ctor)
+        if cls is not None:
+            method = index.resolve_method(cls, func.attr)
+            if method is not None:
+                return None, method.qualname, attr
+
+    if dotted is None:
+        return None, None, attr
+
+    # Plain name: local function, local class constructor, from-import.
+    if isinstance(func, ast.Name):
+        name = func.id
+        if name in mod.functions:
+            return None, mod.functions[name].qualname, attr
+        if name in mod.classes:
+            init = index.resolve_method(mod.classes[name], "__init__")
+            return None, init.qualname if init else None, attr
+
+    expanded = mod.expand(dotted)
+    target = index.functions.get(expanded)
+    if target is not None:
+        return expanded, target.qualname, attr
+    cls = index.classes.get(expanded)
+    if cls is not None:
+        init = index.resolve_method(cls, "__init__")
+        return expanded, init.qualname if init else None, attr
+    # Dotted method reference: Cls.method or mod.Cls.method.
+    head, _, leaf = expanded.rpartition(".")
+    owner = index.classes.get(head)
+    if owner is not None and leaf:
+        method = index.resolve_method(owner, leaf)
+        if method is not None:
+            return expanded, method.qualname, attr
+    reexport = _resolve_reexport(index, expanded)
+    if reexport is not None:
+        return expanded, reexport.qualname, attr
+    return expanded, None, attr
+
+
+def _attribute_edge(
+    node: ast.Attribute,
+    fn: FunctionInfo,
+    mod: ModuleInfo,
+    index: ProjectIndex,
+    local_types: dict[str, ClassInfo],
+) -> FunctionInfo | None:
+    """The method a bare attribute *load* resolves to, if any.
+
+    Properties make attribute access execute code (``self.violated_pairs``
+    runs a method body), and bound-method references passed around
+    (``callback=self.flush``) eventually do too — both get an edge.
+    """
+    receiver = node.value
+    cls: ClassInfo | None = None
+    if isinstance(receiver, ast.Name):
+        if receiver.id in ("self", "cls") and fn.cls is not None:
+            cls = mod.classes.get(fn.cls)
+        else:
+            cls = local_types.get(receiver.id)
+    if cls is None:
+        return None
+    return index.resolve_method(cls, node.attr)
+
+
+def build_call_graph(index: ProjectIndex) -> CallGraph:
+    """Walk every function body once and record sites + edges."""
+    graph = CallGraph(index)
+    for fn in index.functions.values():
+        mod = index.modules.get(fn.module)
+        if mod is None:
+            continue
+        local_types = _local_types(fn, mod, index)
+        sites: list[CallSite] = []
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Attribute) and not isinstance(
+                node.ctx, ast.Store
+            ):
+                method = _attribute_edge(node, fn, mod, index, local_types)
+                if method is not None:
+                    graph.add_edge(fn.qualname, method.qualname, node.lineno)
+            if isinstance(node, ast.Call):
+                dotted, callee, attr = _resolve_call(
+                    node.func, fn, mod, index, local_types
+                )
+                sites.append(
+                    CallSite(
+                        node=node,
+                        line=node.lineno,
+                        dotted=dotted,
+                        callee=callee,
+                        attr=attr,
+                    )
+                )
+                if callee is not None:
+                    graph.add_edge(fn.qualname, callee, node.lineno)
+        # decorator edges: calling fn executes its wrappers.
+        for dec in fn.node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            dotted, callee, _ = _resolve_call(
+                target, fn, mod, index, local_types
+            )
+            if callee is not None:
+                graph.add_edge(fn.qualname, callee, dec.lineno)
+        graph.sites[fn.qualname] = sites
+    return graph

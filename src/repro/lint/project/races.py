@@ -1,0 +1,496 @@
+"""Pass 2: lock-discipline race detection.
+
+Two rules:
+
+``lock-discipline``
+    For every class that owns a lock (an attribute assigned
+    ``threading.Lock()`` / ``RLock()``, or any attribute whose name ends
+    in ``lock``), the pass infers the *guarded set*: attributes written
+    or mutated inside a ``with self._lock:`` body, merged with explicit
+    ``# repro: guarded-by=<lock>`` declarations (ground truth — an
+    annotated attribute stays guarded even if every locked write is
+    edited away).  Any write to a guarded attribute outside the lock —
+    direct assignment, augmented assignment, subscript stores, or a
+    mutating container method (``append``/``add``/``update``/...) — is
+    flagged, naming the guarding lock.  ``__init__``/``__new__`` are
+    exempt: construction happens-before sharing.
+
+``module-mutable-state``
+    In *threaded* modules (those importing ``threading`` or
+    ``concurrent.futures``), module-level mutable containers (dict/list/
+    set/deque/OrderedDict literals or constructors) mutated from function
+    bodies must hold a module-level lock (``with _seen_lock:``); the
+    pass flags unguarded mutations and ``global`` rebinding.  A
+    module-level ``# repro: guarded-by=<lock>`` declaration is honoured
+    as ground truth in any module, threaded or not.
+
+Approximations (documented in DESIGN.md §12): writes through
+``self.x.y = ...`` are attributed to ``y``'s owner, not ``x`` (so
+thread-local wrappers do not false-positive); cross-module mutation of
+an imported global is not tracked; objects handed to
+``threading.Thread(target=...)`` are assumed to follow the class-lock
+discipline above rather than being re-analysed per spawn site.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.model import Severity, Violation
+from repro.lint.project.symbols import (
+    ClassInfo,
+    ModuleInfo,
+    ProjectIndex,
+    _dotted_name,
+)
+
+__all__ = ["run_race_pass", "guarded_attributes"]
+
+LOCK_RULE_ID = "lock-discipline"
+MODULE_RULE_ID = "module-mutable-state"
+
+#: Container methods that mutate their receiver in place.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "extendleft",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "setdefault",
+        "sort",
+        "reverse",
+        "update",
+        "move_to_end",
+    }
+)
+
+#: Constructors that build mutable containers.
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "deque",
+        "OrderedDict",
+        "defaultdict",
+        "Counter",
+        "collections.deque",
+        "collections.OrderedDict",
+        "collections.defaultdict",
+        "collections.Counter",
+    }
+)
+
+_THREADING_MODULES = ("threading", "concurrent.futures", "concurrent")
+
+
+@dataclass
+class _Write:
+    """One attribute/global mutation site."""
+
+    name: str
+    line: int
+    col: int
+    method: str
+    locks_held: frozenset[str]
+    verb: str  # "assigned", "mutated via .append()", ...
+
+
+def _lock_name_of_with_item(item: ast.withitem) -> str | None:
+    """``with self.<name>:`` / ``with <name>:`` → the lock name."""
+    expr = item.context_expr
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id in ("self", "cls")
+    ):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+def _is_lock_ctor(value: ast.expr, mod: ModuleInfo) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    dotted = _dotted_name(value.func)
+    if dotted is None:
+        return False
+    expanded = mod.expand(dotted)
+    return expanded in (
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+    )
+
+
+def _is_mutable_ctor(value: ast.expr | None, mod: ModuleInfo) -> bool:
+    if value is None:
+        return False
+    if isinstance(
+        value,
+        (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+    ):
+        return True
+    if isinstance(value, ast.Call):
+        dotted = _dotted_name(value.func)
+        if dotted is None:
+            return False
+        return (
+            dotted in _MUTABLE_CONSTRUCTORS
+            or mod.expand(dotted) in _MUTABLE_CONSTRUCTORS
+        )
+    return False
+
+
+# ----------------------------------------------------------------------
+class _WriteCollector:
+    """Walk one function body tracking the set of locks held."""
+
+    def __init__(
+        self,
+        method_name: str,
+        is_self_target: bool,
+        watched: set[str] | None = None,
+    ) -> None:
+        self.method = method_name
+        self.self_mode = is_self_target
+        self.watched = watched  # None = watch all (class mode)
+        self.writes: list[_Write] = []
+
+    # -- target extraction ---------------------------------------------
+    def _watched_name(self, expr: ast.expr) -> str | None:
+        """The attribute/global name ``expr`` addresses, if watched."""
+        if self.self_mode:
+            if (
+                isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id in ("self", "cls")
+            ):
+                return expr.attr
+            return None
+        if isinstance(expr, ast.Name) and (
+            self.watched is None or expr.id in self.watched
+        ):
+            return expr.id
+        return None
+
+    def _record(
+        self, name: str, node: ast.AST, locks: frozenset[str], verb: str
+    ) -> None:
+        self.writes.append(
+            _Write(
+                name=name,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                method=self.method,
+                locks_held=locks,
+                verb=verb,
+            )
+        )
+
+    # -- traversal ------------------------------------------------------
+    def walk(self, body: list[ast.stmt], locks: frozenset[str]) -> None:
+        for stmt in body:
+            self._visit(stmt, locks)
+
+    def _visit(self, node: ast.AST, locks: frozenset[str]) -> None:
+        if isinstance(node, ast.With):
+            inner = set(locks)
+            for item in node.items:
+                lock = _lock_name_of_with_item(item)
+                if lock is not None:
+                    inner.add(lock)
+            self.walk(node.body, frozenset(inner))
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # nested defs: treat as same-thread code, keep lock context
+            self.walk(node.body, locks)
+            return
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                self._check_store(target, node, locks)
+            self._visit_expr_children(node, locks)
+            return
+        if isinstance(node, ast.AnnAssign) and node.value is not None:
+            self._check_store(node.target, node, locks)
+            self._visit_expr_children(node, locks)
+            return
+        if isinstance(node, ast.AugAssign):
+            self._check_store(node.target, node, locks, verb="augmented")
+            self._visit_expr_children(node, locks)
+            return
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in MUTATING_METHODS
+            ):
+                name = self._watched_name(func.value)
+                if name is not None:
+                    self._record(
+                        name, node, locks, f"mutated via .{func.attr}()"
+                    )
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, locks)
+
+    def _visit_expr_children(
+        self, node: ast.AST, locks: frozenset[str]
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, locks)
+
+    def _check_store(
+        self,
+        target: ast.expr,
+        node: ast.AST,
+        locks: frozenset[str],
+        verb: str = "assigned",
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_store(element, node, locks, verb)
+            return
+        if isinstance(target, ast.Subscript):
+            name = self._watched_name(target.value)
+            if name is not None:
+                self._record(name, node, locks, "item-assigned")
+            return
+        name = self._watched_name(target)
+        if name is not None:
+            self._record(name, node, locks, verb)
+
+
+# ----------------------------------------------------------------------
+def _class_locks(cls: ClassInfo, mod: ModuleInfo) -> set[str]:
+    """Lock attributes of ``cls``: ``threading.Lock()`` assignments and
+    lock-named attributes."""
+    locks: set[str] = set()
+    for method in cls.methods.values():
+        for node in ast.walk(method.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and (
+                        _is_lock_ctor(node.value, mod)
+                        or target.attr.lower().endswith("lock")
+                    )
+                ):
+                    locks.add(target.attr)
+    for name in cls.declared_guards.values():
+        locks.add(name)
+    return locks
+
+
+def guarded_attributes(
+    cls: ClassInfo, mod: ModuleInfo, index: ProjectIndex
+) -> tuple[dict[str, str], list[_Write]]:
+    """(guarded attribute -> lock, every write site) for one class."""
+    locks = _class_locks(cls, mod)
+    writes: list[_Write] = []
+    for method in cls.methods.values():
+        collector = _WriteCollector(method.name, is_self_target=True)
+        collector.walk(method.node.body, frozenset())
+        writes.extend(collector.writes)
+    guarded: dict[str, str] = {}
+    for write in writes:
+        if write.method in ("__init__", "__new__"):
+            continue
+        held = write.locks_held & locks
+        if held and write.name not in guarded:
+            guarded[write.name] = sorted(held)[0]
+    # Ground truth wins over inference, and inherited declarations apply.
+    guarded.update(index.guards_for(cls))
+    # A lock never guards itself.
+    for lock in locks:
+        guarded.pop(lock, None)
+    return guarded, writes
+
+
+def _check_class(
+    cls: ClassInfo,
+    mod: ModuleInfo,
+    index: ProjectIndex,
+    severity: Severity,
+) -> list[Violation]:
+    guarded, writes = guarded_attributes(cls, mod, index)
+    if not guarded:
+        return []
+    violations: list[Violation] = []
+    for write in writes:
+        if write.method in ("__init__", "__new__"):
+            continue
+        lock = guarded.get(write.name)
+        if lock is None or lock in write.locks_held:
+            continue
+        violations.append(
+            Violation(
+                path=cls.path,
+                line=write.line,
+                col=write.col,
+                rule_id=LOCK_RULE_ID,
+                message=(
+                    f"attribute {write.name!r} of {cls.qualname} is "
+                    f"guarded by {lock!r} but {write.verb} in "
+                    f"{write.method}() without holding it"
+                ),
+                severity=severity,
+            )
+        )
+    return violations
+
+
+# ----------------------------------------------------------------------
+def _module_is_threaded(mod: ModuleInfo) -> bool:
+    bound = set(mod.imports.values())
+    for dotted in mod.from_imports.values():
+        bound.add(dotted.rpartition(".")[0] or dotted)
+    return any(
+        b == m or b.startswith(m + ".")
+        for b in bound
+        for m in _THREADING_MODULES
+    )
+
+
+def _module_locks(mod: ModuleInfo) -> set[str]:
+    locks: set[str] = set()
+    for stmt in mod.tree.body:
+        if isinstance(stmt, ast.Assign) and _is_lock_ctor(stmt.value, mod):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    locks.add(target.id)
+    locks.update(mod.declared_guards.values())
+    return locks
+
+
+def _module_mutables(mod: ModuleInfo) -> set[str]:
+    mutables: set[str] = set()
+    for stmt in mod.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            targets, value = [stmt.target], stmt.value
+        if not _is_mutable_ctor(value, mod):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                mutables.add(target.id)
+    return mutables
+
+
+def _check_module_state(
+    mod: ModuleInfo, severity: Severity
+) -> list[Violation]:
+    threaded = _module_is_threaded(mod)
+    declared = set(mod.declared_guards)
+    if not threaded and not declared:
+        return []
+    mutables = _module_mutables(mod) | declared
+    if not mutables:
+        return []
+    locks = _module_locks(mod)
+    violations: list[Violation] = []
+    all_functions = list(mod.functions.values()) + [
+        m for cls in mod.classes.values() for m in cls.methods.values()
+    ]
+    for fn in all_functions:
+        collector = _WriteCollector(
+            fn.name, is_self_target=False, watched=mutables
+        )
+        collector.walk(fn.node.body, frozenset())
+        if not collector.writes:
+            continue
+        global_names: set[str] = set()
+        local_names: set[str] = {
+            a.arg
+            for a in (
+                *fn.node.args.posonlyargs,
+                *fn.node.args.args,
+                *fn.node.args.kwonlyargs,
+            )
+        }
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Global):
+                global_names.update(node.names)
+            elif isinstance(node, ast.Name) and isinstance(
+                node.ctx, ast.Store
+            ):
+                local_names.add(node.id)
+        for write in collector.writes:
+            if write.verb in ("assigned", "augmented"):
+                # A plain name store without `global` binds a local —
+                # not a mutation of module state.
+                if write.name not in global_names:
+                    continue
+            elif (
+                write.name in local_names
+                and write.name not in global_names
+            ):
+                # mutation of a local that shadows the module global.
+                continue
+            if write.name in declared:
+                lock = mod.declared_guards[write.name]
+                satisfied = lock in write.locks_held
+            else:
+                lock = sorted(locks)[0] if locks else None
+                satisfied = bool(write.locks_held & locks)
+            if lock is not None and satisfied:
+                continue
+            wanted = (
+                f"hold {lock!r}" if lock is not None else "add a module lock"
+            )
+            violations.append(
+                Violation(
+                    path=mod.path,
+                    line=write.line,
+                    col=write.col,
+                    rule_id=MODULE_RULE_ID,
+                    message=(
+                        f"module-level mutable {write.name!r} {write.verb} "
+                        f"in {fn.name}() without a lock in a threaded "
+                        f"module; {wanted} around the mutation"
+                    ),
+                    severity=severity,
+                )
+            )
+    return violations
+
+
+def run_race_pass(
+    index: ProjectIndex,
+    lock_severity: Severity = Severity.ERROR,
+    module_severity: Severity = Severity.ERROR,
+    check_locks: bool = True,
+    check_module_state: bool = True,
+) -> list[Violation]:
+    """Both race rules over every indexed module."""
+    violations: list[Violation] = []
+    for name in sorted(index.modules):
+        mod = index.modules[name]
+        if check_locks:
+            for cls_name in sorted(mod.classes):
+                violations.extend(
+                    _check_class(
+                        mod.classes[cls_name], mod, index, lock_severity
+                    )
+                )
+        if check_module_state:
+            violations.extend(_check_module_state(mod, module_severity))
+    return violations

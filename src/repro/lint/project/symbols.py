@@ -1,0 +1,415 @@
+"""Pass 0: the project-wide symbol table.
+
+One :func:`build_index` call parses every collected file exactly once and
+produces a :class:`ProjectIndex` — the substrate both analysis passes
+share.  Per module it records:
+
+- the import tables (``import numpy as np`` → ``np -> numpy``; ``from
+  repro.obs import tracing as t`` → ``t -> repro.obs.tracing``);
+- every top-level function and class (with methods and raw base names);
+- module-level variable *types* where they are statically evident
+  (``TRACER = Tracer()`` binds ``TRACER`` to the ``Tracer`` class);
+- ``# repro:`` directive markers (``deterministic`` roots and
+  ``guarded-by=<lock>`` ground truth) with the code line each governs;
+- the module's inline suppression table, so project-pass violations
+  honour ``# repro: disable=`` exactly like per-file rules.
+
+Module names are derived structurally: walk up from each file while an
+``__init__.py`` is present, so ``src/repro/obs/ledger.py`` indexes as
+``repro.obs.ledger`` and test fixture packages index under their own
+package names without configuration.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.suppressions import Suppressions, scan_suppressions
+
+__all__ = [
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "ProjectIndex",
+    "build_index",
+    "module_name_for",
+]
+
+#: ``# repro: deterministic`` and ``# repro: guarded-by=<name>`` markers.
+_MARKER = re.compile(
+    r"#\s*repro:\s*(?P<kind>deterministic|guarded-by)"
+    r"(?:\s*=\s*(?P<arg>[A-Za-z_][A-Za-z0-9_]*))?"
+)
+
+
+def module_name_for(path: str | Path) -> str:
+    """Dotted module name of ``path``, derived from ``__init__.py`` chains.
+
+    A file outside any package is named after its stem.
+    """
+    path = Path(path).resolve()
+    parts = [path.stem] if path.stem != "__init__" else []
+    node = path.parent
+    while (node / "__init__.py").is_file():
+        parts.insert(0, node.name)
+        node = node.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def _is_code_line(line: str) -> bool:
+    stripped = line.strip()
+    return bool(stripped) and not stripped.startswith("#")
+
+
+def _effective_line(lines: list[str], lineno: int, col: int) -> int:
+    """The code line a directive governs (same scheme as suppressions):
+    an end-of-line comment governs its own line, a standalone comment the
+    next code line."""
+    before = lines[lineno - 1][:col]
+    if before.strip():
+        return lineno
+    for candidate in range(lineno + 1, len(lines) + 1):
+        if _is_code_line(lines[candidate - 1]):
+            return candidate
+    return lineno
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the project."""
+
+    qualname: str
+    module: str
+    name: str
+    cls: str | None
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    path: str
+    lineno: int
+    is_root: bool = False
+
+    @property
+    def marker_lines(self) -> set[int]:
+        """Lines where a ``deterministic`` marker counts for this def:
+        the ``def`` line, the line above the def (or above its first
+        decorator), and every decorator line."""
+        first = self.node.lineno
+        lines = {self.node.lineno}
+        for dec in self.node.decorator_list:
+            lines.add(dec.lineno)
+            first = min(first, dec.lineno)
+        lines.add(first - 1)
+        return lines
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, raw base names, guarded-attribute ground truth."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    path: str
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    bases: list[str] = field(default_factory=list)
+    #: ``# repro: guarded-by=`` declarations: attribute -> lock name.
+    declared_guards: dict[str, str] = field(default_factory=dict)
+    #: Types of ``self.X = ClassName(...)`` attributes (raw dotted names).
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the analyses need to know about one parsed module."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    source: str
+    lines: list[str]
+    suppressions: Suppressions
+    #: ``import M [as a]`` bindings: local name -> dotted module.
+    imports: dict[str, str] = field(default_factory=dict)
+    #: ``from M import x [as y]`` bindings: local name -> dotted source.
+    from_imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: Lines carrying a ``deterministic`` marker.
+    deterministic_lines: set[int] = field(default_factory=set)
+    #: Effective line -> lock name for ``guarded-by=`` markers.
+    guard_lines: dict[int, str] = field(default_factory=dict)
+    #: Module-level names bound to project classes (``T = Tracer()``).
+    var_types: dict[str, str] = field(default_factory=dict)
+    #: Module-level guarded-by declarations: global name -> lock name.
+    declared_guards: dict[str, str] = field(default_factory=dict)
+
+    def expand(self, dotted: str) -> str:
+        """Resolve the head of a dotted name through this module's
+        imports (``np.random.shuffle`` -> ``numpy.random.shuffle``)."""
+        head, _, rest = dotted.partition(".")
+        if head in self.imports:
+            base = self.imports[head]
+        elif head in self.from_imports:
+            base = self.from_imports[head]
+        else:
+            return dotted
+        return f"{base}.{rest}" if rest else base
+
+
+class ProjectIndex:
+    """The merged symbol table over every indexed module."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+
+    def add(self, mod: ModuleInfo) -> None:
+        self.modules[mod.name] = mod
+        for fn in mod.functions.values():
+            self.functions[fn.qualname] = fn
+        for cls in mod.classes.values():
+            self.classes[cls.qualname] = cls
+            for method in cls.methods.values():
+                self.functions[method.qualname] = method
+
+    # ------------------------------------------------------------------
+    def resolve_class(self, mod: ModuleInfo, dotted: str) -> ClassInfo | None:
+        """The project class a raw dotted reference names, if any."""
+        if dotted in mod.classes:
+            return mod.classes[dotted]
+        return self.classes.get(mod.expand(dotted))
+
+    def resolve_method(
+        self, cls: ClassInfo, name: str
+    ) -> FunctionInfo | None:
+        """``name`` looked up on ``cls`` then linearly up its bases."""
+        seen: set[str] = set()
+        queue = [cls]
+        while queue:
+            current = queue.pop(0)
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            if name in current.methods:
+                return current.methods[name]
+            mod = self.modules.get(current.module)
+            if mod is None:
+                continue
+            for base in current.bases:
+                resolved = self.resolve_class(mod, base)
+                if resolved is not None:
+                    queue.append(resolved)
+        return None
+
+    def guards_for(self, cls: ClassInfo) -> dict[str, str]:
+        """Declared guards of ``cls`` merged over its project bases
+        (subclass declarations win)."""
+        merged: dict[str, str] = {}
+        mod = self.modules.get(cls.module)
+        if mod is not None:
+            for base in cls.bases:
+                resolved = self.resolve_class(mod, base)
+                if resolved is not None and resolved is not cls:
+                    merged.update(self.guards_for(resolved))
+        merged.update(cls.declared_guards)
+        return merged
+
+
+# ----------------------------------------------------------------------
+def _scan_markers(
+    source: str, lines: list[str]
+) -> tuple[set[int], dict[int, str]]:
+    """All ``deterministic`` marker lines and ``guarded-by`` effective
+    lines in one tokenisation pass (string literals never match)."""
+    deterministic: set[int] = set()
+    guards: dict[int, str] = {}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _MARKER.search(tok.string)
+            if match is None:
+                continue
+            if match.group("kind") == "deterministic":
+                deterministic.add(tok.start[0])
+            elif match.group("arg"):
+                guards[
+                    _effective_line(lines, tok.start[0], tok.start[1])
+                ] = match.group("arg")
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return deterministic, guards
+
+
+def _dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` flattened, or None for anything not a pure name chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _constructed_class(value: ast.expr) -> str | None:
+    """Raw dotted class name when ``value`` is a plain ``Cls(...)`` call."""
+    if isinstance(value, ast.Call):
+        return _dotted_name(value.func)
+    return None
+
+
+def _scan_imports(mod: ModuleInfo) -> None:
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                if alias.asname:
+                    mod.imports[bound] = alias.name
+                else:
+                    mod.imports[bound] = alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            prefix = node.module or ""
+            for alias in node.names:
+                local = alias.asname or alias.name
+                mod.from_imports[local] = (
+                    f"{prefix}.{alias.name}" if prefix else alias.name
+                )
+
+
+def _collect_class(
+    mod: ModuleInfo, node: ast.ClassDef, deterministic_lines: set[int]
+) -> ClassInfo:
+    info = ClassInfo(
+        qualname=f"{mod.name}.{node.name}",
+        module=mod.name,
+        name=node.name,
+        node=node,
+        path=mod.path,
+    )
+    for base in node.bases:
+        dotted = _dotted_name(base)
+        if dotted is not None:
+            info.bases.append(dotted)
+    class_marked = bool(
+        deterministic_lines & {node.lineno, node.lineno - 1}
+    )
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn = FunctionInfo(
+                qualname=f"{info.qualname}.{stmt.name}",
+                module=mod.name,
+                name=stmt.name,
+                cls=node.name,
+                node=stmt,
+                path=mod.path,
+                lineno=stmt.lineno,
+            )
+            fn.is_root = class_marked or bool(
+                deterministic_lines & fn.marker_lines
+            )
+            info.methods[stmt.name] = fn
+    # guarded-by declarations and self-attribute types, from any method
+    # body (conventionally __init__).
+    for method in info.methods.values():
+        for stmt in ast.walk(method.node):
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                targets, value = [stmt.target], stmt.value
+            for target in targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                lock = mod.guard_lines.get(stmt.lineno)
+                if lock is not None:
+                    info.declared_guards[target.attr] = lock
+                if value is not None:
+                    ctor = _constructed_class(value)
+                    if ctor is not None:
+                        info.attr_types[target.attr] = ctor
+    return info
+
+
+def parse_module(path: str | Path, source: str | None = None) -> ModuleInfo | None:
+    """Parse one file into a :class:`ModuleInfo`; None on a syntax error
+    (the per-file engine already reports those as ``parse-error``)."""
+    display = Path(path).as_posix()
+    if source is None:
+        try:
+            source = Path(path).read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            return None
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError:
+        return None
+    lines = source.splitlines()
+    deterministic, guards = _scan_markers(source, lines)
+    mod = ModuleInfo(
+        name=module_name_for(path),
+        path=display,
+        tree=tree,
+        source=source,
+        lines=lines,
+        suppressions=scan_suppressions(source),
+        deterministic_lines=deterministic,
+        guard_lines=guards,
+    )
+    _scan_imports(mod)
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn = FunctionInfo(
+                qualname=f"{mod.name}.{stmt.name}",
+                module=mod.name,
+                name=stmt.name,
+                cls=None,
+                node=stmt,
+                path=mod.path,
+                lineno=stmt.lineno,
+            )
+            fn.is_root = bool(deterministic & fn.marker_lines)
+            mod.functions[stmt.name] = fn
+        elif isinstance(stmt, ast.ClassDef):
+            info = _collect_class(mod, stmt, deterministic)
+            mod.classes[stmt.name] = info
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                stmt.targets
+                if isinstance(stmt, ast.Assign)
+                else [stmt.target]
+            )
+            value = stmt.value
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                lock = mod.guard_lines.get(stmt.lineno)
+                if lock is not None:
+                    mod.declared_guards[target.id] = lock
+                if value is not None:
+                    ctor = _constructed_class(value)
+                    if ctor is not None:
+                        mod.var_types[target.id] = ctor
+    return mod
+
+
+def build_index(files: list[Path]) -> ProjectIndex:
+    """Parse every file once and merge into one :class:`ProjectIndex`."""
+    index = ProjectIndex()
+    for path in files:
+        mod = parse_module(path)
+        if mod is not None:
+            index.add(mod)
+    return index

@@ -1,0 +1,404 @@
+"""Pass 1: determinism taint analysis (rule ``deep-determinism``).
+
+The reproduction's verdicts only mean anything if the same telemetry
+always yields the same bytes: explain/health reports are golden-file
+tested, ledger entries are hashed into fingerprints, signatures are
+compared bit-for-bit.  Functions carrying that contract are declared
+*deterministic roots* — with a ``# repro: deterministic`` marker at the
+definition, or via the ``deterministic-roots`` list in
+``[tool.repro-lint.project]`` — and this pass flags every call path from
+a root to a *nondeterminism source*:
+
+- wall/monotonic clocks (``time.time``, ``perf_counter``, ``datetime.now``,
+  ...) unless read through an injected clock (a callable named ``clock``
+  or ``*_clock`` — the convention ``Tracer``/``RunLedger`` follow);
+- RNGs: the stdlib ``random`` module, numpy's legacy global samplers
+  (``np.random.rand`` etc.; constructing ``default_rng`` stays legal);
+- hash/identity leaks: ``id()``, builtin ``hash()`` (string hashing is
+  salted per process), ``uuid.uuid1/4``, ``os.urandom``, ``secrets.*``;
+- unsorted filesystem enumeration: ``os.listdir``/``os.scandir``,
+  ``glob.glob``/``iglob`` and ``.iterdir()``/``.glob()``/``.rglob()``
+  method calls, unless the result feeds directly into ``sorted(...)``;
+- order-sensitive ``set`` consumption: iterating a set literal,
+  ``set(...)`` call, set comprehension or a local bound to one — in a
+  ``for``, a comprehension, ``list()``/``tuple()`` or ``str.join`` —
+  without ``sorted(...)``.
+
+Each finding is anchored at the offending call and names the **full call
+chain** from the root, e.g.::
+
+    deep-determinism: nondeterministic time.time() reaches deterministic
+    root 'repro.obs.explain.explain_run' via explain_run ->
+    InvarNetX.detect -> InvarNetX._record_diagnose -> RunLedger.append
+
+Soundness: the pass inherits the call graph's under-approximation for
+project-internal dispatch (an unresolvable receiver produces no edge),
+while *external* calls are judged by their import-expanded dotted name
+in every function reachable from a root — see DESIGN.md §12.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.lint.model import Severity, Violation
+from repro.lint.project.callgraph import CallGraph, CallSite
+from repro.lint.project.symbols import FunctionInfo, ProjectIndex
+
+__all__ = ["TaintSource", "find_sources", "run_taint_pass"]
+
+RULE_ID = "deep-determinism"
+
+#: Import-expanded call targets that read nondeterministic state.
+NONDET_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "os.urandom",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbelow",
+    }
+)
+
+#: Filesystem enumeration whose order the OS does not define.
+UNORDERED_CALLS = frozenset(
+    {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+)
+
+#: Method names with OS-ordered results regardless of receiver type.
+UNORDERED_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+#: numpy.random attributes that construct generators (allowed).
+_NP_RANDOM_CONSTRUCTORS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+@dataclass(frozen=True)
+class TaintSource:
+    """One nondeterminism source inside one function."""
+
+    qualname: str
+    path: str
+    line: int
+    col: int
+    kind: str
+    detail: str
+
+
+# ----------------------------------------------------------------------
+def _is_injected_clock(site: CallSite) -> bool:
+    """Calls through a callable named ``clock``/``*_clock`` are the
+    blessed injected-clock pattern, not a source."""
+    if site.attr is not None and (
+        site.attr == "clock" or site.attr.endswith("_clock")
+    ):
+        return True
+    func = site.node.func
+    if isinstance(func, ast.Name) and (
+        func.id == "clock" or func.id.endswith("_clock")
+    ):
+        return True
+    return False
+
+
+def _external_call_kind(site: CallSite) -> str | None:
+    """The source kind of an external call site, or None when benign."""
+    func = site.node.func
+    if isinstance(func, ast.Name):
+        if func.id in ("id", "hash"):
+            return f"builtin {func.id}()"
+    dotted = site.dotted
+    if dotted is None:
+        if site.attr in UNORDERED_METHODS:
+            return f".{site.attr}()"
+        return None
+    if dotted in NONDET_CALLS:
+        return f"{dotted}()"
+    if dotted in UNORDERED_CALLS:
+        return f"{dotted}()"
+    head, _, leaf = dotted.rpartition(".")
+    if head == "random" or head.startswith("random."):
+        return f"stdlib {dotted}()"
+    if head == "numpy.random" and leaf not in _NP_RANDOM_CONSTRUCTORS:
+        return f"legacy {dotted}()"
+    if site.attr in UNORDERED_METHODS:
+        return f".{site.attr}()"
+    return None
+
+
+def _needs_sort(kind: str) -> bool:
+    return kind.startswith(".") or kind.split("(")[0] in {
+        d for d in UNORDERED_CALLS
+    } or kind.rstrip("()") in UNORDERED_CALLS
+
+
+def _parents(root: ast.AST) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(root):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _under_sorted(
+    node: ast.AST, parents: dict[ast.AST, ast.AST], limit: int = 3
+) -> bool:
+    """True when ``node`` feeds (within a few hops) into ``sorted(...)``
+    or ``min``/``max``/``len``/membership — consumers that erase order
+    sensitivity."""
+    current = node
+    for _ in range(limit):
+        parent = parents.get(current)
+        if parent is None:
+            return False
+        if isinstance(parent, ast.Call) and isinstance(
+            parent.func, ast.Name
+        ):
+            if parent.func.id in ("sorted", "min", "max", "len", "sum",
+                                  "set", "frozenset", "any", "all"):
+                return True
+        if isinstance(parent, ast.Compare):
+            # membership tests (x in s) are order-insensitive.
+            return True
+        current = parent
+    return False
+
+
+def _set_locals(fn_node: ast.AST) -> set[str]:
+    """Local names bound to set-typed values anywhere in the function."""
+    names: set[str] = set()
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Assign) and _is_set_expr(node.value, names):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and node.value is not None
+            and isinstance(node.target, ast.Name)
+            and _is_set_expr(node.value, names)
+        ):
+            names.add(node.target.id)
+    return names
+
+
+def _is_set_expr(node: ast.expr | None, set_names: set[str]) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(
+            node.right, set_names
+        )
+    return False
+
+
+def _describe_set(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return f"set {node.id!r}"
+    if isinstance(node, ast.SetComp):
+        return "set comprehension"
+    if isinstance(node, ast.Set):
+        return "set literal"
+    return "set expression"
+
+
+# ----------------------------------------------------------------------
+def find_sources(fn: FunctionInfo, graph: CallGraph) -> list[TaintSource]:
+    """Every direct nondeterminism source inside one function."""
+    sources: list[TaintSource] = []
+    parents = _parents(fn.node)
+
+    def add(node: ast.AST, kind: str, detail: str) -> None:
+        sources.append(
+            TaintSource(
+                qualname=fn.qualname,
+                path=fn.path,
+                line=getattr(node, "lineno", fn.lineno),
+                col=getattr(node, "col_offset", 0),
+                kind=kind,
+                detail=detail,
+            )
+        )
+
+    # external calls recorded by the call graph walk.
+    for site in graph.sites.get(fn.qualname, []):
+        if site.callee is not None:
+            continue  # project-internal: handled by propagation
+        if _is_injected_clock(site):
+            continue
+        kind = _external_call_kind(site)
+        if kind is None:
+            continue
+        if _needs_sort(kind) and _under_sorted(site.node, parents):
+            continue
+        if kind.startswith((".", "os.", "glob.")):
+            detail = f"unsorted {kind} enumerates in filesystem order"
+        elif "random" in kind:
+            detail = f"{kind} samples hidden global RNG state"
+        elif kind.startswith("builtin"):
+            detail = f"{kind} depends on interpreter/process state"
+        else:
+            detail = f"{kind} reads a wall or monotonic clock"
+        add(site.node, kind, detail)
+
+    # order-sensitive set consumption.
+    set_names = _set_locals(fn.node)
+    for node in ast.walk(fn.node):
+        iters: list[ast.expr] = []
+        if isinstance(node, ast.For):
+            iters.append(node.iter)
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            iters.extend(gen.iter for gen in node.generators)
+        elif isinstance(node, ast.Call):
+            args = node.args
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in ("list", "tuple")
+                and args
+            ):
+                iters.append(args[0])
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"
+                and args
+            ):
+                iters.append(args[0])
+        for it in iters:
+            if not _is_set_expr(it, set_names):
+                continue
+            if isinstance(node, ast.SetComp):
+                continue  # set-to-set keeps order irrelevance
+            if _under_sorted(it, parents):
+                continue
+            what = _describe_set(it)
+            add(
+                it,
+                "set-iteration",
+                f"iteration over {what} is ordered by salted hashes; "
+                "wrap it in sorted(...)",
+            )
+    return sources
+
+
+# ----------------------------------------------------------------------
+def _chain(
+    graph: CallGraph, root: str, target: str
+) -> list[str] | None:
+    """Shortest root→target path over the call graph (BFS)."""
+    if root == target:
+        return [root]
+    prev: dict[str, str] = {}
+    queue = [root]
+    seen = {root}
+    while queue:
+        current = queue.pop(0)
+        for callee in sorted(graph.callees(current)):
+            if callee in seen:
+                continue
+            seen.add(callee)
+            prev[callee] = current
+            if callee == target:
+                path = [callee]
+                while path[-1] != root:
+                    path.append(prev[path[-1]])
+                return list(reversed(path))
+            queue.append(callee)
+    return None
+
+
+def _reachable(graph: CallGraph, root: str) -> set[str]:
+    seen = {root}
+    queue = [root]
+    while queue:
+        current = queue.pop(0)
+        for callee in graph.callees(current):
+            if callee not in seen:
+                seen.add(callee)
+                queue.append(callee)
+    return seen
+
+
+def run_taint_pass(
+    index: ProjectIndex,
+    graph: CallGraph,
+    config_roots: tuple[str, ...] = (),
+    severity: Severity = Severity.ERROR,
+) -> list[Violation]:
+    """Flag every path from a deterministic root to a source.
+
+    Args:
+        index: the project symbol table.
+        graph: the call graph over it.
+        config_roots: qualified names declared roots by configuration,
+            merged with ``# repro: deterministic`` markers.
+        severity: severity to stamp on the violations.
+    """
+    roots = sorted(
+        {f.qualname for f in index.functions.values() if f.is_root}
+        | {r for r in config_roots if r in index.functions}
+    )
+    source_cache: dict[str, list[TaintSource]] = {}
+    violations: list[Violation] = []
+    for root in roots:
+        for reached in sorted(_reachable(graph, root)):
+            fn = index.functions.get(reached)
+            if fn is None:
+                continue
+            if reached not in source_cache:
+                source_cache[reached] = find_sources(fn, graph)
+            for source in source_cache[reached]:
+                chain = _chain(graph, root, reached) or [root, reached]
+                via = " -> ".join(chain)
+                violations.append(
+                    Violation(
+                        path=source.path,
+                        line=source.line,
+                        col=source.col,
+                        rule_id=RULE_ID,
+                        message=(
+                            f"nondeterministic {source.kind} reaches "
+                            f"deterministic root {root!r}: {source.detail} "
+                            f"(call chain: {via})"
+                        ),
+                        severity=severity,
+                    )
+                )
+    return violations

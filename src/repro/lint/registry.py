@@ -85,6 +85,11 @@ class Rule:
         rule_id: stable kebab-case identifier used in reports, inline
             suppressions and configuration.
         severity: default severity (configuration may override).
+        category: coarse grouping surfaced in JSON reports and
+            ``--list-rules`` (``determinism``, ``concurrency``, ...).
+        project_pass: True for whole-program rules that only run under
+            ``--deep`` (their ``node_types`` stays empty, so the
+            per-file engine never dispatches to them).
         description: one-line summary shown by ``--list-rules``.
         rationale: why the codebase enforces this contract.
         node_types: :mod:`ast` node classes this rule wants dispatched.
@@ -96,6 +101,8 @@ class Rule:
 
     rule_id: str = ""
     severity: Severity = Severity.ERROR
+    category: str = "general"
+    project_pass: bool = False
     description: str = ""
     rationale: str = ""
     node_types: tuple[Type[ast.AST], ...] = ()

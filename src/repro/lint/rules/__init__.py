@@ -9,18 +9,29 @@ enforce:
 - :mod:`repro.lint.rules.numerics` — float equality and the paper's
   tuned constants;
 - :mod:`repro.lint.rules.hygiene` — silent exception swallowing and
-  mutable default arguments.
+  mutable default arguments;
+- :mod:`repro.lint.rules.project_rules` — metadata for the
+  whole-program passes behind ``--deep`` (the analysis itself lives in
+  :mod:`repro.lint.project`).
 """
 
 from repro.lint.rules.context_keys import ContextKeyRule
 from repro.lint.rules.hygiene import MutableDefaultRule, SilentExceptRule
 from repro.lint.rules.numerics import FloatEqualityRule, MagicConstantRule
+from repro.lint.rules.project_rules import (
+    DeepDeterminismRule,
+    LockDisciplineRule,
+    ModuleMutableStateRule,
+)
 from repro.lint.rules.randomness import RngDisciplineRule
 
 __all__ = [
     "ContextKeyRule",
+    "DeepDeterminismRule",
     "FloatEqualityRule",
+    "LockDisciplineRule",
     "MagicConstantRule",
+    "ModuleMutableStateRule",
     "MutableDefaultRule",
     "RngDisciplineRule",
     "SilentExceptRule",

@@ -52,6 +52,7 @@ def _is_raw_context_tuple(node: ast.AST) -> bool:
 @register_rule
 class ContextKeyRule(Rule):
     rule_id = "context-key"
+    category = "conventions"
     description = (
         "index per-context mappings with OperationContext.key(), not a "
         "raw (workload, node) tuple"

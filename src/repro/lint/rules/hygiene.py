@@ -49,6 +49,7 @@ def _is_noop(stmt: ast.stmt) -> bool:
 @register_rule
 class SilentExceptRule(Rule):
     rule_id = "silent-except"
+    category = "hygiene"
     description = (
         "bare or broad except with a pass-only body swallows failures"
     )
@@ -96,6 +97,7 @@ def _is_mutable_literal(node: ast.expr) -> bool:
 @register_rule
 class MutableDefaultRule(Rule):
     rule_id = "mutable-default"
+    category = "hygiene"
     description = "no mutable default arguments (list/dict/set literals)"
     rationale = (
         "defaults are evaluated once and shared across calls; mutating "

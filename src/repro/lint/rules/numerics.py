@@ -56,6 +56,7 @@ def _is_floaty(node: ast.AST) -> bool:
 @register_rule
 class FloatEqualityRule(Rule):
     rule_id = "float-equality"
+    category = "numerics"
     description = (
         "no == / != between float-typed expressions in the numerical "
         "packages"
@@ -109,6 +110,7 @@ def _paper_constant(node: ast.AST) -> float | None:
 @register_rule
 class MagicConstantRule(Rule):
     rule_id = "magic-constant"
+    category = "numerics"
     description = (
         "paper thresholds 0.2 (tau/epsilon) and 1.2 (beta) must come "
         "from the canonical constants, not literals"

@@ -1,0 +1,73 @@
+"""Registry entries for the whole-program passes (``--deep``).
+
+These classes carry the *metadata* — stable ids, severities, categories,
+``--list-rules`` text — for violations produced by
+:mod:`repro.lint.project`.  They register like any per-file rule, so
+``# repro: disable=deep-determinism`` suppressions, ``[tool.repro-lint]``
+``disable`` / ``severity`` configuration and the JSON report's rule
+table all work unchanged; but their ``node_types`` is empty, so the
+per-file engine never dispatches to them.  The analysis itself lives in
+:mod:`repro.lint.project.taint` and :mod:`repro.lint.project.races` and
+only runs under ``invarnetx lint --deep``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.registry import Rule, register_rule
+
+__all__ = [
+    "DeepDeterminismRule",
+    "LockDisciplineRule",
+    "ModuleMutableStateRule",
+]
+
+
+@register_rule
+class DeepDeterminismRule(Rule):
+    rule_id = "deep-determinism"
+    category = "determinism"
+    project_pass = True
+    description = (
+        "no call path from a '# repro: deterministic' root to a "
+        "nondeterminism source (clocks, global RNGs, salted hashes, "
+        "unsorted filesystem or set iteration)"
+    )
+    rationale = (
+        "golden-file reports, signature bits and ledger fingerprints are "
+        "contracts; one time.time() three frames below a renderer breaks "
+        "byte-determinism invisibly to per-file rules"
+    )
+    node_types = ()
+
+
+@register_rule
+class LockDisciplineRule(Rule):
+    rule_id = "lock-discipline"
+    category = "concurrency"
+    project_pass = True
+    description = (
+        "attributes written under 'with self._lock:' (or declared via "
+        "'# repro: guarded-by=') must never be mutated outside it"
+    )
+    rationale = (
+        "the tracer, metrics registry and run ledger are hammered from "
+        "worker threads; one unguarded write is a lost-update bug that "
+        "no unit test reliably reproduces"
+    )
+    node_types = ()
+
+
+@register_rule
+class ModuleMutableStateRule(Rule):
+    rule_id = "module-mutable-state"
+    category = "concurrency"
+    project_pass = True
+    description = (
+        "module-level mutable containers in threaded modules must only "
+        "be mutated while holding a module-level lock"
+    )
+    rationale = (
+        "process-wide registries (warn-once keys, caches) are shared by "
+        "every thread; post-import mutation without a lock races"
+    )
+    node_types = ()

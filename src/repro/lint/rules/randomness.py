@@ -45,6 +45,7 @@ _ALLOWED_NP_RANDOM = frozenset(
 @register_rule
 class RngDisciplineRule(Rule):
     rule_id = "rng-discipline"
+    category = "determinism"
     description = (
         "stochastic code must thread an explicit np.random.Generator; "
         "no legacy np.random.* global calls, no stdlib random"

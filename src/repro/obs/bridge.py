@@ -112,7 +112,7 @@ def remove_handler() -> None:
             _root.removeHandler(handler)
 
 
-_seen_once: set[str] = set()
+_seen_once: set[str] = set()  # repro: guarded-by=_seen_lock
 _seen_lock = threading.Lock()
 
 

@@ -195,6 +195,19 @@ class IncidentExplanation:
         """The pairs the abnormal window violated, invariant order."""
         return [p for p in self.pairs if p.violated]
 
+    @property
+    def violated_metrics(self) -> list[str]:
+        """Metric names touched by any violated pair, sorted for
+        deterministic rendering."""
+        return sorted(
+            {
+                name
+                for p in self.violated_pairs
+                for name in (p.metric_a, p.metric_b)
+            }
+        )
+
+    # repro: deterministic
     def to_json(self) -> dict[str, Any]:
         """JSON-ready dict carrying the same data as the text report."""
         return {
@@ -208,6 +221,7 @@ class IncidentExplanation:
             "min_similarity": round(self.min_similarity, 4),
             "matched": self.matched,
             "top_cause": self.top_cause,
+            "violated_metrics": self.violated_metrics,
             "causes": [c.to_json() for c in self.causes],
             "pairs": [p.to_json() for p in self.pairs],
             "alarm_tick": self.alarm_tick,
@@ -221,6 +235,7 @@ class IncidentExplanation:
         }
 
     # ------------------------------------------------------------------
+    # repro: deterministic
     def render_text(self) -> str:
         """The operator-facing report (byte-deterministic)."""
         lines: list[str] = []
@@ -274,6 +289,10 @@ class IncidentExplanation:
                 f"observed {_f(p.observed)} delta {_f(p.delta)} "
                 f">= {_f(self.epsilon)}"
             )
+        if violated:
+            lines.append(
+                "  metrics involved: " + ", ".join(self.violated_metrics)
+            )
         intact = len(self.pairs) - len(violated)
         lines.append(f"  ({intact} pairs within epsilon)")
         lines.append("")
@@ -316,6 +335,7 @@ def _residual_points(
     ]
 
 
+# repro: deterministic
 def explain_window(
     pipeline: InvarNetX,
     context: OperationContext,
@@ -421,6 +441,7 @@ def explain_window(
     )
 
 
+# repro: deterministic
 def explain_run(
     pipeline: InvarNetX,
     context: OperationContext,

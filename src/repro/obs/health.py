@@ -211,6 +211,7 @@ class HealthReport:
             if c.status == WARN
         )
 
+    # repro: deterministic
     def to_json(self) -> dict[str, Any]:
         return {
             "contexts": [ctx.to_json() for ctx in self.contexts],
@@ -229,6 +230,7 @@ class HealthReport:
             "warnings": self.warnings,
         }
 
+    # repro: deterministic
     def render_text(self) -> str:
         """Deterministic terminal rendering of the report."""
         lines = [
@@ -409,6 +411,7 @@ def _check_timing_regression(
 # ----------------------------------------------------------------------
 # scoring
 # ----------------------------------------------------------------------
+# repro: deterministic
 def score_context(
     key: ContextKey,
     models: ContextModels | None,
@@ -444,6 +447,7 @@ def score_context(
     )
 
 
+# repro: deterministic
 def score_store(
     store: ModelStore,
     ledger: RunLedger | None = None,

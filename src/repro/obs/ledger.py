@@ -40,7 +40,7 @@ import os
 import threading
 import time
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 import numpy as np
 
@@ -124,12 +124,19 @@ class RunLedger:
     Args:
         path: the ledger file (created on first append; a missing file
             reads as an empty ledger).
+        clock: wall-clock source for entry timestamps; injectable so
+            tests (and deterministic replays) control the ``ts`` field.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
         self.path = Path(path)
+        self._clock = clock
         self._lock = threading.Lock()
-        self._next_seq: int | None = None
+        self._next_seq: int | None = None  # repro: guarded-by=_lock
         #: Lines the last :meth:`entries` call could not parse (torn or
         #: corrupt); 0 until the first read.
         self.skipped = 0
@@ -219,6 +226,7 @@ class RunLedger:
                 highest = seq
         return highest + 1
 
+    # repro: deterministic
     def append(
         self,
         kind: str,
@@ -245,7 +253,7 @@ class RunLedger:
         if context is not None:
             entry["context"] = list(context)
         entry["format"] = LEDGER_FORMAT
-        entry["ts"] = round(time.time(), 6)
+        entry["ts"] = round(self._clock(), 6)
         with self._lock:
             if self._next_seq is None:
                 self._next_seq = self._seed_seq()

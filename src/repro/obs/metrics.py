@@ -103,7 +103,7 @@ class _Family:
         self.name = name
         self.help = help
         self.labelnames = labelnames
-        self._series: dict[_LabelKey, Any] = {}
+        self._series: dict[_LabelKey, Any] = {}  # repro: guarded-by=_lock
         self._lock = threading.Lock()
 
     def _key(self, labels: dict[str, str]) -> _LabelKey:
@@ -149,7 +149,7 @@ class _CounterSeries:
     def __init__(self, registry: "MetricsRegistry") -> None:
         self._registry = registry
         self._lock = threading.Lock()
-        self.value = 0.0
+        self.value = 0.0  # repro: guarded-by=_lock
 
     def inc(self, amount: float = 1.0) -> None:
         if not self._registry.enabled:
@@ -204,7 +204,7 @@ class _GaugeSeries:
     def __init__(self, registry: "MetricsRegistry") -> None:
         self._registry = registry
         self._lock = threading.Lock()
-        self.value = 0.0
+        self.value = 0.0  # repro: guarded-by=_lock
 
     def set(self, value: float) -> None:
         if not self._registry.enabled:
@@ -246,9 +246,9 @@ class _HistogramSeries:
         self._registry = registry
         self._lock = threading.Lock()
         self.buckets = buckets
-        self.counts = [0] * (len(buckets) + 1)  # +1 for +Inf
-        self.sum = 0.0
-        self.count = 0
+        self.counts = [0] * (len(buckets) + 1)  # +Inf slot; repro: guarded-by=_lock
+        self.sum = 0.0  # repro: guarded-by=_lock
+        self.count = 0  # repro: guarded-by=_lock
 
     def observe(self, value: float) -> None:
         if not self._registry.enabled:
@@ -353,7 +353,7 @@ class MetricsRegistry:
 
     def __init__(self, enabled: bool = False) -> None:
         self.enabled = enabled
-        self._families: dict[str, _Family] = {}
+        self._families: dict[str, _Family] = {}  # repro: guarded-by=_lock
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -408,10 +408,12 @@ class MetricsRegistry:
         with self._lock:
             return [self._families[k] for k in sorted(self._families)]
 
+    # repro: deterministic
     def to_json(self) -> dict[str, Any]:
         """All families and series as a JSON-ready dict."""
         return {f.name: f.to_json() for f in self.families()}
 
+    # repro: deterministic
     def render_prometheus(self) -> str:
         """The Prometheus text exposition of every family."""
         lines: list[str] = []

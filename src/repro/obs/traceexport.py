@@ -45,6 +45,7 @@ def _arg_value(value: Any) -> Any:
     return str(value)
 
 
+# repro: deterministic
 def to_trace_events(spans: Iterable[Span]) -> list[dict[str, Any]]:
     """Flatten finished span trees into ``trace_event`` dicts.
 
@@ -84,6 +85,7 @@ def to_trace_events(spans: Iterable[Span]) -> list[dict[str, Any]]:
     return events
 
 
+# repro: deterministic
 def chrome_trace(spans: Iterable[Span]) -> dict[str, Any]:
     """The full JSON-object document Chrome/Perfetto load directly."""
     return {

@@ -161,7 +161,7 @@ class Tracer:
             raise ValueError(f"max_finished must be >= 1, got {max_finished}")
         self.enabled = enabled
         self.clock = clock
-        self.finished: deque[Span] = deque(maxlen=max_finished)
+        self.finished: deque[Span] = deque(maxlen=max_finished)  # repro: guarded-by=_lock
         self._lock = threading.Lock()
         self._local = threading.local()
 

@@ -246,10 +246,10 @@ class AssociationCache:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
-        self._entries: OrderedDict[str, np.ndarray] = OrderedDict()
+        self._entries: OrderedDict[str, np.ndarray] = OrderedDict()  # repro: guarded-by=_lock
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
+        self.hits = 0  # repro: guarded-by=_lock
+        self.misses = 0  # repro: guarded-by=_lock
 
     @staticmethod
     def key_for(data: np.ndarray, params: MICParameters) -> str:

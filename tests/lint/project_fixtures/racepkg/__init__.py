@@ -1,0 +1,1 @@
+"""Fixture package: lock-discipline and module-state race rules."""

@@ -1,0 +1,17 @@
+"""``guarded-by`` annotations are ground truth: ``count`` has no locked
+*write* anywhere, yet the declaration keeps it in the guarded set."""
+
+import threading
+
+
+class Counter:
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self.count = 0  # repro: guarded-by=_mutex
+
+    def bump(self) -> None:
+        self.count += 1
+
+    def read(self) -> int:
+        with self._mutex:
+            return self.count

@@ -1,0 +1,27 @@
+"""Guarded-set inference: writes under ``with self._lock:`` define the
+set, and the one write outside the lock is the race under test."""
+
+import threading
+
+
+class Buffer:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items = []
+        self.flushes = 0
+
+    def add(self, item) -> None:
+        with self._lock:
+            self._items.append(item)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._items.clear()
+            self.flushes = 0
+
+    def flush(self) -> list:
+        with self._lock:
+            out = list(self._items)
+            self._items = []
+        self.flushes += 1  # the race: 'flushes' is guarded, lock released
+        return out

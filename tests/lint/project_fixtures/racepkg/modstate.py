@@ -1,0 +1,16 @@
+"""Module-level mutable state in a threaded module: ``put`` mutates the
+cache without the lock, ``get`` reads under it (reads are not flagged)."""
+
+import threading
+
+_CACHE: dict = {}
+_CACHE_LOCK = threading.Lock()
+
+
+def put(key: str, value: int) -> None:
+    _CACHE[key] = value
+
+
+def get(key: str):
+    with _CACHE_LOCK:
+        return _CACHE.get(key)

@@ -1,0 +1,11 @@
+"""Fixture package: determinism taint through multi-module call chains.
+
+Not production code — parsed by :mod:`repro.lint.project` tests to
+exercise call-graph construction (aliased imports, methods, decorators),
+taint propagation through 3+-deep chains, injected-clock exemptions and
+inline suppression.
+"""
+
+from taintpkg.api import render_report
+
+__all__ = ["render_report"]

@@ -1,0 +1,20 @@
+"""The deterministic root whose build path reaches the clock.
+
+Chain under test (4 nodes, crossing an aliased module import, a method
+resolved via constructor type inference, and a ``from``-alias):
+
+    render_report -> Reporter.build -> stamp -> wall_seconds
+"""
+
+import taintpkg.middle as mid
+
+
+class Reporter:
+    def build(self) -> float:
+        return mid.stamp()
+
+
+# repro: deterministic
+def render_report() -> float:
+    rep = Reporter()
+    return rep.build()

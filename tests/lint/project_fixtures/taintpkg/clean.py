@@ -1,0 +1,17 @@
+"""Patterns the taint pass must accept without findings.
+
+Injected clocks (a callable named ``clock``/``*_clock``) and sets that
+feed straight into ``sorted(...)`` are the blessed deterministic idioms.
+"""
+
+import time
+
+
+class Sampler:
+    def __init__(self, clock=time.time):
+        self._clock = clock
+
+    # repro: deterministic
+    def snapshot(self, names):
+        order = sorted({n.strip() for n in names})
+        return {"at": self._clock(), "names": order}

@@ -1,0 +1,7 @@
+"""Leaf module owning the actual nondeterminism source."""
+
+import time
+
+
+def wall_seconds() -> float:
+    return time.time()

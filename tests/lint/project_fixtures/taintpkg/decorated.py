@@ -1,0 +1,31 @@
+"""Decorator edges: calling a decorated function runs the wrapper.
+
+Mirrors the ``Tracer.traced`` pattern in :mod:`repro.obs.tracing` — the
+wrapper reads a monotonic clock, so a deterministic root decorated with
+it is tainted even though its own body is pure.
+"""
+
+import time
+
+
+class Tracer:
+    def traced(self, name):
+        def wrap(fn):
+            def inner(*args, **kwargs):
+                started = time.perf_counter()
+                try:
+                    return fn(*args, **kwargs)
+                finally:
+                    _elapsed = time.perf_counter() - started
+            return inner
+
+        return wrap
+
+
+tracer = Tracer()
+
+
+# repro: deterministic
+@tracer.traced("score")
+def score(x: float) -> float:
+    return x + x

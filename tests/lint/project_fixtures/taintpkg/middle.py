@@ -1,0 +1,7 @@
+"""Middle of the chain; imports the leaf through a ``from``-alias."""
+
+from taintpkg.clocks import wall_seconds as ws
+
+
+def stamp() -> float:
+    return ws()

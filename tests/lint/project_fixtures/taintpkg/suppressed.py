@@ -1,0 +1,8 @@
+"""Inline suppression must silence a deep finding at its source line."""
+
+import time
+
+
+# repro: deterministic
+def stamped() -> float:
+    return time.time()  # repro: disable=deep-determinism

@@ -1,0 +1,368 @@
+"""Whole-program analyzer tests: call graph, taint, races, baseline,
+CLI wiring and the ISSUE's mutation-detection acceptance criteria."""
+
+from __future__ import annotations
+
+import json
+import shutil
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, render_json
+from repro.lint.cli import EXIT_OK, EXIT_VIOLATIONS, main
+from repro.lint.engine import collect_files
+from repro.lint.project import (
+    Baseline,
+    ProjectAnalyzer,
+    apply_baseline,
+    baseline_key,
+    build_call_graph,
+    build_index,
+    deep_rule_ids,
+    load_baseline,
+    write_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "project_fixtures"
+SRC = REPO_ROOT / "src"
+
+DEEP_RULES = {"deep-determinism", "lock-discipline", "module-mutable-state"}
+
+
+@pytest.fixture(scope="module")
+def fixture_report():
+    return ProjectAnalyzer().analyze_paths([FIXTURES])
+
+
+@pytest.fixture(scope="module")
+def fixture_graph():
+    index = build_index(collect_files([FIXTURES], excludes=()))
+    return index, build_call_graph(index)
+
+
+def _by_rule(report, rule_id):
+    return [v for v in report.violations if v.rule_id == rule_id]
+
+
+class TestRegistry:
+    def test_three_deep_rules_registered(self):
+        assert set(deep_rule_ids()) == DEEP_RULES
+
+
+class TestCallGraph:
+    def test_method_edge_via_constructor_inference(self, fixture_graph):
+        _, graph = fixture_graph
+        assert "taintpkg.api.Reporter.build" in graph.callees(
+            "taintpkg.api.render_report"
+        )
+
+    def test_aliased_module_import_edge(self, fixture_graph):
+        _, graph = fixture_graph
+        assert "taintpkg.middle.stamp" in graph.callees(
+            "taintpkg.api.Reporter.build"
+        )
+
+    def test_from_import_alias_edge(self, fixture_graph):
+        _, graph = fixture_graph
+        assert "taintpkg.clocks.wall_seconds" in graph.callees(
+            "taintpkg.middle.stamp"
+        )
+
+    def test_decorator_edge_to_tracer_traced(self, fixture_graph):
+        _, graph = fixture_graph
+        assert "taintpkg.decorated.Tracer.traced" in graph.callees(
+            "taintpkg.decorated.score"
+        )
+
+
+class TestTaintPass:
+    def test_three_deep_chain_named_in_full(self, fixture_report):
+        hits = [
+            v
+            for v in _by_rule(fixture_report, "deep-determinism")
+            if v.path.endswith("clocks.py")
+        ]
+        (hit,) = hits
+        assert "time.time()" in hit.message
+        assert "'taintpkg.api.render_report'" in hit.message
+        assert (
+            "taintpkg.api.render_report -> taintpkg.api.Reporter.build "
+            "-> taintpkg.middle.stamp -> taintpkg.clocks.wall_seconds"
+        ) in hit.message
+
+    def test_source_anchored_at_offending_call(self, fixture_report):
+        (hit,) = [
+            v
+            for v in _by_rule(fixture_report, "deep-determinism")
+            if v.path.endswith("clocks.py")
+        ]
+        source = (FIXTURES / "taintpkg" / "clocks.py").read_text()
+        line = source.splitlines()[hit.line - 1]
+        assert "time.time()" in line
+
+    def test_decorated_root_tainted_through_wrapper(self, fixture_report):
+        hits = [
+            v
+            for v in _by_rule(fixture_report, "deep-determinism")
+            if v.path.endswith("decorated.py")
+        ]
+        assert hits, "decorator edge lost"
+        for hit in hits:
+            assert "'taintpkg.decorated.score'" in hit.message
+            assert "Tracer.traced" in hit.message
+
+    def test_injected_clock_and_sorted_set_stay_clean(self, fixture_report):
+        assert not [
+            v for v in fixture_report.violations if v.path.endswith("clean.py")
+        ]
+
+    def test_inline_suppression_counts_not_reports(self, fixture_report):
+        assert not [
+            v
+            for v in fixture_report.violations
+            if v.path.endswith("suppressed.py")
+        ]
+        assert fixture_report.suppressed_count >= 1
+
+
+class TestRacePass:
+    def test_inferred_guard_names_the_lock(self, fixture_report):
+        (hit,) = [
+            v
+            for v in _by_rule(fixture_report, "lock-discipline")
+            if v.path.endswith("guarded.py")
+        ]
+        assert (
+            "attribute 'flushes' of racepkg.guarded.Buffer is guarded by "
+            "'_lock' but augmented in flush() without holding it"
+        ) in hit.message
+
+    def test_annotation_survives_without_locked_writes(self, fixture_report):
+        (hit,) = [
+            v
+            for v in _by_rule(fixture_report, "lock-discipline")
+            if v.path.endswith("annotated.py")
+        ]
+        assert "'count'" in hit.message
+        assert "'_mutex'" in hit.message
+        assert "bump()" in hit.message
+
+    def test_locked_writes_not_flagged(self, fixture_report):
+        lines = {
+            v.line
+            for v in _by_rule(fixture_report, "lock-discipline")
+            if v.path.endswith("guarded.py")
+        }
+        assert len(lines) == 1  # only the post-release increment
+
+    def test_module_state_names_module_lock(self, fixture_report):
+        (hit,) = _by_rule(fixture_report, "module-mutable-state")
+        assert hit.path.endswith("modstate.py")
+        assert "'_CACHE'" in hit.message
+        assert "hold '_CACHE_LOCK'" in hit.message
+        assert "put()" in hit.message
+
+
+class TestBaseline:
+    def test_write_then_apply_grandfathers_everything(
+        self, fixture_report, tmp_path
+    ):
+        path = tmp_path / "baseline.json"
+        count = write_baseline(path, fixture_report.violations)
+        # Keys are line-independent, so same-message findings dedup.
+        keys = {baseline_key(v) for v in fixture_report.violations}
+        assert count == len(keys) > 0
+
+        fresh = ProjectAnalyzer().analyze_paths([FIXTURES])
+        baseline = load_baseline(path)
+        apply_baseline(fresh, baseline)
+        assert not fresh.violations
+        assert fresh.baselined_count == len(fixture_report.violations)
+        assert not baseline.stale
+
+    def test_removed_entry_resurfaces_the_finding(
+        self, fixture_report, tmp_path
+    ):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, fixture_report.violations)
+        doc = json.loads(path.read_text())
+        dropped = [
+            e
+            for e in doc["entries"]
+            if not e["path"].endswith("annotated.py")
+        ]
+        doc["entries"] = dropped
+        path.write_text(json.dumps(doc))
+
+        fresh = ProjectAnalyzer().analyze_paths([FIXTURES])
+        apply_baseline(fresh, load_baseline(path))
+        (survivor,) = fresh.violations
+        assert survivor.path.endswith("annotated.py")
+        assert survivor.rule_id == "lock-discipline"
+
+    def test_stale_entries_listed_after_apply(self, fixture_report, tmp_path):
+        baseline = Baseline(
+            entries={("gone/file.py", "deep-determinism", "old finding")}
+        )
+        fresh = ProjectAnalyzer().analyze_paths([FIXTURES])
+        apply_baseline(fresh, baseline)
+        assert baseline.stale == [
+            ("gone/file.py", "deep-determinism", "old finding")
+        ]
+
+    def test_keys_are_line_independent(self, fixture_report):
+        for violation in fixture_report.violations:
+            key = baseline_key(violation)
+            assert key == (violation.path, violation.rule_id, violation.message)
+            assert violation.line not in key
+
+
+class TestCLI:
+    def test_deep_exits_one_on_fresh_findings(self, tmp_path, capsys):
+        code = main(
+            [
+                "--deep",
+                "--no-config",
+                "--baseline",
+                str(tmp_path / "bl.json"),
+                str(FIXTURES),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == EXIT_VIOLATIONS
+        assert "deep-determinism" in out
+        assert "lock-discipline" in out
+
+    def test_write_baseline_then_rerun_exits_zero(self, tmp_path, capsys):
+        baseline = tmp_path / "bl.json"
+        assert (
+            main(
+                [
+                    "--write-baseline",
+                    "--no-config",
+                    "--baseline",
+                    str(baseline),
+                    str(FIXTURES),
+                ]
+            )
+            == EXIT_OK
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "--deep",
+                "--no-config",
+                "--baseline",
+                str(baseline),
+                str(FIXTURES),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == EXIT_OK
+        assert "baselined" in out
+
+    def test_json_schema_and_rule_metadata(self, tmp_path, capsys):
+        baseline = tmp_path / "bl.json"
+        main(
+            [
+                "--write-baseline",
+                "--no-config",
+                "--baseline",
+                str(baseline),
+                str(FIXTURES),
+            ]
+        )
+        capsys.readouterr()
+        main(
+            [
+                "--deep",
+                "--no-config",
+                "--format",
+                "json",
+                "--baseline",
+                str(baseline),
+                str(FIXTURES),
+            ]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] == 2
+        rules = {r["id"]: r for r in doc["rules"]}
+        assert DEEP_RULES <= set(rules)
+        assert rules["deep-determinism"]["category"] == "determinism"
+        assert rules["lock-discipline"]["category"] == "concurrency"
+        for meta in rules.values():
+            assert set(meta) == {"id", "severity", "category"}
+        assert doc["summary"]["baselined"] == 6
+        assert doc["summary"]["ok"] is True
+
+
+def _analyze_tree(root: Path):
+    return ProjectAnalyzer(LintConfig()).analyze_paths([root])
+
+
+class TestRealTreeAcceptance:
+    """The ISSUE's acceptance mutations on a scratch copy of ``src/``."""
+
+    @pytest.fixture(scope="class")
+    def scratch_src(self, tmp_path_factory):
+        scratch = tmp_path_factory.mktemp("tree") / "src"
+        shutil.copytree(SRC, scratch)
+        return scratch
+
+    def test_pristine_tree_is_clean_and_fast(self, scratch_src):
+        started = time.perf_counter()
+        report = _analyze_tree(SRC)
+        elapsed = time.perf_counter() - started
+        assert not report.violations, [v.format() for v in report.violations]
+        assert elapsed < 5.0, f"deep analysis took {elapsed:.2f}s"
+
+    def test_deleting_sorted_in_explain_trips_taint(self, scratch_src):
+        target = scratch_src / "repro" / "obs" / "explain.py"
+        original = target.read_text()
+        assert "return sorted(" in original
+        try:
+            target.write_text(
+                original.replace("return sorted(", "return list(", 1)
+            )
+            report = _analyze_tree(scratch_src)
+            hits = [
+                v
+                for v in report.violations
+                if v.rule_id == "deep-determinism"
+                and v.path.endswith("explain.py")
+            ]
+            assert hits, "removing sorted() went undetected"
+            # The diagnostic names the full chain into the property.
+            assert any(
+                "violated_metrics" in v.message and " -> " in v.message
+                for v in hits
+            )
+        finally:
+            target.write_text(original)
+
+    def test_deleting_lock_in_metrics_trips_race_rule(self, scratch_src):
+        target = scratch_src / "repro" / "obs" / "metrics.py"
+        original = target.read_text()
+        head, sep, tail = original.partition("def series(")
+        assert sep and "with self._lock:" in tail
+        try:
+            target.write_text(
+                head + sep + tail.replace("with self._lock:", "if True:", 1)
+            )
+            report = _analyze_tree(scratch_src)
+            hits = [
+                v
+                for v in report.violations
+                if v.rule_id == "lock-discipline"
+                and v.path.endswith("metrics.py")
+            ]
+            assert hits, "removing the lock went undetected"
+            assert any(
+                "'_series'" in v.message and "'_lock'" in v.message
+                for v in hits
+            )
+        finally:
+            target.write_text(original)

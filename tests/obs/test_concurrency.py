@@ -207,6 +207,69 @@ class TestMixedStress:
         assert text == registry.render_prometheus()
 
 
+class TestWarnOnceStress:
+    def test_exactly_one_first_under_contention(self):
+        """8 threads hammering the same key must yield exactly one
+        ``first=True`` and exactly one real warning — the check-and-add
+        happens under ``_seen_lock``, not as a racy read-then-write."""
+        import warnings
+
+        from repro.obs.bridge import reset_warn_once, warn_once
+
+        reset_warn_once()
+        firsts = []
+        firsts_lock = threading.Lock()
+        barrier = threading.Barrier(THREADS)
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+
+            def work(tid):
+                barrier.wait()
+                for i in range(ITERATIONS):
+                    if warn_once(
+                        "stress.key", f"stress warning t{tid} i{i}"
+                    ):
+                        with firsts_lock:
+                            firsts.append(tid)
+
+            try:
+                _run_in_threads(work)
+            finally:
+                reset_warn_once()
+
+        assert len(firsts) == 1
+        assert len(caught) == 1
+        assert issubclass(caught[0].category, RuntimeWarning)
+
+    def test_distinct_keys_each_fire_once(self):
+        from repro.obs.bridge import reset_warn_once, warn_once
+
+        reset_warn_once()
+        results = [None] * THREADS
+        barrier = threading.Barrier(THREADS)
+
+        def work(tid):
+            barrier.wait()
+            results[tid] = sum(
+                1
+                for _ in range(ITERATIONS)
+                if warn_once(f"stress.key-{tid}", "per-thread key")
+            )
+
+        import warnings
+
+        # catch_warnings mutates global filter state, so enter it once on
+        # the main thread rather than per worker.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            try:
+                _run_in_threads(work)
+            finally:
+                reset_warn_once()
+        assert results == [1] * THREADS
+
+
 class TestConcurrentLedgerAndTrace:
     def test_trace_export_during_span_churn(self, tmp_path):
         """Exporting while other threads finish spans must not crash or
