@@ -269,6 +269,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="sequence number of the entry (default: the latest entry)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the fleet diagnosis service over HTTP",
+        description="Multiplex streaming diagnosis for every context in "
+        "a DirectoryStore registry behind a stdlib HTTP/JSON API "
+        "(POST /ingest, GET /health, GET /contexts, GET /explain/<ctx>).",
+    )
+    serve.add_argument("dir", type=Path, help="registry directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8321,
+        help="listen port (0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=8,
+        help="monitor-registry shards (ingest parallelism bound)",
+    )
+    serve.add_argument(
+        "--max-lanes-per-shard", type=int, default=None, metavar="N",
+        help="resident monitors per shard before LRU eviction",
+    )
+    serve.add_argument(
+        "--warmup-ticks", type=int, default=12,
+        help="CPI samples buffered before drift checks begin",
+    )
+    serve.add_argument(
+        "--cooldown-ticks", type=int, default=30,
+        help="silent ticks after each diagnosis",
+    )
+
     lint = sub.add_parser(
         "lint",
         help="run the domain linter over the source tree",
@@ -652,6 +682,38 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import FleetMonitor, build_server
+
+    pair = _registry_ledger(args.dir)
+    if isinstance(pair, int):
+        return pair
+    registry, _ = pair
+    pipeline = InvarNetX.attached_to(registry)
+    fleet = FleetMonitor(
+        pipeline,
+        shards=args.shards,
+        max_lanes_per_shard=args.max_lanes_per_shard,
+        warmup_ticks=args.warmup_ticks,
+        cooldown_ticks=args.cooldown_ticks,
+    )
+    server = build_server(fleet, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"serving {len(registry.keys())} trained context(s) "
+        f"on http://{host}:{port} (ctrl-c to stop)",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+        fleet.close()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -672,6 +734,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_health(args)
         if args.command == "ledger":
             return _cmd_ledger(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "lint":
             from repro.lint.cli import run_lint
 

@@ -26,7 +26,8 @@ from __future__ import annotations
 import enum
 import logging
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from itertools import islice
 
 import numpy as np
 
@@ -58,11 +59,21 @@ class AlarmEvent:
 
 @dataclass(frozen=True)
 class DiagnosisEvent:
-    """Emitted when the abnormal window has been collected and inferred."""
+    """Emitted when the abnormal window has been collected and inferred.
+
+    Attributes:
+        tick: tick the window filled and inference ran.
+        alarm_tick: tick the alarm was raised.
+        inference: the cause-inference result.
+        window: the collected abnormal metric window the inference ran
+            on — kept on the event so a serving layer can re-explain the
+            incident on demand (:func:`repro.obs.explain_window`).
+    """
 
     tick: int
     alarm_tick: int
     inference: InferenceResult
+    window: np.ndarray | None = field(default=None, compare=False, repr=False)
 
     @property
     def root_cause(self) -> str | None:
@@ -115,7 +126,16 @@ class OnlineMonitor:
         self.window_ticks = window_ticks
         self.warmup_ticks = warmup_ticks
         self.cooldown_ticks = cooldown_ticks
+        # The monitor runs on the models it was armed with: the slot is
+        # resolved once here, not per tick, so a store that later evicts
+        # or reloads the context cannot swap the detector mid-stream
+        # (and the hot path never touches shared registry state).
+        self._models = models
         self._cpi: deque[float] = deque(maxlen=max_history)
+        # CPI observed while the abnormal window is being collected —
+        # quarantined from ``_cpi`` so the ARIMA detector never resumes
+        # on fault-contaminated history after the cool-down.
+        self._incident_cpi: list[float] = []
         # lead-in buffer: the alarm fires CONSECUTIVE ticks into the
         # problem, and the window starts 2 ticks before the alarm
         self._recent_metrics: deque[np.ndarray] = deque(
@@ -128,6 +148,28 @@ class OnlineMonitor:
         self._cooldown_left = 0
         self.state = MonitorState.WARMUP
         self._label = str(context)
+
+    # ------------------------------------------------------------------
+    @property
+    def detector(self):
+        """The armed performance model (read-only; never None)."""
+        return self._models.detector
+
+    @property
+    def cpi_len(self) -> int:
+        """Samples currently in the detector's CPI history."""
+        return len(self._cpi)
+
+    def cpi_tail(self, n: int) -> list[float]:
+        """The last ``n`` CPI history samples, oldest first.
+
+        O(n) off the right end of the ring buffer — the accessor a
+        batched serving layer uses to recompute the one-step prediction
+        without copying the whole history.
+        """
+        tail = list(islice(reversed(self._cpi), n))
+        tail.reverse()
+        return tail
 
     # ------------------------------------------------------------------
     def _transition(self, new: MonitorState) -> None:
@@ -155,14 +197,38 @@ class OnlineMonitor:
             )
 
     # ------------------------------------------------------------------
+    def _check(self, cpi: float) -> bool:
+        """Run the one-step ARIMA drift check against current history."""
+        if obs.enabled():
+            obs.metrics_registry().counter(
+                "invarnetx_monitor_checks_total",
+                "One-step ARIMA drift checks actually run",
+                ("context",),
+            ).inc(context=self._label)
+        try:
+            return self._models.detector.check_next(
+                np.asarray(self._cpi), cpi
+            )
+        except ValueError:
+            return False  # history still too short for the order
+
     def observe(
-        self, metrics_row: np.ndarray, cpi: float
+        self,
+        metrics_row: np.ndarray,
+        cpi: float,
+        anomalous: bool | None = None,
     ) -> AlarmEvent | DiagnosisEvent | None:
         """Feed one tick of telemetry.
 
         Args:
             metrics_row: the 26-metric sample of this tick.
             cpi: the CPI sample of this tick.
+            anomalous: pre-computed drift verdict for this tick.  When
+                None (the default) the monitor runs its own
+                :meth:`_check`; a batched serving layer that already
+                computed the identical verdict out of band passes it
+                here to skip the duplicate ARIMA recursion.  Ignored
+                outside MONITORING.
 
         Returns:
             An :class:`AlarmEvent` at the tick the problem is reported, a
@@ -171,8 +237,6 @@ class OnlineMonitor:
         """
         self._tick += 1
         row = np.asarray(metrics_row, dtype=float)
-        detector = self.pipeline.context_models(self.context).detector
-        assert detector is not None
         if obs.enabled():
             obs.metrics_registry().counter(
                 "invarnetx_monitor_state_ticks_total",
@@ -182,7 +246,13 @@ class OnlineMonitor:
 
         if self.state is MonitorState.COLLECTING:
             self._collected.append(row)
-            self._cpi.append(float(cpi))
+            # keep the lead-in ring current so a prompt second alarm
+            # seeds its window with these rows, not pre-incident ones
+            self._recent_metrics.append(row)
+            # fault-window CPI is quarantined: folding it into ``_cpi``
+            # would teach the detector the faulty level and mask an
+            # identical back-to-back incident after the cool-down
+            self._incident_cpi.append(float(cpi))
             if len(self._collected) >= self.window_ticks:
                 window = np.asarray(self._collected)
                 inference = self.pipeline.infer(self.context, window)
@@ -191,6 +261,7 @@ class OnlineMonitor:
                     tick=self._tick,
                     alarm_tick=self._alarm_tick,
                     inference=inference,
+                    window=window,
                 )
                 self._collected = []
                 self._alarm_tick = None
@@ -215,13 +286,15 @@ class OnlineMonitor:
                 return event
             return None
 
-        anomalous = False
-        if len(self._cpi) >= self.warmup_ticks:
-            history = np.asarray(self._cpi)
-            try:
-                anomalous = detector.check_next(history, float(cpi))
-            except ValueError:
-                anomalous = False  # history still too short for the order
+        # the drift check compares this tick's CPI against a prediction
+        # from the history *before* it, so it must run pre-append — and
+        # only in MONITORING (warm-up has nothing to compare against,
+        # cool-down would discard the verdict: wasted ARIMA work that
+        # adds up at fleet scale)
+        if self.state is MonitorState.MONITORING and anomalous is None:
+            anomalous = len(
+                self._cpi
+            ) >= self.warmup_ticks and self._check(float(cpi))
         self._cpi.append(float(cpi))
         self._recent_metrics.append(row)
 
@@ -232,6 +305,7 @@ class OnlineMonitor:
         if self.state is MonitorState.COOLDOWN:
             self._cooldown_left -= 1
             if self._cooldown_left <= 0:
+                self._incident_cpi.clear()
                 self._transition(MonitorState.MONITORING)
             return None
 

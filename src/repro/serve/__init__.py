@@ -1,0 +1,38 @@
+"""Fleet-scale streaming diagnosis serving (§3.2 at production scale).
+
+The paper deploys one online monitor per ``(workload, node)`` operation
+context; a real big-data platform runs thousands of such contexts, and
+"heavy traffic from millions of users" means one long-lived process must
+multiplex them all.  This package is that process's core:
+
+- :class:`FleetMonitor` — sharded registry of per-context
+  :class:`~repro.core.online.OnlineMonitor` lanes (lazy construction,
+  warm start from the attached model store, LRU eviction), a thread-pool
+  ingest path, the bit-exact fast drift lane, and the incident sink;
+- :mod:`repro.serve.fastpath` — O(tail) one-step ARIMA predictions for
+  pure-AR models, verdicts bit-identical to the full recursion;
+- :mod:`repro.serve.http` — the stdlib-only HTTP/JSON transport behind
+  ``invarnetx serve``.
+"""
+
+from repro.serve.fastpath import fast_check, predict_next_from_tail, tail_length
+from repro.serve.fleet import (
+    FleetEvent,
+    FleetMonitor,
+    IngestResult,
+    Tick,
+    shard_index,
+)
+from repro.serve.http import build_server
+
+__all__ = [
+    "FleetMonitor",
+    "FleetEvent",
+    "IngestResult",
+    "Tick",
+    "shard_index",
+    "fast_check",
+    "predict_next_from_tail",
+    "tail_length",
+    "build_server",
+]

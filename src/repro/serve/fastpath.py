@@ -1,0 +1,114 @@
+"""Batched drift checks for fleet serving: the O(tail) fast lane.
+
+:meth:`ARIMAModel.predict_next` reruns the full ARMA residual recursion
+over the entire CPI history on every call — O(n) python-loop work per
+tick per context, fine for one monitor, ruinous for a fleet of
+thousands.  For the pure-AR models the CPI detector actually fits
+(``q == 0``), the recursion's residuals never enter the prediction: the
+one-step forecast depends only on the last ``max(p + d, d + 1)``
+samples.  :func:`predict_next_from_tail` recomputes exactly the same
+float from that tail —
+
+- differencing is elementwise (:func:`numpy.diff`), so the last values
+  of every differencing level computed on the tail equal those computed
+  on the full history bit for bit;
+- the AR accumulation replays :meth:`ARIMAModel.predict_next`'s loop in
+  the same order over the same values, so the float sums agree exactly;
+- the undifferencing reconstruction is the identical ``tails`` walk.
+
+For ``q > 0`` the MA terms need residuals whose recursion runs over the
+whole history (its mean depends on every sample), so there is no exact
+tail form — :func:`fast_check` returns None and the caller falls back to
+the monitor's own full check.  Parity is therefore unconditional: the
+fast lane either produces the bit-identical verdict or declines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.obs as obs
+from repro.core.online import MonitorState, OnlineMonitor
+from repro.stats.arima import ARIMAModel
+
+__all__ = ["tail_length", "predict_next_from_tail", "fast_check"]
+
+
+def tail_length(model: ARIMAModel) -> int:
+    """History samples a tail prediction needs for ``model`` (q == 0).
+
+    ``p + d`` covers the AR terms on the d-th difference; ``d + 1``
+    covers the undifferencing reconstruction (one last value per level).
+    """
+    p, d, q = model.order
+    if q != 0:
+        raise ValueError("tail prediction is only exact for q == 0")
+    return max(p + d, d + 1)
+
+
+def predict_next_from_tail(
+    model: ARIMAModel, tail: np.ndarray | list[float]
+) -> float:
+    """One-step prediction from the last :func:`tail_length` samples.
+
+    Bit-identical to ``model.predict_next(full_history)`` for ``q == 0``
+    whenever ``tail`` is the suffix of that history (and at least
+    :func:`tail_length` long).
+    """
+    p, d, q = model.order
+    if q != 0:
+        raise ValueError("tail prediction is only exact for q == 0")
+    arr = np.asarray(tail, dtype=float)
+    need = tail_length(model)
+    if arr.size < need:
+        raise ValueError(
+            f"tail too short ({arr.size}) for ARIMA{tuple(model.order)}"
+        )
+    # same structure as ARIMAModel.predict_next: w is the d-th
+    # difference, the AR sum runs i = 1..p in that order, and the
+    # reconstruction walks the differencing levels from d-1 down to 0
+    tails = [arr]
+    for _ in range(d):
+        tails.append(np.diff(tails[-1]))
+    w = tails[d]
+    acc = model.intercept
+    n = w.size
+    for i in range(1, p + 1):
+        acc += model.ar[i - 1] * w[n - i]
+    y_next = acc
+    for level in range(d - 1, -1, -1):
+        y_next = tails[level][-1] + y_next
+    return float(y_next)
+
+
+def fast_check(monitor: OnlineMonitor, cpi: float) -> bool | None:
+    """The monitor's next drift verdict, computed in the fast lane.
+
+    Returns:
+        The exact boolean :meth:`OnlineMonitor.observe` would compute
+        for this tick, or None when the fast lane cannot serve this
+        monitor (MA terms present, or not in MONITORING) and the caller
+        must let the monitor run its own check.
+    """
+    if monitor.state is not MonitorState.MONITORING:
+        return None
+    detector = monitor.detector
+    model = detector.model
+    threshold = detector.threshold
+    if model is None or threshold is None or model.order.q != 0:
+        return None
+    if monitor.cpi_len < monitor.warmup_ticks:
+        return False  # the monitor skips the check entirely pre-warm-up
+    # from here this mirrors OnlineMonitor._check, counter included
+    if obs.enabled():
+        obs.metrics_registry().counter(
+            "invarnetx_monitor_checks_total",
+            "One-step ARIMA drift checks actually run",
+            ("context",),
+        ).inc(context=str(monitor.context))
+    p, d, _ = model.order
+    if monitor.cpi_len <= d + p:
+        return False  # predict_next would raise: history too short
+    tail = monitor.cpi_tail(tail_length(model))
+    predicted = predict_next_from_tail(model, tail)
+    return threshold.is_anomalous(abs(float(cpi) - predicted))

@@ -1,0 +1,397 @@
+"""Fleet-scale multiplexing of per-context streaming monitors.
+
+One production process watches thousands of ``(workload, node)`` operation
+contexts (§3.2's deployment unit).  :class:`FleetMonitor` owns them all:
+
+- a **sharded registry** of :class:`~repro.core.online.OnlineMonitor`
+  lanes — contexts hash to shards (:func:`shard_index`, crc32: python's
+  ``hash`` is salted per process), each shard serialises its lanes behind
+  its own lock, so ingest threads make progress without a global lock;
+- **lazy construction with warm start** — a context's monitor is built on
+  its first tick from the pipeline's attached
+  :class:`~repro.store.base.ModelStore` (a populated
+  :class:`~repro.store.directory.DirectoryStore` makes the whole fleet
+  start warm); untrained contexts are rejected and counted, not fatal;
+- **LRU eviction** — each shard caps its resident lanes and evicts the
+  least-recently-active monitor (models stay in the store, so an evicted
+  context warm-starts again on its next tick);
+- the **fast drift lane** — MONITORING-state ticks are checked via
+  :mod:`repro.serve.fastpath` (O(tail) instead of O(history), verdicts
+  bit-identical) and the verdict is handed to ``observe``, which skips
+  its own recursion;
+- an **incident sink** — every alarm/diagnosis is counted, logged,
+  ledger-recorded (when the pipeline has an active run ledger) and the
+  diagnosis windows are retained in a bounded ring so
+  :meth:`FleetMonitor.explain` can produce the full evidence report on
+  demand (:func:`repro.obs.explain_window`; the MIC sweep hits the
+  content-hash cache because diagnosis already scored that window).
+
+The store the pipeline carries is wrapped in a
+:class:`~repro.store.locked.LockedStore` at construction: lane
+construction and lazy loads from different shards would otherwise race on
+the registry's resident dict.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import zlib
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+import repro.obs as obs
+from repro.core.context import OperationContext
+from repro.core.online import AlarmEvent, DiagnosisEvent, OnlineMonitor
+from repro.core.pipeline import InvarNetX
+from repro.serve.fastpath import fast_check
+from repro.store import ContextKey, LockedStore
+
+__all__ = ["Tick", "FleetEvent", "IngestResult", "FleetMonitor", "shard_index"]
+
+_log = obs.get_logger("serve.fleet")
+
+
+def shard_index(key: ContextKey, shards: int) -> int:
+    """Deterministic shard of a context key (stable across processes)."""
+    return zlib.crc32(f"{key[0]}@{key[1]}".encode("utf-8")) % shards
+
+
+@dataclass(frozen=True)
+class Tick:
+    """One telemetry sample of one context.
+
+    Attributes:
+        context: the operation context the sample belongs to.
+        metrics: the metric row of this tick (catalog order).
+        cpi: the CPI sample of this tick.
+    """
+
+    context: OperationContext
+    metrics: np.ndarray
+    cpi: float
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """An event one lane emitted during an ingest batch.
+
+    Attributes:
+        index: position of the triggering tick in the ingest batch
+            (events are returned sorted by it, so results are
+            deterministic however many threads processed the batch).
+        context: the context whose monitor fired.
+        event: the alarm or diagnosis.
+    """
+
+    index: int
+    context: OperationContext
+    event: AlarmEvent | DiagnosisEvent
+
+
+@dataclass
+class IngestResult:
+    """Outcome of one :meth:`FleetMonitor.ingest` call.
+
+    Attributes:
+        events: events emitted by the batch, in batch order.
+        accepted: ticks routed to a (possibly new) monitor.
+        rejected: ticks dropped because their context has no trained
+            models in the store.
+    """
+
+    events: list[FleetEvent] = field(default_factory=list)
+    accepted: int = 0
+    rejected: int = 0
+
+
+class _Shard:
+    """One lock + its LRU-ordered monitor lanes."""
+
+    def __init__(self, index: int, max_lanes: int | None) -> None:
+        self.index = index
+        self.max_lanes = max_lanes
+        self._lock = threading.RLock()
+        self._lanes: OrderedDict[ContextKey, OnlineMonitor] = OrderedDict()  # repro: guarded-by=_lock
+        self.evictions = 0  # repro: guarded-by=_lock
+
+
+class FleetMonitor:
+    """A fleet of per-context online monitors behind one ingest surface.
+
+    Args:
+        pipeline: the trained pipeline (attach it to a populated store
+            for warm starts).  Its store is wrapped in a
+            :class:`LockedStore` here; the pipeline object itself must
+            not be shared with concurrent writers outside this fleet.
+        shards: number of registry shards (ingest parallelism bound).
+        max_lanes_per_shard: resident-monitor cap per shard; the least
+            recently active lane is evicted beyond it.  None = unbounded.
+        workers: ingest thread count (None → one per shard; 0 → process
+            batches inline on the calling thread).
+        max_incidents: diagnosis windows retained for :meth:`explain`.
+        **monitor_kwargs: forwarded to every :class:`OnlineMonitor`
+            (``window_ticks``, ``warmup_ticks``, ``cooldown_ticks``,
+            ``max_history``).
+    """
+
+    def __init__(
+        self,
+        pipeline: InvarNetX,
+        *,
+        shards: int = 8,
+        max_lanes_per_shard: int | None = None,
+        workers: int | None = None,
+        max_incidents: int = 256,
+        **monitor_kwargs: int,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if max_lanes_per_shard is not None and max_lanes_per_shard < 1:
+            raise ValueError("max_lanes_per_shard must be >= 1 or None")
+        pipeline.store = LockedStore.wrap(pipeline.store)
+        self.pipeline = pipeline
+        self.monitor_kwargs = dict(monitor_kwargs)
+        self._shards = [
+            _Shard(i, max_lanes_per_shard) for i in range(shards)
+        ]
+        self._pool = (
+            ThreadPoolExecutor(
+                max_workers=workers if workers else shards,
+                thread_name_prefix="fleet-ingest",
+            )
+            if workers != 0
+            else None
+        )
+        self._incident_lock = threading.Lock()
+        self._incidents: OrderedDict[ContextKey, DiagnosisEvent] = OrderedDict()  # repro: guarded-by=_incident_lock
+        self._max_incidents = max_incidents
+        self.rejected_total = 0  # repro: guarded-by=_incident_lock
+
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> int:
+        return len(self._shards)
+
+    def contexts(self) -> list[ContextKey]:
+        """Keys of every resident (non-evicted) lane, sorted."""
+        keys: list[ContextKey] = []
+        for shard in self._shards:
+            with shard._lock:
+                keys.extend(shard._lanes.keys())
+        return sorted(keys)
+
+    def lane(self, context: OperationContext) -> OnlineMonitor | None:
+        """The resident monitor of a context, or None (evicted/unseen)."""
+        key = context.key()
+        shard = self._shards[shard_index(key, len(self._shards))]
+        with shard._lock:
+            return shard._lanes.get(key)
+
+    def states(self) -> dict[str, str]:
+        """``"workload@node" -> state`` for every resident lane."""
+        out: dict[str, str] = {}
+        for shard in self._shards:
+            with shard._lock:
+                for key, monitor in shard._lanes.items():
+                    out[f"{key[0]}@{key[1]}"] = monitor.state.value
+        return dict(sorted(out.items()))
+
+    def close(self) -> None:
+        """Shut the ingest pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "FleetMonitor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def ingest(self, batch: list[Tick]) -> IngestResult:
+        """Feed one batch of ticks, fanned out to shards.
+
+        Per-context tick order inside the batch is preserved (a context
+        lives on exactly one shard, and each shard processes its slice
+        in batch order).  Events come back sorted by batch position, so
+        the result is deterministic regardless of thread interleaving.
+        """
+        groups: dict[int, list[tuple[int, Tick]]] = {}
+        for pos, tick in enumerate(batch):
+            idx = shard_index(tick.context.key(), len(self._shards))
+            groups.setdefault(idx, []).append((pos, tick))
+        with obs.span("fleet.ingest"):
+            if self._pool is None or len(groups) <= 1:
+                slices = [
+                    self._drain(self._shards[idx], ticks)
+                    for idx, ticks in groups.items()
+                ]
+            else:
+                futures = [
+                    self._pool.submit(self._drain, self._shards[idx], ticks)
+                    for idx, ticks in groups.items()
+                ]
+                slices = [f.result() for f in futures]
+        result = IngestResult()
+        for accepted, rejected, events in slices:
+            result.accepted += accepted
+            result.rejected += rejected
+            result.events.extend(events)
+        result.events.sort(key=lambda e: e.index)
+        for fleet_event in result.events:
+            self._sink(fleet_event)
+        if result.rejected:
+            with self._incident_lock:
+                self.rejected_total += result.rejected
+        return result
+
+    def run_stream(
+        self, ticks: list[Tick], batch_size: int = 256
+    ) -> IngestResult:
+        """Convenience: ingest a long tick list in fixed-size batches."""
+        total = IngestResult()
+        for start in range(0, len(ticks), batch_size):
+            part = self.ingest(ticks[start : start + batch_size])
+            offset = start
+            total.events.extend(
+                FleetEvent(e.index + offset, e.context, e.event)
+                for e in part.events
+            )
+            total.accepted += part.accepted
+            total.rejected += part.rejected
+        return total
+
+    # ------------------------------------------------------------------
+    def _drain(
+        self, shard: _Shard, ticks: list[tuple[int, Tick]]
+    ) -> tuple[int, int, list[FleetEvent]]:
+        """Process one shard's slice of the batch, in batch order."""
+        accepted = 0
+        rejected = 0
+        events: list[FleetEvent] = []
+        with shard._lock:
+            for pos, tick in ticks:
+                monitor = self._lane_for(shard, tick.context)
+                if monitor is None:
+                    rejected += 1
+                    continue
+                accepted += 1
+                verdict = fast_check(monitor, float(tick.cpi))
+                event = monitor.observe(
+                    tick.metrics, float(tick.cpi), anomalous=verdict
+                )
+                if event is not None:
+                    events.append(FleetEvent(pos, tick.context, event))
+        if obs.enabled() and (accepted or rejected):
+            registry = obs.metrics_registry()
+            registry.counter(
+                "invarnetx_fleet_ticks_total",
+                "Ticks ingested per registry shard",
+                ("shard",),
+            ).inc(accepted, shard=str(shard.index))
+            if rejected:
+                registry.counter(
+                    "invarnetx_fleet_rejected_total",
+                    "Ticks dropped: context has no trained models",
+                    ("shard",),
+                ).inc(rejected, shard=str(shard.index))
+        return accepted, rejected, events
+
+    def _lane_for(
+        self, shard: _Shard, context: OperationContext
+    ) -> OnlineMonitor | None:
+        """Get-or-build the context's monitor (LRU touch; caller holds
+        the shard lock)."""
+        key = context.key()
+        monitor = shard._lanes.get(key)
+        if monitor is not None:
+            shard._lanes.move_to_end(key)
+            return monitor
+        if not self.pipeline.is_trained(context):
+            obs.warn_once(
+                "fleet-untrained-context",
+                f"fleet: dropping ticks for untrained context {context} "
+                "(train or warm-start its models to accept them)",
+            )
+            return None
+        monitor = OnlineMonitor(
+            self.pipeline, context, **self.monitor_kwargs
+        )
+        shard._lanes[key] = monitor
+        if (
+            shard.max_lanes is not None
+            and len(shard._lanes) > shard.max_lanes
+        ):
+            evicted_key, _ = shard._lanes.popitem(last=False)
+            shard.evictions += 1
+            if obs.enabled():
+                obs.metrics_registry().counter(
+                    "invarnetx_fleet_evictions_total",
+                    "Idle monitor lanes evicted (LRU)",
+                    ("shard",),
+                ).inc(shard=str(shard.index))
+                obs.log_event(
+                    _log,
+                    logging.DEBUG,
+                    "fleet-evict",
+                    shard=shard.index,
+                    context=f"{evicted_key[0]}@{evicted_key[1]}",
+                )
+        return monitor
+
+    # ------------------------------------------------------------------
+    def _sink(self, fleet_event: FleetEvent) -> None:
+        """Route one emitted event through obs/ledger/incident ring.
+
+        Alarm/diagnosis counters are already incremented by the monitor
+        itself; the fleet adds the cross-cutting record keeping.
+        """
+        context = fleet_event.context
+        event = fleet_event.event
+        if not isinstance(event, DiagnosisEvent):
+            return
+        key = context.key()
+        with self._incident_lock:
+            self._incidents[key] = event
+            self._incidents.move_to_end(key)
+            while len(self._incidents) > self._max_incidents:
+                self._incidents.popitem(last=False)
+        ledger = self.pipeline.ledger
+        if ledger is not None:
+            ledger.append(
+                "fleet-diagnose",
+                context=key,
+                fingerprint=self.pipeline.fingerprint,
+                tick=event.tick,
+                alarm_tick=event.alarm_tick,
+                cause=event.root_cause,
+                matched=event.inference.matched,
+            )
+
+    # ------------------------------------------------------------------
+    def last_incident(
+        self, context: OperationContext
+    ) -> DiagnosisEvent | None:
+        """The most recent retained diagnosis of a context, or None."""
+        with self._incident_lock:
+            return self._incidents.get(context.key())
+
+    def explain(self, context: OperationContext):
+        """Full evidence report for the context's last diagnosis.
+
+        Returns:
+            An :class:`repro.obs.explain.IncidentExplanation`.
+
+        Raises:
+            KeyError: no retained incident for the context.
+        """
+        event = self.last_incident(context)
+        if event is None or event.window is None:
+            raise KeyError(f"no retained incident for {context}")
+        from repro.obs.explain import explain_window
+
+        return explain_window(self.pipeline, context, event.window)

@@ -1,0 +1,219 @@
+"""Stdlib-only HTTP/JSON surface over a :class:`FleetMonitor`.
+
+A deliberately small API — the fleet is the product, the server is a
+transport.  ``ThreadingHTTPServer`` gives one thread per connection; all
+shared state behind it is the fleet, which carries its own locking.
+
+Endpoints:
+
+``POST /ingest``
+    Body ``{"ticks": [{"workload", "node", "ip"?, "metrics", "cpi"}]}``.
+    Replies ``{"accepted", "rejected", "malformed", "events"}`` where
+    each event is ``{"type": "alarm"|"diagnosis", "context", "tick",
+    ...}``.  Malformed tick entries are skipped and counted, not fatal:
+    one bad agent must not poison a batch carrying a thousand contexts.
+
+``GET /health``
+    Liveness + fleet shape: resident lanes, shards, rejected-tick total.
+
+``GET /contexts``
+    ``{"workload@node": "<state>", ...}`` for every resident lane.
+
+``GET /explain/<workload>@<node>``
+    The last retained diagnosis of the context as the full evidence
+    report — text by default, JSON with ``?format=json``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import unquote, urlparse
+
+import numpy as np
+
+from repro.core.context import OperationContext
+from repro.core.online import AlarmEvent, DiagnosisEvent
+from repro.serve.fleet import FleetMonitor, Tick
+
+__all__ = ["build_server", "FleetRequestHandler"]
+
+#: Maximum accepted request body (64 MiB — a generous telemetry batch).
+MAX_BODY = 64 * 1024 * 1024
+
+
+def _event_json(context: OperationContext, event) -> dict:
+    out = {"context": str(context), "tick": event.tick}
+    if isinstance(event, AlarmEvent):
+        out["type"] = "alarm"
+    elif isinstance(event, DiagnosisEvent):
+        out["type"] = "diagnosis"
+        out["alarm_tick"] = event.alarm_tick
+        out["cause"] = event.root_cause
+        out["matched"] = event.inference.matched
+    return out
+
+
+def _parse_tick(entry: object) -> Tick | None:
+    """One JSON tick → :class:`Tick`, or None when malformed."""
+    if not isinstance(entry, dict):
+        return None
+    workload = entry.get("workload")
+    node = entry.get("node")
+    metrics = entry.get("metrics")
+    cpi = entry.get("cpi")
+    if not isinstance(workload, str) or not isinstance(node, str):
+        return None
+    if not isinstance(metrics, list) or not isinstance(cpi, (int, float)):
+        return None
+    try:
+        row = np.asarray(metrics, dtype=float)
+    except (TypeError, ValueError):
+        return None
+    if row.ndim != 1:
+        return None
+    ip = entry.get("ip", "")
+    context = OperationContext(
+        workload, node, ip if isinstance(ip, str) else ""
+    )
+    return Tick(context=context, metrics=row, cpi=float(cpi))
+
+
+def _parse_context(raw: str) -> OperationContext | None:
+    """``workload@node`` (URL-decoded) → context; None when malformed."""
+    if "@" not in raw:
+        return None
+    workload, _, node = raw.rpartition("@")
+    if not workload or not node:
+        return None
+    return OperationContext(workload, node)
+
+
+class FleetRequestHandler(BaseHTTPRequestHandler):
+    """Request handler bound to one fleet (see :func:`build_server`)."""
+
+    fleet: FleetMonitor  # class attribute, set by build_server
+    server_version = "invarnetx-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format: str, *args: object) -> None:
+        pass  # request logging goes through repro.obs, not stderr
+
+    def _reply(
+        self, status: int, payload: bytes, content_type: str
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _reply_json(self, status: int, obj: object) -> None:
+        body = json.dumps(obj, sort_keys=True).encode("utf-8")
+        self._reply(status, body, "application/json")
+
+    def _reply_error(self, status: int, message: str) -> None:
+        self._reply_json(status, {"error": message})
+
+    # -- GET -----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server contract)
+        url = urlparse(self.path)
+        if url.path == "/health":
+            self._reply_json(
+                200,
+                {
+                    "status": "ok",
+                    "contexts": len(self.fleet.contexts()),
+                    "shards": self.fleet.shards,
+                    "rejected_total": self.fleet.rejected_total,
+                },
+            )
+            return
+        if url.path == "/contexts":
+            self._reply_json(200, {"contexts": self.fleet.states()})
+            return
+        if url.path.startswith("/explain/"):
+            raw = unquote(url.path[len("/explain/") :])
+            context = _parse_context(raw)
+            if context is None:
+                self._reply_error(
+                    400, "context must look like workload@node"
+                )
+                return
+            try:
+                explanation = self.fleet.explain(context)
+            except KeyError:
+                self._reply_error(
+                    404, f"no retained incident for {context}"
+                )
+                return
+            if url.query == "format=json":
+                self._reply_json(200, explanation.to_json())
+            else:
+                self._reply(
+                    200,
+                    explanation.render_text().encode("utf-8"),
+                    "text/plain; charset=utf-8",
+                )
+            return
+        self._reply_error(404, f"unknown path {url.path}")
+
+    # -- POST ----------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 (http.server contract)
+        if urlparse(self.path).path != "/ingest":
+            self._reply_error(404, f"unknown path {self.path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY:
+            self._reply_error(400, "invalid or oversized Content-Length")
+            return
+        try:
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._reply_error(400, "body is not valid JSON")
+            return
+        ticks_json = payload.get("ticks") if isinstance(payload, dict) else None
+        if not isinstance(ticks_json, list):
+            self._reply_error(400, 'body must be {"ticks": [...]}')
+            return
+        batch: list[Tick] = []
+        malformed = 0
+        for entry in ticks_json:
+            tick = _parse_tick(entry)
+            if tick is None:
+                malformed += 1
+            else:
+                batch.append(tick)
+        result = self.fleet.ingest(batch)
+        self._reply_json(
+            200,
+            {
+                "accepted": result.accepted,
+                "rejected": result.rejected,
+                "malformed": malformed,
+                "events": [
+                    _event_json(e.context, e.event) for e in result.events
+                ],
+            },
+        )
+
+
+def build_server(
+    fleet: FleetMonitor, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """A ready-to-run server bound to ``fleet`` (port 0 = ephemeral).
+
+    The handler class is subclassed per call so the fleet rides on a
+    class attribute — ``BaseHTTPRequestHandler`` instantiates per
+    request, leaving no instance hook to inject state through.
+    """
+    handler = type(
+        "BoundFleetRequestHandler",
+        (FleetRequestHandler,),
+        {"fleet": fleet},
+    )
+    return ThreadingHTTPServer((host, port), handler)

@@ -16,6 +16,7 @@ invariant sets and signature bases from the registry on first use.
 
 from repro.store.base import ContextKey, ContextModels, ModelStore, StoreError
 from repro.store.directory import DirectoryStore
+from repro.store.locked import LockedStore
 from repro.store.memory import MemoryStore
 
 __all__ = [
@@ -25,4 +26,5 @@ __all__ = [
     "StoreError",
     "MemoryStore",
     "DirectoryStore",
+    "LockedStore",
 ]

@@ -252,6 +252,207 @@ class TestMonitorStateMachine:
         assert events[0].alarm_tick == alarm.tick
 
 
+class _CountingDetector:
+    """Pass-through detector wrapper that counts ``check_next`` calls."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+
+    def check_next(self, history, observed):
+        self.calls += 1
+        return self.inner.check_next(history, observed)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class TestStateMachineBugfixes:
+    """Regressions for the three COLLECTING/COOLDOWN-era bugs.
+
+    Borrows the hand-checkable ARIMA(0, 1, 0) harness; the back-to-back
+    test swaps in a pure AR(8) detector ("predict the value of 8 ticks
+    ago") because a last-value predictor cannot see its own history
+    contamination.
+    """
+
+    WARMUP = TestMonitorStateMachine.WARMUP
+    WINDOW = TestMonitorStateMachine.WINDOW
+    COOLDOWN = TestMonitorStateMachine.COOLDOWN
+    LEAD_IN = TestMonitorStateMachine.LEAD_IN
+    _pipeline = TestMonitorStateMachine._pipeline
+    _monitor = TestMonitorStateMachine._monitor
+    _feed_flat = staticmethod(TestMonitorStateMachine._feed_flat)
+    _incident = TestMonitorStateMachine._incident
+
+    def _ar8_monitor(self, captured, cooldown_ticks):
+        """Monitor whose prediction looks exactly 8 ticks back."""
+        context = OperationContext("wordcount", "slave-1")
+        model = ARIMAModel(
+            order=ARIMAOrder(8, 0, 0),
+            ar=np.array([0.0] * 7 + [1.0]),
+            ma=np.empty(0),
+            intercept=0.0,
+            sigma2=1.0,
+        )
+        detector = AnomalyDetector.from_artifacts(
+            model, DriftThreshold(ThresholdRule.BETA_MAX, upper=0.5)
+        )
+        catalog = MetricCatalog(names=("m0", "m1", "m2", "m3"))
+        invariants = InvariantSet(
+            pairs=[(0, 1)], baseline=np.array([0.9]), catalog=catalog
+        )
+        pipe = InvarNetX(catalog=catalog)
+        pipe.store.adopt(
+            context.key(),
+            ContextModels(
+                context=context, detector=detector, invariants=invariants
+            ),
+        )
+
+        def fake_infer(ctx, window, top_k=3):
+            captured.append(np.asarray(window))
+            return InferenceResult(
+                causes=[], violations=np.zeros(1, dtype=bool)
+            )
+
+        pipe.infer = fake_infer
+        return OnlineMonitor(
+            pipe,
+            context,
+            window_ticks=self.WINDOW,
+            warmup_ticks=self.WARMUP,
+            cooldown_ticks=cooldown_ticks,
+        )
+
+    # -- bugfix 1: fault-window CPI must not poison ARIMA history -------
+    def test_back_to_back_identical_faults_both_alarm(self):
+        """Two identical faults in quick succession must both alarm.
+
+        The AR(8) predictor's lookback spans the previous incident: if
+        the COLLECTING-phase CPI (level 3.0) had been folded into the
+        history, fault B's onset predictions would hit those contaminated
+        samples, every residual would be 0, and B would never alarm.
+        """
+        captured: list[np.ndarray] = []
+        monitor = self._ar8_monitor(captured, cooldown_ticks=2)
+        events = []
+
+        def feed(value, ticks):
+            for _ in range(ticks):
+                event = monitor.observe(np.zeros(4), value)
+                if event is not None:
+                    events.append(event)
+
+        feed(1.0, self.WARMUP)  # healthy baseline
+        feed(3.0, 3)  # fault A: alarm on the third elevated tick
+        feed(3.0, self.WINDOW - self.LEAD_IN)  # window fills -> diagnosis
+        feed(1.0, 2)  # recovered; drains the 2-tick cool-down
+        feed(3.0, 15)  # fault B, identical to A
+        kinds = [type(e).__name__ for e in events]
+        assert kinds[:2] == ["AlarmEvent", "DiagnosisEvent"]
+        assert "AlarmEvent" in kinds[2:], (
+            "second identical fault never alarmed: ARIMA history was "
+            f"contaminated by the first fault's window (events={kinds})"
+        )
+        alarm_b = next(e for e in events[2:] if isinstance(e, AlarmEvent))
+        # B's onset predictions (1.0, from the quarantined history) make
+        # each elevated tick anomalous: alarm on B's third tick exactly
+        # ticks: 12 warm-up, 3 ramp A, 3 collecting, 2 cool-down
+        fault_b_start = (
+            self.WARMUP
+            + OnlineMonitor.CONSECUTIVE
+            + (self.WINDOW - self.LEAD_IN)
+            + 2
+        )
+        assert alarm_b.tick == fault_b_start + 2
+
+    def test_collection_cpi_quarantined(self):
+        """White-box: COLLECTING CPI lands in the incident buffer, not
+        the detector history, and the buffer clears on re-arm."""
+        monitor = self._monitor(captured=[])
+        self._feed_flat(monitor, 1.0, self.WARMUP)
+        _, value = self._incident(monitor, 1.0)
+        assert monitor.cpi_len == self.WARMUP + OnlineMonitor.CONSECUTIVE
+        self._feed_flat(monitor, value, self.WINDOW - self.LEAD_IN)
+        # the three collection ticks were quarantined
+        assert monitor.cpi_len == self.WARMUP + OnlineMonitor.CONSECUTIVE
+        assert monitor._incident_cpi == [value] * (
+            self.WINDOW - self.LEAD_IN
+        )
+        self._feed_flat(monitor, value, self.COOLDOWN)
+        assert monitor.state is MonitorState.MONITORING
+        assert monitor._incident_cpi == []  # cleared on re-arm
+
+    # -- bugfix 2: lead-in ring stays fresh across a prompt re-arm ------
+    def test_short_cooldown_second_window_has_no_stale_rows(self):
+        """With a 1-tick cool-down the second alarm fires only 4 appends
+        after the first (pre-fix: COLLECTING skipped the ring), so the
+        old code seeded window B with a row from incident A's ramp.  The
+        rows encode their tick: window B must be contiguous."""
+        captured: list[np.ndarray] = []
+        monitor = self._monitor(captured)
+        # rebuild with a 1-tick cooldown (the harness default is 4)
+        monitor.cooldown_ticks = 1
+        self._feed_flat(monitor, 1.0, self.WARMUP)
+        _, value = self._incident(monitor, 1.0)
+        self._feed_flat(monitor, value, self.WINDOW - self.LEAD_IN)
+        self._feed_flat(monitor, value, 1)  # the whole cool-down
+        assert monitor.state is MonitorState.MONITORING
+        alarm_b, value = self._incident(monitor, value)
+        remaining = self.WINDOW - self.LEAD_IN
+        events = self._feed_flat(monitor, value, remaining)
+        assert len(events) == 1 and isinstance(events[0], DiagnosisEvent)
+        assert len(captured) == 2
+        window_b = captured[1]
+        expected_ticks = np.arange(
+            alarm_b.tick - self.LEAD_IN + 1, alarm_b.tick + remaining + 1
+        )
+        assert np.array_equal(window_b[:, 0], expected_ticks), (
+            "second abnormal window contains stale pre-incident rows: "
+            f"{window_b[:, 0].tolist()} != {expected_ticks.tolist()}"
+        )
+
+    # -- bugfix 3: the detector only runs on MONITORING ticks -----------
+    def test_detector_runs_only_while_monitoring(self):
+        monitor = self._monitor(captured=[])
+        spy = _CountingDetector(monitor.detector)
+        monitor._models.detector = spy
+        self._feed_flat(monitor, 1.0, self.WARMUP)
+        assert spy.calls == 0  # warm-up never checks
+        _, value = self._incident(monitor, 1.0)
+        assert spy.calls == OnlineMonitor.CONSECUTIVE
+        self._feed_flat(monitor, value, self.WINDOW - self.LEAD_IN)
+        assert spy.calls == OnlineMonitor.CONSECUTIVE  # collecting: none
+        self._feed_flat(monitor, value, self.COOLDOWN)
+        assert spy.calls == OnlineMonitor.CONSECUTIVE  # cool-down: none
+        self._feed_flat(monitor, value, 1)
+        assert spy.calls == OnlineMonitor.CONSECUTIVE + 1  # re-armed
+
+    def test_precomputed_verdict_skips_detector(self):
+        """The serving fast lane hands ``observe`` its own verdict; the
+        monitor must not re-run the recursion."""
+        monitor = self._monitor(captured=[])
+        spy = _CountingDetector(monitor.detector)
+        monitor._models.detector = spy
+        self._feed_flat(monitor, 1.0, self.WARMUP)
+        for _ in range(OnlineMonitor.CONSECUTIVE):
+            event = monitor.observe(np.zeros(4), 1.0, anomalous=True)
+        assert isinstance(event, AlarmEvent)
+        assert spy.calls == 0
+
+    def test_diagnosis_event_carries_window(self):
+        captured: list[np.ndarray] = []
+        monitor = self._monitor(captured)
+        self._feed_flat(monitor, 1.0, self.WARMUP)
+        _, value = self._incident(monitor, 1.0)
+        events = self._feed_flat(monitor, value, self.WINDOW - self.LEAD_IN)
+        (diagnosis,) = events
+        assert isinstance(diagnosis, DiagnosisEvent)
+        assert diagnosis.window is not None
+        assert np.array_equal(diagnosis.window, captured[0])
+
+
 class TestInvariantTracker:
     def _matrices(self, rng, n=5):
         from repro.telemetry.metrics import MetricCatalog

@@ -140,6 +140,16 @@ class TestMonitorMetrics:
                 == 1
             ), (src, dst)
 
+        # drift checks run only on MONITORING ticks: 3 ramp + 1 re-armed.
+        # Warm-up, collecting and cool-down ticks do zero detector calls.
+        checks = registry.counter(
+            "invarnetx_monitor_checks_total", labelnames=("context",)
+        )
+        assert checks.value(context=LABEL) == 4
+        assert checks.value(context=LABEL) == ticks.value(
+            context=LABEL, state="monitoring"
+        )
+
         alarms = registry.counter(
             "invarnetx_alarms_total", labelnames=("context",)
         )
@@ -166,6 +176,9 @@ class TestMonitorMetrics:
                 "# HELP invarnetx_diagnoses_total Diagnosis events emitted by online monitors",
                 "# TYPE invarnetx_diagnoses_total counter",
                 f'invarnetx_diagnoses_total{{context="{LABEL}"}} 1',
+                "# HELP invarnetx_monitor_checks_total One-step ARIMA drift checks actually run",
+                "# TYPE invarnetx_monitor_checks_total counter",
+                f'invarnetx_monitor_checks_total{{context="{LABEL}"}} 4',
                 "# HELP invarnetx_monitor_state_ticks_total Ticks the monitor spent in each state",
                 "# TYPE invarnetx_monitor_state_ticks_total counter",
                 f'invarnetx_monitor_state_ticks_total{{context="{LABEL}",state="collecting"}} 3',

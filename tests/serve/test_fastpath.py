@@ -1,0 +1,144 @@
+"""Bit-parity of the serving fast lane against the full ARIMA recursion.
+
+The fleet's whole speedup rests on one claim: for ``q == 0`` models the
+tail prediction equals :meth:`ARIMAModel.predict_next` on the full
+history *bit for bit* (same float ops in the same order).  These tests
+pin that claim with ``==``, not ``pytest.approx``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.anomaly import (
+    AnomalyDetector,
+    DriftThreshold,
+    ThresholdRule,
+)
+from repro.core.online import MonitorState, OnlineMonitor
+from repro.serve.fastpath import (
+    fast_check,
+    predict_next_from_tail,
+    tail_length,
+)
+from repro.stats.arima import ARIMAModel, ARIMAOrder, fit_arima
+
+from tests.serve.conftest import build_pipeline
+from repro.core import OperationContext
+
+PURE_AR_ORDERS = [(0, 1, 0), (1, 0, 0), (2, 1, 0), (3, 0, 0), (1, 2, 0)]
+
+
+def _fitted(order, rng):
+    series = np.cumsum(rng.normal(0.0, 0.1, size=200)) + 5.0
+    return fit_arima(series, order)
+
+
+class TestTailPrediction:
+    @pytest.mark.parametrize("order", PURE_AR_ORDERS)
+    def test_bit_identical_to_full_recursion(self, order, rng):
+        model = _fitted(order, rng)
+        history = np.cumsum(rng.normal(0.0, 0.2, size=120)) + 3.0
+        need = tail_length(model)
+        full = model.predict_next(history)
+        fast = predict_next_from_tail(model, history[-need:])
+        assert fast == full  # exact, not approx
+
+    @pytest.mark.parametrize("order", PURE_AR_ORDERS)
+    def test_longer_tails_change_nothing(self, order, rng):
+        model = _fitted(order, rng)
+        history = np.cumsum(rng.normal(0.0, 0.2, size=90)) + 3.0
+        full = model.predict_next(history)
+        for extra in (0, 1, 5, 40):
+            tail = history[-(tail_length(model) + extra) :]
+            assert predict_next_from_tail(model, tail) == full
+
+    def test_tail_length_values(self):
+        def model_of(order):
+            p, d, q = order
+            return ARIMAModel(
+                order=ARIMAOrder(*order),
+                ar=np.zeros(p),
+                ma=np.zeros(q),
+                intercept=0.0,
+                sigma2=1.0,
+            )
+
+        assert tail_length(model_of((0, 1, 0))) == 2
+        assert tail_length(model_of((2, 1, 0))) == 3
+        assert tail_length(model_of((3, 0, 0))) == 3
+        assert tail_length(model_of((0, 2, 0))) == 3
+
+    def test_ma_models_rejected(self, rng):
+        model = _fitted((1, 0, 1), rng)
+        with pytest.raises(ValueError, match="q == 0"):
+            tail_length(model)
+        with pytest.raises(ValueError, match="q == 0"):
+            predict_next_from_tail(model, np.ones(10))
+
+    def test_short_tail_rejected(self, rng):
+        model = _fitted((3, 1, 0), rng)
+        with pytest.raises(ValueError, match="tail too short"):
+            predict_next_from_tail(model, np.ones(tail_length(model) - 1))
+
+
+class TestFastCheck:
+    def _monitor(self, detector=None, warmup=12):
+        context = OperationContext("wordcount", "slave-1")
+        pipe = build_pipeline([context], detector)
+        return OnlineMonitor(
+            pipe, context, window_ticks=8, warmup_ticks=warmup,
+            cooldown_ticks=4,
+        )
+
+    def test_declines_outside_monitoring(self):
+        monitor = self._monitor()
+        assert monitor.state is MonitorState.WARMUP
+        assert fast_check(monitor, 1.0) is None
+
+    def test_declines_ma_models(self, rng):
+        model = _fitted((1, 0, 1), rng)
+        detector = AnomalyDetector.from_artifacts(
+            model, DriftThreshold(ThresholdRule.BETA_MAX, upper=0.5)
+        )
+        monitor = self._monitor(detector)
+        for _ in range(12):
+            monitor.observe(np.zeros(4), 5.0)
+        assert monitor.state is MonitorState.MONITORING
+        assert fast_check(monitor, 5.0) is None
+
+    def test_matches_monitor_verdict_tick_for_tick(self, rng):
+        """Drive two identical monitors through noise + a fault ramp;
+        the fast lane's verdict stream must equal the slow one's."""
+        model = fit_arima(
+            np.cumsum(rng.normal(0.0, 0.1, size=150)) + 4.0, (2, 1, 0)
+        )
+        detector = AnomalyDetector.from_artifacts(
+            model, DriftThreshold(ThresholdRule.BETA_MAX, upper=0.3)
+        )
+        fast_monitor = self._monitor(detector)
+        slow_monitor = self._monitor(detector)
+        cpi = list(4.0 + rng.normal(0.0, 0.05, size=30)) + [
+            5.0, 6.0, 7.0, 8.0, 9.0, 10.0,
+        ]
+        fast_events, slow_events = [], []
+        for value in cpi:
+            verdict = fast_check(fast_monitor, float(value))
+            ev = fast_monitor.observe(np.zeros(4), float(value), anomalous=verdict)
+            if ev is not None:
+                fast_events.append((type(ev).__name__, ev.tick))
+            ev = slow_monitor.observe(np.zeros(4), float(value))
+            if ev is not None:
+                slow_events.append((type(ev).__name__, ev.tick))
+        assert fast_events == slow_events
+        assert fast_events  # the ramp must actually alarm
+        assert fast_monitor.state is slow_monitor.state
+
+    def test_pre_warmup_gate_matches_monitor(self):
+        """Below warmup_ticks the monitor never checks; the fast lane
+        must report False (not run the prediction) identically."""
+        monitor = self._monitor(warmup=12)
+        # force MONITORING early to isolate the history-length gate
+        for _ in range(12):
+            monitor.observe(np.zeros(4), 1.0)
+        assert monitor.cpi_len == 12
+        assert fast_check(monitor, 1.0) in (True, False)

@@ -24,6 +24,21 @@ def test_quickstart_runs_and_diagnoses():
     assert "problem detected: False" in proc.stdout  # the healthy run
 
 
+def test_fleet_serving_runs_end_to_end():
+    """The serving example is hand-built-model fast, so it runs live:
+    it exercises the whole HTTP surface in one subprocess."""
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "fleet_serving.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "ALARM on wordcount@slave-3" in proc.stdout
+    assert "diagnosis on wordcount@slave-3" in proc.stdout
+    assert "incident explanation: wordcount@slave-3" in proc.stdout
+
+
 def test_all_examples_compile():
     """Every example parses (full runs are exercised manually/CI-nightly)."""
     import py_compile
