@@ -18,7 +18,18 @@ Three subcommands cover the working loop of the system:
     (``--json`` for the machine-readable form).
 
 ``invarnetx experiment``
-    Regenerate one of the paper's figures/tables and print it.
+    Regenerate one of the paper's figures/tables and print it.  With
+    ``--registry DIR`` the diagnosis exhibits (fig7, fig8, fig9-10)
+    execute through the campaign run registry: committed under
+    ``DIR/runs/<run_id>/``, indexed in SQLite, reused when already
+    committed.
+
+``invarnetx runs``
+    The campaign registry (:mod:`repro.eval.registry`): ``run`` executes
+    a campaign spec into a ``runs/<run_id>/`` directory, ``list``
+    tabulates the cross-run SQLite index, ``show`` prints one committed
+    run, and ``compare`` scores two cohorts against each other from the
+    index alone (a byte-deterministic bake-off report).
 
 ``invarnetx store``
     List or inspect the contexts of an on-disk model registry
@@ -194,6 +205,102 @@ def build_parser() -> argparse.ArgumentParser:
         help="durable model registry for the diagnosis exhibits (fig7, "
         "fig8): trained contexts persist here and are reused on the next "
         "invocation instead of retraining",
+    )
+    exp.add_argument(
+        "--registry", type=Path, default=None, metavar="DIR",
+        help="campaign registry root: run the diagnosis exhibits (fig7, "
+        "fig8, fig9-10) through the run registry — committed under "
+        "DIR/runs/<run_id>/, indexed in SQLite, and reused verbatim when "
+        "the same spec fingerprint is already committed",
+    )
+
+    from repro.eval.registry.spec import BUILTIN_SPECS
+
+    runs = sub.add_parser(
+        "runs",
+        help="execute and query campaign runs (the run registry)",
+        description="The campaign registry: durable runs/<run_id>/ "
+        "directories with atomically-committed manifests, a cross-run "
+        "SQLite index, and byte-deterministic cohort bake-offs.",
+    )
+    runs_sub = runs.add_subparsers(dest="runs_action", required=True)
+    runs_run = runs_sub.add_parser(
+        "run", help="execute a campaign spec into the registry"
+    )
+    runs_run.add_argument(
+        "--dir", type=Path, required=True, help="campaign registry root"
+    )
+    spec_source = runs_run.add_mutually_exclusive_group(required=True)
+    spec_source.add_argument(
+        "--spec", choices=BUILTIN_SPECS,
+        help="one of the builtin exhibit specs",
+    )
+    spec_source.add_argument(
+        "--spec-file", type=Path, metavar="PATH",
+        help="a CampaignSpec JSON document (the spec.json dialect)",
+    )
+    runs_run.add_argument(
+        "--reps", type=int, default=None,
+        help="held-out runs per fault override (paper: 38)",
+    )
+    runs_run.add_argument(
+        "--repetitions", type=int, default=None,
+        help="whole-campaign repetitions override",
+    )
+    runs_run.add_argument(
+        "--seed", type=int, default=None, help="base-seed override"
+    )
+    runs_run.add_argument(
+        "--node", default=None, help="fault-target node override"
+    )
+    runs_run.add_argument(
+        "--store", type=Path, default=None, metavar="DIR",
+        help="model registry for InvarNet-X cohorts (warm restarts)",
+    )
+    runs_run.add_argument(
+        "--force", action="store_true",
+        help="re-execute even when this spec fingerprint is committed",
+    )
+    runs_list = runs_sub.add_parser(
+        "list", help="tabulate the cross-run index"
+    )
+    runs_list.add_argument(
+        "--dir", type=Path, required=True, help="campaign registry root"
+    )
+    runs_list.add_argument(
+        "--spec", default=None, help="only runs of this campaign family"
+    )
+    runs_list.add_argument(
+        "--rebuild", action="store_true",
+        help="rebuild the SQLite index from the run manifests first",
+    )
+    runs_show = runs_sub.add_parser(
+        "show", help="print one committed run"
+    )
+    runs_show.add_argument("run_id", help="run id (see: runs list)")
+    runs_show.add_argument(
+        "--dir", type=Path, required=True, help="campaign registry root"
+    )
+    runs_show.add_argument(
+        "--json", action="store_true",
+        help="emit the committed manifest as JSON instead of the report",
+    )
+    runs_compare = runs_sub.add_parser(
+        "compare",
+        help="score two cohorts against each other from the index",
+    )
+    runs_compare.add_argument("system_a", help="first cohort label")
+    runs_compare.add_argument("system_b", help="second cohort label")
+    runs_compare.add_argument(
+        "--dir", type=Path, required=True, help="campaign registry root"
+    )
+    runs_compare.add_argument(
+        "--spec", default=None,
+        help="restrict both cohorts to one campaign family",
+    )
+    runs_compare.add_argument(
+        "--json", action="store_true",
+        help="emit the bake-off report as JSON instead of text",
     )
 
     store = sub.add_parser(
@@ -468,6 +575,43 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
     cluster = HadoopCluster()
     store = DirectoryStore(args.store) if args.store is not None else None
+    registry = None
+    if args.registry is not None:
+        from repro.eval.registry import RunRegistry
+
+        registry = RunRegistry(args.registry)
+
+    def registry_exhibit(name: str, title: str | None = None) -> str:
+        """One diagnosis exhibit executed through the run registry.
+
+        A spec fingerprint already committed under the registry is
+        reused verbatim (its stored report is printed); otherwise the
+        campaign runs, commits and indexes before formatting.
+        """
+        from repro.eval.registry import builtin_spec
+
+        assert registry is not None
+        spec = builtin_spec(name, test_reps=args.reps)
+        run = registry.execute(
+            spec,
+            cluster=cluster,
+            store=store if name != "fig9-10" else None,
+        )
+        if run.skipped:
+            print(
+                f"... reusing committed run {run.run_id}", file=sys.stderr
+            )
+            from repro.eval.registry.run import REPORT_MD
+
+            return (run.run_dir / REPORT_MD).read_text().rstrip("\n")
+        print(f"... committed run {run.run_id}", file=sys.stderr)
+        if name == "fig9-10":
+            return rp.format_comparison(
+                {label: reps[0] for label, reps in run.results.items()}
+            )
+        assert title is not None
+        return rp.format_diagnosis(run.results["InvarNet-X"][0], title)
+
     producers = {
         "fig2": lambda: rp.format_fig2(ex.run_fig2_cpi_disturbance(cluster)),
         "fig4": lambda: rp.format_fig4(
@@ -475,20 +619,32 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         ),
         "fig5": lambda: rp.format_fig5(ex.run_fig5_residuals(cluster)),
         "fig6": lambda: rp.format_fig6(ex.run_fig6_threshold_rules(cluster)),
-        "fig7": lambda: rp.format_diagnosis(
-            ex.run_fig7_tpcds_diagnosis(
-                cluster, test_reps=args.reps, store=store
-            ),
-            "Fig. 7 — TPC-DS",
+        "fig7": lambda: (
+            registry_exhibit("fig7", "Fig. 7 — TPC-DS")
+            if registry is not None
+            else rp.format_diagnosis(
+                ex.run_fig7_tpcds_diagnosis(
+                    cluster, test_reps=args.reps, store=store
+                ),
+                "Fig. 7 — TPC-DS",
+            )
         ),
-        "fig8": lambda: rp.format_diagnosis(
-            ex.run_fig8_wordcount_diagnosis(
-                cluster, test_reps=args.reps, store=store
-            ),
-            "Fig. 8 — Wordcount",
+        "fig8": lambda: (
+            registry_exhibit("fig8", "Fig. 8 — Wordcount")
+            if registry is not None
+            else rp.format_diagnosis(
+                ex.run_fig8_wordcount_diagnosis(
+                    cluster, test_reps=args.reps, store=store
+                ),
+                "Fig. 8 — Wordcount",
+            )
         ),
-        "fig9-10": lambda: rp.format_comparison(
-            ex.run_fig9_fig10_comparison(cluster, test_reps=args.reps)
+        "fig9-10": lambda: (
+            registry_exhibit("fig9-10")
+            if registry is not None
+            else rp.format_comparison(
+                ex.run_fig9_fig10_comparison(cluster, test_reps=args.reps)
+            )
         ),
         "table1": lambda: rp.format_table1(ex.run_table1_overhead(cluster)),
     }
@@ -682,6 +838,129 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_runs(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.eval.registry import (
+        CampaignSpec,
+        RunRegistry,
+        builtin_spec,
+        compare_cohorts,
+    )
+
+    registry = RunRegistry(args.dir)
+
+    if args.runs_action == "run":
+        try:
+            if args.spec_file is not None:
+                spec = CampaignSpec.from_json(
+                    json.loads(args.spec_file.read_text(encoding="utf-8"))
+                )
+                overrides = {
+                    name: value
+                    for name, value in (
+                        ("test_reps", args.reps),
+                        ("base_seed", args.seed),
+                        ("node", args.node),
+                        ("repetitions", args.repetitions),
+                    )
+                    if value is not None
+                }
+                if overrides:
+                    spec = dataclasses.replace(spec, **overrides)
+            else:
+                spec = builtin_spec(
+                    args.spec,
+                    test_reps=args.reps,
+                    base_seed=args.seed,
+                    node=args.node,
+                    repetitions=args.repetitions,
+                )
+        except (ValueError, json.JSONDecodeError, KeyError) as exc:
+            print(f"error: bad campaign spec: {exc}", file=sys.stderr)
+            return 2
+        store = DirectoryStore(args.store) if args.store else None
+        run = registry.execute(spec, store=store, force=args.force)
+        if run.skipped:
+            print(
+                f"run {run.run_id} already committed at {run.run_dir} "
+                "(--force re-runs)"
+            )
+        else:
+            print(f"committed {run.run_id} -> {run.run_dir}")
+        for row in run.manifest["table"]:
+            print(
+                f"  {row['system']:<16s} rep {row['repetition']}: "
+                f"precision={row['precision']:.4f} "
+                f"recall={row['recall']:.4f} "
+                f"({row['detected']}/{row['outcomes']} detected)"
+            )
+        return 0
+
+    if args.runs_action == "list":
+        if args.rebuild:
+            count = registry.rebuild_index()
+            print(
+                f"rebuilt index from {count} committed run(s)",
+                file=sys.stderr,
+            )
+        rows = registry.index.runs(spec_name=args.spec)
+        if not rows:
+            print("no indexed runs")
+            return 0
+        print(
+            f"{'run_id':<32s} {'spec':<14s} {'workload':<10s} "
+            f"{'systems':<28s} reps"
+        )
+        for row in rows:
+            print(
+                f"{row['run_id']:<32s} {row['spec_name']:<14s} "
+                f"{row['workload']:<10s} {row['systems']:<28s} "
+                f"{row['repetitions']}"
+            )
+        return 0
+
+    if args.runs_action == "show":
+        manifest = registry.manifest(args.run_id)
+        if manifest is None:
+            print(
+                f"error: no committed run {args.run_id!r} under "
+                f"{registry.runs_dir}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.json:
+            json.dump(manifest, sys.stdout, indent=2, sort_keys=True)
+            sys.stdout.write("\n")
+            return 0
+        from repro.eval.registry.run import REPORT_MD
+
+        report_path = registry.run_dir(args.run_id) / REPORT_MD
+        if report_path.exists():
+            sys.stdout.write(report_path.read_text(encoding="utf-8"))
+        else:
+            from repro.eval.registry.run import render_report_md
+
+            sys.stdout.write(render_report_md(manifest))
+        return 0
+
+    # compare
+    try:
+        report = compare_cohorts(
+            registry.index, args.system_a, args.system_b,
+            spec_name=args.spec,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        json.dump(report.to_json(), sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        sys.stdout.write(report.render_text())
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import FleetMonitor, build_server
 
@@ -734,6 +1013,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_health(args)
         if args.command == "ledger":
             return _cmd_ledger(args)
+        if args.command == "runs":
+            return _cmd_runs(args)
         if args.command == "serve":
             return _cmd_serve(args)
         if args.command == "lint":

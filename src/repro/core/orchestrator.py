@@ -139,7 +139,10 @@ class ClusterDiagnoser:
 
     # ------------------------------------------------------------------
     def train(
-        self, normal_runs: list[RunTrace], skip_trained: bool = False
+        self,
+        normal_runs: list[RunTrace],
+        skip_trained: bool = False,
+        recorder=None,
     ) -> list[OperationContext]:
         """Train every monitored node's context from the same normal runs.
 
@@ -148,6 +151,11 @@ class ClusterDiagnoser:
             skip_trained: leave contexts the pipeline's store already
                 holds models for untouched — the warm-restart path when
                 the diagnoser is attached to a populated registry.
+            recorder: optional event sink with a
+                ``record(context_key, kind, **fields)`` method (e.g. a
+                campaign registry's
+                :class:`~repro.eval.registry.run.RunRecorder`); receives
+                one ``train`` event per monitored node.
 
         Returns:
             The contexts covered (one per monitored node).
@@ -164,9 +172,17 @@ class ClusterDiagnoser:
         with obs.span("cluster.train") as sp:
             for node_id in self._nodes_of(normal_runs[0]):
                 ctx = self._context(workload, normal_runs[0], node_id)
-                if not (skip_trained and self.pipeline.is_trained(ctx)):
+                warm = skip_trained and self.pipeline.is_trained(ctx)
+                if not warm:
                     self.pipeline.train_from_runs(ctx, normal_runs)
                 contexts.append(ctx)
+                if recorder is not None:
+                    recorder.record(
+                        (workload, node_id),
+                        "train",
+                        runs=len(normal_runs),
+                        warm=warm,
+                    )
             if sp:
                 sp.set(
                     workload=workload,
@@ -182,12 +198,17 @@ class ClusterDiagnoser:
         ctx = self._context(faulty_run.workload, faulty_run, node_id)
         self.pipeline.train_signature_from_run(ctx, problem, faulty_run)
 
-    def diagnose(self, run: RunTrace, top_k: int = 3) -> ClusterDiagnosis:
+    def diagnose(
+        self, run: RunTrace, top_k: int = 3, recorder=None
+    ) -> ClusterDiagnosis:
         """Fan diagnosis out over every monitored node.
 
         Args:
             run: the run to diagnose.
             top_k: cause-list length per node.
+            recorder: optional event sink with a
+                ``record(context_key, kind, **fields)`` method; receives
+                one ``diagnose`` event per monitored node.
         """
         out = ClusterDiagnosis(workload=run.workload)
         with obs.span("cluster.diagnose") as sp:
@@ -208,6 +229,13 @@ class ClusterDiagnoser:
                         top_score=top_score,
                     )
                 )
+                if recorder is not None:
+                    recorder.record(
+                        (run.workload, node_id),
+                        "diagnose",
+                        detected=result.detected,
+                        predicted=result.root_cause,
+                    )
             if sp:
                 sp.set(
                     workload=run.workload,

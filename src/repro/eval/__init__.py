@@ -4,12 +4,16 @@
   metrics);
 - :mod:`repro.eval.experiments` — runners for Figs. 2, 4, 5, 6, 7, 8, 9,
   10 and Table 1;
+- :mod:`repro.eval.registry` — the campaign registry: durable
+  ``runs/<run_id>/`` directories, the cross-run SQLite index and
+  byte-deterministic cohort bake-offs;
 - :mod:`repro.eval.reporting` — paper-style ASCII tables and series.
 """
 
 from repro.eval.confusion import DiagnosisOutcome, PrecisionRecall, score_outcomes
 from repro.eval.experiments import (
     DiagnosisExperimentResult,
+    run_diagnosis_experiment,
     run_fig2_cpi_disturbance,
     run_fig4_cpi_kpi,
     run_fig5_residuals,
@@ -19,12 +23,23 @@ from repro.eval.experiments import (
     run_fig9_fig10_comparison,
     run_table1_overhead,
 )
+from repro.eval.registry import (
+    CampaignSpec,
+    RunIndex,
+    RunRegistry,
+    SystemSpec,
+    builtin_spec,
+    compare_cohorts,
+    execute_spec,
+    summarize_cohort,
+)
 
 __all__ = [
     "DiagnosisOutcome",
     "PrecisionRecall",
     "score_outcomes",
     "DiagnosisExperimentResult",
+    "run_diagnosis_experiment",
     "run_fig2_cpi_disturbance",
     "run_fig4_cpi_kpi",
     "run_fig5_residuals",
@@ -33,4 +48,12 @@ __all__ = [
     "run_fig8_wordcount_diagnosis",
     "run_fig9_fig10_comparison",
     "run_table1_overhead",
+    "CampaignSpec",
+    "RunIndex",
+    "RunRegistry",
+    "SystemSpec",
+    "builtin_spec",
+    "compare_cohorts",
+    "execute_spec",
+    "summarize_cohort",
 ]

@@ -11,11 +11,12 @@ is stable across scales).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
+import repro.obs as obs
 from repro.arx.invariants import build_arx_network
-from repro.arx.pipeline import ARXInvarNet
 from repro.cluster.cluster import HadoopCluster
 from repro.core.anomaly import ThresholdRule
 from repro.core.context import OperationContext
@@ -71,12 +72,16 @@ class DiagnosisExperimentResult:
         system: label of the diagnosing system.
         scores: per-fault precision/recall plus the ``"average"`` row.
         outcomes: raw labelled outcomes (for confusion inspection).
+        stage_seconds: wall time per stage span (``experiment.train``,
+            ``experiment.signatures``, ``experiment.diagnose``) — the
+            timing source of the registry's ``run_table.csv`` columns.
     """
 
     workload: str
     system: str
     scores: dict[str, PrecisionRecall]
     outcomes: list[DiagnosisOutcome] = field(repr=False, default_factory=list)
+    stage_seconds: dict[str, float] = field(repr=False, default_factory=dict)
 
     def confusion(self) -> dict[tuple[str, str], int]:
         """(truth, predicted) counts; undetected runs map to "none"."""
@@ -92,8 +97,9 @@ def run_diagnosis_experiment(
     campaign: FaultCampaign,
     context: OperationContext,
     system_label: str,
-    extra_training: list[tuple[OperationContext, FaultCampaign]] = (),
+    extra_training: Sequence[tuple[OperationContext, FaultCampaign]] = (),
     warm_start: bool = False,
+    recorder=None,
 ) -> DiagnosisExperimentResult:
     """Train a diagnosis system on a campaign and score the held-out runs.
 
@@ -110,48 +116,92 @@ def run_diagnosis_experiment(
             holds instead of retraining — for systems attached to a
             durable model registry.  Must stay False for the ablation's
             deliberately-overwriting training sequence.
+        recorder: optional event sink with a
+            ``record(context_key, kind, **fields)`` method (duck-typed so
+            this module needs no registry import); receives one ``train``
+            event per training campaign, one ``signature`` event per
+            learned problem and one ``diagnose`` event per held-out run.
 
     Returns:
         The scored :class:`DiagnosisExperimentResult`.
     """
+    from repro.obs.tracing import Tracer
+
     all_training = [(context, campaign), *extra_training]
-    # Module 1+2: performance models and invariants.  Under warm_start a
-    # context the system's model store already holds is served from the
-    # registry instead of retrained; the round-trip contract guarantees
-    # the rehydrated models score identically to freshly trained ones.
-    # (Never warm-skip in the no-operation-context ablation: its
-    # campaigns intentionally re-train the one global slot in sequence.)
-    for ctx, camp in all_training:
-        if warm_start and system.is_trained(ctx):
-            continue
-        system.train_from_runs(ctx, camp.normal_runs())
-    # Module 3: signatures from the training repetitions (under
-    # warm_start, problems the store already knows are not re-learned, so
-    # restarts do not accumulate duplicate signatures).
-    for ctx, camp in all_training:
-        known = set(system.known_problems(ctx)) if warm_start else set()
-        for fault_name in camp.faults:
-            if fault_name in known:
-                continue
-            for run in camp.train_runs(fault_name):
-                system.train_signature_from_run(ctx, fault_name, run)
-    # Online: diagnose the held-out runs of the primary campaign.
-    outcomes: list[DiagnosisOutcome] = []
-    for fault_name in campaign.faults:
-        for run in campaign.test_runs(fault_name):
-            result = system.diagnose_run(context, run)
-            outcomes.append(
-                DiagnosisOutcome(
-                    truth=fault_name,
-                    predicted=result.root_cause,
-                    detected=result.detected,
+    # Stage timings come from a local always-on tracer (the process
+    # tracer additionally sees one enclosing span when observability is
+    # configured on), so the run table reports spans, not ad-hoc timers.
+    tracer = Tracer(enabled=True)
+    with obs.span("experiment.run"):
+        # Module 1+2: performance models and invariants.  Under
+        # warm_start a context the system's model store already holds is
+        # served from the registry instead of retrained; the round-trip
+        # contract guarantees the rehydrated models score identically to
+        # freshly trained ones.  (Never warm-skip in the
+        # no-operation-context ablation: its campaigns intentionally
+        # re-train the one global slot in sequence.)
+        with tracer.span("experiment.train") as sp_train:
+            for ctx, camp in all_training:
+                if warm_start and system.is_trained(ctx):
+                    continue
+                runs = camp.normal_runs()
+                system.train_from_runs(ctx, runs)
+                if recorder is not None:
+                    recorder.record(
+                        (ctx.workload, ctx.node_id), "train", runs=len(runs)
+                    )
+        # Module 3: signatures from the training repetitions (under
+        # warm_start, problems the store already knows are not
+        # re-learned, so restarts do not accumulate duplicate signatures).
+        with tracer.span("experiment.signatures") as sp_signatures:
+            for ctx, camp in all_training:
+                known = (
+                    set(system.known_problems(ctx)) if warm_start else set()
                 )
-            )
+                for fault_name in camp.faults:
+                    if fault_name in known:
+                        continue
+                    trained = 0
+                    for run in camp.train_runs(fault_name):
+                        system.train_signature_from_run(ctx, fault_name, run)
+                        trained += 1
+                    if recorder is not None:
+                        recorder.record(
+                            (ctx.workload, ctx.node_id),
+                            "signature",
+                            problem=fault_name,
+                            runs=trained,
+                        )
+        # Online: diagnose the held-out runs of the primary campaign.
+        outcomes: list[DiagnosisOutcome] = []
+        with tracer.span("experiment.diagnose") as sp_diagnose:
+            for fault_name in campaign.faults:
+                for run in campaign.test_runs(fault_name):
+                    verdict = system.diagnose_run(context, run)
+                    outcomes.append(
+                        DiagnosisOutcome(
+                            truth=fault_name,
+                            predicted=verdict.root_cause,
+                            detected=verdict.detected,
+                        )
+                    )
+                    if recorder is not None:
+                        recorder.record(
+                            (context.workload, context.node_id),
+                            "diagnose",
+                            truth=fault_name,
+                            predicted=verdict.root_cause,
+                            detected=verdict.detected,
+                        )
     result = DiagnosisExperimentResult(
         workload=campaign.config.workload,
         system=system_label,
         scores=score_outcomes(outcomes),
         outcomes=outcomes,
+        stage_seconds={
+            sp.name: sp.duration or 0.0
+            for sp in (sp_train, sp_signatures, sp_diagnose)
+        },
     )
     ledger = getattr(system, "ledger", None)
     if ledger is not None:
@@ -407,16 +457,14 @@ def run_fig7_tpcds_diagnosis(
             and a registry that already holds them is reused instead of
             retrained (warm restart across invocations).
     """
-    cluster = cluster or HadoopCluster()
-    config = CampaignConfig(
-        workload="tpcds", node=node, test_reps=test_reps, base_seed=base_seed
+    from repro.eval.registry.executor import execute_spec
+    from repro.eval.registry.spec import builtin_spec
+
+    spec = builtin_spec(
+        "fig7", test_reps=test_reps, base_seed=base_seed, node=node
     )
-    campaign = FaultCampaign(cluster, config, INTERACTIVE_FAULT_NAMES)
-    ctx = _context_for(cluster, "tpcds", node)
-    return run_diagnosis_experiment(
-        InvarNetX(store=store), campaign, ctx, system_label="InvarNet-X",
-        warm_start=store is not None,
-    )
+    results = execute_spec(spec, cluster or HadoopCluster(), store=store)
+    return results["InvarNet-X"][0]
 
 
 def run_fig8_wordcount_diagnosis(
@@ -434,17 +482,14 @@ def run_fig8_wordcount_diagnosis(
             and a registry that already holds them is reused instead of
             retrained (warm restart across invocations).
     """
-    cluster = cluster or HadoopCluster()
-    config = CampaignConfig(
-        workload="wordcount", node=node, test_reps=test_reps,
-        base_seed=base_seed,
+    from repro.eval.registry.executor import execute_spec
+    from repro.eval.registry.spec import builtin_spec
+
+    spec = builtin_spec(
+        "fig8", test_reps=test_reps, base_seed=base_seed, node=node
     )
-    campaign = FaultCampaign(cluster, config, BATCH_FAULT_NAMES)
-    ctx = _context_for(cluster, "wordcount", node)
-    return run_diagnosis_experiment(
-        InvarNetX(store=store), campaign, ctx, system_label="InvarNet-X",
-        warm_start=store is not None,
-    )
+    results = execute_spec(spec, cluster or HadoopCluster(), store=store)
+    return results["InvarNet-X"][0]
 
 
 # ----------------------------------------------------------------------
@@ -461,46 +506,17 @@ def run_fig9_fig10_comparison(
     - ``InvarNet-X``: the full system;
     - ``ARX``: MIC invariants replaced by Jiang et al.'s ARX networks;
     - ``no-context``: one global model/signature base trained on a mixture
-      of Wordcount, Sort and TPC-DS instead of per-(workload, node) models.
+      of Wordcount, Sort and TPC-DS instead of per-(workload, node) models
+      (its extra campaigns come from the spec's ``extra_workloads``).
     """
-    cluster = cluster or HadoopCluster()
-    config = CampaignConfig(
-        workload="wordcount", node=node, test_reps=test_reps,
-        base_seed=base_seed,
-    )
-    campaign = FaultCampaign(cluster, config, BATCH_FAULT_NAMES)
-    ctx = _context_for(cluster, "wordcount", node)
+    from repro.eval.registry.executor import execute_spec
+    from repro.eval.registry.spec import builtin_spec
 
-    results: dict[str, DiagnosisExperimentResult] = {}
-    results["InvarNet-X"] = run_diagnosis_experiment(
-        InvarNetX(), campaign, ctx, system_label="InvarNet-X"
+    spec = builtin_spec(
+        "fig9-10", test_reps=test_reps, base_seed=base_seed, node=node
     )
-    results["ARX"] = run_diagnosis_experiment(
-        ARXInvarNet(), campaign, ctx, system_label="ARX"
-    )
-    # The ablation shares one model across workloads: its training also
-    # ingests Sort and TPC-DS campaigns, then diagnoses Wordcount runs.
-    no_ctx = InvarNetX(InvarNetXConfig(use_operation_context=False))
-    extra = []
-    for other in ("sort", "tpcds"):
-        other_config = CampaignConfig(
-            workload=other, node=node, test_reps=1,
-            base_seed=base_seed + 7,
-        )
-        other_faults = (
-            BATCH_FAULT_NAMES if other != "tpcds" else INTERACTIVE_FAULT_NAMES
-        )
-        extra.append(
-            (
-                _context_for(cluster, other, node),
-                FaultCampaign(cluster, other_config, other_faults),
-            )
-        )
-    results["no-context"] = run_diagnosis_experiment(
-        no_ctx, campaign, ctx, system_label="no-context",
-        extra_training=extra,
-    )
-    return results
+    results = execute_spec(spec, cluster or HadoopCluster())
+    return {label: runs[0] for label, runs in results.items()}
 
 
 # ----------------------------------------------------------------------

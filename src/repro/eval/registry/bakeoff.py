@@ -1,0 +1,238 @@
+"""Cohort bake-offs: scoring system comparisons from the index alone.
+
+``invarnetx runs compare`` answers the Figs. 9/10 question — does
+InvarNet-X beat the ARX baseline, and by how much? — without touching a
+cluster: every number here is an aggregate over the ``measurements`` and
+``fault_scores`` tables of the :class:`~repro.eval.registry.index.RunIndex`,
+so comparisons are instant, reproducible and work across runs recorded
+weeks apart.
+
+Reports are byte-deterministic: fixed float formatting, sorted fault
+order, no timestamps — two invocations over the same index emit
+identical bytes, which is what lets CI diff them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.eval.registry.index import RunIndex
+
+__all__ = [
+    "BakeoffReport",
+    "CohortSummary",
+    "compare_cohorts",
+    "summarize_cohort",
+]
+
+
+@dataclass(frozen=True)
+class CohortSummary:
+    """Aggregate accuracy of one cohort label across indexed runs.
+
+    Attributes:
+        system: the cohort label.
+        spec_name: spec filter the summary was computed under (None =
+            every spec the cohort appears in).
+        runs: distinct committed runs contributing.
+        measurements: (run, repetition) samples aggregated.
+        outcomes: held-out diagnoses summed over samples.
+        detected: detector firings summed over samples.
+        precision: unweighted mean of the samples' average precision.
+        recall: unweighted mean of the samples' average recall.
+        f1: harmonic mean of the two means above.
+        fault_scores: fault → (mean precision, mean recall), sorted.
+    """
+
+    system: str
+    spec_name: str | None
+    runs: int
+    measurements: int
+    outcomes: int
+    detected: int
+    precision: float
+    recall: float
+    f1: float
+    fault_scores: tuple[tuple[str, float, float], ...]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "system": self.system,
+            "spec_name": self.spec_name,
+            "runs": self.runs,
+            "measurements": self.measurements,
+            "outcomes": self.outcomes,
+            "detected": self.detected,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "fault_scores": [
+                {"fault": fault, "precision": p, "recall": r}
+                for fault, p, r in self.fault_scores
+            ],
+        }
+
+
+def summarize_cohort(
+    index: "RunIndex",
+    system: str,
+    spec_name: str | None = None,
+) -> CohortSummary:
+    """Aggregate one cohort's indexed measurements.
+
+    Args:
+        index: the cross-run index to read (nothing else is consulted).
+        system: cohort label as recorded in the run table.
+        spec_name: restrict to one campaign family.
+
+    Raises:
+        ValueError: when the index holds no matching measurements.
+    """
+    rows = index.measurements(system=system, spec_name=spec_name)
+    if not rows:
+        scope = f" under spec {spec_name!r}" if spec_name else ""
+        raise ValueError(
+            f"no indexed measurements for system {system!r}{scope}; "
+            f"indexed systems: {index.systems(spec_name=spec_name)}"
+        )
+    n = len(rows)
+    precision = sum(r["precision"] for r in rows) / n
+    recall = sum(r["recall"] for r in rows) / n
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall
+        else 0.0
+    )
+    by_fault: dict[str, list[tuple[float, float]]] = {}
+    for row in index.fault_scores(system=system, spec_name=spec_name):
+        by_fault.setdefault(row["fault"], []).append(
+            (row["precision"], row["recall"])
+        )
+    fault_scores = tuple(
+        (
+            fault,
+            round(sum(p for p, _ in scores) / len(scores), 6),
+            round(sum(r for _, r in scores) / len(scores), 6),
+        )
+        for fault, scores in sorted(by_fault.items())
+    )
+    return CohortSummary(
+        system=system,
+        spec_name=spec_name,
+        runs=len({r["run_id"] for r in rows}),
+        measurements=n,
+        outcomes=sum(r["outcomes"] for r in rows),
+        detected=sum(r["detected"] for r in rows),
+        precision=round(precision, 6),
+        recall=round(recall, 6),
+        f1=round(f1, 6),
+        fault_scores=fault_scores,
+    )
+
+
+@dataclass(frozen=True)
+class BakeoffReport:
+    """A two-cohort comparison scored entirely from the index.
+
+    Attributes:
+        a: the first cohort's summary (the "challenger" order is the
+            caller's; the report takes no side).
+        b: the second cohort's summary.
+        winner: label of the cohort with the higher mean precision
+            (recall breaks ties); ``"tie"`` when both metrics match.
+    """
+
+    a: CohortSummary
+    b: CohortSummary
+
+    @property
+    def winner(self) -> str:
+        key_a = (self.a.precision, self.a.recall)
+        key_b = (self.b.precision, self.b.recall)
+        if key_a > key_b:
+            return self.a.system
+        if key_b > key_a:
+            return self.b.system
+        return "tie"
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "a": self.a.to_json(),
+            "b": self.b.to_json(),
+            "winner": self.winner,
+            "delta": {
+                "precision": round(self.a.precision - self.b.precision, 6),
+                "recall": round(self.a.recall - self.b.recall, 6),
+            },
+        }
+
+    def render_text(self) -> str:
+        """Fixed-width text report; identical bytes for identical data."""
+        scope = (
+            f" (spec {self.a.spec_name})" if self.a.spec_name else ""
+        )
+        title = f"Bake-off: {self.a.system} vs {self.b.system}{scope}"
+        lines = [title, "=" * len(title), ""]
+        header = (
+            f"{'cohort':<16} {'runs':>5} {'meas':>5} {'outcomes':>8} "
+            f"{'detected':>8} {'precision':>9} {'recall':>7} {'f1':>7}"
+        )
+        lines.append(header)
+        for s in (self.a, self.b):
+            lines.append(
+                f"{s.system:<16} {s.runs:>5} {s.measurements:>5} "
+                f"{s.outcomes:>8} {s.detected:>8} {s.precision:>9.4f} "
+                f"{s.recall:>7.4f} {s.f1:>7.4f}"
+            )
+        shared = sorted(
+            {f for f, _, _ in self.a.fault_scores}
+            & {f for f, _, _ in self.b.fault_scores}
+        )
+        if shared:
+            a_scores = {f: (p, r) for f, p, r in self.a.fault_scores}
+            b_scores = {f: (p, r) for f, p, r in self.b.fault_scores}
+            lines.append("")
+            lines.append("per-fault mean precision/recall:")
+            lines.append(
+                f"{'fault':<12} {self.a.system:>18} {self.b.system:>18}"
+            )
+            for fault in shared:
+                pa, ra = a_scores[fault]
+                pb, rb = b_scores[fault]
+                lines.append(
+                    f"{fault:<12} {pa:>8.4f} /{ra:>7.4f} "
+                    f"{pb:>8.4f} /{rb:>7.4f}"
+                )
+        lines.append("")
+        lines.append(
+            f"winner: {self.winner} "
+            f"(precision {self.a.precision - self.b.precision:+.4f}, "
+            f"recall {self.a.recall - self.b.recall:+.4f})"
+        )
+        return "\n".join(lines) + "\n"
+
+
+def compare_cohorts(
+    index: "RunIndex",
+    system_a: str,
+    system_b: str,
+    spec_name: str | None = None,
+) -> BakeoffReport:
+    """Score two cohorts against each other from indexed runs alone.
+
+    Args:
+        index: the cross-run index.
+        system_a: first cohort label.
+        system_b: second cohort label.
+        spec_name: restrict both cohorts to one campaign family — the
+            honest mode, since it guarantees both saw the same faults
+            and seeds.
+    """
+    if system_a == system_b:
+        raise ValueError(f"cannot compare {system_a!r} against itself")
+    return BakeoffReport(
+        a=summarize_cohort(index, system_a, spec_name=spec_name),
+        b=summarize_cohort(index, system_b, spec_name=spec_name),
+    )

@@ -1,0 +1,317 @@
+"""Campaign specifications: the declarative layer of the run registry.
+
+A :class:`CampaignSpec` is everything needed to regenerate a campaign
+from scratch: the workload, the fault list, the systems under test, the
+repetition counts and the seed schedule.  Specs are frozen dataclasses
+so :func:`repro.obs.ledger.config_fingerprint` gives every spec a short
+stable fingerprint — the registry derives run ids from it, which is what
+makes re-running the same spec idempotent and lets the SQLite index
+distinguish "the same campaign again" from "a changed campaign".
+
+The builtin specs map the paper's exhibits onto the registry:
+``fig7``/``fig8`` are the per-fault diagnosis campaigns, ``fig9-10`` the
+three-system comparison, ``bakeoff-smoke`` a reduced-fault version of the
+Figs. 9/10 comparison whose InvarNet-X-vs-ARX ordering survives the
+scale-down, and ``smoke`` a minute-scale CI campaign.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.datagen.campaigns import CampaignConfig
+from repro.obs.ledger import config_fingerprint
+
+__all__ = [
+    "BUILTIN_SPECS",
+    "CampaignSpec",
+    "REPETITION_STRIDE",
+    "SystemSpec",
+    "builtin_spec",
+]
+
+#: base_seed distance between campaign repetitions.  ``FaultCampaign``
+#: multiplies base_seed by 7 and adds strides below 3e6, so one million
+#: keeps every repetition's seed space disjoint from its neighbours'.
+REPETITION_STRIDE = 1_000_000
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+#: System kinds :func:`repro.eval.registry.systems.build_system` accepts.
+SYSTEM_KINDS = ("invarnet-x", "arx", "no-context", "peerwatch")
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """One diagnosis system participating in a campaign.
+
+    Attributes:
+        label: cohort label used in reports, the run table and the index
+            (e.g. ``"InvarNet-X"``); must be unique within a spec.
+        kind: which system to build — one of ``invarnet-x``, ``arx``,
+            ``no-context`` or ``peerwatch``.
+        extra_workloads: additional workloads whose campaigns also train
+            the system (the Figs. 9/10 no-operation-context ablation
+            mixes Sort and TPC-DS into the one global model).
+    """
+
+    label: str
+    kind: str = "invarnet-x"
+    extra_workloads: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ValueError("system label must be non-empty")
+        if self.kind not in SYSTEM_KINDS:
+            raise ValueError(
+                f"unknown system kind {self.kind!r}; "
+                f"expected one of {SYSTEM_KINDS}"
+            )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The declarative shape of one campaign.
+
+    Attributes:
+        name: campaign family name; run ids are ``<name>-<fingerprint>``
+            so it must be filesystem-safe (letters, digits, ``._-``).
+        workload: primary workload — its held-out runs are diagnosed.
+        faults: fault names to inject, in campaign order.
+        systems: the cohorts under test, in execution order.
+        node: fault-target node id.
+        n_normal: fault-free training runs per repetition.
+        train_reps: signature-training runs per fault.
+        test_reps: held-out diagnosis runs per fault (the paper uses 38).
+        fault_start: injection start tick.
+        fault_duration: injection length in ticks (paper: 5 min = 30).
+        base_seed: root of the deterministic seed schedule.
+        repetitions: whole-campaign repeats; repetition ``r`` shifts the
+            seed root by ``r * REPETITION_STRIDE`` so every repetition
+            sees fresh, reproducible data.
+    """
+
+    name: str
+    workload: str
+    faults: tuple[str, ...]
+    systems: tuple[SystemSpec, ...]
+    node: str = "slave-1"
+    n_normal: int = 8
+    train_reps: int = 2
+    test_reps: int = 8
+    fault_start: int = 30
+    fault_duration: int = 30
+    base_seed: int = 0
+    repetitions: int = 1
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise ValueError(
+                f"spec name {self.name!r} is not filesystem-safe "
+                "(letters, digits, '.', '_', '-' only)"
+            )
+        if not self.faults:
+            raise ValueError("spec needs at least one fault")
+        if not self.systems:
+            raise ValueError("spec needs at least one system")
+        labels = [s.label for s in self.systems]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate system labels in {labels}")
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        # Delegate the remaining bounds to CampaignConfig's validation.
+        self.campaign_config(0)
+
+    # ------------------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        """Short stable fingerprint over every field of the spec."""
+        return config_fingerprint(self)
+
+    @property
+    def run_id(self) -> str:
+        """The registry directory name this spec commits to."""
+        return f"{self.name}-{self.fingerprint}"
+
+    def campaign_config(self, repetition: int) -> CampaignConfig:
+        """The :class:`CampaignConfig` of one repetition."""
+        if not 0 <= repetition < max(self.repetitions, 1):
+            raise ValueError(
+                f"repetition {repetition} outside 0..{self.repetitions - 1}"
+            )
+        return CampaignConfig(
+            workload=self.workload,
+            node=self.node,
+            n_normal=self.n_normal,
+            train_reps=self.train_reps,
+            test_reps=self.test_reps,
+            fault_start=self.fault_start,
+            fault_duration=self.fault_duration,
+            base_seed=self.base_seed + repetition * REPETITION_STRIDE,
+        )
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict[str, Any]:
+        """JSON form (``spec.json``, manifests, ``--spec-file``)."""
+        doc = dataclasses.asdict(self)
+        doc["faults"] = list(self.faults)
+        doc["systems"] = [
+            {
+                "label": s.label,
+                "kind": s.kind,
+                "extra_workloads": list(s.extra_workloads),
+            }
+            for s in self.systems
+        ]
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: dict[str, Any]) -> "CampaignSpec":
+        """Inverse of :meth:`to_json`; raises ``ValueError`` on junk."""
+        if not isinstance(doc, dict):
+            raise ValueError(f"spec document must be an object, got {doc!r}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(f"unknown spec fields: {sorted(unknown)}")
+        missing = {"name", "workload", "faults", "systems"} - set(doc)
+        if missing:
+            raise ValueError(f"spec is missing fields: {sorted(missing)}")
+        fields = dict(doc)
+        fields["faults"] = tuple(fields["faults"])
+        systems = []
+        for entry in fields["systems"]:
+            if isinstance(entry, str):
+                entry = {"label": entry}
+            systems.append(
+                SystemSpec(
+                    label=entry["label"],
+                    kind=entry.get("kind", "invarnet-x"),
+                    extra_workloads=tuple(entry.get("extra_workloads", ())),
+                )
+            )
+        fields["systems"] = tuple(systems)
+        return cls(**fields)
+
+
+# ----------------------------------------------------------------------
+# builtin specs — the paper's exhibits as campaigns
+# ----------------------------------------------------------------------
+#: Reduced fault subset on which the ARX baseline still confuses causes
+#: (blocking/hang faults with similar invariant footprints), so the
+#: Figs. 9/10 InvarNet-X-over-ARX precision ordering survives small
+#: repetition counts.  Verified against the full-scale benchmark shape.
+BAKEOFF_FAULTS = (
+    "CPU-hog", "Net-drop", "Net-delay", "H-9703", "H-1036", "Lock-R",
+    "Suspend", "RPC-hang",
+)
+
+
+def _builtin_table() -> dict[str, CampaignSpec]:
+    from repro.eval.experiments import (
+        BATCH_FAULT_NAMES,
+        INTERACTIVE_FAULT_NAMES,
+    )
+
+    invarnet = (SystemSpec("InvarNet-X"),)
+    three_way = (
+        SystemSpec("InvarNet-X"),
+        SystemSpec("ARX", kind="arx"),
+        SystemSpec(
+            "no-context",
+            kind="no-context",
+            extra_workloads=("sort", "tpcds"),
+        ),
+    )
+    return {
+        "fig7": CampaignSpec(
+            name="fig7",
+            workload="tpcds",
+            faults=INTERACTIVE_FAULT_NAMES,
+            systems=invarnet,
+            base_seed=70,
+        ),
+        "fig8": CampaignSpec(
+            name="fig8",
+            workload="wordcount",
+            faults=BATCH_FAULT_NAMES,
+            systems=invarnet,
+            base_seed=80,
+        ),
+        "fig9-10": CampaignSpec(
+            name="fig9-10",
+            workload="wordcount",
+            faults=BATCH_FAULT_NAMES,
+            systems=three_way,
+            base_seed=90,
+        ),
+        "bakeoff-smoke": CampaignSpec(
+            name="bakeoff-smoke",
+            workload="wordcount",
+            faults=BAKEOFF_FAULTS,
+            systems=(
+                SystemSpec("InvarNet-X"),
+                SystemSpec("ARX", kind="arx"),
+            ),
+            n_normal=6,
+            train_reps=2,
+            test_reps=3,
+            base_seed=90,
+        ),
+        "smoke": CampaignSpec(
+            name="smoke",
+            workload="wordcount",
+            faults=("CPU-hog", "Mem-hog", "Disk-hog", "Misconf"),
+            systems=(
+                SystemSpec("InvarNet-X"),
+                SystemSpec("ARX", kind="arx"),
+            ),
+            n_normal=4,
+            train_reps=1,
+            test_reps=2,
+            base_seed=90,
+        ),
+    }
+
+
+#: Names :func:`builtin_spec` accepts (CLI ``runs run --spec`` choices).
+BUILTIN_SPECS = (
+    "fig7", "fig8", "fig9-10", "bakeoff-smoke", "smoke",
+)
+
+
+def builtin_spec(
+    name: str,
+    test_reps: int | None = None,
+    base_seed: int | None = None,
+    node: str | None = None,
+    repetitions: int | None = None,
+) -> CampaignSpec:
+    """One of the builtin exhibit specs, optionally rescaled.
+
+    Args:
+        name: builtin name (see :data:`BUILTIN_SPECS`).
+        test_reps: held-out runs per fault (paper: 38).
+        base_seed: seed-schedule root override.
+        node: fault-target node override.
+        repetitions: whole-campaign repeat override.
+    """
+    table = _builtin_table()
+    if name not in table:
+        raise ValueError(
+            f"unknown builtin spec {name!r}; have {sorted(table)}"
+        )
+    spec = table[name]
+    overrides: dict[str, Any] = {}
+    if test_reps is not None:
+        overrides["test_reps"] = test_reps
+    if base_seed is not None:
+        overrides["base_seed"] = base_seed
+    if node is not None:
+        overrides["node"] = node
+    if repetitions is not None:
+        overrides["repetitions"] = repetitions
+    return replace(spec, **overrides) if overrides else spec

@@ -1,0 +1,109 @@
+"""System factory: one diagnosis system per :class:`SystemSpec` kind.
+
+Every system the registry executes exposes the shared experiment
+interface that :func:`repro.eval.experiments.run_diagnosis_experiment`
+expects — ``is_trained`` / ``known_problems`` / ``train_from_runs`` /
+``train_signature_from_run`` / ``diagnose_run``.  InvarNet-X and the ARX
+baseline implement it natively; :class:`PeerWatchSystem` adapts the
+peer-similarity detector (node granularity, no root causes) onto it so
+bake-offs can score the §5 comparison from the same run table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.context import OperationContext
+from repro.store import ModelStore
+from repro.telemetry.trace import RunTrace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.eval.registry.spec import SystemSpec
+
+__all__ = ["PeerWatchSystem", "build_system"]
+
+
+@dataclass(frozen=True)
+class _PeerVerdict:
+    """The experiment-facing slice of a PeerWatch detection outcome.
+
+    PeerWatch localises to a node but names no root cause, so
+    ``root_cause`` is always None — in the run table its recall is the
+    fraction of faults it at least *detected* on the target node, and
+    its cause-naming precision is honestly zero.
+    """
+
+    detected: bool
+    root_cause: str | None = None
+
+
+class PeerWatchSystem:
+    """PeerWatch behind the shared train/diagnose experiment interface.
+
+    Args:
+        **kwargs: forwarded to
+            :class:`repro.baselines.peerwatch.PeerWatchDetector`.
+    """
+
+    def __init__(self, **kwargs: float) -> None:
+        from repro.baselines.peerwatch import PeerWatchDetector
+
+        self._detector = PeerWatchDetector(**kwargs)
+        self._trained = False
+
+    def is_trained(self, context: OperationContext) -> bool:
+        """Peer correlations are cluster-wide, not per-context."""
+        return self._trained
+
+    def known_problems(self, context: OperationContext) -> list[str]:
+        """PeerWatch learns no signatures, so none."""
+        return []
+
+    def train_from_runs(
+        self, context: OperationContext, runs: list[RunTrace]
+    ) -> None:
+        """Learn the stable cross-node correlations."""
+        self._detector.train(runs)
+        self._trained = True
+
+    def train_signature_from_run(
+        self, context: OperationContext, problem: str, run: RunTrace
+    ) -> None:
+        """No-op: the method has no signature base to train."""
+
+    def diagnose_run(
+        self, context: OperationContext, run: RunTrace, top_k: int = 3
+    ) -> _PeerVerdict:
+        """Detection verdict for the context's node; never names a cause."""
+        report = self._detector.detect(run)
+        return _PeerVerdict(detected=context.node_id in report.flagged)
+
+
+def build_system(
+    spec: "SystemSpec", store: ModelStore | None = None
+) -> object:
+    """Instantiate the diagnosis system behind a :class:`SystemSpec`.
+
+    Args:
+        spec: the system description (label, kind, extra workloads).
+        store: optional durable model registry; only the ``invarnet-x``
+            kind persists into one (ARX and PeerWatch keep no XML
+            artifacts, and the no-context ablation deliberately retrains
+            its single global slot).
+    """
+    if spec.kind == "invarnet-x":
+        from repro.core.pipeline import InvarNetX
+
+        return InvarNetX(store=store)
+    if spec.kind == "arx":
+        from repro.arx.pipeline import ARXInvarNet
+
+        return ARXInvarNet()
+    if spec.kind == "no-context":
+        from repro.core.pipeline import InvarNetX, InvarNetXConfig
+
+        return InvarNetX(InvarNetXConfig(use_operation_context=False))
+    if spec.kind == "peerwatch":
+        return PeerWatchSystem()
+    raise ValueError(f"unknown system kind {spec.kind!r}")

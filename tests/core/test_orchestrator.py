@@ -81,3 +81,36 @@ class TestLocalisation:
         run = cluster.run("wordcount", seed=4403)
         diagnosis = d.diagnose(run)
         assert [n.node_id for n in diagnosis.nodes] == ["slave-1"]
+
+
+class _SpyRecorder:
+    """Minimal duck-typed event sink matching RunRecorder's surface."""
+
+    def __init__(self):
+        self.events = []
+
+    def record(self, context_key, kind, **fields):
+        self.events.append((tuple(context_key), kind, fields))
+
+
+class TestRecorderHook:
+    def test_train_emits_one_event_per_node(self, cluster, wordcount_runs):
+        d = ClusterDiagnoser(node_ids=["slave-1", "slave-2"])
+        spy = _SpyRecorder()
+        d.train(wordcount_runs, recorder=spy)
+        assert [(key, kind) for key, kind, _ in spy.events] == [
+            (("wordcount", "slave-1"), "train"),
+            (("wordcount", "slave-2"), "train"),
+        ]
+        for _, _, fields in spy.events:
+            assert fields == {"runs": len(wordcount_runs), "warm": False}
+
+    def test_diagnose_emits_verdict_fields(self, cluster, wordcount_runs):
+        d = ClusterDiagnoser(node_ids=["slave-1"])
+        d.train(wordcount_runs)
+        spy = _SpyRecorder()
+        d.diagnose(cluster.run("wordcount", seed=4404), recorder=spy)
+        ((key, kind, fields),) = spy.events
+        assert key == ("wordcount", "slave-1")
+        assert kind == "diagnose"
+        assert set(fields) == {"detected", "predicted"}

@@ -1,0 +1,159 @@
+"""Bake-offs scored from the index alone: summaries, winners, bytes."""
+
+import pytest
+
+from repro.eval.registry.bakeoff import compare_cohorts, summarize_cohort
+from repro.eval.registry.index import RunIndex
+from repro.eval.registry.spec import CampaignSpec, SystemSpec
+
+
+def make_manifest(system, precision, recall, base_seed=0, name="bake"):
+    """A minimal committed manifest carrying chosen accuracy numbers."""
+    spec = CampaignSpec(
+        name=name,
+        workload="wordcount",
+        faults=("CPU-hog", "Mem-hog"),
+        systems=(SystemSpec(system, kind="invarnet-x"),),
+        base_seed=base_seed,
+    )
+    table = [
+        {
+            "run_id": spec.run_id,
+            "spec_name": name,
+            "spec_fingerprint": spec.fingerprint,
+            "system": system,
+            "repetition": 0,
+            "workload": "wordcount",
+            "node": "slave-1",
+            "faults": 2,
+            "outcomes": 4,
+            "detected": 3,
+            "tp": 2,
+            "fp": 1,
+            "fn": 1,
+            "precision": precision,
+            "recall": recall,
+            "f1": 0.5,
+            "train_seconds": 0.1,
+            "signature_seconds": 0.1,
+            "diagnose_seconds": 0.1,
+        }
+    ]
+    fault_scores = [
+        {
+            "run_id": spec.run_id,
+            "system": system,
+            "repetition": 0,
+            "fault": fault,
+            "precision": precision,
+            "recall": recall,
+            "tp": 1,
+            "fp": 1,
+            "fn": 1,
+        }
+        for fault in ("CPU-hog", "Mem-hog")
+    ]
+    return {
+        "format": 1,
+        "run_id": spec.run_id,
+        "spec": spec.to_json(),
+        "spec_fingerprint": spec.fingerprint,
+        "created": 1000.0,
+        "status": "ok",
+        "table": table,
+        "fault_scores": fault_scores,
+    }
+
+
+@pytest.fixture()
+def index(tmp_path) -> RunIndex:
+    """Two cohorts, the stronger one measured across two runs."""
+    idx = RunIndex(tmp_path / "index.sqlite")
+    idx.upsert(make_manifest("Strong", 0.9, 0.8, base_seed=0))
+    idx.upsert(make_manifest("Strong", 0.7, 0.6, base_seed=1))
+    idx.upsert(make_manifest("Weak", 0.5, 0.4, base_seed=0))
+    return idx
+
+
+class TestSummarize:
+    def test_means_are_unweighted_over_measurements(self, index):
+        summary = summarize_cohort(index, "Strong")
+        assert summary.runs == 2
+        assert summary.measurements == 2
+        assert summary.outcomes == 8
+        assert summary.detected == 6
+        assert summary.precision == pytest.approx(0.8)
+        assert summary.recall == pytest.approx(0.7)
+        assert summary.f1 == pytest.approx(
+            2 * 0.8 * 0.7 / (0.8 + 0.7), abs=1e-6
+        )
+
+    def test_per_fault_means(self, index):
+        summary = summarize_cohort(index, "Strong")
+        assert [f for f, _, _ in summary.fault_scores] == [
+            "CPU-hog", "Mem-hog",
+        ]
+        for _, precision, recall in summary.fault_scores:
+            assert precision == pytest.approx(0.8)
+            assert recall == pytest.approx(0.7)
+
+    def test_missing_system_names_the_alternatives(self, index):
+        with pytest.raises(ValueError, match="'Strong', 'Weak'"):
+            summarize_cohort(index, "Nobody")
+
+    def test_spec_filter(self, index):
+        index.upsert(
+            make_manifest("Strong", 0.1, 0.1, name="other-camp")
+        )
+        scoped = summarize_cohort(index, "Strong", spec_name="bake")
+        assert scoped.measurements == 2
+        assert scoped.precision == pytest.approx(0.8)
+        everything = summarize_cohort(index, "Strong")
+        assert everything.measurements == 3
+
+    def test_to_json_is_plain_data(self, index):
+        doc = summarize_cohort(index, "Weak").to_json()
+        assert doc["system"] == "Weak"
+        assert doc["fault_scores"][0] == {
+            "fault": "CPU-hog", "precision": 0.5, "recall": 0.4,
+        }
+
+
+class TestCompare:
+    def test_winner_by_precision(self, index):
+        report = compare_cohorts(index, "Strong", "Weak")
+        assert report.winner == "Strong"
+        assert report.to_json()["delta"]["precision"] == pytest.approx(0.3)
+
+    def test_order_does_not_change_the_winner(self, index):
+        assert compare_cohorts(index, "Weak", "Strong").winner == "Strong"
+
+    def test_recall_breaks_precision_ties(self, tmp_path):
+        idx = RunIndex(tmp_path / "tie.sqlite")
+        idx.upsert(make_manifest("A", 0.8, 0.9, base_seed=0))
+        idx.upsert(make_manifest("B", 0.8, 0.5, base_seed=1))
+        assert compare_cohorts(idx, "A", "B").winner == "A"
+
+    def test_identical_cohort_data_is_a_tie(self, tmp_path):
+        idx = RunIndex(tmp_path / "tie.sqlite")
+        idx.upsert(make_manifest("A", 0.8, 0.9, base_seed=0))
+        idx.upsert(make_manifest("B", 0.8, 0.9, base_seed=1))
+        assert compare_cohorts(idx, "A", "B").winner == "tie"
+
+    def test_cannot_compare_cohort_to_itself(self, index):
+        with pytest.raises(ValueError, match="itself"):
+            compare_cohorts(index, "Strong", "Strong")
+
+    def test_render_text_is_byte_deterministic(self, index):
+        first = compare_cohorts(index, "Strong", "Weak").render_text()
+        second = compare_cohorts(index, "Strong", "Weak").render_text()
+        assert first == second
+        assert first.endswith("\n")
+        assert "winner: Strong (precision +0.3000, recall +0.3000)" in first
+        assert "per-fault mean precision/recall:" in first
+
+    def test_render_lists_both_cohort_rows(self, index):
+        text = compare_cohorts(index, "Strong", "Weak").render_text()
+        lines = text.split("\n")
+        assert any(line.startswith("Strong ") for line in lines)
+        assert any(line.startswith("Weak ") for line in lines)

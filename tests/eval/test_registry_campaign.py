@@ -1,0 +1,105 @@
+"""End-to-end acceptance: the Figs. 9/10 bake-off from indexed runs.
+
+One real ``bakeoff-smoke`` campaign (InvarNet-X vs the ARX baseline on
+confusable faults, a few seconds of simulated cluster time) is executed
+once per test session; every test here reads the committed registry.
+"""
+
+import shutil
+
+import pytest
+
+from repro.cli import main
+from repro.eval.registry import (
+    INDEX_NAME,
+    RunRegistry,
+    builtin_spec,
+    compare_cohorts,
+)
+
+
+@pytest.fixture(scope="module")
+def registry(tmp_path_factory, cluster) -> RunRegistry:
+    root = tmp_path_factory.mktemp("campaigns")
+    registry = RunRegistry(root, clock=lambda: 1700000000.0)
+    run = registry.execute(builtin_spec("bakeoff-smoke"), cluster)
+    assert not run.skipped
+    return registry
+
+
+class TestAcceptanceOrdering:
+    def test_invarnet_x_beats_arx_on_confusable_faults(self, registry):
+        """The paper's Figs. 9/10 ordering, from the index alone."""
+        report = compare_cohorts(
+            registry.index, "InvarNet-X", "ARX", spec_name="bakeoff-smoke"
+        )
+        assert report.winner == "InvarNet-X"
+        assert report.a.precision > report.b.precision
+        assert report.a.recall > report.b.recall
+
+    def test_rerun_is_skipped(self, registry, cluster):
+        again = registry.execute(builtin_spec("bakeoff-smoke"), cluster)
+        assert again.skipped
+
+    def test_index_rebuild_from_runs_alone_is_bit_identical(
+        self, registry
+    ):
+        live = registry.index.dump()
+        registry.index.path.unlink()
+        assert registry.rebuild_index() == 1
+        assert registry.index.dump() == live
+
+
+class TestCliDeterminism:
+    def _capture(self, capsys, args):
+        assert main(args) == 0
+        return capsys.readouterr().out
+
+    def test_compare_is_byte_identical_across_invocations(
+        self, registry, capsys
+    ):
+        args = [
+            "runs", "compare", "InvarNet-X", "ARX",
+            "--dir", str(registry.root), "--spec", "bakeoff-smoke",
+        ]
+        first = self._capture(capsys, args)
+        second = self._capture(capsys, args)
+        assert first == second
+        assert "winner: InvarNet-X" in first
+
+    def test_compare_json_is_byte_identical(self, registry, capsys):
+        args = [
+            "runs", "compare", "InvarNet-X", "ARX", "--json",
+            "--dir", str(registry.root),
+        ]
+        assert self._capture(capsys, args) == self._capture(capsys, args)
+
+    def test_show_json_is_byte_identical(self, registry, capsys):
+        (manifest,) = registry.manifests()
+        args = [
+            "runs", "show", manifest["run_id"],
+            "--dir", str(registry.root), "--json",
+        ]
+        first = self._capture(capsys, args)
+        assert first == self._capture(capsys, args)
+        assert manifest["run_id"] in first
+
+    def test_list_shows_the_committed_run(self, registry, capsys):
+        out = self._capture(
+            capsys, ["runs", "list", "--dir", str(registry.root)]
+        )
+        (manifest,) = registry.manifests()
+        assert manifest["run_id"] in out
+        assert "bakeoff-smoke" in out
+
+    def test_list_rebuild_recovers_a_deleted_index(
+        self, registry, capsys, tmp_path
+    ):
+        clone = tmp_path / "clone"
+        shutil.copytree(registry.root, clone)
+        (clone / INDEX_NAME).unlink()
+        out = self._capture(
+            capsys, ["runs", "list", "--dir", str(clone), "--rebuild"]
+        )
+        (manifest,) = registry.manifests()
+        assert manifest["run_id"] in out

@@ -1,0 +1,221 @@
+"""RunRegistry mechanics: commit discipline, idempotency, crash safety.
+
+These tests stub :func:`repro.eval.registry.executor.execute_spec` with a
+deterministic fake (fixed scores, fixed stage timings) so the full
+registry path — run directory, manifest commit, index upsert, ledger —
+runs in milliseconds.  End-to-end execution against the real simulator
+is covered by ``test_registry_campaign.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.eval.confusion import DiagnosisOutcome, score_outcomes
+from repro.eval.experiments import DiagnosisExperimentResult
+from repro.eval.registry import executor as executor_module
+from repro.eval.registry.executor import RunRegistry
+from repro.eval.registry.run import (
+    EVENTS_DIR,
+    MANIFEST_NAME,
+    REPORT_JSON,
+    REPORT_MD,
+    RUN_TABLE_NAME,
+    SPEC_NAME,
+)
+from repro.eval.registry.spec import CampaignSpec, SystemSpec
+
+STAGES = ("experiment.train", "experiment.signatures", "experiment.diagnose")
+
+
+def make_spec(**overrides) -> CampaignSpec:
+    fields = dict(
+        name="fake",
+        workload="wordcount",
+        faults=("CPU-hog", "Mem-hog"),
+        systems=(SystemSpec("Good"), SystemSpec("Bad", kind="arx")),
+        test_reps=2,
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+def fake_result(label: str) -> DiagnosisExperimentResult:
+    """'Good' names every cause; 'Bad' misses Mem-hog."""
+    outcomes = [
+        DiagnosisOutcome(truth="CPU-hog", predicted="CPU-hog", detected=True),
+        DiagnosisOutcome(
+            truth="Mem-hog",
+            predicted="Mem-hog" if label == "Good" else "CPU-hog",
+            detected=True,
+        ),
+    ]
+    return DiagnosisExperimentResult(
+        workload="wordcount",
+        system=label,
+        scores=score_outcomes(outcomes),
+        outcomes=outcomes,
+        stage_seconds={name: 0.25 for name in STAGES},
+    )
+
+
+def fake_execute_spec(spec, cluster=None, store=None, recorder_factory=None):
+    out = {}
+    for system_spec in spec.systems:
+        per_repetition = []
+        for repetition in range(spec.repetitions):
+            if recorder_factory is not None:
+                recorder = recorder_factory(system_spec.label, repetition)
+                recorder.record(
+                    (spec.workload, spec.node), "train", runs=spec.n_normal
+                )
+            per_repetition.append(fake_result(system_spec.label))
+        out[system_spec.label] = per_repetition
+    return out
+
+
+@pytest.fixture()
+def registry(tmp_path, monkeypatch) -> RunRegistry:
+    monkeypatch.setattr(executor_module, "execute_spec", fake_execute_spec)
+    return RunRegistry(tmp_path / "campaigns", clock=lambda: 1234.5)
+
+
+class TestCommit:
+    def test_full_run_directory_layout(self, registry):
+        run = registry.execute(make_spec())
+        assert not run.skipped
+        for name in (
+            SPEC_NAME, REPORT_JSON, REPORT_MD, RUN_TABLE_NAME, MANIFEST_NAME,
+        ):
+            assert (run.run_dir / name).exists(), name
+        events = list((run.run_dir / EVENTS_DIR).iterdir())
+        assert len(events) == 2  # one stream per system
+        assert run.manifest["created"] == 1234.5
+        assert run.manifest["status"] == "ok"
+
+    def test_table_has_one_row_per_system_and_repetition(self, registry):
+        run = registry.execute(make_spec(repetitions=2))
+        rows = run.manifest["table"]
+        assert [(r["system"], r["repetition"]) for r in rows] == [
+            ("Good", 0), ("Good", 1), ("Bad", 0), ("Bad", 1),
+        ]
+        assert all(r["train_seconds"] == 0.25 for r in rows)
+
+    def test_index_is_upserted(self, registry):
+        run = registry.execute(make_spec())
+        assert [r["run_id"] for r in registry.index.runs()] == [run.run_id]
+        assert len(registry.index.measurements()) == 2
+
+    def test_ledger_records_the_campaign(self, registry):
+        registry.execute(make_spec())
+        (entry,) = registry.ledger().entries(kind="campaign-run")
+        assert entry["spec"] == "fake"
+        assert entry["systems"] == ["Good", "Bad"]
+        assert entry["ts"] == 1234.5
+
+    def test_manifest_bytes_are_reproducible(self, tmp_path, monkeypatch):
+        """Same spec + injected clock -> byte-identical manifests."""
+        monkeypatch.setattr(
+            executor_module, "execute_spec", fake_execute_spec
+        )
+        blobs = []
+        for name in ("a", "b"):
+            registry = RunRegistry(tmp_path / name, clock=lambda: 99.0)
+            run = registry.execute(make_spec())
+            blobs.append((run.run_dir / MANIFEST_NAME).read_bytes())
+        assert blobs[0] == blobs[1]
+
+
+class TestIdempotency:
+    def test_second_execute_is_skipped(self, registry):
+        first = registry.execute(make_spec())
+        second = registry.execute(make_spec())
+        assert second.skipped and not first.skipped
+        assert second.manifest == first.manifest
+        assert second.results == {}
+
+    def test_changed_spec_is_a_new_run(self, registry):
+        registry.execute(make_spec())
+        registry.execute(make_spec(base_seed=1))
+        assert len(registry.index.runs()) == 2
+
+    def test_force_reruns(self, registry):
+        registry.execute(make_spec())
+        forced = registry.execute(make_spec(), force=True)
+        assert not forced.skipped
+        assert len(registry.index.runs()) == 1
+        entries = registry.ledger().entries(kind="campaign-run")
+        assert [e["forced"] for e in entries] == [False, True]
+
+
+class TestCrashSafety:
+    def test_killed_campaign_leaves_no_manifest(self, registry, monkeypatch):
+        def dying_execute_spec(spec, cluster=None, **kwargs):
+            recorder = kwargs["recorder_factory"]("Good", 0)
+            recorder.record((spec.workload, spec.node), "train", runs=1)
+            raise KeyboardInterrupt("killed mid-campaign")
+
+        monkeypatch.setattr(
+            executor_module, "execute_spec", dying_execute_spec
+        )
+        spec = make_spec()
+        with pytest.raises(KeyboardInterrupt):
+            registry.execute(spec)
+        run_dir = registry.run_dir(spec.run_id)
+        assert run_dir.exists()  # debris: spec + events...
+        assert not (run_dir / MANIFEST_NAME).exists()  # ...but no commit
+        assert registry.manifests() == []
+        assert registry.index.runs() == []
+
+    def test_resume_clears_debris_and_commits(self, registry, monkeypatch):
+        calls = {"n": 0}
+
+        def flaky_execute_spec(spec, cluster=None, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise KeyboardInterrupt("killed mid-campaign")
+            return fake_execute_spec(spec, cluster, **kwargs)
+
+        monkeypatch.setattr(
+            executor_module, "execute_spec", flaky_execute_spec
+        )
+        spec = make_spec()
+        with pytest.raises(KeyboardInterrupt):
+            registry.execute(spec)
+        run = registry.execute(spec)  # the resume
+        assert not run.skipped
+        assert (run.run_dir / MANIFEST_NAME).exists()
+        # the committed directory holds no stale first-attempt events
+        streams = list((run.run_dir / EVENTS_DIR).iterdir())
+        assert len(streams) == 2
+
+    def test_index_rebuild_matches_live_index(self, registry):
+        registry.execute(make_spec())
+        registry.execute(make_spec(base_seed=1))
+        live = registry.index.dump()
+        registry.index.path.unlink()
+        assert registry.rebuild_index() == 2
+        assert registry.index.dump() == live
+
+
+class TestAccessors:
+    def test_manifest_and_report(self, registry):
+        run = registry.execute(make_spec())
+        assert registry.manifest(run.run_id) == run.manifest
+        report = registry.report(run.run_id)
+        assert report is not None
+        assert {m["system"] for m in report["measurements"]} == {
+            "Good", "Bad",
+        }
+        for measurement in report["measurements"]:
+            assert set(measurement["stage_seconds"]) == set(STAGES)
+
+    def test_missing_run(self, registry):
+        assert registry.manifest("nope-000000000000") is None
+        assert registry.report("nope-000000000000") is None
+
+    def test_spec_json_round_trips(self, registry):
+        spec = make_spec()
+        run = registry.execute(spec)
+        doc = json.loads((run.run_dir / SPEC_NAME).read_text())
+        assert CampaignSpec.from_json(doc) == spec

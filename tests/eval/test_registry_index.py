@@ -1,0 +1,150 @@
+"""The cross-run SQLite index: upserts, queries, rebuilds."""
+
+import sqlite3
+
+import pytest
+
+from repro.eval.registry.index import RunIndex
+from repro.eval.registry.run import commit_manifest, measurement_row
+from repro.eval.registry.spec import CampaignSpec, SystemSpec
+
+from tests.eval.test_registry_run import make_result
+
+
+def make_manifest(name="unit", system="A", base_seed=0, created=1000.0):
+    spec = CampaignSpec(
+        name=name,
+        workload="wordcount",
+        faults=("CPU-hog", "Mem-hog"),
+        systems=(SystemSpec(system, kind="invarnet-x"),),
+        base_seed=base_seed,
+    )
+    result = make_result(system)
+    table = [measurement_row(spec, system, 0, result)]
+    fault_scores = [
+        {
+            "run_id": spec.run_id,
+            "system": system,
+            "repetition": 0,
+            "fault": fault,
+            "precision": round(score.precision, 6),
+            "recall": round(score.recall, 6),
+            "tp": score.tp,
+            "fp": score.fp,
+            "fn": score.fn,
+        }
+        for fault, score in sorted(result.scores.items())
+        if fault != "average"
+    ]
+    return {
+        "format": 1,
+        "run_id": spec.run_id,
+        "spec": spec.to_json(),
+        "spec_fingerprint": spec.fingerprint,
+        "created": created,
+        "status": "ok",
+        "table": table,
+        "fault_scores": fault_scores,
+    }
+
+
+@pytest.fixture()
+def index(tmp_path) -> RunIndex:
+    return RunIndex(tmp_path / "index.sqlite")
+
+
+class TestUpsert:
+    def test_roundtrip(self, index):
+        manifest = make_manifest()
+        index.upsert(manifest)
+        (run,) = index.runs()
+        assert run["run_id"] == manifest["run_id"]
+        assert run["spec_name"] == "unit"
+        assert run["systems"] == "A"
+        (m,) = index.measurements()
+        assert m["precision"] == pytest.approx(1 / 3, abs=1e-6)
+        assert len(index.fault_scores()) == 2
+
+    def test_reingest_is_idempotent(self, index):
+        manifest = make_manifest()
+        index.upsert(manifest)
+        before = index.dump()
+        index.upsert(manifest)
+        assert index.dump() == before
+
+    def test_reingest_replaces_child_rows(self, index):
+        manifest = make_manifest()
+        index.upsert(manifest)
+        manifest["table"][0]["precision"] = 0.9
+        manifest["fault_scores"] = manifest["fault_scores"][:1]
+        index.upsert(manifest)
+        (m,) = index.measurements()
+        assert m["precision"] == 0.9
+        assert len(index.fault_scores()) == 1
+
+    def test_distinct_runs_accumulate(self, index):
+        index.upsert(make_manifest(base_seed=0))
+        index.upsert(make_manifest(base_seed=1))
+        assert len(index.runs()) == 2
+
+
+class TestQueries:
+    def test_filters(self, index):
+        index.upsert(make_manifest(name="camp-a", system="A"))
+        index.upsert(make_manifest(name="camp-b", system="B"))
+        assert len(index.measurements(system="A")) == 1
+        assert len(index.measurements(spec_name="camp-b")) == 1
+        assert index.measurements(system="A", spec_name="camp-b") == []
+        assert index.systems() == ["A", "B"]
+        assert index.systems(spec_name="camp-a") == ["A"]
+        assert [r["spec_name"] for r in index.runs(spec_name="camp-a")] == [
+            "camp-a"
+        ]
+
+    def test_empty_index(self, index):
+        assert index.runs() == []
+        assert index.measurements() == []
+        assert index.systems() == []
+
+
+class TestRebuild:
+    def test_rebuild_from_manifests_is_bit_identical(self, tmp_path, index):
+        runs_root = tmp_path / "runs"
+        for seed in (3, 1, 2):  # committed out of order on purpose
+            manifest = make_manifest(base_seed=seed, created=100.0 + seed)
+            run_dir = runs_root / manifest["run_id"]
+            run_dir.mkdir(parents=True)
+            commit_manifest(run_dir, manifest)
+            index.upsert(manifest)
+        before = index.dump()
+        count = index.rebuild(runs_root)
+        assert count == 3
+        assert index.dump() == before
+        # ...and a second, fresh index over the same manifests agrees.
+        other = RunIndex(tmp_path / "other.sqlite")
+        other.rebuild(runs_root)
+        assert other.dump() == before
+
+    def test_rebuild_skips_aborted_attempts(self, tmp_path, index):
+        runs_root = tmp_path / "runs"
+        manifest = make_manifest()
+        run_dir = runs_root / manifest["run_id"]
+        run_dir.mkdir(parents=True)
+        commit_manifest(run_dir, manifest)
+        (runs_root / "unit-dead0dead0de").mkdir()  # no manifest: aborted
+        assert index.rebuild(runs_root) == 1
+        assert len(index.runs()) == 1
+
+    def test_rebuild_of_missing_root(self, tmp_path, index):
+        assert index.rebuild(tmp_path / "nowhere") == 0
+
+
+class TestFormatGuard:
+    def test_future_format_is_rejected(self, tmp_path):
+        path = tmp_path / "index.sqlite"
+        conn = sqlite3.connect(path)
+        conn.execute("PRAGMA user_version = 99")
+        conn.commit()
+        conn.close()
+        with pytest.raises(ValueError, match="index format 99"):
+            RunIndex(path).runs()

@@ -1,0 +1,168 @@
+"""Run-directory primitives: recorder, run table, manifest commit."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.eval.confusion import DiagnosisOutcome, score_outcomes
+from repro.eval.experiments import DiagnosisExperimentResult
+from repro.eval.registry.run import (
+    MANIFEST_NAME,
+    RUN_TABLE_COLUMNS,
+    RunRecorder,
+    commit_manifest,
+    format_run_table,
+    load_manifest,
+    measurement_row,
+    render_report_md,
+)
+from repro.eval.registry.spec import CampaignSpec, SystemSpec
+
+STAGES = ("experiment.train", "experiment.signatures", "experiment.diagnose")
+
+
+def make_spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="unit",
+        workload="wordcount",
+        faults=("CPU-hog", "Mem-hog"),
+        systems=(SystemSpec("A"),),
+        test_reps=2,
+    )
+
+
+def make_result(system: str = "A") -> DiagnosisExperimentResult:
+    outcomes = [
+        DiagnosisOutcome(truth="CPU-hog", predicted="CPU-hog", detected=True),
+        DiagnosisOutcome(truth="CPU-hog", predicted="CPU-hog", detected=True),
+        DiagnosisOutcome(truth="Mem-hog", predicted="CPU-hog", detected=True),
+        DiagnosisOutcome(truth="Mem-hog", predicted=None, detected=False),
+    ]
+    return DiagnosisExperimentResult(
+        workload="wordcount",
+        system=system,
+        scores=score_outcomes(outcomes),
+        outcomes=outcomes,
+        stage_seconds={name: 0.5 for name in STAGES},
+    )
+
+
+class TestRunRecorder:
+    def test_one_stream_per_system_and_context(self, tmp_path):
+        rec = RunRecorder(tmp_path, "A")
+        rec.record(("wordcount", "slave-1"), "train", runs=8)
+        rec.record(("wordcount", "slave-1"), "diagnose", detected=True)
+        rec.record(("sort", "slave-1"), "train", runs=8)
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert files == [
+            "A--sort@slave-1.jsonl",
+            "A--wordcount@slave-1.jsonl",
+        ]
+
+    def test_entries_carry_seq_and_identity(self, tmp_path):
+        rec = RunRecorder(tmp_path, "A", repetition=3)
+        rec.record(("wordcount", "slave-1"), "train", runs=8)
+        rec.record(("wordcount", "slave-1"), "diagnose", detected=False)
+        (path,) = list(tmp_path.iterdir())
+        lines = [
+            json.loads(line)
+            for line in path.read_text().strip().split("\n")
+        ]
+        assert [e["seq"] for e in lines] == [1, 2]
+        assert all(e["system"] == "A" for e in lines)
+        assert all(e["repetition"] == 3 for e in lines)
+        assert lines[0]["kind"] == "train" and lines[0]["runs"] == 8
+
+    def test_filenames_are_quoted(self, tmp_path):
+        rec = RunRecorder(tmp_path, "Invar/Net X")
+        rec.record(("word/count", "slave 1"), "train", runs=1)
+        (path,) = list(tmp_path.iterdir())
+        assert "%2F" in path.name and "%20" in path.name
+
+    def test_rejects_empty_kind(self, tmp_path):
+        with pytest.raises(ValueError, match="non-empty"):
+            RunRecorder(tmp_path, "A").record(("w", "n"), "")
+
+
+class TestMeasurementRow:
+    def test_covers_every_documented_column(self):
+        row = measurement_row(make_spec(), "A", 0, make_result())
+        assert set(row) == {name for name, _ in RUN_TABLE_COLUMNS}
+
+    def test_values(self):
+        spec = make_spec()
+        row = measurement_row(spec, "A", 1, make_result())
+        assert row["run_id"] == spec.run_id
+        assert row["spec_fingerprint"] == spec.fingerprint
+        assert row["repetition"] == 1
+        assert row["faults"] == 2
+        assert row["outcomes"] == 4
+        assert row["detected"] == 3
+        # CPU-hog: p=2/3, r=1; Mem-hog: p=0, r=0 -> averages 1/3 and 0.5
+        assert row["precision"] == pytest.approx(1 / 3, abs=1e-6)
+        assert row["recall"] == pytest.approx(0.5, abs=1e-6)
+        assert row["train_seconds"] == 0.5
+
+    def test_run_table_header_matches_columns(self):
+        spec = make_spec()
+        rows = [measurement_row(spec, "A", 0, make_result())]
+        text = format_run_table(rows)
+        header = text.split("\n", maxsplit=1)[0]
+        assert header.split(",") == [name for name, _ in RUN_TABLE_COLUMNS]
+
+    def test_run_table_bytes_are_deterministic(self):
+        spec = make_spec()
+        rows = [measurement_row(spec, "A", 0, make_result())]
+        assert format_run_table(rows) == format_run_table(rows)
+
+
+class TestColumnDocs:
+    def test_reference_doc_matches_writer(self):
+        """RUN_TABLE_COLUMNS.md documents exactly the written columns."""
+        doc = Path(__file__).resolve().parents[2] / "RUN_TABLE_COLUMNS.md"
+        text = doc.read_text(encoding="utf-8")
+        documented = set()
+        for line in text.split("\n"):
+            if line.startswith("| `"):
+                documented.add(line.split("`")[1])
+        assert documented == {name for name, _ in RUN_TABLE_COLUMNS}
+
+
+class TestManifest:
+    def _manifest(self, spec):
+        rows = [measurement_row(spec, "A", 0, make_result())]
+        return {
+            "format": 1,
+            "run_id": spec.run_id,
+            "spec": spec.to_json(),
+            "spec_fingerprint": spec.fingerprint,
+            "created": 1000.0,
+            "status": "ok",
+            "table": rows,
+            "fault_scores": [],
+        }
+
+    def test_commit_and_load(self, tmp_path):
+        manifest = self._manifest(make_spec())
+        commit_manifest(tmp_path, manifest)
+        assert load_manifest(tmp_path) == manifest
+
+    def test_absent_manifest_is_none(self, tmp_path):
+        assert load_manifest(tmp_path) is None
+
+    def test_corrupt_manifest_raises(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("{oops")
+        with pytest.raises(ValueError, match="corrupt"):
+            load_manifest(tmp_path)
+
+    def test_non_manifest_object_raises(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text('{"hello": 1}')
+        with pytest.raises(ValueError, match="not a run manifest"):
+            load_manifest(tmp_path)
+
+    def test_report_md_has_a_row_per_measurement(self, tmp_path):
+        manifest = self._manifest(make_spec())
+        text = render_report_md(manifest)
+        assert manifest["run_id"] in text
+        assert text.count("| A | 0 |") == 1

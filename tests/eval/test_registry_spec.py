@@ -1,0 +1,162 @@
+"""CampaignSpec: validation, fingerprints, seeds and JSON round-trips."""
+
+import dataclasses
+
+import pytest
+
+from repro.eval.registry.spec import (
+    BUILTIN_SPECS,
+    REPETITION_STRIDE,
+    CampaignSpec,
+    SystemSpec,
+    builtin_spec,
+)
+
+
+def make_spec(**overrides) -> CampaignSpec:
+    fields = dict(
+        name="unit",
+        workload="wordcount",
+        faults=("CPU-hog", "Mem-hog"),
+        systems=(SystemSpec("A"), SystemSpec("B", kind="arx")),
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+class TestValidation:
+    def test_rejects_unsafe_name(self):
+        with pytest.raises(ValueError, match="filesystem-safe"):
+            make_spec(name="bad/name")
+
+    def test_rejects_empty_faults(self):
+        with pytest.raises(ValueError, match="at least one fault"):
+            make_spec(faults=())
+
+    def test_rejects_empty_systems(self):
+        with pytest.raises(ValueError, match="at least one system"):
+            make_spec(systems=())
+
+    def test_rejects_duplicate_labels(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            make_spec(systems=(SystemSpec("A"), SystemSpec("A", kind="arx")))
+
+    def test_rejects_zero_repetitions(self):
+        with pytest.raises(ValueError, match="repetitions"):
+            make_spec(repetitions=0)
+
+    def test_delegates_bounds_to_campaign_config(self):
+        with pytest.raises(ValueError, match="n_normal"):
+            make_spec(n_normal=0)
+
+    def test_system_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown system kind"):
+            SystemSpec("X", kind="oracle")
+
+    def test_system_rejects_empty_label(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            SystemSpec("")
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        assert make_spec().fingerprint == make_spec().fingerprint
+
+    def test_changes_with_any_field(self):
+        assert make_spec().fingerprint != make_spec(base_seed=1).fingerprint
+        assert (
+            make_spec().fingerprint
+            != make_spec(faults=("CPU-hog",)).fingerprint
+        )
+
+    def test_run_id_embeds_name_and_fingerprint(self):
+        spec = make_spec()
+        assert spec.run_id == f"unit-{spec.fingerprint}"
+        assert len(spec.fingerprint) == 12
+
+
+class TestSeedSchedule:
+    def test_repetitions_stride_the_seed_root(self):
+        spec = make_spec(base_seed=5, repetitions=3)
+        seeds = [spec.campaign_config(r).base_seed for r in range(3)]
+        assert seeds == [5, 5 + REPETITION_STRIDE, 5 + 2 * REPETITION_STRIDE]
+
+    def test_repetition_out_of_range(self):
+        with pytest.raises(ValueError, match="outside"):
+            make_spec(repetitions=2).campaign_config(2)
+
+    def test_config_mirrors_spec_shape(self):
+        spec = make_spec(n_normal=5, train_reps=3, test_reps=4)
+        config = spec.campaign_config(0)
+        assert (config.n_normal, config.train_reps, config.test_reps) == (
+            5, 3, 4,
+        )
+        assert config.workload == spec.workload
+        assert config.node == spec.node
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_fingerprint(self):
+        spec = make_spec(
+            systems=(
+                SystemSpec("A"),
+                SystemSpec("NC", kind="no-context",
+                           extra_workloads=("sort",)),
+            ),
+            repetitions=2,
+        )
+        again = CampaignSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.fingerprint == spec.fingerprint
+
+    def test_rejects_unknown_fields(self):
+        doc = make_spec().to_json()
+        doc["budget"] = 9
+        with pytest.raises(ValueError, match="unknown spec fields"):
+            CampaignSpec.from_json(doc)
+
+    def test_rejects_missing_fields(self):
+        doc = make_spec().to_json()
+        del doc["faults"]
+        with pytest.raises(ValueError, match="missing"):
+            CampaignSpec.from_json(doc)
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="object"):
+            CampaignSpec.from_json(["not", "a", "spec"])
+
+    def test_accepts_bare_string_systems(self):
+        doc = make_spec().to_json()
+        doc["systems"] = ["InvarNet-X"]
+        spec = CampaignSpec.from_json(doc)
+        assert spec.systems == (SystemSpec("InvarNet-X"),)
+
+
+class TestBuiltins:
+    def test_every_builtin_constructs(self):
+        for name in BUILTIN_SPECS:
+            spec = builtin_spec(name)
+            assert spec.name == name
+
+    def test_unknown_builtin(self):
+        with pytest.raises(ValueError, match="unknown builtin"):
+            builtin_spec("fig99")
+
+    def test_fig9_10_is_the_three_way_comparison(self):
+        spec = builtin_spec("fig9-10")
+        kinds = [s.kind for s in spec.systems]
+        assert kinds == ["invarnet-x", "arx", "no-context"]
+        (ablation,) = [s for s in spec.systems if s.kind == "no-context"]
+        assert ablation.extra_workloads == ("sort", "tpcds")
+
+    def test_overrides_change_the_fingerprint(self):
+        base = builtin_spec("smoke")
+        scaled = builtin_spec("smoke", test_reps=base.test_reps + 1)
+        assert scaled.fingerprint != base.fingerprint
+        assert dataclasses.replace(
+            scaled, test_reps=base.test_reps
+        ).fingerprint == base.fingerprint
+
+    def test_bakeoff_smoke_pits_invarnet_against_arx(self):
+        spec = builtin_spec("bakeoff-smoke")
+        assert [s.label for s in spec.systems] == ["InvarNet-X", "ARX"]

@@ -396,3 +396,74 @@ class TestHealthAndLedger:
         assert "pipeline.detect" in names
         assert all(e["ph"] == "X" for e in doc["traceEvents"])
         assert doc["otherData"]["producer"] == "repro.obs"
+
+
+class TestRuns:
+    def test_run_requires_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["runs", "run", "--spec", "smoke"])
+
+    def test_run_requires_a_spec_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["runs", "run", "--dir", "x"])
+
+    def test_run_rejects_unknown_builtin(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["runs", "run", "--dir", "x", "--spec", "fig99"]
+            )
+
+    def test_run_spec_and_spec_file_are_exclusive(self, tmp_path):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text("{}")
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["runs", "run", "--dir", "x", "--spec", "smoke",
+                 "--spec-file", str(spec_file)]
+            )
+
+    def test_run_bad_spec_file_exits_2(self, tmp_path, capsys):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text("{not json")
+        code = main(
+            ["runs", "run", "--dir", str(tmp_path / "reg"),
+             "--spec-file", str(spec_file)]
+        )
+        assert code == 2
+        assert "bad campaign spec" in capsys.readouterr().err
+
+    def test_run_spec_file_missing_fields_exits_2(self, tmp_path, capsys):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text('{"name": "half-a-spec"}')
+        code = main(
+            ["runs", "run", "--dir", str(tmp_path / "reg"),
+             "--spec-file", str(spec_file)]
+        )
+        assert code == 2
+        assert "bad campaign spec" in capsys.readouterr().err
+
+    def test_list_on_empty_registry(self, tmp_path, capsys):
+        code = main(["runs", "list", "--dir", str(tmp_path)])
+        assert code == 0
+        assert "no indexed runs" in capsys.readouterr().out
+
+    def test_show_unknown_run_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["runs", "show", "nope-000000000000", "--dir", str(tmp_path)]
+        )
+        assert code == 2
+        assert "no committed run" in capsys.readouterr().err
+
+    def test_compare_on_empty_index_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["runs", "compare", "InvarNet-X", "ARX", "--dir", str(tmp_path)]
+        )
+        assert code == 2
+        assert "no indexed measurements" in capsys.readouterr().err
+
+    def test_compare_same_system_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["runs", "compare", "ARX", "ARX", "--dir", str(tmp_path)]
+        )
+        assert code == 2
+        assert "itself" in capsys.readouterr().err
