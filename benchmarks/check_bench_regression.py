@@ -1,0 +1,166 @@
+"""CI bench-regression guard.
+
+Compares freshly produced ``BENCH_*.json`` files against a baseline
+directory holding the committed copies (CI snapshots them before the
+benchmark steps run) and fails on a >25% regression of any recorded
+*ratio* field:
+
+- ``speedup`` — higher is better; regression when the fresh value drops
+  more than the tolerance below the committed one;
+- ``overhead_ratio`` — lower is better; regression when the fresh value
+  rises more than the tolerance above the committed one.
+
+Absolute timings (``*_seconds``, throughputs) are deliberately ignored —
+they track the runner's hardware, while ratios are self-normalising and
+comparable across machines.
+
+On failure the guard also writes a collapsed-stack profile of a short
+calibration workload (``--profile-out``): the same spans + metric
+writes + numpy kernel mix the benchmarks lean on, captured with the
+stdlib sampling profiler.  CI uploads it as an artifact so a "slow
+runner or real regression?" question can be answered from the stacks.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py \
+        --baseline bench-baseline [--tolerance 0.25] \
+        [--profile-out bench-regression-profile.collapsed]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: field name -> direction ("higher" / "lower" is better)
+RATIO_FIELDS = {"speedup": "higher", "overhead_ratio": "lower"}
+
+
+def load_results(path: Path) -> dict[str, dict]:
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    results = doc.get("results")
+    return results if isinstance(results, dict) else {}
+
+
+def compare_file(
+    baseline_path: Path, current_path: Path, tolerance: float
+) -> list[str]:
+    """Human-readable regression descriptions for one BENCH file."""
+    problems: list[str] = []
+    if not current_path.exists():
+        problems.append(
+            f"{baseline_path.name}: no fresh copy was produced "
+            f"(expected {current_path})"
+        )
+        return problems
+    baseline = load_results(baseline_path)
+    current = load_results(current_path)
+    for key, fields in sorted(baseline.items()):
+        fresh = current.get(key)
+        if fresh is None:
+            continue  # partial benchmark runs are fine (smoke mode)
+        for field, direction in RATIO_FIELDS.items():
+            before = fields.get(field)
+            after = fresh.get(field)
+            if not isinstance(before, (int, float)) or not isinstance(
+                after, (int, float)
+            ):
+                continue
+            if before <= 0:
+                continue
+            if direction == "higher":
+                regressed = after < before * (1.0 - tolerance)
+            else:
+                regressed = after > before * (1.0 + tolerance)
+            if regressed:
+                problems.append(
+                    f"{baseline_path.name} · {key} · {field}: "
+                    f"{before} -> {after} "
+                    f"(worse than the {tolerance:.0%} tolerance, "
+                    f"{direction} is better)"
+                )
+    return problems
+
+
+def write_failure_profile(path: Path, seconds: float = 2.0) -> None:
+    """Collapsed-stack profile of a calibration workload for the CI
+    artifact — the spans + metric writes + numpy kernel mix the
+    benchmarks exercise."""
+    import numpy as np
+
+    import repro.obs as obs
+    from repro.obs.prof import capture
+
+    obs.configure(enabled=True)
+    counter = obs.metrics_registry().counter(
+        "bench_guard_total", "calibration", ("k",)
+    )
+    rng = np.random.default_rng(0)
+    matrix = rng.standard_normal((96, 96))
+
+    def spin():
+        while True:  # capture() stops draining at its deadline
+            with obs.span("bench-guard.calibrate"):
+                _ = matrix @ matrix
+                counter.inc(k="spin")
+            yield None
+
+    report = capture(seconds, work=spin())
+    path.write_text(report.render_collapsed(), encoding="utf-8")
+    obs.configure(enabled=False)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, required=True,
+        help="directory holding the committed BENCH_*.json copies",
+    )
+    parser.add_argument(
+        "--current", type=Path, default=REPO_ROOT,
+        help="directory holding the freshly produced BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional regression of any ratio field",
+    )
+    parser.add_argument(
+        "--profile-out", type=Path, default=None, metavar="PATH",
+        help="on failure, write a collapsed-stack calibration profile here",
+    )
+    args = parser.parse_args(argv)
+    baselines = sorted(args.baseline.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"error: no BENCH_*.json under {args.baseline}", file=sys.stderr)
+        return 2
+    problems: list[str] = []
+    for baseline_path in baselines:
+        problems.extend(
+            compare_file(
+                baseline_path,
+                args.current / baseline_path.name,
+                args.tolerance,
+            )
+        )
+    checked = ", ".join(p.name for p in baselines)
+    if not problems:
+        print(f"bench guard: no regressions (checked {checked})")
+        return 0
+    print("bench guard: PERFORMANCE REGRESSION", file=sys.stderr)
+    for problem in problems:
+        print(f"  - {problem}", file=sys.stderr)
+    if args.profile_out is not None:
+        write_failure_profile(args.profile_out)
+        print(
+            f"wrote calibration profile to {args.profile_out}",
+            file=sys.stderr,
+        )
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,8 +33,8 @@ TEST_REPS = int(os.environ.get("REPRO_TEST_REPS", "6"))
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
-def record_bench(name: str, key: str, **fields) -> Path:
-    """Persist one benchmark measurement into ``BENCH_<name>.json``.
+def record_bench(name: str, key: str, prefix: str = "BENCH", **fields) -> Path:
+    """Persist one benchmark measurement into ``<prefix>_<name>.json``.
 
     Each file holds one benchmark's results keyed by measurement name;
     re-recording a key overwrites just that key, so a partial run updates
@@ -43,12 +43,14 @@ def record_bench(name: str, key: str, **fields) -> Path:
     Args:
         name: benchmark family (file suffix), e.g. ``mic_engine``.
         key: measurement within the family, e.g. ``full_600x26``.
+        prefix: file prefix — ``BENCH`` for speed numbers, ``ACC`` for
+            accuracy tracking (the bake-off precision/recall series).
         **fields: the measured values (JSON-serialisable).
 
     Returns:
         The path written.
     """
-    path = REPO_ROOT / f"BENCH_{name}.json"
+    path = REPO_ROOT / f"{prefix}_{name}.json"
     doc = {"benchmark": name, "results": {}}
     if path.exists():
         try:

@@ -1,0 +1,53 @@
+"""Accuracy regression tracking — the bake-off scored into ``ACC_*.json``.
+
+``BENCH_*.json`` tracks speed across PRs; this records *accuracy* the
+same way: the smoke bake-off campaign's precision/recall per cohort
+lands in ``ACC_bakeoff.json`` at the repo root, and CI uploads it as an
+artifact.  The campaign is fully deterministic (fingerprinted seed
+schedule), so a change in these numbers is a behaviour change in the
+diagnosis stack, never noise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.registry import RunRegistry, builtin_spec, compare_cohorts
+
+
+@pytest.fixture(scope="module")
+def bakeoff_registry(tmp_path_factory, cluster) -> RunRegistry:
+    root = tmp_path_factory.mktemp("acc-campaigns")
+    registry = RunRegistry(root, clock=lambda: 1700000000.0)
+    run = registry.execute(builtin_spec("bakeoff-smoke"), cluster)
+    assert not run.skipped
+    return registry
+
+
+class TestAccuracyTracking:
+    def test_record_bakeoff_precision_recall(
+        self, bakeoff_registry, bench_record
+    ):
+        report = compare_cohorts(
+            bakeoff_registry.index,
+            "InvarNet-X",
+            "ARX",
+            spec_name="bakeoff-smoke",
+        )
+        bench_record(
+            "bakeoff",
+            "bakeoff_smoke_invarnetx_vs_arx",
+            prefix="ACC",
+            invarnetx_precision=report.a.precision,
+            invarnetx_recall=report.a.recall,
+            invarnetx_f1=report.a.f1,
+            arx_precision=report.b.precision,
+            arx_recall=report.b.recall,
+            arx_f1=report.b.f1,
+            winner=report.winner,
+            test_reps=builtin_spec("bakeoff-smoke").test_reps,
+        )
+        # the paper's Figs. 9/10 ordering must hold in the recorded file
+        assert report.winner == "InvarNet-X"
+        assert report.a.precision > report.b.precision
+        assert report.a.recall > report.b.recall

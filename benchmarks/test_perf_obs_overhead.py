@@ -90,6 +90,42 @@ class TestDisabledPathAllocationFree:
         )
         assert obs_bytes == 0
 
+    def test_record_profiler_disabled_path_bytes(self, bench_record):
+        """A constructed-but-stopped profiler must cost the workload
+        nothing: zero bytes allocated in ``repro.obs.prof`` frames."""
+        from repro.obs.prof import SamplingProfiler
+
+        tracer = obs.tracer()
+        registry = obs.metrics_registry()
+        series = (
+            registry.counter("bench_prof_total", "", ("k",)).series(k="v")
+        )
+        profiler = SamplingProfiler(hz=97.0)  # never started
+        with tracer.span("warmup"):
+            pass
+        series.inc()
+        tracemalloc.start()
+        for _ in range(2000):
+            with tracer.span("hot") as sp:
+                if sp:
+                    sp.set(x=1)
+            series.inc()
+        snapshot = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        prof_bytes = sum(
+            trace.size
+            for trace in snapshot.traces
+            if any("repro/obs/prof" in f.filename for f in trace.traceback)
+        )
+        bench_record(
+            "obs_overhead",
+            "profiler_disabled_2000_iterations",
+            obs_prof_bytes=prof_bytes,
+            iterations=2000,
+        )
+        assert not profiler.running
+        assert prof_bytes == 0
+
     def test_disabled_span_peak_within_loop_noise(self):
         tracer = obs.tracer()
 

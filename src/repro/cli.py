@@ -405,6 +405,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--cooldown-ticks", type=int, default=30,
         help="silent ticks after each diagnosis",
     )
+    serve.add_argument(
+        "--slo-interval", type=float, default=5.0, metavar="SECONDS",
+        help="burn-rate evaluation period (0 disables SLO tracking)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live dashboard over a running fleet server",
+        description="Poll a serve process's GET /metrics + GET /health "
+        "and repaint a plain-text dashboard: lanes, ingest throughput, "
+        "per-endpoint request rates and p50/p99 latency.",
+    )
+    top.add_argument(
+        "--url", default="http://127.0.0.1:8321",
+        help="base URL of the serve process",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between repaints",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print one frame (no escape codes) and exit",
+    )
+    top.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="stop after N repaints (default: run until ctrl-c)",
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -962,12 +990,18 @@ def _cmd_runs(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.obs.slo import SLOTracker
     from repro.serve import FleetMonitor, build_server
 
     pair = _registry_ledger(args.dir)
     if isinstance(pair, int):
         return pair
-    registry, _ = pair
+    registry, ledger = pair
+    # The serving surface *is* the observability story: RED metrics,
+    # /metrics and the SLO tracker all need collection on.
+    obs.configure(enabled=True)
     pipeline = InvarNetX.attached_to(registry)
     fleet = FleetMonitor(
         pipeline,
@@ -978,6 +1012,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     server = build_server(fleet, host=args.host, port=args.port)
     host, port = server.server_address[:2]
+    stop_slo = threading.Event()
+    slo_thread = None
+    if args.slo_interval > 0:
+        tracker = SLOTracker(ledger=ledger)
+
+        def _tick_slo() -> None:
+            while not stop_slo.wait(args.slo_interval):
+                tracker.observe()
+
+        slo_thread = threading.Thread(
+            target=_tick_slo, name="invarnetx-slo", daemon=True
+        )
+        slo_thread.start()
     print(
         f"serving {len(registry.keys())} trained context(s) "
         f"on http://{host}:{port} (ctrl-c to stop)",
@@ -988,8 +1035,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
     finally:
+        stop_slo.set()
+        if slo_thread is not None:
+            slo_thread.join(timeout=5)
         server.server_close()
         fleet.close()
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.serve.top import HttpSource, TopApp
+
+    app = TopApp(HttpSource(args.url), interval=args.interval)
+    try:
+        app.run(
+            sys.stdout.write, once=args.once, iterations=args.iterations
+        )
+    except OSError as exc:
+        print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -1017,6 +1081,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_runs(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "top":
+            return _cmd_top(args)
         if args.command == "lint":
             from repro.lint.cli import run_lint
 

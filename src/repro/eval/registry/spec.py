@@ -12,7 +12,9 @@ The builtin specs map the paper's exhibits onto the registry:
 ``fig7``/``fig8`` are the per-fault diagnosis campaigns, ``fig9-10`` the
 three-system comparison, ``bakeoff-smoke`` a reduced-fault version of the
 Figs. 9/10 comparison whose InvarNet-X-vs-ARX ordering survives the
-scale-down, and ``smoke`` a minute-scale CI campaign.
+scale-down, ``bakeoff-peerwatch`` the same cohort extended with the
+PeerWatch baseline so ``invarnetx runs compare`` can score all three
+from the index alone, and ``smoke`` a minute-scale CI campaign.
 """
 
 from __future__ import annotations
@@ -261,6 +263,20 @@ def _builtin_table() -> dict[str, CampaignSpec]:
             test_reps=3,
             base_seed=90,
         ),
+        "bakeoff-peerwatch": CampaignSpec(
+            name="bakeoff-peerwatch",
+            workload="wordcount",
+            faults=BAKEOFF_FAULTS,
+            systems=(
+                SystemSpec("InvarNet-X"),
+                SystemSpec("ARX", kind="arx"),
+                SystemSpec("PeerWatch", kind="peerwatch"),
+            ),
+            n_normal=6,
+            train_reps=2,
+            test_reps=3,
+            base_seed=90,
+        ),
         "smoke": CampaignSpec(
             name="smoke",
             workload="wordcount",
@@ -279,7 +295,7 @@ def _builtin_table() -> dict[str, CampaignSpec]:
 
 #: Names :func:`builtin_spec` accepts (CLI ``runs run --spec`` choices).
 BUILTIN_SPECS = (
-    "fig7", "fig8", "fig9-10", "bakeoff-smoke", "smoke",
+    "fig7", "fig8", "fig9-10", "bakeoff-smoke", "bakeoff-peerwatch", "smoke",
 )
 
 

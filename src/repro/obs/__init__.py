@@ -29,7 +29,12 @@ Layout:
   lazily: it depends on :mod:`repro.core`, which itself emits into this
   package — eager import would be a cycle);
 - :mod:`repro.obs.health` — the model drift watchdog (lazy for the same
-  reason as explain).
+  reason as explain);
+- :mod:`repro.obs.prof` — stdlib sampling profiler with collapsed-stack
+  and speedscope exports, span-attributed (lazy: only pay for it when
+  profiling);
+- :mod:`repro.obs.slo` — multi-window burn-rate SLO tracking over the
+  HTTP metrics, edge-triggered ledger transitions (lazy likewise).
 """
 
 from __future__ import annotations
@@ -89,6 +94,16 @@ __all__ = [
     "HealthReport",
     "score_store",
     "score_context",
+    # lazy (repro.obs.prof):
+    "SamplingProfiler",
+    "ProfileReport",
+    "capture_profile",
+    # lazy (repro.obs.slo):
+    "SLOTracker",
+    "SLOObjective",
+    "SLOStatus",
+    "BurnWindow",
+    "default_objectives",
 ]
 
 #: Process-wide singletons.  They are mutated in place and never replaced,
@@ -187,7 +202,18 @@ _LAZY = {
     "HealthReport": "repro.obs.health",
     "score_store": "repro.obs.health",
     "score_context": "repro.obs.health",
+    "SamplingProfiler": "repro.obs.prof",
+    "ProfileReport": "repro.obs.prof",
+    "capture_profile": "repro.obs.prof",
+    "SLOTracker": "repro.obs.slo",
+    "SLOObjective": "repro.obs.slo",
+    "SLOStatus": "repro.obs.slo",
+    "BurnWindow": "repro.obs.slo",
+    "default_objectives": "repro.obs.slo",
 }
+
+#: Lazy names whose source symbol differs from the exported name.
+_LAZY_ALIASES = {"capture_profile": "capture"}
 
 
 def __getattr__(name: str) -> Any:
@@ -195,5 +221,6 @@ def __getattr__(name: str) -> Any:
     if module_name is not None:
         import importlib
 
-        return getattr(importlib.import_module(module_name), name)
+        source = _LAZY_ALIASES.get(name, name)
+        return getattr(importlib.import_module(module_name), source)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

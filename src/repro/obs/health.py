@@ -37,6 +37,15 @@ paper's design is known to develop over time:
     rolling-median baseline — the longitudinal complement of the Table 1
     overhead snapshot (a la change-point regression trackers).
 
+One check is *fleet-level* rather than per-context:
+
+``slo-burn``
+    The serving fleet's SLO tracker (:mod:`repro.obs.slo`) appends
+    ``slo-burn`` / ``slo-recovered`` ledger entries as objectives start
+    and stop burning error budget; this check reports any objective
+    whose most recent transition is still ``slo-burn`` — the fleet was
+    burning budget when last observed, and nobody has seen it recover.
+
 Statuses are ``ok`` / ``warn`` / ``skip`` (insufficient data); a
 context's *score* is the fraction of decidable checks that pass.  All
 output is byte-deterministic for a fixed store + ledger: checks iterate
@@ -58,6 +67,7 @@ __all__ = [
     "OK",
     "WARN",
     "SKIP",
+    "FLEET_CHECK_NAMES",
     "HealthThresholds",
     "HealthCheck",
     "ContextHealth",
@@ -79,6 +89,9 @@ CHECK_NAMES = (
     "staleness",
     "timing-regression",
 )
+
+#: Fleet-level checks (not tied to one context).
+FLEET_CHECK_NAMES = ("slo-burn",)
 
 
 @dataclass(frozen=True)
@@ -200,21 +213,23 @@ class HealthReport:
     contexts: list[ContextHealth] = field(default_factory=list)
     thresholds: HealthThresholds = field(default_factory=HealthThresholds)
     ledger_entries: int = 0
+    fleet: list[HealthCheck] = field(default_factory=list)
 
     @property
     def warnings(self) -> int:
-        """Total warn verdicts across all contexts."""
+        """Total warn verdicts across all contexts and fleet checks."""
         return sum(
             1
             for ctx in self.contexts
             for c in ctx.checks
             if c.status == WARN
-        )
+        ) + sum(1 for c in self.fleet if c.status == WARN)
 
     # repro: deterministic
     def to_json(self) -> dict[str, Any]:
         return {
             "contexts": [ctx.to_json() for ctx in self.contexts],
+            "fleet": [c.to_json() for c in self.fleet],
             "thresholds": {
                 "tau": self.thresholds.tau,
                 "fragility_margin": self.thresholds.fragility_margin,
@@ -244,6 +259,12 @@ class HealthReport:
                 f"status={ctx.status}  score={ctx.score:.2f}"
             )
             for check in ctx.checks:
+                lines.append(
+                    f"  {check.name:<22s} {check.status:<5s} {check.detail}"
+                )
+        if self.fleet:
+            lines.append("\nfleet")
+            for check in self.fleet:
                 lines.append(
                     f"  {check.name:<22s} {check.status:<5s} {check.detail}"
                 )
@@ -408,6 +429,38 @@ def _check_timing_regression(
     return HealthCheck(name, OK, detail, worst, t.timing_factor)
 
 
+def _check_slo_burn(entries: list[dict]) -> HealthCheck:
+    """Fleet-level: objectives whose last SLO transition is still a burn."""
+    name = "slo-burn"
+    last_kind: dict[str, str] = {}
+    for e in entries:
+        if e.get("kind") in ("slo-burn", "slo-recovered"):
+            objective = e.get("objective")
+            if isinstance(objective, str):
+                last_kind[objective] = e["kind"]
+    if not last_kind:
+        return HealthCheck(name, SKIP, "no SLO history in the ledger")
+    burning = sorted(
+        obj for obj, kind in last_kind.items() if kind == "slo-burn"
+    )
+    if burning:
+        return HealthCheck(
+            name,
+            WARN,
+            f"objective(s) burning error budget at last observation: "
+            f"{', '.join(burning)}",
+            float(len(burning)),
+            0.0,
+        )
+    return HealthCheck(
+        name,
+        OK,
+        f"{len(last_kind)} tracked objective(s), none burning",
+        0.0,
+        0.0,
+    )
+
+
 # ----------------------------------------------------------------------
 # scoring
 # ----------------------------------------------------------------------
@@ -475,9 +528,11 @@ def score_store(
     keys = set(store.keys())
     if ledger is not None:
         keys.update(ledger.contexts())
+    all_entries = ledger.entries() if ledger is not None else []
     report = HealthReport(
         thresholds=thresholds or HealthThresholds(),
-        ledger_entries=len(ledger.entries()) if ledger is not None else 0,
+        ledger_entries=len(all_entries),
+        fleet=[_check_slo_burn(all_entries)],
     )
     for key in sorted(keys):
         models = store.peek(key)

@@ -176,6 +176,17 @@ class Counter(_Family):
         """Current value of one series (0.0 if never written)."""
         return float(self.series(**labels).value)
 
+    def samples(self) -> list[tuple[dict[str, str], float]]:
+        """Every series as ``(labels, value)``, sorted by label key.
+
+        The public read surface consumers like the SLO tracker and
+        ``invarnetx top`` aggregate over.
+        """
+        return [
+            (dict(zip(self.labelnames, key)), float(s.value))
+            for key, s in self._snapshot()
+        ]
+
     def to_json(self) -> dict[str, Any]:
         return {
             "type": self.kind,
@@ -292,6 +303,27 @@ class Histogram(_Family):
             return
         self.series(**labels).observe(value)
 
+    def samples(
+        self,
+    ) -> list[tuple[dict[str, str], float, int, list[tuple[float, int]]]]:
+        """Every series as ``(labels, sum, count, cumulative buckets)``.
+
+        Buckets are ``(upper_bound, cumulative_count)`` in bound order,
+        excluding the implicit ``+Inf`` (whose cumulative count is
+        ``count``).
+        """
+        out = []
+        for key, s in self._snapshot():
+            cumulative = 0
+            buckets: list[tuple[float, int]] = []
+            for bound, n in zip(self.buckets, s.counts):
+                cumulative += n
+                buckets.append((bound, cumulative))
+            out.append(
+                (dict(zip(self.labelnames, key)), s.sum, s.count, buckets)
+            )
+        return out
+
     def to_json(self) -> dict[str, Any]:
         series = []
         for key, s in self._snapshot():
@@ -407,6 +439,11 @@ class MetricsRegistry:
         """Registered families, sorted by name."""
         with self._lock:
             return [self._families[k] for k in sorted(self._families)]
+
+    def family(self, name: str) -> Any:
+        """The registered family named ``name``, or None."""
+        with self._lock:
+            return self._families.get(name)
 
     # repro: deterministic
     def to_json(self) -> dict[str, Any]:

@@ -1,0 +1,344 @@
+"""SLO burn-rate tracking over the runtime metrics registry.
+
+The serving fleet's RED metrics (``invarnetx_http_requests_total``,
+``invarnetx_http_request_seconds``) say what *is* happening; an SLO says
+what *should* be happening and how fast the error budget is being spent
+when it is not.  :class:`SLOTracker` implements the multi-window
+burn-rate alerting pattern (Google SRE workbook ch. 5): an objective
+("99% of ``/ingest`` requests under 500 ms") is evaluated over a short
+and a long window simultaneously, and fires only when **both** windows
+burn budget faster than their thresholds — the short window makes alerts
+fast, the long window keeps one transient spike from paging.
+
+Everything is deterministic under an injected clock: the tracker reads
+counters from the metrics registry at :meth:`SLOTracker.observe` time,
+keeps a bounded ring of snapshots, and derives windowed rates purely
+from snapshot deltas.  Transitions append ``slo-burn`` /
+``slo-recovered`` entries to the run ledger, which is what surfaces them
+in ``invarnetx health`` (the fleet-level ``slo-burn`` check) long after
+the serving process is gone.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.obs.ledger import RunLedger
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "BurnWindow",
+    "DEFAULT_WINDOWS",
+    "SLOObjective",
+    "SLOStatus",
+    "SLOTracker",
+    "default_objectives",
+]
+
+#: Metric families the tracker reads (written by ``repro.serve.http``).
+REQUESTS_TOTAL = "invarnetx_http_requests_total"
+REQUEST_SECONDS = "invarnetx_http_request_seconds"
+
+#: Objective kinds.
+LATENCY = "latency"
+ERRORS = "errors"
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """One evaluation window of the multi-window burn-rate rule.
+
+    Attributes:
+        seconds: lookback length.
+        max_burn_rate: budget-spend multiple above which the window is
+            considered burning (1.0 = spending exactly the budget).
+    """
+
+    seconds: float
+    max_burn_rate: float
+
+    def __post_init__(self) -> None:
+        if self.seconds <= 0:
+            raise ValueError("window seconds must be > 0")
+        if self.max_burn_rate <= 0:
+            raise ValueError("max_burn_rate must be > 0")
+
+
+#: The SRE-workbook fast/slow page pair: 5 minutes at 14.4x (2% of a
+#: 30-day budget in an hour) and 1 hour at 6x.
+DEFAULT_WINDOWS: tuple[BurnWindow, ...] = (
+    BurnWindow(300.0, 14.4),
+    BurnWindow(3600.0, 6.0),
+)
+
+
+@dataclass(frozen=True)
+class SLOObjective:
+    """One declared objective over the HTTP request stream.
+
+    Attributes:
+        name: stable identifier (ledger entries and reports key on it).
+        kind: ``latency`` (good = request under ``latency_bound``) or
+            ``errors`` (good = non-5xx response).
+        objective: target good fraction, e.g. ``0.99``.
+        endpoint: restrict to one endpoint label (None = every
+            endpoint).
+        latency_bound: the latency threshold in seconds; must align with
+            a histogram bucket bound of :data:`REQUEST_SECONDS` so the
+            good count is exact, not interpolated.
+    """
+
+    name: str
+    kind: str = LATENCY
+    objective: float = 0.99
+    endpoint: str | None = None
+    latency_bound: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("objective name must be non-empty")
+        if self.kind not in (LATENCY, ERRORS):
+            raise ValueError(
+                f"objective kind must be {LATENCY!r} or {ERRORS!r}, "
+                f"got {self.kind!r}"
+            )
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be strictly between 0 and 1")
+        if self.latency_bound <= 0:
+            raise ValueError("latency_bound must be > 0")
+
+    @property
+    def budget(self) -> float:
+        """The error budget (allowed bad fraction)."""
+        return 1.0 - self.objective
+
+
+def default_objectives() -> tuple[SLOObjective, ...]:
+    """The serve command's out-of-the-box objectives."""
+    return (
+        SLOObjective(
+            "ingest-latency",
+            kind=LATENCY,
+            objective=0.99,
+            endpoint="/ingest",
+            latency_bound=0.5,
+        ),
+        SLOObjective("http-errors", kind=ERRORS, objective=0.999),
+    )
+
+
+@dataclass(frozen=True)
+class SLOStatus:
+    """One objective's verdict at one :meth:`SLOTracker.observe` call.
+
+    Attributes:
+        objective: the objective evaluated.
+        burning: True when every window exceeded its burn threshold.
+        burn_rates: per-window burn rate, keyed by window seconds.
+        total: lifetime request count the objective has seen.
+        bad: lifetime bad-event count.
+    """
+
+    objective: SLOObjective
+    burning: bool
+    burn_rates: dict[float, float]
+    total: float
+    bad: float
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.objective.name,
+            "kind": self.objective.kind,
+            "endpoint": self.objective.endpoint,
+            "objective": self.objective.objective,
+            "burning": self.burning,
+            "burn_rates": {
+                f"{seconds:g}s": round(rate, 6)
+                for seconds, rate in sorted(self.burn_rates.items())
+            },
+            "total": self.total,
+            "bad": self.bad,
+        }
+
+
+class SLOTracker:
+    """Periodic burn-rate evaluation of declared objectives.
+
+    Call :meth:`observe` on a timer (the serve command ticks it every
+    few seconds); each call snapshots the registry's counters, derives
+    windowed bad-event rates from snapshot deltas, and appends a ledger
+    entry when an objective starts or stops burning.
+
+    Args:
+        objectives: the objectives under watch.
+        registry: metrics source (default: the process registry).
+        ledger: transition sink (None = no ledger records).
+        windows: burn-rate windows; an objective fires only when every
+            window exceeds its threshold.
+        clock: time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        objectives: tuple[SLOObjective, ...] | list[SLOObjective] | None = None,
+        registry: MetricsRegistry | None = None,
+        ledger: RunLedger | None = None,
+        windows: tuple[BurnWindow, ...] = DEFAULT_WINDOWS,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if objectives is None:
+            objectives = default_objectives()
+        if not objectives:
+            raise ValueError("tracker needs at least one objective")
+        names = [o.name for o in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate objective names in {names}")
+        if not windows:
+            raise ValueError("tracker needs at least one window")
+        if registry is None:
+            import repro.obs as obs
+
+            registry = obs.metrics_registry()
+        self.objectives = tuple(objectives)
+        self.registry = registry
+        self.ledger = ledger
+        self.windows = tuple(windows)
+        self.clock = clock
+        self._horizon = max(w.seconds for w in self.windows)
+        #: (timestamp, {objective name: (total, bad)}) ring, oldest first.
+        self._snapshots: list[tuple[float, dict[str, tuple[float, float]]]] = []
+        self._burning: dict[str, bool] = {o.name: False for o in objectives}
+
+    # ------------------------------------------------------------------
+    def _counts(self, objective: SLOObjective) -> tuple[float, float]:
+        """Lifetime ``(total, bad)`` for one objective from the registry."""
+        if objective.kind == ERRORS:
+            family = self.registry.family(REQUESTS_TOTAL)
+            if family is None:
+                return 0.0, 0.0
+            total = bad = 0.0
+            for labels, value in family.samples():
+                if (
+                    objective.endpoint is not None
+                    and labels.get("endpoint") != objective.endpoint
+                ):
+                    continue
+                total += value
+                if labels.get("status", "").startswith("5"):
+                    bad += value
+            return total, bad
+        family = self.registry.family(REQUEST_SECONDS)
+        if family is None:
+            return 0.0, 0.0
+        total = bad = 0.0
+        for labels, _sum, count, buckets in family.samples():
+            if (
+                objective.endpoint is not None
+                and labels.get("endpoint") != objective.endpoint
+            ):
+                continue
+            total += count
+            good = 0
+            for bound, cumulative in buckets:
+                if bound <= objective.latency_bound:
+                    good = cumulative
+                else:
+                    break
+            bad += count - good
+        return total, bad
+
+    def _window_rate(
+        self,
+        name: str,
+        window: BurnWindow,
+        now: float,
+        current: tuple[float, float],
+    ) -> float:
+        """Bad-event fraction of one objective over one window."""
+        base: tuple[float, float] | None = None
+        cutoff = now - window.seconds
+        for stamp, counts in self._snapshots:
+            if stamp >= cutoff:
+                base = counts.get(name)
+                break
+        if base is None:
+            base = (0.0, 0.0)
+        delta_total = current[0] - base[0]
+        delta_bad = current[1] - base[1]
+        if delta_total <= 0.0 or delta_bad <= 0.0:
+            return 0.0
+        return delta_bad / delta_total
+
+    # ------------------------------------------------------------------
+    def observe(self, now: float | None = None) -> list[SLOStatus]:
+        """Snapshot the registry and evaluate every objective.
+
+        Args:
+            now: explicit timestamp (default: the tracker's clock).
+
+        Returns:
+            One :class:`SLOStatus` per objective, in declaration order.
+        """
+        if now is None:
+            now = self.clock()
+        current = {o.name: self._counts(o) for o in self.objectives}
+        statuses: list[SLOStatus] = []
+        for objective in self.objectives:
+            counts = current[objective.name]
+            burn_rates: dict[float, float] = {}
+            burning = True
+            for window in self.windows:
+                ratio = self._window_rate(
+                    objective.name, window, now, counts
+                )
+                rate = ratio / objective.budget
+                burn_rates[window.seconds] = rate
+                if rate <= window.max_burn_rate:
+                    burning = False
+            status = SLOStatus(
+                objective=objective,
+                burning=burning,
+                burn_rates=burn_rates,
+                total=counts[0],
+                bad=counts[1],
+            )
+            statuses.append(status)
+            self._transition(status)
+        self._snapshots.append((now, current))
+        cutoff = now - self._horizon
+        while len(self._snapshots) > 1 and self._snapshots[1][0] <= cutoff:
+            self._snapshots.pop(0)
+        return statuses
+
+    def _transition(self, status: SLOStatus) -> None:
+        """Record a burning-state flip in the ledger (edge-triggered)."""
+        name = status.objective.name
+        was_burning = self._burning[name]
+        if status.burning == was_burning:
+            return
+        self._burning[name] = status.burning
+        if self.ledger is None:
+            return
+        if status.burning:
+            self.ledger.append(
+                "slo-burn",
+                objective=name,
+                kind_slo=status.objective.kind,
+                endpoint=status.objective.endpoint,
+                budget=round(status.objective.budget, 6),
+                burn_rates={
+                    f"{seconds:g}s": round(rate, 6)
+                    for seconds, rate in sorted(status.burn_rates.items())
+                },
+                total=status.total,
+                bad=status.bad,
+            )
+        else:
+            self.ledger.append("slo-recovered", objective=name)
+
+    # ------------------------------------------------------------------
+    def burning(self) -> list[str]:
+        """Names of objectives currently burning, in declaration order."""
+        return [o.name for o in self.objectives if self._burning[o.name]]

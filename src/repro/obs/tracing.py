@@ -164,6 +164,7 @@ class Tracer:
         self.finished: deque[Span] = deque(maxlen=max_finished)  # repro: guarded-by=_lock
         self._lock = threading.Lock()
         self._local = threading.local()
+        self._thread_stacks: dict[int, list[Span]] = {}  # repro: guarded-by=_lock
 
     # ------------------------------------------------------------------
     def span(self, name: str):
@@ -198,7 +199,36 @@ class Tracer:
         if stack is None:
             stack = []
             self._local.stack = stack
+            # Register the stack so the sampling profiler can attribute
+            # another thread's samples to its innermost open span.  One
+            # registration per thread lifetime: the disabled span path
+            # never reaches here, so its zero-allocation contract holds.
+            ident = threading.get_ident()
+            with self._lock:
+                if len(self._thread_stacks) > 512:
+                    self._thread_stacks = {
+                        tid: s
+                        for tid, s in self._thread_stacks.items()
+                        if s
+                    }
+                self._thread_stacks[ident] = stack
         return stack
+
+    def active_span_name(self, thread_id: int) -> str | None:
+        """Name of the innermost open span on ``thread_id``, or None.
+
+        Read by the sampling profiler from *its own* thread; the snapshot
+        is best-effort (the target thread may pop concurrently), hence
+        the defensive indexing.
+        """
+        with self._lock:
+            stack = self._thread_stacks.get(thread_id)
+        if not stack:
+            return None
+        try:
+            return stack[-1].name
+        except IndexError:  # popped between the check and the read
+            return None
 
     def _push(self, span: Span) -> None:
         self._stack().append(span)

@@ -12,7 +12,10 @@ multiplex them all.  This package is that process's core:
 - :mod:`repro.serve.fastpath` — O(tail) one-step ARIMA predictions for
   pure-AR models, verdicts bit-identical to the full recursion;
 - :mod:`repro.serve.http` — the stdlib-only HTTP/JSON transport behind
-  ``invarnetx serve``.
+  ``invarnetx serve``, RED-instrumented with ``/metrics`` and
+  ``/debug/prof``;
+- :mod:`repro.serve.top` — the ``invarnetx top`` terminal dashboard
+  over either side of that HTTP boundary.
 """
 
 from repro.serve.fastpath import fast_check, predict_next_from_tail, tail_length
@@ -24,6 +27,13 @@ from repro.serve.fleet import (
     shard_index,
 )
 from repro.serve.http import build_server
+from repro.serve.top import (
+    FleetSnapshot,
+    HttpSource,
+    RegistrySource,
+    TopApp,
+    parse_prometheus,
+)
 
 __all__ = [
     "FleetMonitor",
@@ -35,4 +45,9 @@ __all__ = [
     "predict_next_from_tail",
     "tail_length",
     "build_server",
+    "FleetSnapshot",
+    "HttpSource",
+    "RegistrySource",
+    "TopApp",
+    "parse_prometheus",
 ]

@@ -1,0 +1,388 @@
+"""``invarnetx top`` — a live terminal dashboard over the serving fleet.
+
+A deliberately curses-free repaint loop: each frame is one snapshot of
+the fleet's metrics rendered as plain text, preceded by an ANSI
+home+clear when running interactively.  ``--once`` prints a single
+frame with no escape codes, which is also what the tests drive.
+
+Data comes from either side of the HTTP boundary:
+
+- :class:`HttpSource` polls a running server's ``GET /metrics``
+  (parsed with :func:`parse_prometheus`) and ``GET /health``;
+- :class:`RegistrySource` reads a :class:`~repro.obs.metrics.MetricsRegistry`
+  (and optionally a :class:`~repro.serve.fleet.FleetMonitor`) in
+  process — no sockets, fully deterministic under an injected clock.
+
+Rates (ticks/s, req/s) are deltas between consecutive snapshots, so the
+first frame shows lifetime totals with a ``-`` rate column.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = [
+    "EndpointStats",
+    "FleetSnapshot",
+    "HttpSource",
+    "RegistrySource",
+    "TopApp",
+    "histogram_quantile",
+    "parse_prometheus",
+]
+
+#: Metric families the dashboard reads.
+_REQUESTS = "invarnetx_http_requests_total"
+_SECONDS = "invarnetx_http_request_seconds"
+_DISCONNECTS = "invarnetx_http_disconnects_total"
+_TICKS = "invarnetx_fleet_ticks_total"
+_REJECTED = "invarnetx_fleet_rejected_total"
+_EVICTIONS = "invarnetx_fleet_evictions_total"
+
+#: ANSI repaint prefix (cursor home + clear to end of screen).
+CLEAR = "\x1b[H\x1b[J"
+
+
+# ----------------------------------------------------------------------
+# Prometheus text parsing
+def _parse_labels(raw: str) -> dict[str, str]:
+    """``k="v",k2="v2"`` → dict, honouring ``\\\\``/``\\"``/``\\n``."""
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(raw):
+        eq = raw.index("=", i)
+        key = raw[i:eq].strip().lstrip(",").strip()
+        if raw[eq + 1] != '"':
+            raise ValueError(f"unquoted label value in {raw!r}")
+        chars: list[str] = []
+        j = eq + 2
+        while raw[j] != '"':
+            if raw[j] == "\\":
+                j += 1
+                chars.append({"n": "\n"}.get(raw[j], raw[j]))
+            else:
+                chars.append(raw[j])
+            j += 1
+        labels[key] = "".join(chars)
+        i = j + 1
+    return labels
+
+
+def parse_prometheus(text: str) -> dict[str, list[tuple[dict[str, str], float]]]:
+    """Parse text exposition into ``{metric: [(labels, value), ...]}``.
+
+    Handles exactly the subset our registry renders: ``# HELP``/
+    ``# TYPE`` comments, and ``name{labels} value`` samples (histogram
+    ``_bucket``/``_sum``/``_count`` series appear under their full
+    sample names).
+    """
+    out: dict[str, list[tuple[dict[str, str], float]]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        sample, _, value = line.rpartition(" ")
+        if "{" in sample:
+            name, _, rest = sample.partition("{")
+            labels = _parse_labels(rest.rstrip("}"))
+        else:
+            name, labels = sample, {}
+        out.setdefault(name, []).append((labels, float(value)))
+    return out
+
+
+def histogram_quantile(
+    q: float, buckets: list[tuple[float, float]]
+) -> float | None:
+    """Estimate the ``q``-quantile from cumulative ``(le, count)`` pairs.
+
+    Linear interpolation inside the target bucket, the standard
+    ``histogram_quantile`` scheme; the +Inf bucket clamps to the last
+    finite bound.  Returns None when the histogram is empty.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    buckets = sorted(buckets)
+    total = buckets[-1][1] if buckets else 0.0
+    if total <= 0:
+        return None
+    rank = q * total
+    previous_bound = 0.0
+    previous_count = 0.0
+    for bound, count in buckets:
+        if count >= rank:
+            if bound == float("inf"):
+                return previous_bound
+            span = count - previous_count
+            if span <= 0:
+                return bound
+            fraction = (rank - previous_count) / span
+            return previous_bound + (bound - previous_bound) * fraction
+        previous_bound, previous_count = bound, count
+    return previous_bound
+
+
+# ----------------------------------------------------------------------
+# Snapshots
+@dataclass(frozen=True)
+class EndpointStats:
+    """One endpoint's lifetime RED numbers."""
+
+    endpoint: str
+    requests: float
+    errors: float
+    p50: float | None
+    p99: float | None
+
+
+@dataclass(frozen=True)
+class FleetSnapshot:
+    """Everything one dashboard frame needs, at one instant."""
+
+    taken_at: float
+    contexts: int | None = None
+    shard_ticks: dict[str, float] = field(default_factory=dict)
+    rejected: float = 0.0
+    evictions: float = 0.0
+    disconnects: float = 0.0
+    endpoints: list[EndpointStats] = field(default_factory=list)
+
+    @property
+    def ticks(self) -> float:
+        return sum(self.shard_ticks.values())
+
+    @property
+    def requests(self) -> float:
+        return sum(e.requests for e in self.endpoints)
+
+
+def _endpoint_stats(
+    families: dict[str, list[tuple[dict[str, str], float]]],
+) -> list[EndpointStats]:
+    requests: dict[str, float] = {}
+    errors: dict[str, float] = {}
+    buckets: dict[str, list[tuple[float, float]]] = {}
+    for labels, value in families.get(_REQUESTS, []):
+        endpoint = labels.get("endpoint", "?")
+        requests[endpoint] = requests.get(endpoint, 0.0) + value
+        if labels.get("status", "").startswith("5"):
+            errors[endpoint] = errors.get(endpoint, 0.0) + value
+    for labels, value in families.get(f"{_SECONDS}_bucket", []):
+        endpoint = labels.get("endpoint", "?")
+        buckets.setdefault(endpoint, []).append(
+            (float(labels.get("le", "inf").replace("+Inf", "inf")), value)
+        )
+    return [
+        EndpointStats(
+            endpoint=endpoint,
+            requests=requests[endpoint],
+            errors=errors.get(endpoint, 0.0),
+            p50=histogram_quantile(0.50, buckets.get(endpoint, [])),
+            p99=histogram_quantile(0.99, buckets.get(endpoint, [])),
+        )
+        for endpoint in sorted(requests)
+    ]
+
+
+def _sum_by_shard(
+    families: dict[str, list[tuple[dict[str, str], float]]], name: str
+) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for labels, value in families.get(name, []):
+        shard = labels.get("shard", "?")
+        out[shard] = out.get(shard, 0.0) + value
+    return out
+
+
+def _sum_all(
+    families: dict[str, list[tuple[dict[str, str], float]]], name: str
+) -> float:
+    return sum(value for _, value in families.get(name, []))
+
+
+class HttpSource:
+    """Snapshots from a running server's ``/metrics`` + ``/health``."""
+
+    def __init__(
+        self,
+        base_url: str,
+        clock: Callable[[], float] = time.monotonic,
+        timeout: float = 5.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.clock = clock
+        self.timeout = timeout
+
+    def _fetch(self, path: str) -> bytes:
+        with urllib.request.urlopen(
+            f"{self.base_url}{path}", timeout=self.timeout
+        ) as resp:
+            return resp.read()
+
+    def snapshot(self) -> FleetSnapshot:
+        families = parse_prometheus(self._fetch("/metrics").decode("utf-8"))
+        health = json.loads(self._fetch("/health"))
+        return FleetSnapshot(
+            taken_at=self.clock(),
+            contexts=health.get("contexts"),
+            shard_ticks=_sum_by_shard(families, _TICKS),
+            rejected=_sum_all(families, _REJECTED),
+            evictions=_sum_all(families, _EVICTIONS),
+            disconnects=_sum_all(families, _DISCONNECTS),
+            endpoints=_endpoint_stats(families),
+        )
+
+
+class RegistrySource:
+    """Snapshots straight off an in-process metrics registry."""
+
+    def __init__(
+        self,
+        registry,
+        fleet=None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.registry = registry
+        self.fleet = fleet
+        self.clock = clock
+
+    def _families(self) -> dict[str, list[tuple[dict[str, str], float]]]:
+        # Re-render through the exposition format so both sources agree
+        # on shapes (histograms arrive as _bucket/_sum/_count samples).
+        return parse_prometheus(self.registry.render_prometheus())
+
+    def snapshot(self) -> FleetSnapshot:
+        families = self._families()
+        contexts = (
+            len(self.fleet.contexts()) if self.fleet is not None else None
+        )
+        return FleetSnapshot(
+            taken_at=self.clock(),
+            contexts=contexts,
+            shard_ticks=_sum_by_shard(families, _TICKS),
+            rejected=_sum_all(families, _REJECTED),
+            evictions=_sum_all(families, _EVICTIONS),
+            disconnects=_sum_all(families, _DISCONNECTS),
+            endpoints=_endpoint_stats(families),
+        )
+
+
+# ----------------------------------------------------------------------
+# Rendering
+def _rate(
+    current: float, previous: float | None, dt: float | None
+) -> str:
+    if previous is None or dt is None or dt <= 0:
+        return "-"
+    return f"{max(0.0, current - previous) / dt:.1f}/s"
+
+
+def _ms(seconds: float | None) -> str:
+    if seconds is None:
+        return "-"
+    return f"{seconds * 1000:.1f}ms"
+
+
+class TopApp:
+    """The frame renderer + repaint loop behind ``invarnetx top``."""
+
+    def __init__(
+        self,
+        source,
+        interval: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be > 0")
+        self.source = source
+        self.interval = interval
+        self.clock = clock
+        self.sleep = sleep
+        self._previous: FleetSnapshot | None = None
+
+    def render(self, snapshot: FleetSnapshot) -> str:
+        """One frame of the dashboard; pure function of the snapshots."""
+        previous = self._previous
+        dt = (
+            snapshot.taken_at - previous.taken_at
+            if previous is not None
+            else None
+        )
+        lines = [
+            "invarnetx top — fleet serving dashboard",
+            "",
+        ]
+        contexts = "-" if snapshot.contexts is None else str(snapshot.contexts)
+        lines.append(
+            f"lanes {contexts}   shards {len(snapshot.shard_ticks)}   "
+            f"ticks {snapshot.ticks:g} "
+            f"({_rate(snapshot.ticks, previous.ticks if previous else None, dt)})   "
+            f"rejected {snapshot.rejected:g}   "
+            f"evicted {snapshot.evictions:g}   "
+            f"disconnects {snapshot.disconnects:g}"
+        )
+        if snapshot.shard_ticks:
+            shard_bits = "  ".join(
+                f"s{shard}:{count:g}"
+                for shard, count in sorted(snapshot.shard_ticks.items())
+            )
+            lines.append(f"shard ticks  {shard_bits}")
+        lines.append("")
+        header = (
+            f"{'endpoint':<14} {'requests':>9} {'rate':>9} "
+            f"{'errors':>7} {'p50':>9} {'p99':>9}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        previous_by_endpoint = {
+            e.endpoint: e for e in (previous.endpoints if previous else [])
+        }
+        for stats in snapshot.endpoints:
+            before = previous_by_endpoint.get(stats.endpoint)
+            lines.append(
+                f"{stats.endpoint:<14} {stats.requests:>9g} "
+                f"{_rate(stats.requests, before.requests if before else None, dt):>9} "
+                f"{stats.errors:>7g} {_ms(stats.p50):>9} {_ms(stats.p99):>9}"
+            )
+        if not snapshot.endpoints:
+            lines.append("(no requests yet)")
+        return "\n".join(lines) + "\n"
+
+    def frame(self) -> str:
+        """Snapshot the source, render, and advance the rate baseline."""
+        snapshot = self.source.snapshot()
+        text = self.render(snapshot)
+        self._previous = snapshot
+        return text
+
+    def run(
+        self,
+        write: Callable[[str], None],
+        once: bool = False,
+        iterations: int | None = None,
+    ) -> None:
+        """The repaint loop (ctrl-c to stop; ``once`` prints one frame).
+
+        Args:
+            write: frame sink (normally ``sys.stdout.write``).
+            once: render a single frame with no escape codes and return.
+            iterations: stop after N frames (None = until interrupted).
+        """
+        if once:
+            write(self.frame())
+            return
+        count = 0
+        try:
+            while iterations is None or count < iterations:
+                write(CLEAR + self.frame())
+                count += 1
+                if iterations is not None and count >= iterations:
+                    break
+                self.sleep(self.interval)
+        except KeyboardInterrupt:
+            pass

@@ -160,3 +160,18 @@ class TestBuiltins:
     def test_bakeoff_smoke_pits_invarnet_against_arx(self):
         spec = builtin_spec("bakeoff-smoke")
         assert [s.label for s in spec.systems] == ["InvarNet-X", "ARX"]
+
+    def test_bakeoff_peerwatch_adds_the_peer_baseline(self):
+        spec = builtin_spec("bakeoff-peerwatch")
+        assert [s.label for s in spec.systems] == [
+            "InvarNet-X", "ARX", "PeerWatch",
+        ]
+        assert [s.kind for s in spec.systems] == [
+            "invarnet-x", "arx", "peerwatch",
+        ]
+        # same faults and seed schedule as bakeoff-smoke: scores are
+        # comparable across the two campaign families
+        smoke = builtin_spec("bakeoff-smoke")
+        assert spec.faults == smoke.faults
+        assert spec.base_seed == smoke.base_seed
+        assert spec.fingerprint != smoke.fingerprint

@@ -1,0 +1,209 @@
+"""Tests of the stdlib sampling profiler (repro.obs.prof)."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.prof import ProfileReport, SamplingProfiler, capture, frame_label
+
+
+def _parked_worker():
+    """A worker thread parked in a recognisable two-frame chain.
+
+    Returns (thread, release_event); the thread waits inside
+    ``_prof_leaf`` called from ``_prof_mid`` until released.
+    """
+    release = threading.Event()
+    ready = threading.Event()
+
+    def _prof_leaf() -> None:
+        ready.set()
+        release.wait(timeout=30)
+
+    def _prof_mid() -> None:
+        _prof_leaf()
+
+    thread = threading.Thread(target=_prof_mid, daemon=True)
+    thread.start()
+    assert ready.wait(timeout=10)
+    return thread, release
+
+
+@pytest.fixture()
+def parked():
+    thread, release = _parked_worker()
+    yield thread
+    release.set()
+    thread.join(timeout=10)
+
+
+class TestSampling:
+    def test_sample_once_captures_the_parked_chain(self, parked):
+        profiler = SamplingProfiler(tracer=False)
+        assert profiler.sample_once() >= 1
+        report = profiler.report()
+        assert report.samples >= 1
+        collapsed = report.render_collapsed()
+        assert "_prof_mid" in collapsed
+        assert "_prof_leaf" in collapsed
+        # the chain is collapsed outermost-first on one line
+        line = next(
+            l for l in collapsed.splitlines() if "_prof_leaf" in l
+        )
+        assert line.index("_prof_mid") < line.index("_prof_leaf")
+
+    def test_own_thread_is_excluded(self):
+        profiler = SamplingProfiler(tracer=False)
+        profiler.sample_once()
+        assert profiler.report().total("obs/prof.py") == 0
+
+    def test_counts_accumulate(self, parked):
+        profiler = SamplingProfiler(tracer=False)
+        for _ in range(5):
+            profiler.sample_once()
+        assert profiler.report().total("_prof_leaf") == 5
+
+    def test_unique_stack_bound_overflows(self):
+        profiler = SamplingProfiler(tracer=False, max_unique_stacks=2)
+        profiler._record(("a",))
+        profiler._record(("b",))
+        profiler._record(("c",))
+        profiler._record(("d",))
+        report = profiler.report()
+        assert report.stacks[("(overflow)",)] == 2
+        assert report.dropped == 2
+        assert report.samples == 4
+
+    def test_depth_bound_truncates(self, parked):
+        profiler = SamplingProfiler(tracer=False, max_depth=1)
+        profiler.sample_once()
+        report = profiler.report()
+        truncated = [s for s in report.stacks if s[0] == "(truncated)"]
+        assert truncated
+        assert all(len(s) == 2 for s in truncated)
+
+    def test_thread_lifecycle(self, parked):
+        profiler = SamplingProfiler(hz=500.0, tracer=False)
+        with profiler:
+            deadline = time.perf_counter() + 5.0
+            while (
+                profiler.report().samples == 0
+                and time.perf_counter() < deadline
+            ):
+                time.sleep(0.01)
+        report = profiler.stop()  # idempotent
+        assert report.samples > 0
+        assert report.duration > 0
+        assert not profiler.running
+
+    def test_capture_convenience(self, parked):
+        report = capture(0.1, hz=500.0, tracer=False)
+        assert report.total("_prof_leaf") > 0
+
+    def test_capture_rejects_nonpositive_seconds(self):
+        with pytest.raises(ValueError):
+            capture(0.0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0.0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(max_unique_stacks=0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(max_depth=0)
+
+
+class TestSpanAttribution:
+    def test_samples_inside_a_span_get_the_span_prefix(self):
+        obs.configure(enabled=True)
+        release = threading.Event()
+        ready = threading.Event()
+
+        def _staged() -> None:
+            with obs.span("stage.tick"):
+                ready.set()
+                release.wait(timeout=30)
+
+        thread = threading.Thread(target=_staged, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=10)
+        try:
+            profiler = SamplingProfiler()  # default: the process tracer
+            profiler.sample_once()
+            report = profiler.report()
+            spanned = [
+                s for s in report.stacks if s[0] == "span:stage.tick"
+            ]
+            assert spanned
+        finally:
+            release.set()
+            thread.join(timeout=10)
+
+    def test_disabled_tracer_means_no_prefix(self, parked):
+        assert not obs.enabled()
+        profiler = SamplingProfiler()
+        profiler.sample_once()
+        assert not any(
+            s[0].startswith("span:") for s in profiler.report().stacks
+        )
+
+
+class TestExporters:
+    def _report(self) -> ProfileReport:
+        return ProfileReport(
+            {("a", "b"): 3, ("a", "c"): 1, ("d",): 2},
+            duration=1.0,
+            hz=97.0,
+        )
+
+    def test_collapsed_text_is_sorted_and_stable(self):
+        report = self._report()
+        text = report.render_collapsed()
+        assert text == "a;b 3\na;c 1\nd 2\n"
+        assert text == self._report().render_collapsed()
+
+    def test_empty_report_renders_empty(self):
+        assert ProfileReport({}, 0.0, 97.0).render_collapsed() == ""
+
+    def test_speedscope_document_shape(self):
+        doc = self._report().to_speedscope("unit")
+        assert doc["$schema"] == (
+            "https://www.speedscope.app/file-format-schema.json"
+        )
+        frames = [f["name"] for f in doc["shared"]["frames"]]
+        assert frames == sorted(frames)
+        profile = doc["profiles"][0]
+        assert profile["type"] == "sampled"
+        assert profile["endValue"] == 6
+        assert len(profile["samples"]) == len(profile["weights"]) == 3
+        assert sum(profile["weights"]) == 6
+        # every frame index is valid
+        for sample in profile["samples"]:
+            assert all(0 <= i < len(frames) for i in sample)
+        # stacks resolve back to their labels
+        resolved = [
+            tuple(frames[i] for i in sample)
+            for sample in profile["samples"]
+        ]
+        assert set(resolved) == {("a", "b"), ("a", "c"), ("d",)}
+        json.dumps(doc)  # must be JSON-serialisable as-is
+
+    def test_speedscope_is_deterministic(self):
+        assert self._report().to_speedscope() == self._report().to_speedscope()
+
+    def test_frame_label_uses_package_relative_paths(self):
+        code = SamplingProfiler.sample_once.__code__
+        label = frame_label(code)
+        assert label.startswith("repro/obs/prof.py:sample_once:")
+
+
+class TestLazyExports:
+    def test_package_names_resolve(self):
+        assert obs.SamplingProfiler is SamplingProfiler
+        assert obs.capture_profile is capture
+        assert obs.ProfileReport is ProfileReport

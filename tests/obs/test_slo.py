@@ -1,0 +1,315 @@
+"""Tests of the SLO burn-rate tracker (repro.obs.slo) and its health
+check surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.ledger import RunLedger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_WINDOWS,
+    BurnWindow,
+    SLOObjective,
+    SLOTracker,
+    default_objectives,
+)
+
+WINDOWS = (BurnWindow(60.0, 2.0), BurnWindow(600.0, 1.0))
+
+
+def _registry() -> MetricsRegistry:
+    registry = MetricsRegistry(enabled=True)
+    registry.counter(
+        "invarnetx_http_requests_total",
+        "requests",
+        ("endpoint", "method", "status"),
+    )
+    registry.histogram(
+        "invarnetx_http_request_seconds",
+        "latency",
+        ("endpoint",),
+        buckets=(0.1, 0.5, 1.0),
+    )
+    return registry
+
+
+def _hit(registry, endpoint="/ingest", status="200", seconds=0.01, n=1):
+    for _ in range(n):
+        registry.counter(
+            "invarnetx_http_requests_total",
+            "requests",
+            ("endpoint", "method", "status"),
+        ).inc(endpoint=endpoint, method="POST", status=status)
+        registry.histogram(
+            "invarnetx_http_request_seconds",
+            "latency",
+            ("endpoint",),
+            buckets=(0.1, 0.5, 1.0),
+        ).observe(seconds, endpoint=endpoint)
+
+
+class TestObjectiveValidation:
+    def test_rejects_junk(self):
+        with pytest.raises(ValueError):
+            SLOObjective("")
+        with pytest.raises(ValueError):
+            SLOObjective("x", kind="availability")
+        with pytest.raises(ValueError):
+            SLOObjective("x", objective=1.0)
+        with pytest.raises(ValueError):
+            SLOObjective("x", latency_bound=0.0)
+
+    def test_budget(self):
+        assert SLOObjective("x", objective=0.99).budget == pytest.approx(0.01)
+
+    def test_defaults_are_valid(self):
+        objectives = default_objectives()
+        assert {o.name for o in objectives} == {
+            "ingest-latency",
+            "http-errors",
+        }
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            BurnWindow(0.0, 1.0)
+        with pytest.raises(ValueError):
+            BurnWindow(60.0, 0.0)
+
+    def test_tracker_validation(self):
+        with pytest.raises(ValueError):
+            SLOTracker(objectives=[], registry=_registry())
+        with pytest.raises(ValueError):
+            SLOTracker(
+                objectives=[SLOObjective("a"), SLOObjective("a")],
+                registry=_registry(),
+            )
+        with pytest.raises(ValueError):
+            SLOTracker(registry=_registry(), windows=())
+
+
+class TestBurnRates:
+    def _tracker(self, registry, objective, ledger=None):
+        return SLOTracker(
+            objectives=[objective],
+            registry=registry,
+            ledger=ledger,
+            windows=WINDOWS,
+            clock=lambda: 0.0,
+        )
+
+    def test_healthy_traffic_never_burns(self):
+        registry = _registry()
+        tracker = self._tracker(
+            registry,
+            SLOObjective("errors", kind="errors", objective=0.99),
+        )
+        now = 0.0
+        for _ in range(10):
+            _hit(registry, n=20)
+            now += 30.0
+            (status,) = tracker.observe(now)
+            assert not status.burning
+            assert status.burn_rates == {60.0: 0.0, 600.0: 0.0}
+
+    def test_error_burst_burns_both_windows(self):
+        registry = _registry()
+        tracker = self._tracker(
+            registry,
+            SLOObjective("errors", kind="errors", objective=0.99),
+        )
+        tracker.observe(0.0)
+        _hit(registry, status="500", n=5)
+        _hit(registry, status="200", n=5)
+        (status,) = tracker.observe(30.0)
+        # bad ratio 0.5 against a 0.01 budget: burn rate 50x
+        assert status.burning
+        assert status.burn_rates[60.0] == pytest.approx(50.0)
+        assert status.burn_rates[600.0] == pytest.approx(50.0)
+
+    def test_short_window_alone_does_not_fire(self):
+        registry = _registry()
+        # long window threshold high enough that the burst stays under it
+        tracker = SLOTracker(
+            objectives=[SLOObjective("errors", kind="errors", objective=0.99)],
+            registry=registry,
+            ledger=None,
+            windows=(BurnWindow(60.0, 2.0), BurnWindow(600.0, 100.0)),
+            clock=lambda: 0.0,
+        )
+        tracker.observe(0.0)
+        _hit(registry, status="500", n=1)
+        _hit(registry, status="200", n=9)
+        (status,) = tracker.observe(30.0)
+        assert status.burn_rates[60.0] == pytest.approx(10.0)
+        assert not status.burning  # 10x < the 100x long-window threshold
+
+    def test_old_errors_age_out_of_the_window(self):
+        registry = _registry()
+        tracker = self._tracker(
+            registry,
+            SLOObjective("errors", kind="errors", objective=0.99),
+        )
+        tracker.observe(0.0)
+        _hit(registry, status="500", n=10)
+        (status,) = tracker.observe(10.0)
+        assert status.burning
+        # a quiet stretch longer than both windows
+        for step in range(1, 30):
+            (status,) = tracker.observe(10.0 + step * 60.0)
+        assert not status.burning
+        assert status.burn_rates == {60.0: 0.0, 600.0: 0.0}
+
+    def test_latency_objective_counts_slow_requests(self):
+        registry = _registry()
+        tracker = self._tracker(
+            registry,
+            SLOObjective(
+                "lat",
+                kind="latency",
+                objective=0.9,
+                endpoint="/ingest",
+                latency_bound=0.5,
+            ),
+        )
+        tracker.observe(0.0)
+        _hit(registry, seconds=0.01, n=5)   # fast: good
+        _hit(registry, seconds=0.75, n=5)   # slow: bad
+        (status,) = tracker.observe(30.0)
+        assert status.total == 10
+        assert status.bad == 5
+        assert status.burning  # 0.5 bad ratio vs 0.1 budget = 5x > 2x/1x
+
+    def test_endpoint_filter(self):
+        registry = _registry()
+        tracker = self._tracker(
+            registry,
+            SLOObjective(
+                "lat", kind="latency", endpoint="/ingest", objective=0.9
+            ),
+        )
+        tracker.observe(0.0)
+        _hit(registry, endpoint="/other", seconds=3.0, n=50)
+        (status,) = tracker.observe(30.0)
+        assert status.total == 0
+        assert not status.burning
+
+
+class TestLedgerTransitions:
+    def test_burn_and_recovery_are_edge_triggered(self, tmp_path):
+        registry = _registry()
+        ledger = RunLedger(tmp_path / "ledger.jsonl", clock=lambda: 0.0)
+        tracker = SLOTracker(
+            objectives=[SLOObjective("errors", kind="errors", objective=0.99)],
+            registry=registry,
+            ledger=ledger,
+            windows=WINDOWS,
+            clock=lambda: 0.0,
+        )
+        tracker.observe(0.0)
+        _hit(registry, status="500", n=10)
+        tracker.observe(10.0)
+        tracker.observe(20.0)  # still burning: no duplicate entry
+        assert tracker.burning() == ["errors"]
+        for step in range(1, 30):
+            tracker.observe(20.0 + step * 60.0)
+        assert tracker.burning() == []
+        kinds = [e["kind"] for e in ledger.entries()]
+        assert kinds == ["slo-burn", "slo-recovered"]
+        burn = ledger.entries(kind="slo-burn")[0]
+        assert burn["objective"] == "errors"
+        assert burn["budget"] == pytest.approx(0.01)
+        assert set(burn["burn_rates"]) == {"60s", "600s"}
+
+    def test_no_ledger_is_fine(self):
+        registry = _registry()
+        tracker = SLOTracker(
+            objectives=[SLOObjective("errors", kind="errors")],
+            registry=registry,
+            windows=WINDOWS,
+            clock=lambda: 0.0,
+        )
+        tracker.observe(0.0)
+        _hit(registry, status="500", n=10)
+        tracker.observe(10.0)  # transition with ledger=None: no crash
+        assert tracker.burning() == ["errors"]
+
+
+class TestEmptyRegistry:
+    def test_missing_families_read_as_zero(self):
+        tracker = SLOTracker(
+            registry=MetricsRegistry(enabled=True),
+            windows=WINDOWS,
+            clock=lambda: 0.0,
+        )
+        statuses = tracker.observe(0.0)
+        assert all(not s.burning for s in statuses)
+        assert all(s.total == 0 for s in statuses)
+
+    def test_default_windows_are_the_sre_pair(self):
+        assert DEFAULT_WINDOWS[0].seconds == 300.0
+        assert DEFAULT_WINDOWS[1].seconds == 3600.0
+
+
+class TestHealthCheck:
+    def _score(self, tmp_path, entries, name="ledger.jsonl"):
+        from repro.obs.health import score_store
+        from repro.store import MemoryStore
+
+        ledger = RunLedger(tmp_path / name, clock=lambda: 0.0)
+        for kind, objective in entries:
+            ledger.append(kind, objective=objective)
+        return score_store(MemoryStore(), ledger=ledger)
+
+    def test_no_slo_history_skips(self, tmp_path):
+        report = self._score(tmp_path, [])
+        (check,) = report.fleet
+        assert check.name == "slo-burn"
+        assert check.status == "skip"
+        assert report.warnings == 0
+
+    def test_unrecovered_burn_warns(self, tmp_path):
+        report = self._score(
+            tmp_path,
+            [("slo-burn", "http-errors"), ("slo-burn", "ingest-latency"),
+             ("slo-recovered", "ingest-latency")],
+        )
+        (check,) = report.fleet
+        assert check.status == "warn"
+        assert "http-errors" in check.detail
+        assert "ingest-latency" not in check.detail
+        assert report.warnings == 1
+
+    def test_recovered_is_ok(self, tmp_path):
+        report = self._score(
+            tmp_path,
+            [("slo-burn", "http-errors"), ("slo-recovered", "http-errors")],
+        )
+        (check,) = report.fleet
+        assert check.status == "ok"
+        assert report.warnings == 0
+
+    def test_report_json_includes_fleet_and_is_deterministic(self, tmp_path):
+        import json
+
+        report = self._score(tmp_path, [("slo-burn", "http-errors")])
+        doc = report.to_json()
+        assert doc["fleet"][0]["name"] == "slo-burn"
+        again = self._score(
+            tmp_path, [("slo-burn", "http-errors")], name="again.jsonl"
+        )
+        assert json.dumps(doc, sort_keys=True) == json.dumps(
+            again.to_json(), sort_keys=True
+        )
+        assert "fleet" in report.render_text()
+
+
+class TestLazyExports:
+    def test_package_names_resolve(self):
+        from repro.obs.slo import SLOStatus
+
+        assert obs.SLOTracker is SLOTracker
+        assert obs.SLOObjective is SLOObjective
+        assert obs.SLOStatus is SLOStatus
+        assert obs.default_objectives is default_objectives

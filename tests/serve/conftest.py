@@ -84,3 +84,31 @@ def build_pipeline(
         adopt_context(pipe, context, detector)
     stub_infer(pipe)
     return pipe
+
+
+@pytest.fixture()
+def obs_served_fleet():
+    """A live ephemeral-port server with observability collection on."""
+    import threading
+
+    from repro.serve import FleetMonitor, build_server
+
+    contexts = [OperationContext("wordcount", f"node-{i}") for i in range(3)]
+    fleet = FleetMonitor(
+        build_pipeline(contexts),
+        shards=2,
+        workers=0,
+        window_ticks=8,
+        warmup_ticks=12,
+        cooldown_ticks=4,
+    )
+    obs.configure(enabled=True)
+    server = build_server(fleet)  # ephemeral port
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield fleet, contexts, f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+    fleet.close()

@@ -39,6 +39,23 @@ def test_fleet_serving_runs_end_to_end():
     assert "incident explanation: wordcount@slave-3" in proc.stdout
 
 
+def test_fleet_operations_runs_end_to_end():
+    """The operations example is hand-built-model fast too: metrics,
+    live profiling, the SLO burn transition and a `top` frame."""
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "fleet_operations.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "X-Request-Id" in proc.stdout
+    assert 'invarnetx_http_requests_total{endpoint="/ingest"' in proc.stdout
+    assert "speedscope schema" in proc.stdout
+    assert "['slo-burn', 'slo-recovered']" in proc.stdout
+    assert "fleet serving dashboard" in proc.stdout
+
+
 def test_all_examples_compile():
     """Every example parses (full runs are exercised manually/CI-nightly)."""
     import py_compile
