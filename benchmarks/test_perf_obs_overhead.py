@@ -1,13 +1,17 @@
 """Observability overhead — the off switch must actually be free.
 
-Two contracts from DESIGN.md §10:
+Three contracts from DESIGN.md §10/§15:
 
 - **disabled path is allocation-free** — a disabled tracer hands back the
   ``NOOP_SPAN`` singleton and a disabled registry bails on one attribute
   check, so instrumented hot loops allocate nothing inside ``repro.obs``;
 - **infer() overhead is within noise** — turning the full layer on
   (spans, counters, histograms) must not move online inference latency
-  beyond run-to-run measurement noise.
+  beyond run-to-run measurement noise;
+- **the blackbox honours both** — the disabled flight recorder
+  (``NOOP_RECORDER`` behind the fleet's truthiness guard) allocates zero
+  bytes, and recording every tick into the bounded ring keeps
+  steady-state fleet ingest within noise of running without it.
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ import statistics
 import time
 import tracemalloc
 
+import numpy as np
 import pytest
 
 import repro.obs as obs
@@ -126,6 +131,40 @@ class TestDisabledPathAllocationFree:
         assert not profiler.running
         assert prof_bytes == 0
 
+    def test_record_blackbox_disabled_path_bytes(self, bench_record):
+        """The fleet's disabled-recorder guard — ``if recorder:`` against
+        the falsy ``NOOP_RECORDER`` — must allocate zero bytes in
+        ``repro.obs.blackbox`` frames."""
+        from repro.obs.blackbox import NOOP_RECORDER
+
+        recorder = NOOP_RECORDER
+        metrics = (0.3, 0.5, 0.2, 0.4)
+        if recorder:  # warmup (never taken)
+            recorder.record(0, metrics, 1.0, None, "monitoring")
+        tracemalloc.start()
+        for t in range(2000):
+            if recorder:
+                recorder.record(t, metrics, 1.0, None, "monitoring")
+                recorder.note_transition(t, "monitoring", "collecting")
+        snapshot = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        blackbox_bytes = sum(
+            trace.size
+            for trace in snapshot.traces
+            if any(
+                "repro/obs/blackbox" in f.filename
+                for f in trace.traceback
+            )
+        )
+        bench_record(
+            "obs_overhead",
+            "blackbox_disabled_2000_iterations",
+            obs_blackbox_bytes=blackbox_bytes,
+            iterations=2000,
+        )
+        assert not recorder.enabled
+        assert blackbox_bytes == 0
+
     def test_disabled_span_peak_within_loop_noise(self):
         tracer = obs.tracer()
 
@@ -199,4 +238,103 @@ class TestInferOverhead:
         )
         # full instrumentation stays within run-to-run noise (generous
         # bound: 1.5x + 5 ms absolute slack for tiny baselines)
+        assert enabled <= disabled * 1.5 + 0.005
+
+
+class TestBlackboxSteadyStateOverhead:
+    """Recording every tick into the flight ring must stay within noise
+    of running the fleet without a blackbox (no alarms fire, so no
+    bundle commits are in the measured path)."""
+
+    CONTEXTS = 8
+    TICKS = 150
+
+    @staticmethod
+    def _fleet(blackbox_dir=None):
+        from repro.core.anomaly import (
+            AnomalyDetector,
+            DriftThreshold,
+            ThresholdRule,
+        )
+        from repro.core.invariants import InvariantSet
+        from repro.serve import FleetMonitor
+        from repro.stats.arima import ARIMAModel, ARIMAOrder
+        from repro.store import ContextModels
+        from repro.telemetry.metrics import MetricCatalog
+
+        catalog = MetricCatalog(names=("m0", "m1", "m2", "m3"))
+        pipe = InvarNetX(catalog=catalog)
+        model = ARIMAModel(
+            order=ARIMAOrder(0, 1, 0),
+            ar=np.empty(0),
+            ma=np.empty(0),
+            intercept=0.0,
+            sigma2=1.0,
+        )
+        contexts = []
+        for i in range(TestBlackboxSteadyStateOverhead.CONTEXTS):
+            context = OperationContext("wordcount", f"node-{i}")
+            contexts.append(context)
+            pipe.store.adopt(
+                context.key(),
+                ContextModels(
+                    context=context,
+                    detector=AnomalyDetector.from_artifacts(
+                        model,
+                        DriftThreshold(ThresholdRule.BETA_MAX, upper=0.5),
+                    ),
+                    invariants=InvariantSet(
+                        pairs=[(0, 1)],
+                        baseline=np.array([0.9]),
+                        catalog=catalog,
+                    ),
+                ),
+            )
+        fleet = FleetMonitor(
+            pipe,
+            shards=2,
+            workers=0,
+            window_ticks=8,
+            warmup_ticks=12,
+            cooldown_ticks=30,
+            blackbox_dir=blackbox_dir,
+        )
+        return fleet, contexts
+
+    def _median_ingest_seconds(
+        self, blackbox_dir=None, reps: int = 5
+    ) -> float:
+        from repro.serve import Tick
+
+        times = []
+        row = np.array([0.3, 0.5, 0.2, 0.4])
+        for _ in range(reps):
+            fleet, contexts = self._fleet(blackbox_dir)
+            with fleet:
+                batches = [
+                    [Tick(context=c, metrics=row, cpi=1.0) for c in contexts]
+                    for _ in range(self.TICKS)
+                ]
+                t0 = time.perf_counter()
+                for batch in batches:
+                    fleet.ingest(batch)
+                times.append(time.perf_counter() - t0)
+        return statistics.median(times)
+
+    def test_enabled_recorder_within_noise_of_disabled(
+        self, bench_record, tmp_path
+    ):
+        disabled = self._median_ingest_seconds(None)
+        enabled = self._median_ingest_seconds(tmp_path / "incidents")
+        bench_record(
+            "obs_overhead",
+            "blackbox_steady_state_ingest",
+            disabled_median_seconds=round(disabled, 6),
+            enabled_median_seconds=round(enabled, 6),
+            overhead_ratio=round(enabled / disabled, 3) if disabled else None,
+            contexts=self.CONTEXTS,
+            ticks=self.TICKS,
+        )
+        # steady state commits nothing; the ring append must stay within
+        # run-to-run noise (same generous bound as the infer benchmark)
         assert enabled <= disabled * 1.5 + 0.005

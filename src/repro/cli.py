@@ -45,6 +45,17 @@ Three subcommands cover the working loop of the system:
     Read the registry's run ledger: ``list`` tabulates every recorded
     run, ``show`` prints one entry's full JSON.
 
+``invarnetx incidents``
+    Correlate the incident bundles a serve blackbox committed into
+    classified platform incidents (``list``/``show``); see
+    :mod:`repro.serve.incidents`.
+
+``invarnetx replay``
+    Deterministically re-run detection and diagnosis from one incident
+    bundle alone and assert the reproduced cause ranking, explanation
+    bytes and drift verdicts match the originals (exit 1 on
+    divergence); see :mod:`repro.obs.blackbox`.
+
 ``invarnetx lint``
     Run the domain linter (:mod:`repro.lint`) over the source tree:
     RNG discipline, operation-context key discipline, float-equality,
@@ -408,6 +419,81 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--slo-interval", type=float, default=5.0, metavar="SECONDS",
         help="burn-rate evaluation period (0 disables SLO tracking)",
+    )
+    serve.add_argument(
+        "--blackbox", type=Path, default=None, metavar="DIR",
+        help="incident bundle directory "
+        "(default: <registry>/incidents; --no-blackbox disables)",
+    )
+    serve.add_argument(
+        "--no-blackbox", action="store_true",
+        help="disable the flight recorder and incident bundles",
+    )
+    serve.add_argument(
+        "--blackbox-capacity", type=int, default=None, metavar="TICKS",
+        help="flight-recorder ring capacity per lane",
+    )
+
+    incidents = sub.add_parser(
+        "incidents",
+        help="correlate committed incident bundles into platform incidents",
+        description="Read the incident bundles the serve blackbox "
+        "committed under an incidents/ directory, chain temporally-"
+        "adjacent alarms into platform incidents, and classify each "
+        "along the paper's context axes (shared-workload, shared-node, "
+        "fleet-wide).",
+    )
+    incidents_sub = incidents.add_subparsers(
+        dest="incidents_action", required=True
+    )
+    incidents_list = incidents_sub.add_parser(
+        "list", help="one line per correlated platform incident"
+    )
+    incidents_list.add_argument(
+        "dir", type=Path, help="incidents directory (or a registry root)"
+    )
+    incidents_list.add_argument(
+        "--horizon", type=int, default=None, metavar="TICKS",
+        help="max alarm-tick gap inside one platform incident",
+    )
+    incidents_list.add_argument(
+        "--json", action="store_true",
+        help="emit the incidents as JSON instead of text",
+    )
+    incidents_show = incidents_sub.add_parser(
+        "show", help="full member listing of one platform incident"
+    )
+    incidents_show.add_argument(
+        "dir", type=Path, help="incidents directory (or a registry root)"
+    )
+    incidents_show.add_argument(
+        "incident_id", help="platform incident id (P01, P02, ...)"
+    )
+    incidents_show.add_argument(
+        "--horizon", type=int, default=None, metavar="TICKS",
+        help="max alarm-tick gap inside one platform incident",
+    )
+    incidents_show.add_argument(
+        "--json", action="store_true",
+        help="emit the incident as JSON instead of text",
+    )
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-run detection and diagnosis from an incident bundle",
+        description="Rebuild the pipeline from a committed incident "
+        "bundle alone (its config, models and raw window) and assert "
+        "the reproduced cause ranking, explanation bytes and drift "
+        "verdicts match the originals.  Exit 1 on any divergence.",
+    )
+    replay.add_argument("bundle", type=Path, help="incident bundle directory")
+    replay.add_argument(
+        "--passes", type=int, default=2, metavar="N",
+        help="independent re-inference passes (each must match)",
+    )
+    replay.add_argument(
+        "--json", action="store_true",
+        help="emit the replay result as JSON instead of text",
     )
 
     top = sub.add_parser(
@@ -816,7 +902,21 @@ def _cmd_health(args: argparse.Namespace) -> int:
         stale_runs=args.stale_runs,
         drift_ratio=args.drift_ratio,
     )
-    report = score_store(registry, ledger=ledger, thresholds=thresholds)
+    # A registry a serve blackbox has written to has a colocated
+    # incidents/ directory; fold its correlation counters into the
+    # fleet section of the report when present.
+    incidents_dir = args.dir / "incidents"
+    incident_summary = None
+    if incidents_dir.is_dir():
+        from repro.serve.incidents import scan_bundles, summarize
+
+        incident_summary = summarize(scan_bundles(incidents_dir))
+    report = score_store(
+        registry,
+        ledger=ledger,
+        thresholds=thresholds,
+        incident_summary=incident_summary,
+    )
     if args.json:
         json.dump(report.to_json(), sys.stdout, indent=2, sort_keys=True)
         sys.stdout.write("\n")
@@ -1003,12 +1103,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # /metrics and the SLO tracker all need collection on.
     obs.configure(enabled=True)
     pipeline = InvarNetX.attached_to(registry)
+    blackbox_dir = None
+    if not args.no_blackbox:
+        blackbox_dir = (
+            args.blackbox if args.blackbox is not None
+            else args.dir / "incidents"
+        )
+    fleet_kwargs = {}
+    if args.blackbox_capacity is not None:
+        fleet_kwargs["blackbox_capacity"] = args.blackbox_capacity
     fleet = FleetMonitor(
         pipeline,
         shards=args.shards,
         max_lanes_per_shard=args.max_lanes_per_shard,
         warmup_ticks=args.warmup_ticks,
         cooldown_ticks=args.cooldown_ticks,
+        blackbox_dir=blackbox_dir,
+        **fleet_kwargs,
     )
     server = build_server(fleet, host=args.host, port=args.port)
     host, port = server.server_address[:2]
@@ -1030,6 +1141,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"on http://{host}:{port} (ctrl-c to stop)",
         file=sys.stderr,
     )
+    if blackbox_dir is not None:
+        print(f"incident bundles -> {blackbox_dir}", file=sys.stderr)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -1041,6 +1154,77 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.server_close()
         fleet.close()
     return 0
+
+
+def _incidents_root(path: Path) -> Path:
+    """Accept either an incidents directory or a registry root.
+
+    A directory that itself contains committed bundles wins; otherwise
+    a nested ``incidents/`` (the serve default layout) is used.
+    """
+    from repro.obs.blackbox import BUNDLE_MANIFEST
+
+    if path.is_dir():
+        for entry in path.iterdir():
+            if entry.is_dir() and (entry / BUNDLE_MANIFEST).is_file():
+                return path
+    nested = path / "incidents"
+    return nested if nested.is_dir() else path
+
+
+def _cmd_incidents(args: argparse.Namespace) -> int:
+    from repro.serve.incidents import (
+        DEFAULT_HORIZON,
+        correlate,
+        render_incident_list,
+        render_incident_show,
+        scan_bundles,
+    )
+
+    horizon = args.horizon if args.horizon is not None else DEFAULT_HORIZON
+    records = scan_bundles(_incidents_root(args.dir))
+    incidents = correlate(records, horizon=horizon)
+    if args.incidents_action == "list":
+        if args.json:
+            json.dump(
+                [i.to_json() for i in incidents],
+                sys.stdout, indent=2, sort_keys=True,
+            )
+            sys.stdout.write("\n")
+        else:
+            print(render_incident_list(incidents))
+        return 0
+    # show
+    matching = [i for i in incidents if i.incident_id == args.incident_id]
+    if not matching:
+        print(
+            f"error: no platform incident {args.incident_id!r} "
+            f"({len(incidents)} correlated at horizon {horizon})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        json.dump(matching[0].to_json(), sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(render_incident_show(matching[0]))
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.obs.blackbox import replay_bundle
+
+    try:
+        result = replay_bundle(args.bundle, passes=args.passes)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        json.dump(result.to_json(), sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(result.render_text())
+    return 0 if result.ok else 1
 
 
 def _cmd_top(args: argparse.Namespace) -> int:
@@ -1081,6 +1265,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_runs(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "incidents":
+            return _cmd_incidents(args)
+        if args.command == "replay":
+            return _cmd_replay(args)
         if args.command == "top":
             return _cmd_top(args)
         if args.command == "lint":

@@ -28,6 +28,7 @@ import logging
 from collections import deque
 from dataclasses import dataclass, field
 from itertools import islice
+from typing import Callable
 
 import numpy as np
 
@@ -148,12 +149,23 @@ class OnlineMonitor:
         self._cooldown_left = 0
         self.state = MonitorState.WARMUP
         self._label = str(context)
+        #: Optional ``(tick, src, dst)`` callback fired on every state
+        #: change — the flight recorder's hook
+        #: (:class:`repro.obs.blackbox.FlightRecorder`).  Exceptions
+        #: propagate: a broken observer should fail loudly in tests, not
+        #: silently stop recording.
+        self.on_transition: Callable[[int, str, str], None] | None = None
 
     # ------------------------------------------------------------------
     @property
     def detector(self):
         """The armed performance model (read-only; never None)."""
         return self._models.detector
+
+    @property
+    def tick(self) -> int:
+        """The index of the last observed tick (-1 before any)."""
+        return self._tick
 
     @property
     def cpi_len(self) -> int:
@@ -178,6 +190,8 @@ class OnlineMonitor:
         if old is new:
             return
         self.state = new
+        if self.on_transition is not None:
+            self.on_transition(self._tick, old.value, new.value)
         if obs.enabled():
             obs.metrics_registry().counter(
                 "invarnetx_monitor_transitions_total",

@@ -34,7 +34,10 @@ Layout:
   and speedscope exports, span-attributed (lazy: only pay for it when
   profiling);
 - :mod:`repro.obs.slo` — multi-window burn-rate SLO tracking over the
-  HTTP metrics, edge-triggered ledger transitions (lazy likewise).
+  HTTP metrics, edge-triggered ledger transitions (lazy likewise);
+- :mod:`repro.obs.blackbox` — per-lane incident flight recorder,
+  content-fingerprinted incident bundles, and deterministic bundle
+  replay (lazy: it drives the full :mod:`repro.core` pipeline).
 """
 
 from __future__ import annotations
@@ -104,6 +107,15 @@ __all__ = [
     "SLOStatus",
     "BurnWindow",
     "default_objectives",
+    # lazy (repro.obs.blackbox):
+    "FlightRecorder",
+    "FlightSnapshot",
+    "NOOP_RECORDER",
+    "IncidentBundle",
+    "commit_bundle",
+    "load_bundle",
+    "replay_bundle",
+    "ReplayResult",
 ]
 
 #: Process-wide singletons.  They are mutated in place and never replaced,
@@ -210,6 +222,14 @@ _LAZY = {
     "SLOStatus": "repro.obs.slo",
     "BurnWindow": "repro.obs.slo",
     "default_objectives": "repro.obs.slo",
+    "FlightRecorder": "repro.obs.blackbox",
+    "FlightSnapshot": "repro.obs.blackbox",
+    "NOOP_RECORDER": "repro.obs.blackbox",
+    "IncidentBundle": "repro.obs.blackbox",
+    "commit_bundle": "repro.obs.blackbox",
+    "load_bundle": "repro.obs.blackbox",
+    "replay_bundle": "repro.obs.blackbox",
+    "ReplayResult": "repro.obs.blackbox",
 }
 
 #: Lazy names whose source symbol differs from the exported name.

@@ -175,6 +175,10 @@ class IncidentExplanation:
         threshold_upper: calibrated drift threshold (None if unknown).
         threshold_rule: the rule's name (None if unknown).
         residuals: CPI residuals around the alarm tick.
+        request_id: the HTTP request id whose batch completed the
+            incident window, or None outside HTTP ingest — rendered only
+            when set, so reports without one are byte-stable across
+            transports.
     """
 
     context: OperationContext
@@ -189,6 +193,7 @@ class IncidentExplanation:
     threshold_upper: float | None = None
     threshold_rule: str | None = None
     residuals: list[ResidualPoint] = field(default_factory=list)
+    request_id: str | None = None
 
     @property
     def violated_pairs(self) -> list[PairDelta]:
@@ -232,6 +237,7 @@ class IncidentExplanation:
             ),
             "threshold_rule": self.threshold_rule,
             "residuals": [r.to_json() for r in self.residuals],
+            "request_id": self.request_id,
         }
 
     # ------------------------------------------------------------------
@@ -246,6 +252,8 @@ class IncidentExplanation:
             f"measure={self.measure} epsilon={_f(self.epsilon)} "
             f"min_similarity={_f(self.min_similarity)}"
         )
+        if self.request_id is not None:
+            lines.append(f"request-id: {self.request_id}")
         if self.matched and self.top_cause is not None:
             lines.append(
                 f"verdict: {self.top_cause} "
@@ -343,6 +351,7 @@ def explain_window(
     anomaly: AnomalyReport | None = None,
     top_k: int = 3,
     residual_margin: int = RESIDUAL_MARGIN,
+    request_id: str | None = None,
 ) -> IncidentExplanation:
     """Build the evidence report for one abnormal metric window.
 
@@ -359,6 +368,8 @@ def explain_window(
             (omitted when None).
         top_k: number of causes to break down.
         residual_margin: residual ticks shown each side of the alarm.
+        request_id: HTTP request id to stamp on the report (None keeps
+            the report byte-identical to non-HTTP diagnoses).
     """
     if top_k < 1:
         raise ValueError(f"top_k must be >= 1, got {top_k}")
@@ -438,6 +449,7 @@ def explain_window(
         threshold_upper=threshold_upper,
         threshold_rule=threshold_rule,
         residuals=residuals,
+        request_id=request_id,
     )
 
 

@@ -46,6 +46,13 @@ One check is *fleet-level* rather than per-context:
     whose most recent transition is still ``slo-burn`` — the fleet was
     burning budget when last observed, and nobody has seen it recover.
 
+``platform-incidents``
+    Correlated incident bundles (:mod:`repro.serve.incidents` feeds the
+    summary in): a platform incident spanning several operation
+    contexts is a platform-level fault — sick hardware or a workload
+    regression — not a lane-local blip, and warrants a person.  Skips
+    when no incident summary is supplied or no bundles exist.
+
 Statuses are ``ok`` / ``warn`` / ``skip`` (insufficient data); a
 context's *score* is the fraction of decidable checks that pass.  All
 output is byte-deterministic for a fixed store + ledger: checks iterate
@@ -91,7 +98,7 @@ CHECK_NAMES = (
 )
 
 #: Fleet-level checks (not tied to one context).
-FLEET_CHECK_NAMES = ("slo-burn",)
+FLEET_CHECK_NAMES = ("slo-burn", "platform-incidents")
 
 
 @dataclass(frozen=True)
@@ -461,6 +468,43 @@ def _check_slo_burn(entries: list[dict]) -> HealthCheck:
     )
 
 
+def _check_platform_incidents(
+    summary: dict | None,
+) -> HealthCheck:
+    """Fleet-level: multi-context platform incidents among the bundles.
+
+    ``summary`` is :func:`repro.serve.incidents.summarize` output — the
+    serve layer computes it so this module stays free of serve imports.
+    """
+    name = "platform-incidents"
+    if not isinstance(summary, dict) or not summary.get("bundles"):
+        return HealthCheck(name, SKIP, "no incident bundles to correlate")
+    bundles = int(summary["bundles"])
+    platform = int(summary.get("platform_incidents", 0))
+    multi = int(summary.get("multi_context", 0))
+    classes = summary.get("classes") or {}
+    listing = ", ".join(
+        f"{cls}: {count}" for cls, count in sorted(classes.items())
+    )
+    if multi:
+        return HealthCheck(
+            name,
+            WARN,
+            f"{multi} of {platform} platform incident(s) span multiple "
+            f"contexts ({listing}; {bundles} bundle(s))",
+            float(multi),
+            0.0,
+        )
+    return HealthCheck(
+        name,
+        OK,
+        f"{platform} platform incident(s), all single-context "
+        f"({bundles} bundle(s))",
+        0.0,
+        0.0,
+    )
+
+
 # ----------------------------------------------------------------------
 # scoring
 # ----------------------------------------------------------------------
@@ -505,6 +549,7 @@ def score_store(
     store: ModelStore,
     ledger: RunLedger | None = None,
     thresholds: HealthThresholds | None = None,
+    incident_summary: dict | None = None,
 ) -> HealthReport:
     """Score every context a registry knows about.
 
@@ -518,6 +563,10 @@ def score_store(
             with the store (``DirectoryStore.ledger()``) is used if the
             backend provides one.
         thresholds: watchdog tunables.
+        incident_summary: :func:`repro.serve.incidents.summarize` output
+            over the registry's committed incident bundles; when None
+            (no incidents directory) the ``platform-incidents`` fleet
+            check is omitted entirely.
     """
     if ledger is None:
         maker = getattr(store, "ledger", None)
@@ -529,10 +578,13 @@ def score_store(
     if ledger is not None:
         keys.update(ledger.contexts())
     all_entries = ledger.entries() if ledger is not None else []
+    fleet_checks = [_check_slo_burn(all_entries)]
+    if incident_summary is not None:
+        fleet_checks.append(_check_platform_incidents(incident_summary))
     report = HealthReport(
         thresholds=thresholds or HealthThresholds(),
         ledger_entries=len(all_entries),
-        fleet=[_check_slo_burn(all_entries)],
+        fleet=fleet_checks,
     )
     for key in sorted(keys):
         models = store.peek(key)

@@ -15,7 +15,10 @@ multiplex them all.  This package is that process's core:
   ``invarnetx serve``, RED-instrumented with ``/metrics`` and
   ``/debug/prof``;
 - :mod:`repro.serve.top` — the ``invarnetx top`` terminal dashboard
-  over either side of that HTTP boundary.
+  over either side of that HTTP boundary;
+- :mod:`repro.serve.incidents` — fleet-wide correlation of committed
+  incident bundles into classified platform incidents (``invarnetx
+  incidents list|show``).
 """
 
 from repro.serve.fastpath import fast_check, predict_next_from_tail, tail_length
@@ -23,10 +26,20 @@ from repro.serve.fleet import (
     FleetEvent,
     FleetMonitor,
     IngestResult,
+    RetainedIncident,
     Tick,
     shard_index,
 )
 from repro.serve.http import build_server
+from repro.serve.incidents import (
+    DEFAULT_HORIZON,
+    IncidentRecord,
+    PlatformIncident,
+    correlate,
+    records_from_fleet,
+    scan_bundles,
+    summarize,
+)
 from repro.serve.top import (
     FleetSnapshot,
     HttpSource,
@@ -39,6 +52,7 @@ __all__ = [
     "FleetMonitor",
     "FleetEvent",
     "IngestResult",
+    "RetainedIncident",
     "Tick",
     "shard_index",
     "fast_check",
@@ -50,4 +64,11 @@ __all__ = [
     "RegistrySource",
     "TopApp",
     "parse_prometheus",
+    "DEFAULT_HORIZON",
+    "IncidentRecord",
+    "PlatformIncident",
+    "scan_bundles",
+    "records_from_fleet",
+    "correlate",
+    "summarize",
 ]

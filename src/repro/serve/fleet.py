@@ -24,7 +24,13 @@ contexts (§3.2's deployment unit).  :class:`FleetMonitor` owns them all:
   diagnosis windows are retained in a bounded ring so
   :meth:`FleetMonitor.explain` can produce the full evidence report on
   demand (:func:`repro.obs.explain_window`; the MIC sweep hits the
-  content-hash cache because diagnosis already scored that window).
+  content-hash cache because diagnosis already scored that window);
+- the **blackbox** — pass ``blackbox_dir`` and every lane gets a
+  :class:`~repro.obs.blackbox.FlightRecorder` (bounded ring of raw
+  ticks, fastpath verdicts, state transitions and request ids); each
+  diagnosis is committed as a content-fingerprinted incident bundle
+  that survives process exit, incident-ring eviction, and lane
+  eviction, and that ``invarnetx replay`` re-runs deterministically.
 
 The store the pipeline carries is wrapped in a
 :class:`~repro.store.locked.LockedStore` at construction: lane
@@ -40,6 +46,7 @@ import zlib
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -47,10 +54,22 @@ import repro.obs as obs
 from repro.core.context import OperationContext
 from repro.core.online import AlarmEvent, DiagnosisEvent, OnlineMonitor
 from repro.core.pipeline import InvarNetX
+from repro.obs.blackbox import (
+    DEFAULT_CAPACITY,
+    FlightRecorder,
+    commit_bundle,
+)
 from repro.serve.fastpath import fast_check
 from repro.store import ContextKey, LockedStore
 
-__all__ = ["Tick", "FleetEvent", "IngestResult", "FleetMonitor", "shard_index"]
+__all__ = [
+    "Tick",
+    "FleetEvent",
+    "IngestResult",
+    "RetainedIncident",
+    "FleetMonitor",
+    "shard_index",
+]
 
 _log = obs.get_logger("serve.fleet")
 
@@ -108,6 +127,23 @@ class IngestResult:
     rejected: int = 0
 
 
+@dataclass(frozen=True)
+class RetainedIncident:
+    """One diagnosis held in the fleet's bounded incident ring.
+
+    Attributes:
+        event: the diagnosis (window attached).
+        request_id: HTTP request id of the batch that completed the
+            window ("" for in-process ingest).
+        bundle_id: the committed incident bundle, or None when the fleet
+            runs without a blackbox directory.
+    """
+
+    event: DiagnosisEvent
+    request_id: str = ""
+    bundle_id: str | None = None
+
+
 class _Shard:
     """One lock + its LRU-ordered monitor lanes."""
 
@@ -116,6 +152,10 @@ class _Shard:
         self.max_lanes = max_lanes
         self._lock = threading.RLock()
         self._lanes: OrderedDict[ContextKey, OnlineMonitor] = OrderedDict()  # repro: guarded-by=_lock
+        # flight recorders live and die in lockstep with their lane; the
+        # ring itself carries a leaf lock, so snapshots for bundle
+        # commits never hold the shard up
+        self._recorders: OrderedDict[ContextKey, FlightRecorder] = OrderedDict()  # repro: guarded-by=_lock
         self.evictions = 0  # repro: guarded-by=_lock
 
 
@@ -133,6 +173,11 @@ class FleetMonitor:
         workers: ingest thread count (None → one per shard; 0 → process
             batches inline on the calling thread).
         max_incidents: diagnosis windows retained for :meth:`explain`.
+        blackbox_dir: incidents directory; when set, every lane records
+            a flight ring and every diagnosis is committed there as an
+            incident bundle.  None (default) disables the blackbox — the
+            hot path then carries no recorder at all.
+        blackbox_capacity: flight-ring length per lane.
         **monitor_kwargs: forwarded to every :class:`OnlineMonitor`
             (``window_ticks``, ``warmup_ticks``, ``cooldown_ticks``,
             ``max_history``).
@@ -146,6 +191,8 @@ class FleetMonitor:
         max_lanes_per_shard: int | None = None,
         workers: int | None = None,
         max_incidents: int = 256,
+        blackbox_dir: str | Path | None = None,
+        blackbox_capacity: int = DEFAULT_CAPACITY,
         **monitor_kwargs: int,
     ) -> None:
         if shards < 1:
@@ -155,6 +202,10 @@ class FleetMonitor:
         pipeline.store = LockedStore.wrap(pipeline.store)
         self.pipeline = pipeline
         self.monitor_kwargs = dict(monitor_kwargs)
+        self.blackbox_dir = (
+            Path(blackbox_dir) if blackbox_dir is not None else None
+        )
+        self.blackbox_capacity = blackbox_capacity
         self._shards = [
             _Shard(i, max_lanes_per_shard) for i in range(shards)
         ]
@@ -167,9 +218,10 @@ class FleetMonitor:
             else None
         )
         self._incident_lock = threading.Lock()
-        self._incidents: OrderedDict[ContextKey, DiagnosisEvent] = OrderedDict()  # repro: guarded-by=_incident_lock
+        self._incidents: OrderedDict[ContextKey, RetainedIncident] = OrderedDict()  # repro: guarded-by=_incident_lock
         self._max_incidents = max_incidents
         self.rejected_total = 0  # repro: guarded-by=_incident_lock
+        self.bundles_committed = 0  # repro: guarded-by=_incident_lock
 
     # ------------------------------------------------------------------
     @property
@@ -212,13 +264,23 @@ class FleetMonitor:
         self.close()
 
     # ------------------------------------------------------------------
-    def ingest(self, batch: list[Tick]) -> IngestResult:
+    def ingest(
+        self, batch: list[Tick], request_id: str = ""
+    ) -> IngestResult:
         """Feed one batch of ticks, fanned out to shards.
 
         Per-context tick order inside the batch is preserved (a context
         lives on exactly one shard, and each shard processes its slice
         in batch order).  Events come back sorted by batch position, so
         the result is deterministic regardless of thread interleaving.
+
+        Args:
+            batch: the ticks to route.
+            request_id: id of the HTTP request that delivered the batch
+                ("" for in-process ingest) — recorded on flight-ring
+                ticks, incident bundles and ``fleet-diagnose`` ledger
+                entries, so an HTTP-triggered incident is traceable end
+                to end.
         """
         groups: dict[int, list[tuple[int, Tick]]] = {}
         for pos, tick in enumerate(batch):
@@ -227,12 +289,14 @@ class FleetMonitor:
         with obs.span("fleet.ingest"):
             if self._pool is None or len(groups) <= 1:
                 slices = [
-                    self._drain(self._shards[idx], ticks)
+                    self._drain(self._shards[idx], ticks, request_id)
                     for idx, ticks in groups.items()
                 ]
             else:
                 futures = [
-                    self._pool.submit(self._drain, self._shards[idx], ticks)
+                    self._pool.submit(
+                        self._drain, self._shards[idx], ticks, request_id
+                    )
                     for idx, ticks in groups.items()
                 ]
                 slices = [f.result() for f in futures]
@@ -243,7 +307,7 @@ class FleetMonitor:
             result.events.extend(events)
         result.events.sort(key=lambda e: e.index)
         for fleet_event in result.events:
-            self._sink(fleet_event)
+            self._sink(fleet_event, request_id)
         if result.rejected:
             with self._incident_lock:
                 self.rejected_total += result.rejected
@@ -267,12 +331,16 @@ class FleetMonitor:
 
     # ------------------------------------------------------------------
     def _drain(
-        self, shard: _Shard, ticks: list[tuple[int, Tick]]
+        self,
+        shard: _Shard,
+        ticks: list[tuple[int, Tick]],
+        request_id: str = "",
     ) -> tuple[int, int, list[FleetEvent]]:
         """Process one shard's slice of the batch, in batch order."""
         accepted = 0
         rejected = 0
         events: list[FleetEvent] = []
+        blackbox = self.blackbox_dir is not None
         with shard._lock:
             for pos, tick in ticks:
                 monitor = self._lane_for(shard, tick.context)
@@ -280,10 +348,24 @@ class FleetMonitor:
                     rejected += 1
                     continue
                 accepted += 1
+                # the state *entering* the tick: replay needs it to tell
+                # quarantined (collecting) CPI from detector history
+                state = monitor.state.value
                 verdict = fast_check(monitor, float(tick.cpi))
                 event = monitor.observe(
                     tick.metrics, float(tick.cpi), anomalous=verdict
                 )
+                if blackbox:
+                    recorder = shard._recorders.get(tick.context.key())
+                    if recorder:
+                        recorder.record(
+                            monitor.tick,
+                            tick.metrics,
+                            float(tick.cpi),
+                            verdict,
+                            state,
+                            request_id,
+                        )
                 if event is not None:
                     events.append(FleetEvent(pos, tick.context, event))
         if obs.enabled() and (accepted or rejected):
@@ -322,11 +404,20 @@ class FleetMonitor:
             self.pipeline, context, **self.monitor_kwargs
         )
         shard._lanes[key] = monitor
+        if self.blackbox_dir is not None:
+            recorder = FlightRecorder(
+                context,
+                capacity=self.blackbox_capacity,
+                model_revision=int(self.pipeline.store.revision(key)),
+            )
+            monitor.on_transition = recorder.note_transition
+            shard._recorders[key] = recorder
         if (
             shard.max_lanes is not None
             and len(shard._lanes) > shard.max_lanes
         ):
             evicted_key, _ = shard._lanes.popitem(last=False)
+            shard._recorders.pop(evicted_key, None)
             shard.evictions += 1
             if obs.enabled():
                 obs.metrics_registry().counter(
@@ -344,32 +435,66 @@ class FleetMonitor:
         return monitor
 
     # ------------------------------------------------------------------
-    def _sink(self, fleet_event: FleetEvent) -> None:
-        """Route one emitted event through obs/ledger/incident ring.
+    def _sink(self, fleet_event: FleetEvent, request_id: str = "") -> None:
+        """Route one emitted event through obs/ledger/bundle/ring.
 
         Alarm/diagnosis counters are already incremented by the monitor
-        itself; the fleet adds the cross-cutting record keeping.
+        itself; the fleet adds the cross-cutting record keeping.  The
+        bundle is committed *before* the ring insert, so an incident
+        evicted from the bounded ring has always already reached disk.
         """
         context = fleet_event.context
         event = fleet_event.event
         if not isinstance(event, DiagnosisEvent):
             return
         key = context.key()
+        bundle_id: str | None = None
+        if self.blackbox_dir is not None:
+            shard = self._shards[shard_index(key, len(self._shards))]
+            with shard._lock:
+                recorder = shard._recorders.get(key)
+            if recorder is not None:
+                bundle = commit_bundle(
+                    self.blackbox_dir,
+                    self.pipeline,
+                    context,
+                    event,
+                    recorder.snapshot(),
+                    request_id=request_id,
+                )
+                bundle_id = bundle.bundle_id
+                with self._incident_lock:
+                    self.bundles_committed += 1
+                if obs.enabled():
+                    obs.metrics_registry().counter(
+                        "invarnetx_incident_bundles_total",
+                        "Incident bundles committed by the blackbox",
+                        ("shard",),
+                    ).inc(shard=str(shard.index))
         with self._incident_lock:
-            self._incidents[key] = event
+            self._incidents[key] = RetainedIncident(
+                event=event, request_id=request_id, bundle_id=bundle_id
+            )
             self._incidents.move_to_end(key)
             while len(self._incidents) > self._max_incidents:
                 self._incidents.popitem(last=False)
         ledger = self.pipeline.ledger
         if ledger is not None:
-            ledger.append(
-                "fleet-diagnose",
-                context=key,
-                fingerprint=self.pipeline.fingerprint,
+            fields: dict[str, object] = dict(
                 tick=event.tick,
                 alarm_tick=event.alarm_tick,
                 cause=event.root_cause,
                 matched=event.inference.matched,
+            )
+            if request_id:
+                fields["request_id"] = request_id
+            if bundle_id is not None:
+                fields["bundle"] = bundle_id
+            ledger.append(
+                "fleet-diagnose",
+                context=key,
+                fingerprint=self.pipeline.fingerprint,
+                **fields,
             )
 
     # ------------------------------------------------------------------
@@ -378,20 +503,36 @@ class FleetMonitor:
     ) -> DiagnosisEvent | None:
         """The most recent retained diagnosis of a context, or None."""
         with self._incident_lock:
-            return self._incidents.get(context.key())
+            retained = self._incidents.get(context.key())
+        return retained.event if retained is not None else None
+
+    def retained_incidents(
+        self,
+    ) -> list[tuple[ContextKey, RetainedIncident]]:
+        """The bounded incident ring's contents, oldest first."""
+        with self._incident_lock:
+            return list(self._incidents.items())
 
     def explain(self, context: OperationContext):
         """Full evidence report for the context's last diagnosis.
 
         Returns:
-            An :class:`repro.obs.explain.IncidentExplanation`.
+            An :class:`repro.obs.explain.IncidentExplanation` (stamped
+            with the triggering request id when the incident arrived
+            over HTTP).
 
         Raises:
             KeyError: no retained incident for the context.
         """
-        event = self.last_incident(context)
-        if event is None or event.window is None:
+        with self._incident_lock:
+            retained = self._incidents.get(context.key())
+        if retained is None or retained.event.window is None:
             raise KeyError(f"no retained incident for {context}")
         from repro.obs.explain import explain_window
 
-        return explain_window(self.pipeline, context, event.window)
+        return explain_window(
+            self.pipeline,
+            context,
+            retained.event.window,
+            request_id=retained.request_id or None,
+        )

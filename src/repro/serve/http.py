@@ -14,7 +14,8 @@ Endpoints:
     one bad agent must not poison a batch carrying a thousand contexts.
 
 ``GET /health``
-    Liveness + fleet shape: resident lanes, shards, rejected-tick total.
+    Liveness + fleet shape: resident lanes, shards, rejected-tick total,
+    committed incident bundles.
 
 ``GET /contexts``
     ``{"workload@node": "<state>", ...}`` for every resident lane.
@@ -291,6 +292,7 @@ class FleetRequestHandler(BaseHTTPRequestHandler):
                     "contexts": len(self.fleet.contexts()),
                     "shards": self.fleet.shards,
                     "rejected_total": self.fleet.rejected_total,
+                    "incident_bundles": self.fleet.bundles_committed,
                 },
             )
             return
@@ -416,7 +418,7 @@ class FleetRequestHandler(BaseHTTPRequestHandler):
                 malformed += 1
             else:
                 batch.append(tick)
-        result = self.fleet.ingest(batch)
+        result = self.fleet.ingest(batch, request_id=self.request_id)
         self._reply_json(
             200,
             {

@@ -20,6 +20,7 @@ first frame shows lifetime totals with a ``-`` rate column.
 from __future__ import annotations
 
 import json
+import math
 import time
 import urllib.request
 from dataclasses import dataclass, field
@@ -102,13 +103,24 @@ def histogram_quantile(
 
     Linear interpolation inside the target bucket, the standard
     ``histogram_quantile`` scheme; the +Inf bucket clamps to the last
-    finite bound.  Returns None when the histogram is empty.
+    finite bound.  Returns None when the histogram is empty, all-zero,
+    or poisoned (NaN/negative counts, NaN bounds): a bad exposition
+    must degrade to the same ``-`` cell as no data, not leak NaN into
+    the frame or divide by a zero span.
     """
     if not 0.0 <= q <= 1.0:
         raise ValueError("quantile must be in [0, 1]")
     buckets = sorted(buckets)
+    if any(
+        not math.isfinite(count)
+        or count < 0
+        or math.isnan(bound)
+        or bound == -math.inf
+        for bound, count in buckets
+    ):
+        return None
     total = buckets[-1][1] if buckets else 0.0
-    if total <= 0:
+    if not total > 0:
         return None
     rank = q * total
     previous_bound = 0.0
@@ -150,6 +162,8 @@ class FleetSnapshot:
     evictions: float = 0.0
     disconnects: float = 0.0
     endpoints: list[EndpointStats] = field(default_factory=list)
+    #: Committed incident bundles (None = source predates the blackbox).
+    incidents: float | None = None
 
     @property
     def ticks(self) -> float:
@@ -234,6 +248,7 @@ class HttpSource:
             evictions=_sum_all(families, _EVICTIONS),
             disconnects=_sum_all(families, _DISCONNECTS),
             endpoints=_endpoint_stats(families),
+            incidents=health.get("incident_bundles"),
         )
 
 
@@ -260,6 +275,11 @@ class RegistrySource:
         contexts = (
             len(self.fleet.contexts()) if self.fleet is not None else None
         )
+        incidents = (
+            float(self.fleet.bundles_committed)
+            if self.fleet is not None
+            else None
+        )
         return FleetSnapshot(
             taken_at=self.clock(),
             contexts=contexts,
@@ -268,6 +288,7 @@ class RegistrySource:
             evictions=_sum_all(families, _EVICTIONS),
             disconnects=_sum_all(families, _DISCONNECTS),
             endpoints=_endpoint_stats(families),
+            incidents=incidents,
         )
 
 
@@ -282,7 +303,7 @@ def _rate(
 
 
 def _ms(seconds: float | None) -> str:
-    if seconds is None:
+    if seconds is None or not math.isfinite(seconds):
         return "-"
     return f"{seconds * 1000:.1f}ms"
 
@@ -318,13 +339,17 @@ class TopApp:
             "",
         ]
         contexts = "-" if snapshot.contexts is None else str(snapshot.contexts)
+        incidents = (
+            "-" if snapshot.incidents is None else f"{snapshot.incidents:g}"
+        )
         lines.append(
             f"lanes {contexts}   shards {len(snapshot.shard_ticks)}   "
             f"ticks {snapshot.ticks:g} "
             f"({_rate(snapshot.ticks, previous.ticks if previous else None, dt)})   "
             f"rejected {snapshot.rejected:g}   "
             f"evicted {snapshot.evictions:g}   "
-            f"disconnects {snapshot.disconnects:g}"
+            f"disconnects {snapshot.disconnects:g}   "
+            f"incidents {incidents}"
         )
         if snapshot.shard_ticks:
             shard_bits = "  ".join(

@@ -130,6 +130,16 @@ class ModelStore(abc.ABC):
         """Forget the context entirely (resident copy and, for durable
         backends, the registry entry).  Unknown keys are a no-op."""
 
+    def revision(self, key: ContextKey) -> int:
+        """The context's publish counter (0 = never persisted).
+
+        Versioned backends (:class:`DirectoryStore`) override this with
+        the manifest's per-context version; memory-only backends keep
+        the default.  Incident bundles record it so forensics can tell
+        which published models a diagnosis ran on.
+        """
+        return 0
+
     # ------------------------------------------------------------------
     def __contains__(self, key: object) -> bool:
         return key in self.keys()

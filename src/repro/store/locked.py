@@ -75,6 +75,12 @@ class LockedStore(ModelStore):
         with self._lock:
             self.inner.discard(key)
 
+    def revision(self, key: ContextKey) -> int:
+        # explicit pass-through: the base class has a concrete default,
+        # so __getattr__ would never be consulted for this name
+        with self._lock:
+            return self.inner.revision(key)
+
     def __getattr__(self, name: str):
         # backend-specific surface (ledger(), root, max_resident, ...)
         # passes through unlocked: those are configuration reads, and the

@@ -103,6 +103,41 @@ class TestHistogramQuantile:
         with pytest.raises(ValueError):
             histogram_quantile(1.5, self.BUCKETS)
 
+    def test_all_zero_histogram_is_none(self):
+        # a scraped-but-never-observed histogram: every cumulative
+        # count 0, including +Inf — must degrade to None, not divide
+        # by a zero span
+        assert (
+            histogram_quantile(
+                0.99, [(0.1, 0.0), (1.0, 0.0), (float("inf"), 0.0)]
+            )
+            is None
+        )
+
+    def test_poisoned_counts_are_none(self):
+        nan = float("nan")
+        assert histogram_quantile(0.5, [(0.1, nan), (1.0, 5.0)]) is None
+        assert histogram_quantile(0.5, [(0.1, -3.0), (1.0, 5.0)]) is None
+        assert (
+            histogram_quantile(0.5, [(0.1, float("inf"))]) is None
+        )
+
+    def test_poisoned_bounds_are_none(self):
+        nan = float("nan")
+        assert histogram_quantile(0.5, [(nan, 5.0), (1.0, 9.0)]) is None
+        assert (
+            histogram_quantile(0.5, [(-float("inf"), 5.0), (1.0, 9.0)])
+            is None
+        )
+
+    def test_latency_cell_renders_dash_for_degraded_quantile(self):
+        from repro.serve.top import _ms
+
+        assert _ms(None) == "-"
+        assert _ms(float("nan")) == "-"
+        assert _ms(float("inf")) == "-"
+        assert _ms(0.0753) == "75.3ms"
+
 
 class TestRegistrySourceAndRender:
     def test_one_deterministic_frame(self):
@@ -154,6 +189,25 @@ class TestRegistrySourceAndRender:
             line for line in frame.splitlines() if line.startswith("/health")
         )
         assert health_line.rstrip().endswith("-")
+
+    def test_incidents_header_cell(self):
+        # no fleet attached: the incidents counter is unknowable -> "-"
+        registry = _populated_registry()
+        app = TopApp(RegistrySource(registry, clock=lambda: 1.0))
+        header = app.frame().splitlines()[2]
+        assert header.endswith("incidents -")
+
+        class FakeFleet:
+            bundles_committed = 7
+
+            def contexts(self):
+                return {}
+
+        app = TopApp(
+            RegistrySource(registry, fleet=FakeFleet(), clock=lambda: 1.0)
+        )
+        header = app.frame().splitlines()[2]
+        assert header.endswith("incidents 7")
 
     def test_empty_registry_renders_placeholder(self):
         app = TopApp(

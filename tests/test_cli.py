@@ -467,3 +467,141 @@ class TestRuns:
         )
         assert code == 2
         assert "itself" in capsys.readouterr().err
+
+
+class TestIncidentsAndReplay:
+    @pytest.fixture()
+    def incident_registry(self, tmp_path_factory):
+        """A registry whose blackbox committed bundles for a two-node
+        fault (driven in-process; bundles land in <registry>/incidents)."""
+        from repro.core import OperationContext
+        from repro.serve import FleetMonitor
+        from repro.store import DirectoryStore
+
+        from tests.obs.test_blackbox import drive_fault, incident_pipeline
+
+        registry = tmp_path_factory.mktemp("incident-cli") / "registry"
+        contexts = [
+            OperationContext("wordcount", f"node-{i}", ip=f"10.0.0.{i}")
+            for i in range(3)
+        ]
+        pipe = incident_pipeline(
+            contexts, store=DirectoryStore(registry)
+        )
+        for context in contexts:
+            pipe.store.persist(context.key())
+        fleet = FleetMonitor(
+            pipe,
+            shards=2,
+            workers=0,
+            window_ticks=8,
+            warmup_ticks=12,
+            cooldown_ticks=4,
+            blackbox_dir=registry / "incidents",
+        )
+        with fleet:
+            drive_fault(
+                fleet, contexts, {contexts[0].key(), contexts[1].key()}
+            )
+        obs.configure(enabled=False)
+        obs.reset()
+        return registry
+
+    def test_incidents_list_accepts_registry_root(
+        self, incident_registry, capsys
+    ):
+        code = main(["incidents", "list", str(incident_registry)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("P01  shared-workload")
+        assert "cause disk_hog" in out
+        assert "P02" not in out  # one platform incident, not singletons
+
+    def test_incidents_list_horizon_and_json(
+        self, incident_registry, capsys
+    ):
+        code = main(
+            ["incidents", "list", str(incident_registry / "incidents"),
+             "--horizon", "5", "--json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert [i["incident_id"] for i in doc] == ["P01", "P02", "P03"]
+        assert all(
+            i["classification"] == "shared-workload" for i in doc
+        )
+
+    def test_incidents_show(self, incident_registry, capsys):
+        code = main(["incidents", "show", str(incident_registry), "P01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "causes: disk_hog" in out
+        assert "request-id req-" in out
+
+    def test_incidents_show_unknown_exits_2(
+        self, incident_registry, capsys
+    ):
+        code = main(["incidents", "show", str(incident_registry), "P99"])
+        assert code == 2
+        assert "no platform incident" in capsys.readouterr().err
+
+    def test_replay_reproduces_and_exits_0(
+        self, incident_registry, capsys
+    ):
+        bundle = sorted((incident_registry / "incidents").iterdir())[0]
+        code = main(["replay", str(bundle)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "REPRODUCED" in out
+        assert "byte-identical" in out
+
+    def test_replay_json_mode(self, incident_registry, capsys):
+        bundle = sorted((incident_registry / "incidents").iterdir())[0]
+        code = main(["replay", str(bundle), "--json", "--passes", "3"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["passes"] == 3
+
+    def test_replay_tampered_bundle_exits_1(
+        self, incident_registry, capsys
+    ):
+        bundle = sorted((incident_registry / "incidents").iterdir())[0]
+        explain = bundle / "explain.txt"
+        explain.write_text(
+            explain.read_text(encoding="utf-8") + "tamper\n",
+            encoding="utf-8",
+        )
+        code = main(["replay", str(bundle)])
+        assert code == 1
+        assert "DIVERGED" in capsys.readouterr().out
+
+    def test_replay_missing_bundle_exits_2(self, tmp_path, capsys):
+        code = main(["replay", str(tmp_path / "nope")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_health_folds_in_platform_incidents(
+        self, incident_registry, capsys
+    ):
+        code = main(["health", str(incident_registry)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "platform-incidents" in out
+
+    def test_health_json_carries_incident_check(
+        self, incident_registry, capsys
+    ):
+        code = main(["health", str(incident_registry), "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        names = [c["name"] for c in doc["fleet"]]
+        assert "platform-incidents" in names
+
+    def test_serve_parser_accepts_blackbox_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "reg", "--no-blackbox", "--blackbox-capacity", "32"]
+        )
+        assert args.no_blackbox is True
+        assert args.blackbox_capacity == 32
+        assert args.blackbox is None

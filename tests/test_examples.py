@@ -62,3 +62,20 @@ def test_all_examples_compile():
 
     for script in sorted(EXAMPLES.glob("*.py")):
         py_compile.compile(str(script), doraise=True)
+
+
+def test_incident_forensics_runs_end_to_end():
+    """The forensics example is hand-built-model fast: the blackbox
+    commits bundles, the correlator folds them into one platform
+    incident, and the replay reproduces the diagnosis byte for byte."""
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "incident_forensics.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "incident bundles committed: 3" in proc.stdout
+    assert "P01  shared-workload  3 bundle(s)" in proc.stdout
+    assert "REPRODUCED" in proc.stdout
+    assert "byte-identical" in proc.stdout
